@@ -1,0 +1,33 @@
+# Convenience targets for the Tincy YOLO reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report demo quickstart lint-zoo clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	$(PYTHON) -m repro report --output reproduction-report.md
+
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+demo:
+	$(PYTHON) examples/live_demo.py
+
+lint-zoo:
+	$(PYTHON) -m repro lint tiny
+	$(PYTHON) -m repro lint tincy
+	$(PYTHON) -m repro lint mlp4
+	$(PYTHON) -m repro lint cnv6
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures and
+registers a plain-text report through the ``report`` fixture; the reports
+are printed in the terminal summary, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures the paper-vs-measured
+comparison alongside pytest-benchmark's timing table.
+"""
+
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a titled text block for the end-of-run summary."""
+
+    def add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

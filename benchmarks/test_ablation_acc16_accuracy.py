@@ -1,0 +1,96 @@
+"""§III-D ablation — what the 16-bit accumulator costs in detection accuracy.
+
+"This, in fact, introduces some small loss of detection accuracy so that
+the floating-point implementation is kept available as drop in reference
+for case-to-case evaluation."
+
+We train the mini Tincy YOLO once, then evaluate the *same* trained
+network three times, swapping only the input layer's execution path:
+float, int8 with 32-bit accumulators, and int8 with 16-bit accumulators
+(rounding right shift by 4).  The mAP deltas quantify the loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import ShapesDetectionDataset
+from repro.eval.boxes import nms
+from repro.eval.metrics import ImageEval, evaluate_map
+from repro.neon.kernels import conv_int8
+from repro.train.layers import QConv2d
+from repro.train.loss import decode_grid_predictions
+from repro.train.models import mini_yolo
+from repro.train.trainer import TrainConfig, train_detector
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    dataset = ShapesDetectionDataset(
+        image_size=48, min_objects=1, max_objects=2,
+        min_scale=0.25, max_scale=0.5, seed=1,
+    )
+    model = mini_yolo("mini-tincy", n_classes=20, seed=1)
+    train_detector(
+        model, dataset, TrainConfig(steps=300, batch_size=8, eval_samples=8)
+    )
+    eval_samples = dataset.batch(3000, 48)
+    return model, eval_samples
+
+
+def _evaluate_with_input_path(model, samples, input_path):
+    """mAP with the first convolution executed by *input_path*."""
+    first_conv = next(
+        m for m in model.network.modules if isinstance(m, QConv2d)
+    )
+    rest = model.network.modules[model.network.modules.index(first_conv) + 1 :]
+    images = []
+    for image, truths in samples:
+        if input_path == "float":
+            z = model.network.modules[0].forward(image[None], training=False)
+        else:
+            bits = 32 if input_path == "i8_acc32" else 16
+            out, stats = conv_int8(
+                image.astype(np.float32),
+                first_conv.effective_weights(),
+                stride=first_conv.stride,
+                pad=first_conv.pad,
+                accumulator_bits=bits,
+            )
+            z = out[None]
+        for module in rest:
+            z = module.forward(z, training=False)
+        detections = nms(
+            decode_grid_predictions(z[0], model.n_classes, threshold=0.05)
+        )
+        images.append(ImageEval(detections=detections, truths=truths))
+    return evaluate_map(images, n_classes=model.n_classes).map_percent
+
+
+def test_accumulator_width_accuracy(benchmark, trained_model, report):
+    model, samples = trained_model
+
+    def evaluate_all():
+        return {
+            path: _evaluate_with_input_path(model, samples, path)
+            for path in ("float", "i8_acc32", "i8_acc16")
+        }
+
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+    # Quantizing the input layer costs little; acc16 may cost slightly more
+    # — but both stay within a small band of the float reference.
+    assert abs(results["i8_acc32"] - results["float"]) < 6.0
+    assert abs(results["i8_acc16"] - results["float"]) < 8.0
+
+    report(
+        "§III-D ablation: input-layer execution path vs detection mAP "
+        "(same trained mini Tincy YOLO)",
+        format_table(
+            ["Input-layer path", "mAP (%)", "Δ vs float"],
+            [
+                (path, f"{value:5.1f}", f"{value - results['float']:+5.2f}")
+                for path, value in results.items()
+            ],
+        ),
+    )

@@ -1,0 +1,147 @@
+"""§III-A ablation — accelerator schedule vs device capacity.
+
+"Targeting a rather small XCZU3EG chip, only a single generalized
+convolutional layer together with its subsequent pooling layer would fit
+into the available fabric.  The layers of the network must be run one
+after the other on the same accelerator."
+
+Regenerated here: the iterated single engine fits the XCZU3EG (barely,
+BRAM-bound); a second engine does not; a per-layer dataflow pipeline
+matched to the same throughput overflows the device but fits a ZCU102-
+class XCZU9EG.  The earlier FINN show cases (MLP-4) fit even the PYNQ's
+XC7Z020 as full dataflow — which is why they could be pipelined.
+"""
+
+import numpy as np
+import pytest
+
+from repro.finn.accelerator import (
+    DataflowAccelerator,
+    IteratedAccelerator,
+    balanced_dataflow_foldings,
+    compile_stages,
+)
+from repro.finn.device import KNOWN_FABRICS, XC7Z020, XCZU3EG, XCZU9EG
+from repro.finn.mvtu import Folding, MVTUGeometry
+from repro.finn.resources import (
+    mvtu_compute_resources,
+    total_estimate,
+    weight_storage_resources,
+)
+from repro.nn.network import Network
+from repro.nn.zoo import tincy_yolo_config
+from repro.util.tables import format_table
+
+
+def _tincy_hidden(per_layer=None, folding=Folding(32, 32)):
+    network = Network(tincy_yolo_config())
+    hidden = network.layers[1:-2]
+    return compile_stages(
+        hidden,
+        network.layers[0].out_quant.scale,
+        network.layers[0].out_shape,
+        folding=folding,
+        per_layer_folding=per_layer,
+    )
+
+
+@pytest.fixture(scope="module")
+def iterated():
+    return IteratedAccelerator(_tincy_hidden())
+
+
+@pytest.fixture(scope="module")
+def dataflow(iterated):
+    unit = [
+        s.conv.mvtu.geometry.rows * s.conv.mvtu.geometry.cols
+        * int(np.prod(s.conv.out_shape(s.in_shape)[1:]))
+        for s in iterated.stages
+    ]
+    foldings = balanced_dataflow_foldings(unit, iterated.cycles_per_frame())
+    return DataflowAccelerator(_tincy_hidden(per_layer=foldings))
+
+
+def test_fit_table(benchmark, iterated, dataflow, report):
+    def fit_matrix():
+        rows = []
+        for name, accel in (
+            ("iterated 32x32 (x1)", iterated),
+            ("iterated 32x32 (x2)", None),
+            ("dataflow (matched)", dataflow),
+        ):
+            if accel is None:
+                resources = iterated.resources() + iterated.resources()
+                time_ms = iterated.time_per_frame() / 2 * 1e3
+            else:
+                resources = accel.resources()
+                time_ms = accel.time_per_frame() * 1e3
+            rows.append(
+                (
+                    name,
+                    f"{time_ms:6.1f} ms",
+                    f"{resources.luts:,}",
+                    resources.bram36,
+                    "yes" if resources.fits(XCZU3EG) else "NO",
+                    "yes" if resources.fits(XCZU9EG) else "NO",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(fit_matrix, rounds=1, iterations=1)
+    report(
+        "§III-A ablation: schedule vs device fit (Tincy YOLO hidden layers)",
+        format_table(
+            ["Design", "time/frame", "LUTs", "BRAM36", "XCZU3EG", "XCZU9EG"],
+            rows,
+        ),
+    )
+    assert iterated.resources().fits(XCZU3EG)
+    assert not (iterated.resources() + iterated.resources()).fits(XCZU3EG)
+    assert not dataflow.resources().fits(XCZU3EG)
+    assert dataflow.resources().fits(XCZU9EG)
+
+
+def test_iterated_engine_is_bram_bound(benchmark, iterated):
+    utilization = benchmark(lambda: iterated.resources().utilization(XCZU3EG))
+    assert utilization["bram"] > 0.8
+    assert utilization["bram"] > utilization["lut"]
+
+
+def test_mlp4_dataflow_fits_pynq(benchmark, report):
+    """The earlier show cases 'lent themselves to ... a dataflow pipeline'."""
+    # MLP-4 weight matrices (784-1024-1024-1024-10, binary).
+    geometries = [
+        MVTUGeometry(1024, 784, 1, 1),
+        MVTUGeometry(1024, 1024, 1, 1),
+        MVTUGeometry(1024, 1024, 1, 1),
+        MVTUGeometry(10, 1024, 1, 1),
+    ]
+    folding = Folding(16, 16)
+
+    def price():
+        parts = []
+        for geometry in geometries:
+            parts.append(mvtu_compute_resources(folding, 1))
+            parts.append(weight_storage_resources([geometry], folding))
+        return total_estimate(parts)
+
+    resources = benchmark(price)
+    assert resources.fits(XC7Z020)
+    report(
+        "FINN show case: MLP-4 as full dataflow on the PYNQ-Z1 (XC7Z020)",
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ("LUTs", f"{resources.luts:,} / {XC7Z020.usable_luts:,}"),
+                ("BRAM36", f"{resources.bram36} / {XC7Z020.usable_bram36}"),
+                ("fits", "yes"),
+            ],
+        ),
+    )
+
+
+def test_dataflow_wins_given_enough_fabric(benchmark, iterated, dataflow):
+    """On a big device the pipeline is the better schedule — the §III-A
+    constraint is a *resource* constraint, not an architectural preference."""
+    assert benchmark(dataflow.time_per_frame) <= iterated.time_per_frame()
+    assert dataflow.latency_s() >= dataflow.time_per_frame()

@@ -1,0 +1,89 @@
+"""§III-D ablation — the NEON kernel ladder for the first layer.
+
+Modeled times must match the paper's sequence 620 -> 280 (gemmlowp 2.2x)
+-> ~295 (fused float 2.1x) -> 160 (custom float 3.8x) -> 140 (int8/acc32)
+-> 120 ms (int8/acc16).  The functional kernels additionally run (at a
+reduced geometry) under pytest-benchmark for real wall times, and their
+numeric agreement with the reference convolution is asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import conv2d
+from repro.neon.kernels import (
+    conv_first_layer_custom,
+    conv_fused_float,
+    conv_gemmlowp,
+    conv_generic_float,
+)
+from repro.neon.timing import conv_time_generic, conv_time_neon
+from repro.perf.cost_model import TINY_INPUT_MACS
+from repro.util.tables import format_table
+
+PAPER_LADDER_MS = [
+    ("generic-float", None, 620, "explicit im2col + float GEMM"),
+    ("gemmlowp-u8", 2.2, 280, "quantizing im2col + gemmlowp"),
+    ("fused-float", 2.1, 295, "fused sliced im2col + GEMM"),
+    ("custom-16x27-float", 3.8, 160, "fully unrolled 16x27 kernel"),
+    ("custom-16x27-i8-acc32", None, 140, "int8, 32-bit accumulators"),
+    ("custom-16x27-i8-acc16", None, 120, "int8, 16-bit acc + vrshr #4"),
+]
+
+
+def test_neon_ladder_times(benchmark, report):
+    def model_ladder():
+        rows = []
+        base = conv_time_generic(TINY_INPUT_MACS, 27, 3)
+        rows.append(("generic-float", base.milliseconds))
+        for path, _, _, _ in PAPER_LADDER_MS[1:]:
+            rows.append((path, conv_time_neon(path, TINY_INPUT_MACS).milliseconds))
+        return dict(rows)
+
+    times = benchmark(model_ladder)
+    base_ms = times["generic-float"]
+    text_rows = []
+    for path, speedup, paper_ms, note in PAPER_LADDER_MS:
+        ours = times[path]
+        assert ours == pytest.approx(paper_ms, rel=0.05), path
+        if speedup is not None:
+            assert base_ms / ours == pytest.approx(speedup, rel=0.07), path
+        text_rows.append(
+            (path, f"{ours:7.1f}", paper_ms, f"{base_ms / ours:4.1f}x", note)
+        )
+    report(
+        "§III-D NEON ladder: first-layer time (model vs paper)",
+        format_table(["Path", "Model (ms)", "Paper (ms)", "Speedup", "Note"],
+                     text_rows),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_first_layer():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, size=(3, 64, 64)).astype(np.float32)
+    w = (rng.normal(size=(16, 3, 3, 3)) * 0.2).astype(np.float32)
+    return x, w, conv2d(x, w, None, 1, 1)
+
+
+class TestFunctionalKernels:
+    def test_generic(self, benchmark, small_first_layer):
+        x, w, reference = small_first_layer
+        out, _ = benchmark(conv_generic_float, x, w)
+        assert np.allclose(out, reference, atol=1e-4)
+
+    def test_gemmlowp(self, benchmark, small_first_layer):
+        x, w, reference = small_first_layer
+        out, _ = benchmark(conv_gemmlowp, x, w)
+        assert np.abs(out - reference).max() < 0.05
+
+    def test_fused(self, benchmark, small_first_layer):
+        x, w, reference = small_first_layer
+        out, _ = benchmark(conv_fused_float, x, w, 1, 1, 64)
+        assert np.allclose(out, reference, atol=1e-4)
+
+    def test_custom_acc16(self, benchmark, small_first_layer):
+        x, w, reference = small_first_layer
+        out, stats = benchmark(conv_first_layer_custom, x, w, 1, 1, "i8_acc16")
+        assert np.abs(out - reference).max() < 0.06
+        assert stats.overflow_events == 0

@@ -1,0 +1,110 @@
+"""§III-F ablation — worker count and stage granularity.
+
+Two claims are probed with the discrete-event simulator:
+
+1. worker scaling: four cores give "almost a threefold speedup" over the
+   sequential execution (theoretical max 4x, diluted by synchronization);
+2. stage granularity: "the competition over locks can be reduced
+   beneficially by a more fine-grained division into pipeline stages" — but
+   only while the per-job overhead stays small relative to the stage sizes.
+"""
+
+import pytest
+
+from repro.perf.ladder import ladder_steps
+from repro.pipeline.scheduler import StageDescriptor
+from repro.pipeline.simulate import (
+    DEFAULT_JOB_OVERHEAD_S,
+    PipelineSimulator,
+    sequential_time,
+)
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def tincy_stages():
+    step = ladder_steps()[-1]
+    return [
+        StageDescriptor(
+            name=stage.name,
+            duration_s=stage.seconds,
+            resource="fabric" if stage.resource == "fabric" else "cpu",
+        )
+        for stage in step.stages
+    ]
+
+
+def test_worker_scaling(benchmark, tincy_stages, report):
+    def sweep():
+        rows = []
+        sequential_fps = 1.0 / sequential_time(tincy_stages)
+        for workers in (1, 2, 3, 4, 6, 8):
+            result = PipelineSimulator(
+                tincy_stages, workers=workers,
+                job_overhead_s=DEFAULT_JOB_OVERHEAD_S,
+            ).run(150)
+            rows.append((workers, result.fps, result.fps / sequential_fps))
+        return sequential_fps, rows
+
+    sequential_fps, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_workers = {w: fps for w, fps, _ in rows}
+    # More workers never hurt, and 4 workers give the paper's ~3x.
+    assert by_workers[1] <= by_workers[2] <= by_workers[4] + 1e-9
+    assert 2.3 <= by_workers[4] / sequential_fps <= 3.4
+    # With a worker per stage the bottleneck stage caps the frame rate.
+    bottleneck = max(s.duration_s for s in tincy_stages) + DEFAULT_JOB_OVERHEAD_S
+    assert by_workers[8] <= (1.0 / bottleneck) * 1.02
+
+    report(
+        "§III-F ablation: frame rate vs worker count "
+        f"(sequential: {sequential_fps:.2f} fps)",
+        format_table(
+            ["Workers", "fps", "speedup"],
+            [(w, f"{fps:6.2f}", f"{s:4.2f}x") for w, fps, s in rows],
+        ),
+    )
+
+
+def test_stage_granularity(benchmark, report):
+    """Splitting the 40 ms acquisition stage helps at low overhead and
+    stops helping once the per-job tax dominates."""
+
+    def build(split):
+        if split:
+            stages = [0.025, 0.015, 0.030, 0.029, 0.030, 0.015, 0.025]
+        else:
+            stages = [0.040, 0.030, 0.029, 0.030, 0.040]
+        return [
+            StageDescriptor(f"s{i}", duration_s=d) for i, d in enumerate(stages)
+        ]
+
+    def sweep():
+        rows = []
+        for overhead in (0.0, 0.005, 0.010, 0.020):
+            fps_coarse = PipelineSimulator(
+                build(False), workers=4, job_overhead_s=overhead
+            ).run(150).fps
+            fps_fine = PipelineSimulator(
+                build(True), workers=4, job_overhead_s=overhead
+            ).run(150).fps
+            rows.append((overhead, fps_coarse, fps_fine))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Free synchronization: finer stages win (smaller bottleneck stage).
+    assert rows[0][2] > rows[0][1]
+    # Heavy synchronization: the advantage erodes (extra jobs cost more).
+    gain_free = rows[0][2] / rows[0][1]
+    gain_taxed = rows[-1][2] / rows[-1][1]
+    assert gain_taxed < gain_free
+
+    report(
+        "§III-F ablation: stage granularity vs per-job overhead",
+        format_table(
+            ["Overhead", "coarse fps", "fine fps", "fine/coarse"],
+            [
+                (f"{o * 1e3:.0f} ms", f"{c:6.2f}", f"{f:6.2f}", f"{f / c:4.2f}x")
+                for o, c, f in rows
+            ],
+        ),
+    )

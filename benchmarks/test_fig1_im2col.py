@@ -1,0 +1,46 @@
+"""Fig. 1 — feature-map convolution and the im2col data inflation.
+
+The paper's discussion: im2col "regularly inflates the data of the input
+feature map significantly ... essentially by a factor of K**2" at stride 1,
+while "a convolutional kernel of the same size of the input feature map
+degenerates into ... a fully connected layer with no input inflation at
+all".  We regenerate the inflation curve and benchmark the transformation
+itself on the Tiny YOLO first-layer geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.im2col import im2col, im2col_inflation
+from repro.util.tables import format_table
+
+
+def test_fig1_inflation_curve(benchmark, report):
+    benchmark(im2col_inflation, 416, 416, 16, 3, 1, 1)
+    rows = []
+    for ksize, stride, pad, note in [
+        (1, 1, 0, "pointwise"),
+        (3, 1, 1, "Tiny YOLO hidden layers"),
+        (3, 2, 1, "Tincy YOLO input layer (d)"),
+        (5, 1, 2, ""),
+        (13, 1, 0, "kernel = map: fully connected"),
+    ]:
+        size = 13 if ksize == 13 else 416
+        factor = im2col_inflation(size, size, 16, ksize, stride, pad)
+        rows.append((f"{ksize}x{ksize}", stride, f"{factor:6.2f}x", note))
+    report(
+        "Fig. 1: im2col data inflation (K^2 at stride 1; 1.0 for the "
+        "degenerate FC case)",
+        format_table(["Kernel", "Stride", "Inflation", "Note"], rows),
+    )
+    assert im2col_inflation(416, 416, 16, 3, 1, 1) == pytest.approx(9.0, rel=0.01)
+    assert im2col_inflation(13, 13, 256, 13, 1, 0) == 1.0
+    assert im2col_inflation(416, 416, 3, 3, 2, 1) == pytest.approx(2.25, rel=0.01)
+
+
+def test_fig1_im2col_throughput(benchmark):
+    """Wall time of the lowering on the first-layer geometry (functional)."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(3, 416, 416)).astype(np.float32)
+    cols = benchmark(im2col, x, 3, 1, 1)
+    assert cols.shape == (27, 416 * 416)

@@ -1,0 +1,58 @@
+"""Fig. 2 — the compute opportunities of the Zynq UltraScale+ platform.
+
+The figure is a block diagram; its quantitative content is the resource
+menu the paper exploits: four A53 cores, NEON lanes per data type, and the
+programmable-logic capacities.  We regenerate that menu from the device
+models and benchmark one representative op of each engine's emulation.
+"""
+
+import numpy as np
+
+from repro.core.bitpack import pack_bits, xnor_popcount_dot
+from repro.finn.device import CORTEX_A53_QUAD, KNOWN_FABRICS, XCZU3EG
+from repro.neon.simd import lane_count
+from repro.util.tables import format_table
+
+
+def test_fig2_compute_menu(benchmark, report):
+    def build_menu():
+        cpu_rows = [
+            ("A53 cores", CORTEX_A53_QUAD.cores, ""),
+            ("clock", f"{CORTEX_A53_QUAD.frequency_hz / 1e9:.1f} GHz", ""),
+            ("NEON f32 lanes", lane_count("f32"), "4 single-precision lanes"),
+            ("NEON i16 lanes", lane_count("i16"), "8 16-bit integer lanes"),
+            ("NEON i8 lanes", lane_count("i8"), "16 8-bit integer lanes"),
+        ]
+        fabric_rows = [
+            (fabric.name, f"{fabric.luts:,} LUTs", f"{fabric.bram36} BRAM36",
+             f"{fabric.dsp} DSP")
+            for fabric in KNOWN_FABRICS.values()
+        ]
+        return cpu_rows, fabric_rows
+
+    cpu_rows, fabric_rows = benchmark(build_menu)
+    assert CORTEX_A53_QUAD.cores == 4
+    assert CORTEX_A53_QUAD.simd_lanes(32) == 4
+    assert CORTEX_A53_QUAD.simd_lanes(16) == 8
+    assert CORTEX_A53_QUAD.simd_lanes(8) == 16
+    assert XCZU3EG.luts == 70_560
+
+    report(
+        "Fig. 2: Zynq UltraScale+ compute menu (processing system)",
+        format_table(["Resource", "Value", "Note"], cpu_rows),
+    )
+    report(
+        "Fig. 2: programmable-logic fabrics modeled",
+        format_table(["Device", "LUTs", "BRAM", "DSP"], fabric_rows),
+    )
+
+
+def test_fig2_fabric_op_xnor_popcount(benchmark):
+    """One fabric-style binary dot product (packed XNOR-popcount)."""
+    rng = np.random.default_rng(0)
+    weights = rng.choice([-1, 1], size=(512, 4608))
+    activations = rng.choice([-1, 1], size=4608)
+    pw, _ = pack_bits((weights > 0).astype(np.uint8))
+    pa, n = pack_bits((activations > 0).astype(np.uint8))
+    result = benchmark(xnor_popcount_dot, pw, pa, n)
+    assert np.array_equal(result, weights @ activations)

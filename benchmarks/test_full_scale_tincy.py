@@ -1,0 +1,97 @@
+"""Full-scale integration benchmark: one 416x416 frame through hybrid Tincy.
+
+Times the bit-faithful emulation of the complete paper system at its real
+geometry — CPU input conv, all seven hidden layers on the simulated FINN
+fabric via ``fabric.so``, CPU output conv, region decode — and reports the
+emulation wall time next to the modeled Zynq time.  (The emulator is a
+functional reference, not a performance claim; the modeled numbers are the
+reproduction's timing story.)
+"""
+
+import numpy as np
+import pytest
+
+import repro.finn  # noqa: F401
+from repro.core.tensor import FeatureMap
+from repro.finn.offload_backend import export_offload
+from repro.nn.config import NetworkConfig, Section
+from repro.nn.network import Network
+from repro.nn.zoo import tincy_yolo_config
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def hybrid_tincy(tmp_path_factory):
+    rng = np.random.default_rng(20180621)
+    tincy = Network(tincy_yolo_config())
+    tincy.initialize(rng)
+    for layer in tincy.layers:
+        if layer.ltype != "convolutional":
+            continue
+        n = layer.filters
+        layer.biases = (rng.normal(size=n) * 0.1).astype(np.float32)
+        if layer.batch_normalize:
+            layer.scales = rng.uniform(0.5, 1.5, size=n).astype(np.float32)
+            layer.rolling_mean = (rng.normal(size=n) * 0.2).astype(np.float32)
+            layer.rolling_var = rng.uniform(0.5, 1.5, size=n).astype(np.float32)
+
+    binparam = str(tmp_path_factory.mktemp("binparam-full"))
+    export_offload(
+        tincy.layers[1:-2],
+        input_scale=tincy.layers[0].out_quant.scale,
+        input_shape=tincy.layers[0].out_shape,
+        directory=binparam,
+    )
+    sections = [tincy.config.sections[0], tincy.config.layers[0]]
+    sections.append(
+        Section(
+            "offload",
+            {
+                "library": "fabric.so",
+                "network": "tincy-yolo-offload.json",
+                "weights": binparam,
+                "height": "13",
+                "width": "13",
+                "channel": "512",
+            },
+        )
+    )
+    sections.extend(tincy.config.layers[-2:])
+    hybrid = Network(NetworkConfig(sections))
+    for src, dst in ((tincy.layers[0], hybrid.layers[0]),
+                     (tincy.layers[-2], hybrid.layers[2])):
+        dst.weights = src.weights.copy()
+        dst.biases = src.biases.copy()
+        if src.batch_normalize:
+            dst.scales = src.scales.copy()
+            dst.rolling_mean = src.rolling_mean.copy()
+            dst.rolling_var = src.rolling_var.copy()
+    hybrid.layers[1].backend.load_weights()
+    return tincy, hybrid
+
+
+def test_full_frame_emulation(benchmark, hybrid_tincy, report):
+    tincy, hybrid = hybrid_tincy
+    rng = np.random.default_rng(1)
+    x = FeatureMap(rng.uniform(0, 1, size=(3, 416, 416)).astype(np.float32))
+
+    out = benchmark.pedantic(hybrid.forward, args=(x,), rounds=3, iterations=1)
+    assert out.shape == (125, 13, 13)
+    reference = tincy.forward(x)
+    assert np.allclose(out.data, reference.data, atol=1e-4)
+
+    backend = hybrid.layers[1].backend
+    report(
+        "Full-scale integration: one 416x416 frame through hybrid Tincy YOLO",
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ("hybrid == fake-quantized reference", "exact (atol 1e-4)"),
+                ("offloaded ops/frame", f"{backend.ops_per_frame():,}"),
+                ("modeled Zynq hidden-layer time",
+                 f"{backend.time_per_frame() * 1e3:.1f} ms"),
+                ("emulated output geometry", "125 x 13 x 13"),
+            ],
+        ),
+    )
+    assert backend.ops_per_frame() == 4_385_931_264

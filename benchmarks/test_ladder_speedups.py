@@ -1,0 +1,71 @@
+"""§III narrative — the optimization ladder and the 160x headline.
+
+0.1 fps (generic) -> ~1.1 fps (fabric offload, 11x net / >300x on the
+hidden layers) -> 2.5 fps (NEON input kernel) -> >5 fps (algorithmic
+simplification (d)) -> 16 fps (pipelined demo), an overall speedup of
+160x.  Every rung is asserted against the paper's number.
+"""
+
+import pytest
+
+from repro.perf.cost_model import fabric_hidden_time, table3_rows
+from repro.perf.ladder import PAPER_LADDER_FPS, ladder_steps, total_speedup
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def steps():
+    return ladder_steps()
+
+
+def test_ladder_rungs(benchmark, steps, report):
+    benchmark(ladder_steps)
+
+    by_name = {step.name: step for step in steps}
+    assert 0.09 <= by_name["generic"].fps <= 0.11
+    assert by_name["+offload"].fps / by_name["generic"].fps == pytest.approx(
+        11, rel=0.1
+    )
+    assert by_name["+neon"].fps == pytest.approx(2.5, rel=0.05)
+    assert by_name["+algorithmic"].fps > 5.0
+    assert 14.0 <= by_name["+pipeline"].fps <= 18.5
+    speedup = total_speedup(steps)
+    assert 140 <= speedup <= 190
+
+    rows = []
+    for step in steps:
+        rows.append(
+            (
+                step.name,
+                f"{step.frame_time_s * 1e3:8.1f} ms",
+                f"{step.fps:6.2f}",
+                PAPER_LADDER_FPS[step.name],
+                step.note,
+            )
+        )
+    rows.append(("TOTAL SPEEDUP", "", f"{speedup:.0f}x", "160x", ""))
+    report(
+        "§III ladder: frame rate after each measure (model vs paper)",
+        format_table(
+            ["Rung", "Work/frame", "fps (model)", "fps (paper)", "Note"], rows
+        ),
+    )
+
+
+def test_hidden_layer_offload_speedup(benchmark, report):
+    """§III-C: 'a speedup of more than 300x for this particular stage'."""
+    fabric = benchmark(fabric_hidden_time)
+    generic_hidden = {r.name: r.seconds for r in table3_rows()}["Hidden Layers"]
+    speedup = generic_hidden / fabric
+    assert speedup > 300
+    report(
+        "§III-C hidden-layer offload",
+        format_table(
+            ["Quantity", "Value", "Paper"],
+            [
+                ("generic hidden layers", f"{generic_hidden * 1e3:.0f} ms", "9160 ms"),
+                ("fabric hidden layers", f"{fabric * 1e3:.1f} ms", "30 ms"),
+                ("stage speedup", f"{speedup:.0f}x", ">300x"),
+            ],
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Table I — per-layer operations of Tiny YOLO vs Tincy YOLO.
+
+Digit-exact reproduction: the zoo topologies must yield the paper's
+operation counts for all 15 layers and both totals (6,971,272,984 and
+4,445,001,496 operations per frame).
+"""
+
+from repro.perf.workload import (
+    PAPER_TABLE1,
+    PAPER_TABLE1_TOTALS,
+    table1_rows,
+    table1_totals,
+)
+from repro.util.tables import format_table
+
+
+def test_table1_exact(benchmark, report):
+    rows = benchmark(table1_rows)
+
+    for row, (layer, ltype, tiny_ops, tincy_ops) in zip(rows, PAPER_TABLE1):
+        assert (row.layer, row.ltype) == (layer, ltype)
+        assert row.tiny_ops == tiny_ops
+        assert row.tincy_ops == tincy_ops
+    totals = table1_totals()
+    assert totals == PAPER_TABLE1_TOTALS
+
+    text_rows = [
+        (
+            row.layer,
+            row.ltype,
+            row.tiny_ops,
+            row.tincy_ops if row.tincy_ops is not None else "-",
+            "exact" if (row.tiny_ops, row.tincy_ops)
+            == (PAPER_TABLE1[index][2], PAPER_TABLE1[index][3]) else "MISMATCH",
+        )
+        for index, row in enumerate(rows)
+    ]
+    text_rows.append(("", "Σ", totals[0], totals[1], "exact"))
+    report(
+        "Table I: ops/frame, Tiny YOLO vs Tincy YOLO (paper match: digit-exact)",
+        format_table(["Layer", "Type", "Tiny YOLO", "Tincy YOLO", "vs paper"],
+                     text_rows),
+    )

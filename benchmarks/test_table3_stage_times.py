@@ -1,0 +1,34 @@
+"""Table III — stage breakdown of the generic Darknet run (0.1 fps).
+
+Every row of the calibrated cost model must land within 5% of the paper's
+measurement, and the total within 2% (10,030 ms).
+"""
+
+import pytest
+
+from repro.perf.cost_model import PAPER_TABLE3_MS, table3_rows, table3_total
+from repro.util.tables import format_table
+
+
+def test_table3_stage_times(benchmark, report):
+    rows = benchmark(table3_rows)
+
+    total = table3_total(rows)
+    text_rows = []
+    for row in rows:
+        paper = PAPER_TABLE3_MS[row.name]
+        deviation = (row.milliseconds - paper) / paper * 100
+        assert row.milliseconds == pytest.approx(paper, rel=0.05), row.name
+        text_rows.append(
+            (row.name, f"{row.milliseconds:8.1f}", paper, f"{deviation:+5.1f}%")
+        )
+    assert total * 1e3 == pytest.approx(PAPER_TABLE3_MS["Total"], rel=0.02)
+    text_rows.append(
+        ("Total", f"{total * 1e3:8.1f}", PAPER_TABLE3_MS["Total"],
+         f"{(total * 1e3 - PAPER_TABLE3_MS['Total']) / PAPER_TABLE3_MS['Total'] * 100:+5.1f}%")
+    )
+    report(
+        "Table III: frame processing stages, generic inference "
+        f"(model vs paper; {1.0 / total:.2f} fps)",
+        format_table(["Stage", "Model (ms)", "Paper (ms)", "Δ"], text_rows),
+    )

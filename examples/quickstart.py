@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build Tincy YOLO, inspect its workload, run one frame.
+
+This walks the core public API:
+
+1. derive Tincy YOLO from Tiny YOLO via the paper's modifications (a)-(d),
+2. regenerate the Table I operation counts from the topology,
+3. run a full-size 416x416 frame end to end (letterbox -> network ->
+   region decode -> NMS) with randomly initialized weights,
+4. print the modeled frame time of every optimization rung of §III.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.tensor import FeatureMap
+from repro.eval.boxes import nms
+from repro.nn.network import Network
+from repro.nn.zoo import tincy_yolo_config, tiny_yolo_config
+from repro.perf.ladder import ladder_steps, total_speedup
+from repro.perf.workload import table1_rows
+from repro.util.tables import format_table
+from repro.video.letterbox import letterbox
+from repro.video.source import SyntheticCamera
+
+
+def main() -> None:
+    print("=== 1. Topologies ===")
+    tiny = Network(tiny_yolo_config())
+    tincy = Network(tincy_yolo_config())
+    print(f"Tiny  YOLO: {tiny}")
+    print(f"Tincy YOLO: {tincy}  ({tincy.num_params():,} parameters)")
+
+    print("\n=== 2. Table I: operations per frame ===")
+    rows = [
+        (row.layer, row.ltype, row.tiny_ops, row.tincy_ops or "-", row.note)
+        for row in table1_rows()
+    ]
+    print(format_table(["#", "Type", "Tiny YOLO", "Tincy YOLO", "Note"], rows))
+
+    print("\n=== 3. One full-size frame through Tincy YOLO ===")
+    rng = np.random.default_rng(0)
+    tincy.initialize(rng)
+    camera = SyntheticCamera(height=240, width=320, seed=7)
+    frame = camera.capture()
+    boxed, geometry = letterbox(frame.image, 416)
+    output = tincy.forward(FeatureMap(boxed))
+    region = tincy.layers[-1]
+    detections = nms(region.detections(output, threshold=0.5))
+    print(f"network output: {output.shape}; "
+          f"{len(detections)} detections above 0.5 "
+          f"(weights are random — train before trusting them!)")
+
+    print("\n=== 4. The §III optimization ladder (modeled timings) ===")
+    steps = ladder_steps()
+    print(
+        format_table(
+            ["Rung", "Frame time", "fps", "Note"],
+            [
+                (s.name, f"{s.frame_time_s * 1e3:8.1f} ms", f"{s.fps:6.2f}", s.note)
+                for s in steps
+            ],
+        )
+    )
+    print(f"\nTotal speedup: {total_speedup(steps):.0f}x (paper: 160x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bridging to real Pascal VOC data (annotation interchange demo).
+
+The offline reproduction evaluates on synthetic scenes, but the evaluation
+machinery is VOC-native: this example writes VOC XML annotations for a few
+synthetic frames, reads them back with the same parser a real VOC checkout
+would use, and runs the mAP evaluation off the parsed files — the exact
+workflow for plugging in the real dataset:
+
+    annotations = load_voc_directory("VOCdevkit/VOC2007/Annotations")
+
+Run:  python examples/voc_bridge.py
+"""
+
+import tempfile
+
+from repro.data.shapes import CLASS_NAMES, ShapesDetectionDataset
+from repro.data.voc import (
+    VOCAnnotation,
+    load_voc_directory,
+    save_voc_annotation,
+)
+from repro.eval.boxes import Detection
+from repro.eval.metrics import ImageEval, evaluate_map
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    dataset = ShapesDetectionDataset(image_size=96, seed=11, max_objects=3)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(f"=== 1. exporting 8 synthetic scenes as VOC XML into {tmp} ===")
+        scenes = dataset.batch(0, 8)
+        for index, (image, truths) in enumerate(scenes):
+            annotation = VOCAnnotation(
+                filename=f"{index:06d}.ppm",
+                width=image.shape[2],
+                height=image.shape[1],
+                truths=truths,
+            )
+            save_voc_annotation(
+                annotation, f"{tmp}/{index:06d}.xml", class_names=CLASS_NAMES
+            )
+        print("   done (schema: <annotation><object><bndbox>...)")
+
+        print("\n=== 2. loading them back like a real VOC checkout ===")
+        class_index = {name: i for i, name in enumerate(CLASS_NAMES)}
+        annotations = load_voc_directory(tmp, class_index=class_index)
+        total_objects = sum(len(a.truths) for a in annotations)
+        print(f"   {len(annotations)} annotations, {total_objects} objects")
+
+        print("\n=== 3. evaluating a mock detector against the parsed truth ===")
+        # A deliberately imperfect detector: perfect on even images,
+        # silent on odd ones -> mAP lands midway.
+        images = []
+        for index, annotation in enumerate(annotations):
+            detections = []
+            if index % 2 == 0:
+                detections = [
+                    Detection(t.box, t.class_id, score=0.9)
+                    for t in annotation.truths
+                ]
+            images.append(
+                ImageEval(detections=detections, truths=annotation.truths)
+            )
+        result = evaluate_map(images, n_classes=len(CLASS_NAMES))
+        rows = [
+            (CLASS_NAMES[class_id], f"{ap * 100:5.1f}")
+            for class_id, ap in sorted(result.per_class_ap.items())
+        ]
+        print(format_table(["Class", "AP (%)"], rows))
+        print(f"\nmAP: {result.map_percent:.1f}% "
+              "(perfect on half the frames, as constructed)")
+
+
+if __name__ == "__main__":
+    main()

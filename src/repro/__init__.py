@@ -1,0 +1,46 @@
+"""repro — reproduction of Preußer et al., *Inference of Quantized Neural
+Networks on Heterogeneous All-Programmable Devices* (DATE 2018).
+
+The package rebuilds the paper's full system in Python:
+
+* :mod:`repro.core` — quantized arithmetic (W1A3, int8, XNOR-popcount).
+* :mod:`repro.nn` — the Darknet-like inference substrate (cfg files, layers,
+  weights I/O, the generic offload mechanism of Fig. 3/4) and the topology
+  zoo (Tiny YOLO, Tincy YOLO, MLP-4, CNV-6).
+* :mod:`repro.finn` — the FINN-style FPGA accelerator simulator (MVTU
+  folding, cycle and resource models, the fabric offload backend).
+* :mod:`repro.neon` — a lane-accurate NEON SIMD emulator with the fused
+  kernels of §III-D.
+* :mod:`repro.perf` — op counting (Tables I/II) and the calibrated stage
+  cost model (Table III, the §III speedup ladder).
+* :mod:`repro.pipeline` — the pipelined demo mode of Fig. 5/6 (threaded and
+  discrete-event simulated).
+* :mod:`repro.video`, :mod:`repro.data`, :mod:`repro.eval`,
+  :mod:`repro.train` — video path, synthetic datasets, VOC mAP, and
+  quantization-aware retraining.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import FeatureMap
+
+
+def load_network(cfg_path: str, weights_path: str = None):
+    """Convenience loader: cfg file (+ optional .weights) to a Network.
+
+    Importing :mod:`repro.finn` as a side effect registers the
+    ``fabric.so`` offload backend, so cfgs with ``[offload]`` sections load
+    out of the box.
+    """
+    import repro.finn  # noqa: F401  (registers fabric.so)
+    from repro.nn.network import Network
+    from repro.nn.weights import load_weights
+
+    with open(cfg_path) as handle:
+        network = Network.from_cfg(handle.read())
+    if weights_path:
+        load_weights(network, weights_path)
+    return network
+
+
+__all__ = ["FeatureMap", "load_network", "__version__"]

@@ -1,0 +1,297 @@
+"""Command-line interface — the Darknet-style front end.
+
+Darknet is driven as ``./darknet detector demo cfg weights ...``; this CLI
+exposes the reproduction's equivalents:
+
+* ``python -m repro cfg tiny|tincy|mlp4|cnv6`` — emit a topology as .cfg text
+* ``python -m repro workload`` — regenerate Tables I and II
+* ``python -m repro stages`` — regenerate Table III
+* ``python -m repro ladder`` — the §III speedup ladder
+* ``python -m repro folding [--device ...]`` — FINN folding search
+* ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.tables import format_table
+
+_ZOO = {
+    "tiny": "tiny_yolo_config",
+    "tincy": "tincy_yolo_config",
+    "mlp4": "mlp4_config",
+    "cnv6": "cnv6_config",
+}
+
+
+def cmd_cfg(args: argparse.Namespace) -> int:
+    from repro.nn import zoo
+    from repro.nn.config import serialize_config
+
+    config = getattr(zoo, _ZOO[args.network])()
+    sys.stdout.write(serialize_config(config))
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    from repro.nn import zoo
+    from repro.nn.network import Network
+    from repro.nn.summary import network_summary
+
+    if args.network in _ZOO:
+        network = Network(getattr(zoo, _ZOO[args.network])())
+        title = args.network
+    else:
+        with open(args.network) as handle:
+            network = Network.from_cfg(handle.read())
+        title = args.network
+    print(network_summary(network, title=f"Network summary: {title}"))
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.nn import zoo
+    from repro.nn.config import parse_config
+    from repro.nn.lint import ERROR, lint_config
+
+    if args.network in _ZOO:
+        config = getattr(zoo, _ZOO[args.network])()
+    else:
+        with open(args.network) as handle:
+            config = parse_config(handle.read())
+    findings = lint_config(config)
+    if not findings:
+        print("no findings — configuration looks consistent")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1 if any(f.severity == ERROR for f in findings) else 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.perf.workload import table1_rows, table1_totals, table2_rows
+
+    rows = [
+        (r.layer, r.ltype, r.tiny_ops, r.tincy_ops if r.tincy_ops is not None else "-")
+        for r in table1_rows()
+    ]
+    totals = table1_totals()
+    rows.append(("", "Σ", totals[0], totals[1]))
+    print(format_table(
+        ["Layer", "Type", "Tiny YOLO", "Tincy YOLO"], rows,
+        title="Table I: operations per frame",
+    ))
+    print()
+    print(format_table(
+        ["Application", "Reduced", "Regime", "8-Bit", "Total"],
+        [
+            (r.name, f"{r.reduced_ops / 1e6:,.1f} M", r.regime,
+             f"{r.eightbit_ops / 1e6:,.1f} M" if r.eightbit_ops else "-",
+             f"{r.total_ops / 1e6:,.1f} M")
+            for r in table2_rows()
+        ],
+        title="Table II: QNN dot-product workloads",
+    ))
+    return 0
+
+
+def cmd_stages(args: argparse.Namespace) -> int:
+    from repro.perf.cost_model import PAPER_TABLE3_MS, table3_rows, table3_total
+
+    rows = [
+        (r.name, f"{r.milliseconds:8.1f}", PAPER_TABLE3_MS[r.name])
+        for r in table3_rows()
+    ]
+    total = table3_total()
+    rows.append(("Total", f"{total * 1e3:8.1f}", PAPER_TABLE3_MS["Total"]))
+    print(format_table(
+        ["Stage", "Model (ms)", "Paper (ms)"], rows,
+        title="Table III: generic-inference stage times",
+    ))
+    print(f"\nframe rate: {1.0 / total:.2f} fps")
+    return 0
+
+
+def cmd_ladder(args: argparse.Namespace) -> int:
+    from repro.perf.ladder import ladder_steps, total_speedup
+
+    steps = ladder_steps(workers=args.workers)
+    print(format_table(
+        ["Rung", "Work/frame (ms)", "fps", "Note"],
+        [
+            (s.name, f"{s.frame_time_s * 1e3:8.1f}", f"{s.fps:6.2f}", s.note)
+            for s in steps
+        ],
+        title="§III optimization ladder",
+    ))
+    print(f"\ntotal speedup: {total_speedup(steps):.0f}x (paper: 160x)")
+    return 0
+
+
+def cmd_folding(args: argparse.Namespace) -> int:
+    from repro.finn.device import KNOWN_FABRICS
+    from repro.finn.schedule import optimize_folding, schedule_summary
+    from repro.nn.network import Network
+    from repro.nn.zoo import tincy_yolo_config
+
+    fabric = KNOWN_FABRICS.get(args.device)
+    if fabric is None:
+        print(f"unknown device '{args.device}'; known: {sorted(KNOWN_FABRICS)}",
+              file=sys.stderr)
+        return 2
+    network = Network(tincy_yolo_config())
+    best, evaluated = optimize_folding(
+        network.layers[1:-2],
+        network.layers[0].out_quant.scale,
+        network.layers[0].out_shape,
+        fabric,
+    )
+    print(format_table(
+        ["Folding", "time/frame", "LUTs", "BRAM36", "fits"],
+        schedule_summary(evaluated, top=args.top),
+        title=f"Tincy YOLO iterated-engine folding space on {fabric.name}",
+    ))
+    if best is None:
+        print("\nno folding fits this device")
+        return 1
+    print(f"\nbest fitting: {best.folding.pe}x{best.folding.simd} "
+          f"({best.time_per_frame_s * 1e3:.1f} ms/frame)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.perf.report import build_report
+
+    text = build_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    import repro.finn  # noqa: F401  (registers fabric.so for offload cfgs)
+    from repro.core.tensor import FeatureMap
+    from repro.eval.boxes import nms
+    from repro.nn.layers.region import RegionLayer
+    from repro.nn.network import Network
+    from repro.nn.weights import load_weights
+    from repro.video.draw import draw_detections
+    from repro.video.image import read_ppm, write_ppm
+    from repro.video.letterbox import letterbox
+
+    with open(args.cfg) as handle:
+        network = Network.from_cfg(handle.read())
+    if args.weights:
+        load_weights(network, args.weights)
+    else:
+        network.initialize(np.random.default_rng(0))
+        print("warning: no --weights given; using random parameters",
+              file=sys.stderr)
+    region = network.layers[-1]
+    if not isinstance(region, RegionLayer):
+        print("the network's last layer must be [region]", file=sys.stderr)
+        return 2
+
+    image = read_ppm(args.image)
+    boxed, geometry = letterbox(image, network.input_shape[1])
+    output = network.forward(FeatureMap(boxed))
+    detections = nms(region.detections(output, threshold=args.thresh))
+    mapped = [
+        d.__class__(box=geometry.net_box_to_frame(d.box), class_id=d.class_id,
+                    score=d.score, objectness=d.objectness)
+        for d in detections
+    ]
+    if mapped:
+        print(format_table(
+            ["Class", "Score", "x", "y", "w", "h"],
+            [
+                (d.class_id, f"{d.score:.2f}", f"{d.box.x:.3f}", f"{d.box.y:.3f}",
+                 f"{d.box.w:.3f}", f"{d.box.h:.3f}")
+                for d in mapped
+            ],
+            title=f"{len(mapped)} detections",
+        ))
+    else:
+        print("no detections above threshold")
+    if args.output:
+        annotated = draw_detections(image, mapped, n_classes=region.classes)
+        write_ppm(args.output, annotated)
+        print(f"annotated image written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tincy YOLO reproduction (Preußer et al., DATE 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cfg = sub.add_parser("cfg", help="emit a zoo topology as Darknet cfg")
+    p_cfg.add_argument("network", choices=sorted(_ZOO))
+    p_cfg.set_defaults(func=cmd_cfg)
+
+    p_summary = sub.add_parser(
+        "summary", help="darknet-style layer table for a zoo name or cfg file"
+    )
+    p_summary.add_argument("network")
+    p_summary.set_defaults(func=cmd_summary)
+
+    p_lint = sub.add_parser(
+        "lint", help="check a cfg (zoo name or file) for quantization mistakes"
+    )
+    p_lint.add_argument("network")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_workload = sub.add_parser("workload", help="Tables I and II")
+    p_workload.set_defaults(func=cmd_workload)
+
+    p_stages = sub.add_parser("stages", help="Table III stage times")
+    p_stages.set_defaults(func=cmd_stages)
+
+    p_ladder = sub.add_parser("ladder", help="the §III speedup ladder")
+    p_ladder.add_argument("--workers", type=int, default=4)
+    p_ladder.set_defaults(func=cmd_ladder)
+
+    p_folding = sub.add_parser("folding", help="FINN folding search")
+    p_folding.add_argument("--device", default="XCZU3EG")
+    p_folding.add_argument("--top", type=int, default=8)
+    p_folding.set_defaults(func=cmd_folding)
+
+    p_report = sub.add_parser(
+        "report", help="full model-derived reproduction report (markdown)"
+    )
+    p_report.add_argument("--output", help="write to a file instead of stdout")
+    p_report.set_defaults(func=cmd_report)
+
+    p_detect = sub.add_parser("detect", help="detect objects in a PPM image")
+    p_detect.add_argument("--cfg", required=True)
+    p_detect.add_argument("--weights")
+    p_detect.add_argument("--image", required=True)
+    p_detect.add_argument("--thresh", type=float, default=0.24)
+    p_detect.add_argument("--output", help="write annotated PPM here")
+    p_detect.set_defaults(func=cmd_detect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — the Unix-polite exit.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Core quantized-arithmetic substrate.
+
+Everything the rest of the library computes with lives here: the feature-map
+container, the weight/activation quantizers of the paper's W1A3 and 8-bit
+regimes, bit packing with XNOR-popcount dot products, the im2col lowering,
+float and gemmlowp-style GEMMs, FINN threshold activations and the generic
+reference layer operations.
+"""
+
+from repro.core.tensor import FeatureMap, conv_output_size, pool_output_size
+from repro.core.quantize import (
+    AffineQuantizer,
+    BinaryQuantizer,
+    Quantizer,
+    TernaryQuantizer,
+    UnsignedUniformQuantizer,
+    round_half_up,
+)
+from repro.core.bitpack import (
+    bitserial_dot,
+    pack_bits,
+    pack_levels,
+    popcount,
+    unpack_bits,
+    xnor_popcount_dot,
+)
+from repro.core.im2col import col2im, im2col, im2col_inflation, sliced_im2col
+from repro.core.gemm import (
+    RequantizeParams,
+    gemm_f32,
+    gemm_i8_acc16,
+    gemm_i8_acc32,
+    rounding_rshift,
+    saturate,
+)
+from repro.core.thresholds import (
+    ThresholdActivation,
+    derive_thresholds,
+    float_reference_activation,
+)
+from repro.core import ops
+
+__all__ = [
+    "FeatureMap",
+    "conv_output_size",
+    "pool_output_size",
+    "Quantizer",
+    "BinaryQuantizer",
+    "TernaryQuantizer",
+    "UnsignedUniformQuantizer",
+    "AffineQuantizer",
+    "round_half_up",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "xnor_popcount_dot",
+    "bitserial_dot",
+    "pack_levels",
+    "im2col",
+    "col2im",
+    "im2col_inflation",
+    "sliced_im2col",
+    "gemm_f32",
+    "gemm_i8_acc32",
+    "gemm_i8_acc16",
+    "RequantizeParams",
+    "rounding_rshift",
+    "saturate",
+    "ThresholdActivation",
+    "derive_thresholds",
+    "float_reference_activation",
+    "ops",
+]

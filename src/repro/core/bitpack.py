@@ -1,0 +1,151 @@
+"""Bit packing and XNOR-popcount dot products.
+
+The FINN accelerator (§II, [7]) stores binarized weights as packed bit
+vectors and computes binary dot products as ``2*popcount(xnor(w, a)) - n``.
+With multi-bit activations (Tincy YOLO's 3-bit feature maps) the dot product
+is evaluated *bit-serially*: one XNOR-popcount pass per activation bit plane,
+recombined with the powers of two.  This module reproduces those datapaths
+exactly on packed ``uint64`` words so the emulation is bit-faithful, not just
+numerically close.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_WORD_BITS = 64
+
+# 16-bit popcount lookup table; uint64 words are viewed as 4 uint16 halves.
+_POPCOUNT16 = np.array(
+    [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
+)
+
+
+def pack_bits(bits: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Pack a ``{0,1}`` array along its last axis into ``uint64`` words.
+
+    Returns ``(words, n)`` where ``words`` has shape ``bits.shape[:-1] +
+    (ceil(n/64),)`` and ``n`` is the original bit count.  Bit ``i`` of the
+    vector is bit ``i % 64`` of word ``i // 64`` (little-endian bit order).
+    """
+    bits = np.asarray(bits)
+    if bits.ndim == 0:
+        raise ValueError("cannot pack a scalar")
+    n = bits.shape[-1]
+    n_words = (n + _WORD_BITS - 1) // _WORD_BITS
+    padded = np.zeros(bits.shape[:-1] + (n_words * _WORD_BITS,), dtype=np.uint8)
+    padded[..., :n] = bits.astype(np.uint8) & 1
+    # Reshape into (..., n_words, 64) and weigh each bit position.
+    grouped = padded.reshape(bits.shape[:-1] + (n_words, _WORD_BITS))
+    weights = (np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)).reshape(
+        (1,) * (grouped.ndim - 1) + (_WORD_BITS,)
+    )
+    words = np.sum(grouped.astype(np.uint64) * weights, axis=-1, dtype=np.uint64)
+    return words, n
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: return the first *n* bits as ``{0,1}``."""
+    words = np.asarray(words, dtype=np.uint64)
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+    bits = (words[..., :, None] >> shifts) & np.uint64(1)
+    bits = bits.reshape(words.shape[:-1] + (-1,))
+    return bits[..., :n].astype(np.uint8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Population count of each ``uint64`` word (vectorized LUT)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    halves = words.view(np.uint16).reshape(words.shape + (4,))
+    return _POPCOUNT16[halves].sum(axis=-1).astype(np.int64)
+
+
+def _tail_mask(n: int) -> np.ndarray:
+    """Per-word mask clearing the padding bits beyond *n*."""
+    n_words = (n + _WORD_BITS - 1) // _WORD_BITS
+    mask = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = n % _WORD_BITS
+    if tail:
+        mask[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+    return mask
+
+
+def xnor_popcount_dot(
+    weight_words: np.ndarray, activation_words: np.ndarray, n: int
+) -> np.ndarray:
+    """Binary dot product over ``{-1,+1}`` vectors encoded as bits.
+
+    Both operands use the encoding ``bit=1 -> +1``, ``bit=0 -> -1``.  The
+    result equals ``2 * popcount(xnor) - n`` — the core FINN operation.
+    Operands broadcast against each other in their leading dimensions.
+    """
+    mask = _tail_mask(n)
+    xnor = ~(np.asarray(weight_words, np.uint64) ^ np.asarray(activation_words, np.uint64))
+    matches = popcount(xnor & mask).sum(axis=-1)
+    return 2 * matches - n
+
+
+def signed_bitplane_dot(
+    weight_words: np.ndarray, plane_words: np.ndarray, n: int
+) -> np.ndarray:
+    """Dot of ``{-1,+1}`` weights against a single ``{0,1}`` activation plane.
+
+    ``sum_i w_i * b_i = popcount(w & b) - popcount(~w & b)`` where ``w`` uses
+    the ``bit=1 -> +1`` encoding.  Padding bits are masked out.
+    """
+    mask = _tail_mask(n)
+    w = np.asarray(weight_words, np.uint64)
+    b = np.asarray(plane_words, np.uint64) & mask
+    positive = popcount(w & b).sum(axis=-1)
+    negative = popcount((~w) & b & mask).sum(axis=-1)
+    return positive - negative
+
+
+def bitserial_dot(
+    weight_words: np.ndarray, level_planes: np.ndarray, n: int
+) -> np.ndarray:
+    """Dot of ``{-1,+1}`` weights against unsigned multi-bit activations.
+
+    ``level_planes`` has shape ``(..., bits, n_words)`` — one packed bit
+    plane per activation bit, least significant first.  The result is
+    ``sum_b 2**b * signed_bitplane_dot(w, plane_b)``, the bit-serial
+    evaluation used for W1A3 layers.
+    """
+    level_planes = np.asarray(level_planes, dtype=np.uint64)
+    total = None
+    bits = level_planes.shape[-2]
+    for b in range(bits):
+        partial = signed_bitplane_dot(weight_words, level_planes[..., b, :], n)
+        partial = partial << b
+        total = partial if total is None else total + partial
+    return total
+
+
+def pack_levels(levels: np.ndarray, bits: int) -> Tuple[np.ndarray, int]:
+    """Pack unsigned integer *levels* into per-bit planes of ``uint64`` words.
+
+    Returns ``(planes, n)`` with ``planes`` shaped
+    ``levels.shape[:-1] + (bits, n_words)``.
+    """
+    levels = np.asarray(levels)
+    if np.any(levels < 0) or np.any(levels >= (1 << bits)):
+        raise ValueError(f"levels out of range for {bits} bits")
+    planes = []
+    for b in range(bits):
+        plane_bits = (levels >> b) & 1
+        words, n = pack_bits(plane_bits)
+        planes.append(words)
+    return np.stack(planes, axis=-2), levels.shape[-1]
+
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "xnor_popcount_dot",
+    "signed_bitplane_dot",
+    "bitserial_dot",
+    "pack_levels",
+]

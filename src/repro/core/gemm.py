@@ -1,0 +1,169 @@
+"""GEMM kernels: float reference and gemmlowp-style low-precision paths.
+
+§III-D of the paper replaces the input layer's float GEMM with a quantized
+multiplication through Google's gemmlowp [19].  gemmlowp computes
+
+    acc[i,j] = sum_k (A[i,k] + a_off) * (B[k,j] + b_off)      (int32)
+
+and *requantizes* the int32 accumulator back to 8 bits with a fixed-point
+multiplier and a rounding right shift.  The paper additionally explores a
+16-bit accumulator, which requires a rounding right shift by 4 *before*
+accumulation to avoid overflow across the 27 products of the first layer —
+at a small accuracy cost.  Both datapaths are reproduced here bit-exactly
+(saturation included) so that the accuracy claims can be tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def gemm_f32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference single-precision GEMM (the generic Darknet path)."""
+    return (np.asarray(a, np.float32) @ np.asarray(b, np.float32)).astype(np.float32)
+
+
+def rounding_rshift(x: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-up — NEON's ``vrshr`` semantics.
+
+    ``vrshr`` adds ``1 << (shift-1)`` before shifting, i.e. rounds half away
+    from zero for positive and half toward zero for negative values; that is
+    exactly ``(x + (1 << (shift-1))) >> shift`` in two's complement.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return np.asarray(x).copy()
+    x = np.asarray(x).astype(np.int64)
+    return (x + (1 << (shift - 1))) >> shift
+
+
+def saturate(x: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Clamp to the representable range of a *bits*-wide integer."""
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    return np.clip(np.asarray(x), lo, hi)
+
+
+@dataclass
+class RequantizeParams:
+    """Fixed-point output pipeline of a gemmlowp GEMM.
+
+    ``real_scale ~= multiplier / 2**shift`` with ``multiplier`` a positive
+    int32; the requantized output is
+    ``clip(rounding_rshift(acc * multiplier, shift) + zero_point)``.
+    """
+
+    multiplier: int
+    shift: int
+    zero_point: int = 0
+    out_bits: int = 8
+    out_signed: bool = False
+
+    @classmethod
+    def from_real_scale(
+        cls,
+        real_scale: float,
+        zero_point: int = 0,
+        out_bits: int = 8,
+        out_signed: bool = False,
+    ) -> "RequantizeParams":
+        """Decompose a real multiplier into ``multiplier * 2**-shift``.
+
+        The mantissa is normalized into ``[2**30, 2**31)`` like gemmlowp's
+        ``QuantizeMultiplier`` so that 31 bits of precision are kept.
+        """
+        if real_scale <= 0:
+            raise ValueError("real_scale must be positive")
+        shift = 0
+        scaled = real_scale
+        while scaled < (1 << 30):
+            scaled *= 2.0
+            shift += 1
+        while scaled >= (1 << 31):
+            scaled /= 2.0
+            shift -= 1
+        if shift < 0:
+            raise ValueError(f"real_scale {real_scale} too large to requantize")
+        return cls(
+            multiplier=int(round(scaled)),
+            shift=shift,
+            zero_point=zero_point,
+            out_bits=out_bits,
+            out_signed=out_signed,
+        )
+
+    def apply(self, acc: np.ndarray) -> np.ndarray:
+        scaled = np.asarray(acc, dtype=np.int64) * self.multiplier
+        shifted = rounding_rshift(scaled, self.shift) + self.zero_point
+        return saturate(shifted, self.out_bits, self.out_signed)
+
+
+def gemm_i8_acc32(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_offset: int = 0,
+    b_offset: int = 0,
+) -> np.ndarray:
+    """gemmlowp-style uint8 GEMM with a full 32-bit accumulator.
+
+    ``a`` is ``(M, K)`` and ``b`` is ``(K, N)``; offsets are *added* to the
+    stored codes before multiplying (gemmlowp convention: the offset is the
+    negated zero point).  Returns the raw int32 accumulator.
+    """
+    a32 = np.asarray(a, dtype=np.int64) + int(a_offset)
+    b32 = np.asarray(b, dtype=np.int64) + int(b_offset)
+    acc = a32 @ b32
+    if np.any(acc > np.iinfo(np.int32).max) or np.any(acc < np.iinfo(np.int32).min):
+        raise OverflowError("int32 accumulator overflow")
+    return acc.astype(np.int32)
+
+
+def gemm_i8_acc16(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_offset: int = 0,
+    b_offset: int = 0,
+    pre_shift: int = 4,
+) -> Tuple[np.ndarray, int]:
+    """uint8 GEMM with a 16-bit accumulator and pre-accumulation shift.
+
+    Each int16 product is rounding-right-shifted by *pre_shift* before being
+    added to a saturating int16 accumulator — the §III-D "careful management
+    of the accumulator scale so as to avoid destructive numeric overflow in
+    adding up the 27 products".  Returns ``(acc16, overflow_count)`` where
+    the count tallies saturation events (0 when the scale is managed well).
+    Callers must fold ``2**pre_shift`` back into the requantization scale.
+    """
+    a16 = np.asarray(a, dtype=np.int32) + int(a_offset)
+    b16 = np.asarray(b, dtype=np.int32) + int(b_offset)
+    m, k = a16.shape
+    k2, n = b16.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    lo, hi = np.iinfo(np.int16).min, np.iinfo(np.int16).max
+    acc = np.zeros((m, n), dtype=np.int32)
+    overflow = 0
+    for idx in range(k):
+        products = np.outer(a16[:, idx], b16[idx, :])
+        shifted = rounding_rshift(products, pre_shift).astype(np.int32)
+        acc = acc + shifted
+        clipped = np.clip(acc, lo, hi)
+        overflow += int(np.count_nonzero(clipped != acc))
+        acc = clipped
+    return acc.astype(np.int16), overflow
+
+
+__all__ = [
+    "gemm_f32",
+    "rounding_rshift",
+    "saturate",
+    "RequantizeParams",
+    "gemm_i8_acc32",
+    "gemm_i8_acc16",
+]

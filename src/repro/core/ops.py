@@ -1,0 +1,192 @@
+"""Reference (generic) layer operations.
+
+These are the numpy counterparts of Darknet's straightforward C kernels —
+"clearly a valuable reference implementation" (§III-D) against which the
+quantized, bit-packed and SIMD-emulated paths are verified in the tests.
+All functions operate on channel-major ``(C, H, W)`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.im2col import im2col
+from repro.core.tensor import conv_output_size, pool_output_size
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Convolution via explicit im2col + GEMM (Darknet's generic path).
+
+    ``weights`` is ``(C_out, C_in, K, K)``; returns ``(C_out, OH, OW)``.
+    """
+    c_out, c_in, ksize, ksize2 = weights.shape
+    if ksize != ksize2:
+        raise ValueError("only square kernels are supported")
+    if x.shape[0] != c_in:
+        raise ValueError(f"input has {x.shape[0]} channels, weights expect {c_in}")
+    out_h = conv_output_size(x.shape[1], ksize, stride, pad)
+    out_w = conv_output_size(x.shape[2], ksize, stride, pad)
+    cols = im2col(x, ksize, stride, pad)
+    flat_weights = weights.reshape(c_out, c_in * ksize * ksize)
+    out = flat_weights @ cols
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(c_out, 1)
+    return out.reshape(c_out, out_h, out_w)
+
+
+def maxpool2d(
+    x: np.ndarray, ksize: int, stride: int, padding: int = None
+) -> np.ndarray:
+    """Darknet-style max pooling.
+
+    ``padding`` is the total padding (default ``ksize - 1``), applied at the
+    bottom/right with ``-inf`` fill — this reproduces Darknet's behaviour of
+    ``out = ceil(size/stride)`` including the stride-1 pool before the 13x13
+    layers of Tiny YOLO.
+    """
+    if padding is None:
+        padding = ksize - 1
+    c, h, w = x.shape
+    out_h = pool_output_size(h, ksize, stride, padding)
+    out_w = pool_output_size(w, ksize, stride, padding)
+    pad_before = padding // 2
+    pad_after = padding - pad_before
+    padded = np.full(
+        (c, h + padding, w + padding), -np.inf, dtype=np.float64
+    )
+    padded[:, pad_before : pad_before + h, pad_before : pad_before + w] = x
+    s0, s1, s2 = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(c, out_h, out_w, ksize, ksize),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    return windows.max(axis=(3, 4)).astype(x.dtype)
+
+
+def maxpool2d_argmax(
+    x: np.ndarray, ksize: int, stride: int, padding: int = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling returning both values and flat argmax indices (for backprop).
+
+    Indices address the *padded* input as ``(c, y, x)`` raveled; use
+    :func:`maxpool2d_backward` to scatter gradients.
+    """
+    if padding is None:
+        padding = ksize - 1
+    c, h, w = x.shape
+    out_h = pool_output_size(h, ksize, stride, padding)
+    out_w = pool_output_size(w, ksize, stride, padding)
+    pad_before = padding // 2
+    padded = np.full((c, h + padding, w + padding), -np.inf, dtype=np.float64)
+    padded[:, pad_before : pad_before + h, pad_before : pad_before + w] = x
+    s0, s1, s2 = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(c, out_h, out_w, ksize, ksize),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    flat = windows.reshape(c, out_h, out_w, ksize * ksize)
+    arg = flat.argmax(axis=3)
+    values = np.take_along_axis(flat, arg[..., None], axis=3)[..., 0]
+    return values.astype(x.dtype), arg
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    arg: np.ndarray,
+    x_shape: Tuple[int, int, int],
+    ksize: int,
+    stride: int,
+    padding: int = None,
+) -> np.ndarray:
+    """Scatter *grad_out* back through the argmax of :func:`maxpool2d_argmax`."""
+    if padding is None:
+        padding = ksize - 1
+    c, h, w = x_shape
+    out_h, out_w = grad_out.shape[1:]
+    pad_before = padding // 2
+    grad_padded = np.zeros((c, h + padding, w + padding), dtype=np.float64)
+    ky = arg // ksize
+    kx = arg % ksize
+    oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    for ch in range(c):
+        ys = oy * stride + ky[ch]
+        xs = ox * stride + kx[ch]
+        np.add.at(grad_padded[ch], (ys.ravel(), xs.ravel()), grad_out[ch].ravel())
+    return grad_padded[:, pad_before : pad_before + h, pad_before : pad_before + w]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit (modification (a) replaces leaky with this)."""
+    return np.maximum(x, 0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.1) -> np.ndarray:
+    """Darknet's leaky activation (fixed 0.1 slope)."""
+    return np.where(x > 0, x, slope * x)
+
+
+def batchnorm_inference(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Per-channel batch normalization with frozen statistics."""
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    inv = gamma.reshape(shape) / np.sqrt(var.reshape(shape) + eps)
+    return inv * (x - mean.reshape(shape)) + beta.reshape(shape)
+
+
+def fully_connected(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray = None
+) -> np.ndarray:
+    """Dense layer: ``weights`` is ``(out, in)``, ``x`` flattens to ``(in,)``."""
+    flat = np.asarray(x).reshape(-1)
+    if flat.shape[0] != weights.shape[1]:
+        raise ValueError(
+            f"input size {flat.shape[0]} does not match weights {weights.shape}"
+        )
+    out = weights @ flat
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along *axis*."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic function (the region layer's squashing nonlinearity)."""
+    return 1.0 / (1.0 + np.exp(-np.asarray(x, dtype=np.float64)))
+
+
+__all__ = [
+    "conv2d",
+    "maxpool2d",
+    "maxpool2d_argmax",
+    "maxpool2d_backward",
+    "relu",
+    "leaky_relu",
+    "batchnorm_inference",
+    "fully_connected",
+    "softmax",
+    "sigmoid",
+]

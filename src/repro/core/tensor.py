@@ -1,0 +1,95 @@
+"""Feature-map container used throughout the inference substrate.
+
+Darknet passes raw ``float*`` buffers between layers; we pass a thin
+:class:`FeatureMap` wrapper around a channel-major ``(C, H, W)`` numpy array.
+The wrapper additionally carries a *scale* so that quantized maps can travel
+through the network as integer level codes (``value = data * scale``), which
+is exactly how the FINN accelerator of the paper streams 3-bit activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FeatureMap:
+    """A ``(C, H, W)`` feature map with an optional quantization scale.
+
+    ``data`` may be floating point (``scale == 1.0`` for plain float maps) or
+    integer level codes, in which case the represented value of each element
+    is ``data * scale``.
+    """
+
+    data: np.ndarray
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 3:
+            raise ValueError(f"feature map must be (C, H, W), got {self.data.shape}")
+
+    @property
+    def channels(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def height(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def width(self) -> int:
+        return int(self.data.shape[2])
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def values(self) -> np.ndarray:
+        """Return the represented (dequantized) values as ``float32``."""
+        if self.scale == 1.0 and self.data.dtype == np.float32:
+            return self.data
+        return (self.data.astype(np.float64) * self.scale).astype(np.float32)
+
+    def copy(self) -> "FeatureMap":
+        return FeatureMap(self.data.copy(), self.scale)
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "FeatureMap":
+        """Wrap plain float values (scale 1) as a feature map."""
+        return cls(np.asarray(values, dtype=np.float32), 1.0)
+
+
+def conv_output_size(size: int, ksize: int, stride: int, pad: int) -> int:
+    """Darknet's convolutional output size: ``(size + 2*pad - ksize)/stride + 1``."""
+    out = (size + 2 * pad - ksize) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output for size={size} ksize={ksize} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def pool_output_size(size: int, ksize: int, stride: int, padding: int) -> int:
+    """Darknet's maxpool output size: ``(size + padding - ksize)/stride + 1``.
+
+    ``padding`` is the *total* padding (darknet defaults it to ``ksize - 1``
+    and applies it at the bottom/right), which makes ``out = ceil(size/stride)``
+    for the common 2x2 configurations of the YOLO family.
+    """
+    out = (size + padding - ksize) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive pool output for size={size} ksize={ksize} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+__all__ = ["FeatureMap", "conv_output_size", "pool_output_size"]

@@ -1,0 +1,157 @@
+"""FINN-style threshold activations.
+
+FINN [7] folds the whole post-convolution chain — batch normalization,
+activation and activation *re*-quantization — into per-channel integer
+thresholds applied to the raw integer accumulator of a quantized matrix
+engine.  A 3-bit output needs 7 thresholds per channel: the output level is
+simply the number of thresholds the accumulator reaches.  This is what makes
+the paper's W1A3 hidden layers "ideal circumstances for a successful
+acceleration by programmable hardware" (§III-A): no multipliers, no floats,
+just popcounts and comparisons.
+
+The derivation here is exact: for an integer accumulator ``acc`` (in units
+of ``weight * input-level``) the float pipeline
+
+    y = gamma * (s_in * acc - mu) / sqrt(var + eps) + beta
+    out_level = clip(floor(relu(y) / s_out + 0.5), 0, 2**bits - 1)
+
+is equivalent to counting thresholds, with a per-channel comparison
+direction flip when ``gamma < 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantize import round_half_up
+
+
+@dataclass
+class ThresholdActivation:
+    """Per-channel integer thresholds mapping accumulators to output levels.
+
+    ``thresholds`` has shape ``(channels, 2**bits - 1)`` and is ascending
+    along the last axis.  ``signs`` holds +1 for channels compared as
+    ``acc >= T`` and -1 for channels compared as ``acc <= T`` (negative
+    batch-norm gain).
+    """
+
+    thresholds: np.ndarray
+    signs: np.ndarray
+    bits: int
+
+    def __post_init__(self) -> None:
+        expected = (1 << self.bits) - 1
+        if self.thresholds.shape[-1] != expected:
+            raise ValueError(
+                f"{self.bits}-bit activation needs {expected} thresholds per "
+                f"channel, got {self.thresholds.shape[-1]}"
+            )
+
+    @property
+    def channels(self) -> int:
+        return int(self.thresholds.shape[0])
+
+    def apply(self, acc: np.ndarray) -> np.ndarray:
+        """Map integer accumulators ``(C, ...)`` to output levels ``0..2**bits-1``."""
+        if acc.shape[0] != self.channels:
+            raise ValueError(
+                f"accumulator has {acc.shape[0]} channels, expected {self.channels}"
+            )
+        extra = acc.ndim - 1
+        thr = self.thresholds.reshape((self.channels,) + (1,) * extra + (-1,))
+        sign = self.signs.reshape((self.channels,) + (1,) * extra)
+        acc_exp = acc[..., None]
+        hits = np.where(
+            sign[..., None] > 0, acc_exp >= thr, acc_exp <= thr
+        )
+        return hits.sum(axis=-1).astype(np.int32)
+
+
+def derive_thresholds(
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    in_scale: float,
+    out_scale: float,
+    bits: int,
+    eps: float = 1e-6,
+) -> ThresholdActivation:
+    """Fold BN + ReLU + uniform re-quantization into integer thresholds.
+
+    ``in_scale`` is the value of one accumulator unit (input-level scale,
+    with binary ±1 weights); ``out_scale`` the activation quantizer's step.
+    The returned thresholds satisfy, for every integer accumulator ``acc``::
+
+        apply(acc) == clip(floor(relu(bn(acc * in_scale)) / out_scale + .5),
+                           0, 2**bits - 1)
+    """
+    gamma = np.asarray(gamma, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64)
+    var = np.asarray(var, dtype=np.float64)
+    channels = gamma.shape[0]
+    n_thresh = (1 << bits) - 1
+    inv_sigma = gamma / np.sqrt(var + eps)
+
+    thresholds = np.zeros((channels, n_thresh), dtype=np.int64)
+    signs = np.ones(channels, dtype=np.int8)
+    # Output level >= k  <=>  y >= out_scale * (k - 0.5); solve for acc.
+    huge = np.int64(2**62)
+    for ch in range(channels):
+        slope = inv_sigma[ch]
+        for k in range(1, n_thresh + 1):
+            y_k = out_scale * (k - 0.5)
+            if slope == 0.0:
+                # Constant channel: level is beta-determined, independent of acc.
+                always = beta[ch] >= y_k
+                thresholds[ch, k - 1] = -huge if always else huge
+                continue
+            acc_real = (mean[ch] + (y_k - beta[ch]) / slope) / in_scale
+            if slope > 0:
+                thresholds[ch, k - 1] = int(math.ceil(acc_real - 1e-9))
+            else:
+                thresholds[ch, k - 1] = int(math.floor(acc_real + 1e-9))
+        if slope < 0:
+            signs[ch] = -1
+            # For <= comparisons the per-level thresholds descend in k; keep
+            # them as computed (apply() counts hits, order is irrelevant).
+        if slope == 0.0 and signs[ch] < 0:  # pragma: no cover - defensive
+            signs[ch] = 1
+    return ThresholdActivation(
+        thresholds=thresholds, signs=signs.astype(np.int8), bits=bits
+    )
+
+
+def float_reference_activation(
+    acc: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    in_scale: float,
+    out_scale: float,
+    bits: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """The float pipeline the thresholds must replicate (test oracle)."""
+    shape = (-1,) + (1,) * (acc.ndim - 1)
+    y = (
+        gamma.reshape(shape)
+        * (acc * in_scale - mean.reshape(shape))
+        / np.sqrt(var.reshape(shape) + eps)
+        + beta.reshape(shape)
+    )
+    levels = round_half_up(np.maximum(y, 0.0) / out_scale)
+    return np.clip(levels, 0, (1 << bits) - 1).astype(np.int32)
+
+
+__all__ = [
+    "ThresholdActivation",
+    "derive_thresholds",
+    "float_reference_activation",
+]

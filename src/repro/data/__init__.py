@@ -1,0 +1,43 @@
+"""Synthetic datasets: VOC-like shape detection and glyph classification."""
+
+from repro.data.voc import (
+    VOC_CLASS_INDEX,
+    VOC_CLASSES,
+    VOCAnnotation,
+    load_voc_annotation,
+    load_voc_directory,
+    parse_voc_xml,
+    save_voc_annotation,
+    write_voc_xml,
+)
+from repro.data.classify import GlyphClassificationDataset, cifar_like, mnist_like
+from repro.data.shapes import (
+    CLASS_NAMES,
+    COLORS,
+    N_CLASSES,
+    SHAPES,
+    GroundTruth,
+    ShapesDetectionDataset,
+    class_id,
+)
+
+__all__ = [
+    "ShapesDetectionDataset",
+    "GroundTruth",
+    "class_id",
+    "SHAPES",
+    "COLORS",
+    "N_CLASSES",
+    "CLASS_NAMES",
+    "GlyphClassificationDataset",
+    "mnist_like",
+    "cifar_like",
+    "VOC_CLASSES",
+    "VOC_CLASS_INDEX",
+    "VOCAnnotation",
+    "parse_voc_xml",
+    "load_voc_annotation",
+    "write_voc_xml",
+    "save_voc_annotation",
+    "load_voc_directory",
+]

@@ -1,0 +1,114 @@
+"""Synthetic classification datasets for the MLP-4 / CNV-6 show cases.
+
+Stand-ins for MNIST (28x28 gray digits) and CIFAR-10 (32x32 color):
+ten procedurally rendered glyph classes with positional jitter and noise.
+They exercise the W1A1 inference/training paths of Table II's smaller
+networks without shipping the original datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, new_rng
+
+N_CLASSES = 10
+
+
+def _glyph(class_index: int, size: int) -> np.ndarray:
+    """A crude, distinctive glyph per class on a ``size x size`` canvas."""
+    canvas = np.zeros((size, size), dtype=np.float32)
+    ys, xs = np.mgrid[0:size, 0:size]
+    center = (size - 1) / 2
+    r = size / 2
+    dist = np.sqrt((ys - center) ** 2 + (xs - center) ** 2)
+    if class_index == 0:  # ring
+        canvas[(dist < 0.8 * r) & (dist > 0.5 * r)] = 1.0
+    elif class_index == 1:  # vertical bar
+        canvas[:, int(0.4 * size) : int(0.6 * size)] = 1.0
+    elif class_index == 2:  # horizontal bar
+        canvas[int(0.4 * size) : int(0.6 * size), :] = 1.0
+    elif class_index == 3:  # diagonal
+        canvas[np.abs(ys - xs) < size * 0.12] = 1.0
+    elif class_index == 4:  # anti-diagonal
+        canvas[np.abs(ys + xs - size + 1) < size * 0.12] = 1.0
+    elif class_index == 5:  # filled disc
+        canvas[dist < 0.45 * r] = 1.0
+    elif class_index == 6:  # frame
+        edge = max(1, size // 8)
+        canvas[:edge, :] = canvas[-edge:, :] = 1.0
+        canvas[:, :edge] = canvas[:, -edge:] = 1.0
+    elif class_index == 7:  # cross
+        bar = max(1, size // 6)
+        canvas[:, int(center - bar / 2) : int(center + bar / 2) + 1] = 1.0
+        canvas[int(center - bar / 2) : int(center + bar / 2) + 1, :] = 1.0
+    elif class_index == 8:  # top half
+        canvas[: size // 2, :] = 1.0
+    elif class_index == 9:  # checker
+        cell = max(2, size // 4)
+        canvas[((ys // cell) + (xs // cell)) % 2 == 0] = 1.0
+    else:
+        raise ValueError(f"class index {class_index} out of range")
+    return canvas
+
+
+class GlyphClassificationDataset:
+    """Deterministic 10-class glyph set; gray or RGB."""
+
+    def __init__(
+        self,
+        image_size: int = 28,
+        channels: int = 1,
+        jitter: int = 2,
+        noise: float = 0.15,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.image_size = image_size
+        self.channels = channels
+        self.jitter = jitter
+        self.noise = noise
+        self._seed = int(new_rng(seed).integers(0, 2**31))
+
+    @property
+    def n_classes(self) -> int:
+        return N_CLASSES
+
+    def sample(self, index: int) -> Tuple[np.ndarray, int]:
+        rng = np.random.default_rng((self._seed, index))
+        label = int(rng.integers(0, N_CLASSES))
+        glyph_size = self.image_size - 2 * self.jitter
+        glyph = _glyph(label, glyph_size)
+        image = np.zeros(
+            (self.channels, self.image_size, self.image_size), dtype=np.float32
+        )
+        dy = int(rng.integers(0, 2 * self.jitter + 1))
+        dx = int(rng.integers(0, 2 * self.jitter + 1))
+        tint = rng.uniform(0.6, 1.0, size=self.channels)
+        for ch in range(self.channels):
+            image[ch, dy : dy + glyph_size, dx : dx + glyph_size] = glyph * tint[ch]
+        image += rng.normal(0, self.noise, size=image.shape).astype(np.float32)
+        np.clip(image, 0.0, 1.0, out=image)
+        return image, label
+
+    def batch(self, start: int, count: int):
+        images, labels = [], []
+        for i in range(count):
+            image, label = self.sample(start + i)
+            images.append(image)
+            labels.append(label)
+        return np.stack(images), np.asarray(labels)
+
+
+def mnist_like(seed: SeedLike = 0) -> GlyphClassificationDataset:
+    """28x28 single-channel stand-in for MNIST (MLP-4's input)."""
+    return GlyphClassificationDataset(image_size=28, channels=1, seed=seed)
+
+
+def cifar_like(seed: SeedLike = 0) -> GlyphClassificationDataset:
+    """32x32 RGB stand-in for CIFAR-10 (CNV-6's input)."""
+    return GlyphClassificationDataset(image_size=32, channels=3, seed=seed)
+
+
+__all__ = ["GlyphClassificationDataset", "mnist_like", "cifar_like", "N_CLASSES"]

@@ -1,0 +1,151 @@
+"""Pascal VOC annotation interchange.
+
+The evaluation here runs on synthetic scenes because the VOC dataset
+cannot be downloaded offline — but a downstream user with a VOC checkout
+should be able to plug it straight in.  This module reads and writes the
+VOC XML annotation format (the ``<annotation><object><bndbox>`` schema)
+and converts to/from our normalized :class:`GroundTruth` boxes, using only
+the standard library's ``xml.etree``.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.boxes import Box, GroundTruth
+
+#: The 20 Pascal VOC object classes, in the canonical order.
+VOC_CLASSES = (
+    "aeroplane", "bicycle", "bird", "boat", "bottle",
+    "bus", "car", "cat", "chair", "cow",
+    "diningtable", "dog", "horse", "motorbike", "person",
+    "pottedplant", "sheep", "sofa", "train", "tvmonitor",
+)
+
+VOC_CLASS_INDEX: Dict[str, int] = {name: i for i, name in enumerate(VOC_CLASSES)}
+
+
+@dataclass
+class VOCAnnotation:
+    """One image's VOC annotation."""
+
+    filename: str
+    width: int
+    height: int
+    truths: List[GroundTruth]
+
+
+def parse_voc_xml(
+    text: str, class_index: Dict[str, int] = None
+) -> VOCAnnotation:
+    """Parse one VOC XML annotation document."""
+    class_index = class_index if class_index is not None else VOC_CLASS_INDEX
+    root = ET.fromstring(text)
+    if root.tag != "annotation":
+        raise ValueError(f"not a VOC annotation (root tag '{root.tag}')")
+    size = root.find("size")
+    if size is None:
+        raise ValueError("annotation lacks a <size> element")
+    width = int(size.findtext("width"))
+    height = int(size.findtext("height"))
+    if width <= 0 or height <= 0:
+        raise ValueError(f"bad image size {width}x{height}")
+    filename = root.findtext("filename", default="")
+    truths: List[GroundTruth] = []
+    for obj in root.findall("object"):
+        name = obj.findtext("name")
+        if name not in class_index:
+            raise ValueError(f"unknown VOC class '{name}'")
+        bndbox = obj.find("bndbox")
+        xmin = float(bndbox.findtext("xmin"))
+        ymin = float(bndbox.findtext("ymin"))
+        xmax = float(bndbox.findtext("xmax"))
+        ymax = float(bndbox.findtext("ymax"))
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError(f"degenerate bndbox in object '{name}'")
+        truths.append(
+            GroundTruth(
+                class_index[name],
+                Box(
+                    x=(xmin + xmax) / 2.0 / width,
+                    y=(ymin + ymax) / 2.0 / height,
+                    w=(xmax - xmin) / width,
+                    h=(ymax - ymin) / height,
+                ),
+            )
+        )
+    return VOCAnnotation(
+        filename=filename, width=width, height=height, truths=truths
+    )
+
+
+def load_voc_annotation(path: str, class_index: Dict[str, int] = None) -> VOCAnnotation:
+    """Read one VOC XML annotation file."""
+    with open(path) as handle:
+        return parse_voc_xml(handle.read(), class_index)
+
+
+def write_voc_xml(
+    annotation: VOCAnnotation, class_names: Sequence[str] = VOC_CLASSES
+) -> str:
+    """Serialize an annotation back to VOC XML (round-trips with the parser)."""
+    root = ET.Element("annotation")
+    ET.SubElement(root, "filename").text = annotation.filename
+    size = ET.SubElement(root, "size")
+    ET.SubElement(size, "width").text = str(annotation.width)
+    ET.SubElement(size, "height").text = str(annotation.height)
+    ET.SubElement(size, "depth").text = "3"
+    for truth in annotation.truths:
+        obj = ET.SubElement(root, "object")
+        ET.SubElement(obj, "name").text = class_names[truth.class_id]
+        ET.SubElement(obj, "difficult").text = "0"
+        bndbox = ET.SubElement(obj, "bndbox")
+        ET.SubElement(bndbox, "xmin").text = str(
+            round(truth.box.left * annotation.width, 1)
+        )
+        ET.SubElement(bndbox, "ymin").text = str(
+            round(truth.box.top * annotation.height, 1)
+        )
+        ET.SubElement(bndbox, "xmax").text = str(
+            round(truth.box.right * annotation.width, 1)
+        )
+        ET.SubElement(bndbox, "ymax").text = str(
+            round(truth.box.bottom * annotation.height, 1)
+        )
+    return ET.tostring(root, encoding="unicode")
+
+
+def save_voc_annotation(
+    annotation: VOCAnnotation, path: str, class_names: Sequence[str] = VOC_CLASSES
+) -> None:
+    """Write one annotation as a VOC XML file."""
+    with open(path, "w") as handle:
+        handle.write(write_voc_xml(annotation, class_names))
+
+
+def load_voc_directory(
+    directory: str, class_index: Dict[str, int] = None
+) -> List[VOCAnnotation]:
+    """Load every ``*.xml`` annotation under *directory*, sorted by name."""
+    annotations = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".xml"):
+            annotations.append(
+                load_voc_annotation(os.path.join(directory, name), class_index)
+            )
+    return annotations
+
+
+__all__ = [
+    "VOC_CLASSES",
+    "VOC_CLASS_INDEX",
+    "VOCAnnotation",
+    "parse_voc_xml",
+    "load_voc_annotation",
+    "write_voc_xml",
+    "save_voc_annotation",
+    "load_voc_directory",
+]

@@ -1,0 +1,26 @@
+"""Detection evaluation: boxes, IoU, NMS and Pascal VOC mAP."""
+
+from repro.eval.boxes import Box, Detection, iou, nms
+from repro.eval.pr import PRCurve, pr_curves, render_pr_table
+from repro.eval.metrics import (
+    ImageEval,
+    MAPResult,
+    average_precision_11pt,
+    average_precision_area,
+    evaluate_map,
+)
+
+__all__ = [
+    "Box",
+    "Detection",
+    "iou",
+    "nms",
+    "ImageEval",
+    "MAPResult",
+    "average_precision_11pt",
+    "average_precision_area",
+    "evaluate_map",
+    "PRCurve",
+    "pr_curves",
+    "render_pr_table",
+]

@@ -1,0 +1,103 @@
+"""Bounding boxes, IoU and non-maximum suppression.
+
+Boxes use the Darknet convention: normalized center coordinates
+``(x, y, w, h)`` in ``[0, 1]`` relative to the network input square (the
+letterboxed frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Box:
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def left(self) -> float:
+        return self.x - self.w / 2
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w / 2
+
+    @property
+    def top(self) -> float:
+        return self.y - self.h / 2
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.h / 2
+
+    @property
+    def area(self) -> float:
+        return max(self.w, 0.0) * max(self.h, 0.0)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """One annotated object of a dataset image."""
+
+    class_id: int
+    box: Box
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object: a box, its class and the detection confidence."""
+
+    box: Box
+    class_id: int
+    score: float
+    objectness: float = 0.0
+
+    def with_score(self, score: float) -> "Detection":
+        return replace(self, score=score)
+
+
+def iou(a: Box, b: Box) -> float:
+    """Intersection over union of two boxes (0 when disjoint)."""
+    ix = min(a.right, b.right) - max(a.left, b.left)
+    iy = min(a.bottom, b.bottom) - max(a.top, b.top)
+    if ix <= 0 or iy <= 0:
+        return 0.0
+    inter = ix * iy
+    union = a.area + b.area - inter
+    if union <= 0:
+        return 0.0
+    return inter / union
+
+
+def _nms_order(det: Detection) -> tuple:
+    """Total order for NMS: score first, deterministic tie-breaks after.
+
+    Ties must break identically on every pass or NMS would not be
+    idempotent (a property test guards this).
+    """
+    return (-det.score, det.class_id, det.box.x, det.box.y, det.box.w, det.box.h)
+
+
+def nms(
+    detections: Sequence[Detection], iou_threshold: float = 0.45
+) -> List[Detection]:
+    """Greedy per-class non-maximum suppression (Darknet's ``do_nms_sort``)."""
+    kept: List[Detection] = []
+    by_class = {}
+    for det in detections:
+        by_class.setdefault(det.class_id, []).append(det)
+    for dets in by_class.values():
+        dets = sorted(dets, key=_nms_order)
+        survivors: List[Detection] = []
+        for det in dets:
+            if all(iou(det.box, keep.box) <= iou_threshold for keep in survivors):
+                survivors.append(det)
+        kept.extend(survivors)
+    return sorted(kept, key=_nms_order)
+
+
+__all__ = ["Box", "GroundTruth", "Detection", "iou", "nms"]

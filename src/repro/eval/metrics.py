@@ -1,0 +1,138 @@
+"""Pascal VOC detection metrics: per-class AP and mAP.
+
+Implements both the classic 11-point interpolated AP (VOC2007, the metric
+behind Table IV's mAP numbers) and the all-point area-under-curve variant
+(VOC2010+).  Matching follows the VOC protocol: detections are processed in
+descending score order, each may claim at most one unmatched ground truth
+with IoU above the threshold; duplicates are false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.boxes import Detection, GroundTruth, iou
+
+
+@dataclass
+class ImageEval:
+    """Detections and ground truth of one image."""
+
+    detections: Sequence[Detection]
+    truths: Sequence[GroundTruth]
+
+
+def _match_class(
+    images: Sequence[ImageEval], class_id: int, iou_threshold: float
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Score-ordered TP/FP flags for one class over all images."""
+    records: List[Tuple[float, int, int]] = []  # (score, image idx, det idx)
+    n_truth = 0
+    for image_index, image in enumerate(images):
+        n_truth += sum(1 for t in image.truths if t.class_id == class_id)
+        for det_index, det in enumerate(image.detections):
+            if det.class_id == class_id:
+                records.append((det.score, image_index, det_index))
+    records.sort(key=lambda r: -r[0])
+    tp = np.zeros(len(records))
+    fp = np.zeros(len(records))
+    claimed: Dict[Tuple[int, int], bool] = {}
+    for rank, (score, image_index, det_index) in enumerate(records):
+        image = images[image_index]
+        det = image.detections[det_index]
+        best_iou, best_truth = 0.0, None
+        for truth_index, truth in enumerate(image.truths):
+            if truth.class_id != class_id:
+                continue
+            overlap = iou(det.box, truth.box)
+            if overlap > best_iou:
+                best_iou, best_truth = overlap, truth_index
+        if best_truth is not None and best_iou >= iou_threshold:
+            key = (image_index, best_truth)
+            if not claimed.get(key):
+                claimed[key] = True
+                tp[rank] = 1
+            else:
+                fp[rank] = 1  # duplicate detection of a matched object
+        else:
+            fp[rank] = 1
+    return tp, fp, n_truth
+
+
+def _precision_recall(
+    tp: np.ndarray, fp: np.ndarray, n_truth: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recall = cum_tp / max(n_truth, 1)
+    precision = cum_tp / np.maximum(cum_tp + cum_fp, 1e-12)
+    return precision, recall
+
+
+def average_precision_11pt(precision: np.ndarray, recall: np.ndarray) -> float:
+    """VOC2007 11-point interpolation."""
+    if precision.size == 0:
+        return 0.0
+    total = 0.0
+    for point in np.linspace(0.0, 1.0, 11):
+        mask = recall >= point
+        total += float(precision[mask].max()) if mask.any() else 0.0
+    return total / 11.0
+
+
+def average_precision_area(precision: np.ndarray, recall: np.ndarray) -> float:
+    """VOC2010+ area under the interpolated precision-recall curve."""
+    if precision.size == 0:
+        return 0.0
+    mrec = np.concatenate(([0.0], recall, [1.0]))
+    mpre = np.concatenate(([0.0], precision, [0.0]))
+    for index in range(mpre.size - 2, -1, -1):
+        mpre[index] = max(mpre[index], mpre[index + 1])
+    changes = np.where(mrec[1:] != mrec[:-1])[0]
+    return float(np.sum((mrec[changes + 1] - mrec[changes]) * mpre[changes + 1]))
+
+
+@dataclass
+class MAPResult:
+    per_class_ap: Dict[int, float]
+    map_percent: float
+    method: str
+
+    def __repr__(self) -> str:
+        return f"<mAP {self.map_percent:.1f}% ({self.method})>"
+
+
+def evaluate_map(
+    images: Sequence[ImageEval],
+    n_classes: int,
+    iou_threshold: float = 0.5,
+    method: str = "11pt",
+) -> MAPResult:
+    """Mean average precision over classes that appear in the ground truth."""
+    if method == "11pt":
+        ap_fn = average_precision_11pt
+    elif method == "area":
+        ap_fn = average_precision_area
+    else:
+        raise ValueError(f"unknown AP method '{method}'")
+    per_class: Dict[int, float] = {}
+    for class_index in range(n_classes):
+        tp, fp, n_truth = _match_class(images, class_index, iou_threshold)
+        if n_truth == 0:
+            continue  # VOC skips absent classes
+        precision, recall = _precision_recall(tp, fp, n_truth)
+        per_class[class_index] = ap_fn(precision, recall)
+    mean = float(np.mean(list(per_class.values()))) if per_class else 0.0
+    return MAPResult(per_class_ap=per_class, map_percent=100.0 * mean, method=method)
+
+
+__all__ = [
+    "ImageEval",
+    "MAPResult",
+    "average_precision_11pt",
+    "average_precision_area",
+    "evaluate_map",
+]

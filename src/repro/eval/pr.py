@@ -1,0 +1,97 @@
+"""Precision-recall curve extraction and per-class reporting.
+
+mAP compresses the detector's behaviour into one number; the PR curves
+behind it show *where* quantization hurts (typically the high-recall tail,
+where marginal activations get rounded away).  Used by the Table IV bench
+report and the quantization-sweep example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import (
+    ImageEval,
+    _match_class,
+    _precision_recall,
+    average_precision_11pt,
+    average_precision_area,
+)
+
+
+@dataclass
+class PRCurve:
+    """One class's precision-recall trajectory (score-ordered)."""
+
+    class_id: int
+    precision: np.ndarray
+    recall: np.ndarray
+    n_truth: int
+
+    @property
+    def ap_11pt(self) -> float:
+        return average_precision_11pt(self.precision, self.recall)
+
+    @property
+    def ap_area(self) -> float:
+        return average_precision_area(self.precision, self.recall)
+
+    @property
+    def max_recall(self) -> float:
+        return float(self.recall[-1]) if self.recall.size else 0.0
+
+    def precision_at_recall(self, target: float) -> float:
+        """Best precision achievable at recall >= target (0 if unreached)."""
+        mask = self.recall >= target
+        return float(self.precision[mask].max()) if mask.any() else 0.0
+
+
+def pr_curves(
+    images: Sequence[ImageEval], n_classes: int, iou_threshold: float = 0.5
+) -> Dict[int, PRCurve]:
+    """Per-class PR curves over all *images* (classes absent from the
+    ground truth are skipped, as in VOC)."""
+    curves: Dict[int, PRCurve] = {}
+    for class_id in range(n_classes):
+        tp, fp, n_truth = _match_class(images, class_id, iou_threshold)
+        if n_truth == 0:
+            continue
+        precision, recall = _precision_recall(tp, fp, n_truth)
+        curves[class_id] = PRCurve(
+            class_id=class_id,
+            precision=precision,
+            recall=recall,
+            n_truth=n_truth,
+        )
+    return curves
+
+
+def render_pr_table(
+    curves: Dict[int, PRCurve], class_names: Sequence[str] = None
+) -> List[tuple]:
+    """Rows (class, AP11, AParea, max recall, P@R=.5) for report tables."""
+    rows = []
+    for class_id in sorted(curves):
+        curve = curves[class_id]
+        name = (
+            class_names[class_id]
+            if class_names is not None and class_id < len(class_names)
+            else str(class_id)
+        )
+        rows.append(
+            (
+                name,
+                f"{curve.ap_11pt * 100:5.1f}",
+                f"{curve.ap_area * 100:5.1f}",
+                f"{curve.max_recall * 100:5.1f}",
+                f"{curve.precision_at_recall(0.5) * 100:5.1f}",
+                curve.n_truth,
+            )
+        )
+    return rows
+
+
+__all__ = ["PRCurve", "pr_curves", "render_pr_table"]

@@ -1,0 +1,95 @@
+"""FINN-style hardware accelerator simulation.
+
+Device capacity models (:mod:`repro.finn.device`), the folded
+matrix-vector-threshold unit (:mod:`repro.finn.mvtu`), resource estimation
+(:mod:`repro.finn.resources`), the iterated and dataflow accelerator
+schedules (:mod:`repro.finn.accelerator`) and the ``fabric.so`` offload
+backend of Fig. 4 (:mod:`repro.finn.offload_backend`).
+
+Importing this package registers ``fabric.so`` with the offload registry.
+"""
+
+from repro.finn.accelerator import (
+    DEFAULT_FMAX_HZ,
+    DEFAULT_FOLDING,
+    DEFAULT_LAYER_OVERHEAD_S,
+    DataflowAccelerator,
+    FabricStage,
+    IteratedAccelerator,
+    PoolStage,
+    balanced_dataflow_foldings,
+    compile_stages,
+)
+from repro.finn.device import (
+    CORTEX_A53_QUAD,
+    KNOWN_FABRICS,
+    XC7Z020,
+    XCZU3EG,
+    XCZU7EV,
+    XCZU9EG,
+    CPUComplex,
+    FPGAFabric,
+)
+from repro.finn.dense import (
+    MVTUBipolarConvLayer,
+    MVTUDenseLayer,
+    compile_bipolar_conv_stage,
+    compile_dense_stage,
+    derive_sign_thresholds,
+)
+from repro.finn.mvtu import MVTU, Folding, MVTUConvLayer, MVTUGeometry
+from repro.finn.offload_backend import FabricBackend, export_offload, verify_stages
+from repro.finn.schedule import (
+    ScheduleChoice,
+    enumerate_foldings,
+    optimize_folding,
+    schedule_summary,
+)
+from repro.finn.resources import (
+    ResourceEstimate,
+    mvtu_compute_resources,
+    pool_resources,
+    swu_resources,
+    weight_storage_resources,
+)
+
+__all__ = [
+    "Folding",
+    "MVTU",
+    "MVTUConvLayer",
+    "MVTUGeometry",
+    "MVTUDenseLayer",
+    "compile_dense_stage",
+    "MVTUBipolarConvLayer",
+    "compile_bipolar_conv_stage",
+    "derive_sign_thresholds",
+    "FabricStage",
+    "PoolStage",
+    "compile_stages",
+    "IteratedAccelerator",
+    "DataflowAccelerator",
+    "balanced_dataflow_foldings",
+    "DEFAULT_FOLDING",
+    "DEFAULT_FMAX_HZ",
+    "DEFAULT_LAYER_OVERHEAD_S",
+    "FabricBackend",
+    "export_offload",
+    "verify_stages",
+    "FPGAFabric",
+    "CPUComplex",
+    "XCZU3EG",
+    "XCZU7EV",
+    "XCZU9EG",
+    "XC7Z020",
+    "KNOWN_FABRICS",
+    "CORTEX_A53_QUAD",
+    "ResourceEstimate",
+    "mvtu_compute_resources",
+    "weight_storage_resources",
+    "swu_resources",
+    "pool_resources",
+    "ScheduleChoice",
+    "enumerate_foldings",
+    "optimize_folding",
+    "schedule_summary",
+]

@@ -1,0 +1,100 @@
+"""Device models: programmable-logic fabrics and the embedded CPU complex.
+
+Fig. 2 of the paper enumerates the compute opportunities of a Zynq
+UltraScale+ platform: four Cortex-A53 cores with 128-bit NEON units and the
+programmable-logic fabric.  These dataclasses capture the capacities that
+the resource/cycle models consume.  Figures follow the public Xilinx
+product tables; the *platform shell* reservation accounts for the video
+DMA, AXI interconnect and control infrastructure that a live-video design
+cannot avoid instantiating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGAFabric:
+    """Programmable-logic capacity of one device."""
+
+    name: str
+    luts: int
+    flipflops: int
+    bram36: int            # number of 36 Kb block RAMs
+    dsp: int
+    #: fraction of LUTs consumed by the platform shell (video DMA, AXI, ...)
+    shell_lut_fraction: float = 0.12
+    #: block RAMs consumed by the platform shell
+    shell_bram36: int = 16
+
+    @property
+    def usable_luts(self) -> int:
+        return int(self.luts * (1.0 - self.shell_lut_fraction))
+
+    @property
+    def usable_bram36(self) -> int:
+        return self.bram36 - self.shell_bram36
+
+    @property
+    def bram_bits(self) -> int:
+        return self.bram36 * 36 * 1024
+
+
+#: The paper's target: the small XCZU3EG of an Ultra96-class board.
+XCZU3EG = FPGAFabric(
+    name="XCZU3EG", luts=70_560, flipflops=141_120, bram36=216, dsp=360
+)
+
+#: Mid-range Zynq UltraScale+ (for the fit ablation).
+XCZU7EV = FPGAFabric(
+    name="XCZU7EV", luts=230_400, flipflops=460_800, bram36=312, dsp=1_728
+)
+
+#: Large Zynq UltraScale+ (ZCU102 board).
+XCZU9EG = FPGAFabric(
+    name="XCZU9EG", luts=274_080, flipflops=548_160, bram36=912, dsp=2_520
+)
+
+#: Zynq-7000 of the PYNQ-Z1 (FINN's original show-case platform).
+XC7Z020 = FPGAFabric(
+    name="XC7Z020", luts=53_200, flipflops=106_400, bram36=140, dsp=220
+)
+
+KNOWN_FABRICS = {
+    fabric.name: fabric for fabric in (XCZU3EG, XCZU7EV, XCZU9EG, XC7Z020)
+}
+
+
+@dataclass(frozen=True)
+class CPUComplex:
+    """The processing system: cores and SIMD capabilities (Fig. 2)."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    simd_bits: int
+
+    def simd_lanes(self, element_bits: int) -> int:
+        """Parallel lanes for a given element width (4x f32 ... 16x i8)."""
+        if element_bits <= 0 or self.simd_bits % element_bits:
+            raise ValueError(f"unsupported element width {element_bits}")
+        return self.simd_bits // element_bits
+
+
+#: Quad Cortex-A53 of the Zynq UltraScale+ EG devices.
+CORTEX_A53_QUAD = CPUComplex(
+    name="Cortex-A53 x4", cores=4, frequency_hz=1.2e9, simd_bits=128
+)
+
+
+__all__ = [
+    "FPGAFabric",
+    "CPUComplex",
+    "XCZU3EG",
+    "XCZU7EV",
+    "XCZU9EG",
+    "XC7Z020",
+    "KNOWN_FABRICS",
+    "CORTEX_A53_QUAD",
+]

@@ -1,0 +1,225 @@
+"""The Matrix-Vector-Threshold Unit (MVTU) — FINN's compute core.
+
+An MVTU multiplies a quantized weight matrix against a stream of input
+vectors and applies threshold activations to the integer accumulators.
+Parallelism is *folded*: ``PE`` processing elements each consume ``SIMD``
+synapses per cycle, so one matrix-vector product takes
+
+    fold = ceil(rows / PE) * ceil(cols / SIMD)      cycles.
+
+A convolution is lowered onto the MVTU by the sliding window unit: the
+matrix is ``(C_out, K*K*C_in)`` and one vector per output pixel streams
+through, so a layer costs ``OH * OW * fold`` cycles (§III-A: "only a single
+generalized convolutional layer together with its subsequent pooling layer
+would fit into the available fabric" — the folding is what lets one engine
+serve every hidden layer).
+
+The functional model is bit-faithful: binary weights are kept as packed
+words, dot products evaluate bit-serially over the activation planes, and
+the thresholds come from :func:`repro.core.thresholds.derive_thresholds`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitpack import bitserial_dot, pack_bits, pack_levels
+from repro.core.im2col import im2col
+from repro.core.tensor import FeatureMap, conv_output_size
+from repro.core.thresholds import ThresholdActivation
+
+
+@dataclass(frozen=True)
+class Folding:
+    """PE/SIMD parallelization of one MVTU."""
+
+    pe: int
+    simd: int
+
+    def __post_init__(self) -> None:
+        if self.pe < 1 or self.simd < 1:
+            raise ValueError("PE and SIMD must be positive")
+
+    def fold(self, rows: int, cols: int) -> int:
+        """Cycles per matrix-vector product."""
+        return math.ceil(rows / self.pe) * math.ceil(cols / self.simd)
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.pe * self.simd
+
+
+@dataclass(frozen=True)
+class MVTUGeometry:
+    """Static shape of the matrix an MVTU multiplies."""
+
+    rows: int           # output channels
+    cols: int           # K*K*C_in
+    weight_bits: int = 1
+    activation_bits: int = 3
+
+    @property
+    def weight_storage_bits(self) -> int:
+        return self.rows * self.cols * self.weight_bits
+
+
+class MVTU:
+    """Functional + cycle model of one matrix-vector-threshold unit."""
+
+    def __init__(
+        self,
+        weights_pm1: np.ndarray,
+        thresholds: ThresholdActivation,
+        folding: Folding,
+        bitserial: bool = False,
+    ) -> None:
+        weights_pm1 = np.asarray(weights_pm1)
+        if weights_pm1.ndim != 2:
+            raise ValueError("MVTU weights must be a 2-D matrix")
+        if not set(np.unique(weights_pm1)).issubset({-1, 1}):
+            raise ValueError("MVTU weights must be binary (-1/+1)")
+        if thresholds.channels != weights_pm1.shape[0]:
+            raise ValueError(
+                f"{thresholds.channels} threshold channels for "
+                f"{weights_pm1.shape[0]} matrix rows"
+            )
+        self.geometry = MVTUGeometry(
+            rows=weights_pm1.shape[0],
+            cols=weights_pm1.shape[1],
+            weight_bits=1,
+            activation_bits=thresholds.bits,
+        )
+        self.folding = folding
+        self.thresholds = thresholds
+        #: When True, accumulators are evaluated through the packed
+        #: XNOR-popcount bit-serial path (the literal hardware datapath);
+        #: the default integer matmul is proven equivalent by the tests and
+        #: is what large runs use.
+        self.bitserial = bitserial
+        self._weights_pm1 = weights_pm1.astype(np.int64)
+        self._packed_weights, self._n = pack_bits(
+            (weights_pm1 > 0).astype(np.uint8)
+        )
+
+    @property
+    def weights_pm1(self) -> np.ndarray:
+        """The ``{-1,+1}`` weight matrix (read-only view for compilers)."""
+        return self._weights_pm1
+
+    # -- functional --------------------------------------------------------------
+
+    def matvec(self, levels: np.ndarray) -> np.ndarray:
+        """One matrix-vector product + thresholding on level codes."""
+        levels = np.asarray(levels)
+        if levels.shape != (self.geometry.cols,):
+            raise ValueError(
+                f"input vector must have {self.geometry.cols} elements, "
+                f"got {levels.shape}"
+            )
+        planes, _ = pack_levels(levels, bits=self.thresholds.bits)
+        acc = bitserial_dot(self._packed_weights, planes, self._n)
+        return self.thresholds.apply(acc[:, None])[:, 0]
+
+    def matmat(self, level_columns: np.ndarray) -> np.ndarray:
+        """Threshold-activated product against many columns at once.
+
+        ``level_columns`` is ``(cols, n_vectors)``; returns output levels of
+        shape ``(rows, n_vectors)``.  Functionally identical to calling
+        :meth:`matvec` per column (a test pins this), but vectorized.
+        """
+        level_columns = np.asarray(level_columns)
+        if self.bitserial:
+            acc = self.matmat_accumulate_bitserial(level_columns)
+        else:
+            # BLAS-backed float64 matmul: exact for these magnitudes
+            # (|acc| <= cols * max_level << 2**53) and orders of magnitude
+            # faster than numpy's non-BLAS integer matmul on big layers.
+            acc_f = self._weights_pm1.astype(np.float64) @ level_columns.astype(
+                np.float64
+            )
+            acc = np.rint(acc_f).astype(np.int64)
+        return self.thresholds.apply(acc)
+
+    def matmat_accumulate_bitserial(self, level_columns: np.ndarray) -> np.ndarray:
+        """Raw accumulators via the packed XNOR-popcount bit-serial path."""
+        planes, _ = pack_levels(
+            np.asarray(level_columns).T, bits=self.thresholds.bits
+        )
+        # planes: (n_vectors, bits, n_words); broadcast weights over vectors.
+        return bitserial_dot(
+            self._packed_weights[:, None, :], planes[None, :, :, :], self._n
+        )
+
+    # -- cycle model ----------------------------------------------------------------
+
+    def cycles_per_vector(self) -> int:
+        return self.folding.fold(self.geometry.rows, self.geometry.cols)
+
+    def cycles_for(self, n_vectors: int) -> int:
+        return n_vectors * self.cycles_per_vector()
+
+
+class MVTUConvLayer:
+    """A convolution + BN + activation executed on an MVTU (with its SWU).
+
+    Consumes and produces *level-coded* feature maps.  The sliding window
+    unit is the im2col lowering; the pooling that Darknet expresses as a
+    separate layer is handled by :class:`repro.finn.accelerator` stages.
+    """
+
+    def __init__(
+        self,
+        mvtu: MVTU,
+        in_channels: int,
+        ksize: int,
+        stride: int,
+        pad: int,
+        out_scale: float,
+    ) -> None:
+        self.mvtu = mvtu
+        self.in_channels = in_channels
+        self.ksize = ksize
+        self.stride = stride
+        self.pad = pad
+        self.out_scale = out_scale
+        expected_cols = in_channels * ksize * ksize
+        if mvtu.geometry.cols != expected_cols:
+            raise ValueError(
+                f"MVTU matrix has {mvtu.geometry.cols} columns; conv geometry "
+                f"needs {expected_cols}"
+            )
+
+    def out_shape(self, in_shape) -> tuple:
+        c, h, w = in_shape
+        return (
+            self.mvtu.geometry.rows,
+            conv_output_size(h, self.ksize, self.stride, self.pad),
+            conv_output_size(w, self.ksize, self.stride, self.pad),
+        )
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        levels = np.asarray(fm.data)
+        if levels.shape[0] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {levels.shape[0]}"
+            )
+        out_c, out_h, out_w = self.out_shape(levels.shape)
+        cols = im2col(levels.astype(np.int64), self.ksize, self.stride, self.pad)
+        out_levels = self.mvtu.matmat(cols).reshape(out_c, out_h, out_w)
+        return FeatureMap(out_levels.astype(np.int32), scale=self.out_scale)
+
+    def cycles(self, in_shape) -> int:
+        _, out_h, out_w = self.out_shape(in_shape)
+        return self.mvtu.cycles_for(out_h * out_w)
+
+    def ops(self, in_shape) -> int:
+        """Table-I-convention operation count (2 per MAC)."""
+        _, out_h, out_w = self.out_shape(in_shape)
+        return 2 * self.mvtu.geometry.rows * self.mvtu.geometry.cols * out_h * out_w
+
+
+__all__ = ["Folding", "MVTUGeometry", "MVTU", "MVTUConvLayer"]

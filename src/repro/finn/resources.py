@@ -1,0 +1,113 @@
+"""Fabric resource estimation and fit checking.
+
+The model follows the FINN cost structure: LUTs scale with the number of
+synapse operations per cycle (``PE * SIMD``) weighted by operand widths;
+weights live in block RAM banked per processing element; the sliding window
+unit keeps ``K`` input rows in line buffers.  Constants are calibrated so
+that the published FINN designs fit their boards and — the §III-A claim —
+exactly one generalized convolution engine (plus pooling) fits an XCZU3EG,
+while a per-layer dataflow pipeline of Tincy YOLO does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.finn.device import FPGAFabric
+from repro.finn.mvtu import Folding, MVTUGeometry
+
+BRAM36_BITS = 36 * 1024
+
+#: LUTs per synapse-operation/cycle and per weight/activation bit product.
+LUTS_PER_SYNAPSE_BIT = 2.5
+#: LUTs per PE for accumulator + threshold comparison logic.
+LUTS_PER_PE = 200
+#: Fixed control/AXI overhead per MVTU instance.
+LUTS_PER_MVTU = 1_000
+#: Fixed overhead of one sliding window unit + per-SIMD-lane muxing.
+LUTS_PER_SWU = 500
+LUTS_PER_SWU_LANE = 8
+#: Fixed overhead of a pooling stage.
+LUTS_PER_POOL = 300
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/BRAM footprint of a fabric design."""
+
+    luts: int
+    bram36: int
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(self.luts + other.luts, self.bram36 + other.bram36)
+
+    def fits(self, fabric: FPGAFabric) -> bool:
+        return self.luts <= fabric.usable_luts and self.bram36 <= fabric.usable_bram36
+
+    def utilization(self, fabric: FPGAFabric) -> dict:
+        return {
+            "lut": self.luts / fabric.usable_luts,
+            "bram": self.bram36 / fabric.usable_bram36,
+        }
+
+
+def mvtu_compute_resources(folding: Folding, activation_bits: int) -> ResourceEstimate:
+    """Compute-side footprint of one MVTU (excludes weight storage)."""
+    luts = (
+        folding.pe * folding.simd * max(1, activation_bits) * LUTS_PER_SYNAPSE_BIT
+        + folding.pe * LUTS_PER_PE
+        + LUTS_PER_MVTU
+    )
+    return ResourceEstimate(luts=int(round(luts)), bram36=0)
+
+
+def weight_storage_resources(
+    geometries: Iterable[MVTUGeometry], folding: Folding
+) -> ResourceEstimate:
+    """BRAM for weight matrices, banked per PE.
+
+    Each PE reads its own weight slice every cycle, so the storage of every
+    matrix is spread over ``PE`` independent banks; a bank costs at least
+    one BRAM.  When one engine serves many layers (the iterated schedule),
+    all matrices stay resident so no reconfiguration stalls the frame.
+    """
+    total_bits = sum(g.weight_storage_bits for g in geometries)
+    bits_per_bank = math.ceil(total_bits / folding.pe)
+    brams = folding.pe * max(1, math.ceil(bits_per_bank / BRAM36_BITS))
+    return ResourceEstimate(luts=0, bram36=brams)
+
+
+def swu_resources(
+    ksize: int, width: int, channels: int, activation_bits: int, folding: Folding
+) -> ResourceEstimate:
+    """Sliding window unit: line buffers for K rows plus lane muxing."""
+    line_bits = ksize * width * channels * activation_bits
+    brams = max(1, math.ceil(line_bits / BRAM36_BITS))
+    luts = LUTS_PER_SWU + folding.simd * LUTS_PER_SWU_LANE
+    return ResourceEstimate(luts=int(luts), bram36=brams)
+
+
+def pool_resources() -> ResourceEstimate:
+    """Footprint of a streaming maxpool stage (comparators + line buffer)."""
+    return ResourceEstimate(luts=LUTS_PER_POOL, bram36=1)
+
+
+def total_estimate(parts: Iterable[ResourceEstimate]) -> ResourceEstimate:
+    """Sum a collection of footprints into one design estimate."""
+    total = ResourceEstimate(0, 0)
+    for part in parts:
+        total = total + part
+    return total
+
+
+__all__ = [
+    "BRAM36_BITS",
+    "ResourceEstimate",
+    "mvtu_compute_resources",
+    "weight_storage_resources",
+    "swu_resources",
+    "pool_resources",
+    "total_estimate",
+]

@@ -1,0 +1,120 @@
+"""Folding-space search: the fastest accelerator that fits a device.
+
+FINN designs are chosen by walking the PE/SIMD folding space until the
+target frame rate is met within the fabric budget.  :func:`optimize_folding`
+automates that walk for the iterated engine (the paper's §III-B "toolbox"
+step of sizing the QNN accelerator for the XCZU3EG), and
+:func:`schedule_summary` renders the outcome for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.finn.accelerator import IteratedAccelerator, compile_stages
+from repro.finn.device import FPGAFabric
+from repro.finn.mvtu import Folding
+
+#: Power-of-two folding candidates, smallest first.
+_CANDIDATE_SIDES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class ScheduleChoice:
+    """One evaluated operating point of the folding space."""
+
+    folding: Folding
+    time_per_frame_s: float
+    luts: int
+    bram36: int
+    fits: bool
+
+
+def enumerate_foldings(max_macs_per_cycle: int = 16_384) -> List[Folding]:
+    """All power-of-two PE/SIMD pairs up to a compute budget."""
+    foldings = []
+    for pe in _CANDIDATE_SIDES:
+        for simd in _CANDIDATE_SIDES:
+            if pe * simd <= max_macs_per_cycle:
+                foldings.append(Folding(pe, simd))
+    return foldings
+
+
+def evaluate_folding(
+    build_stages, folding: Folding, fabric: FPGAFabric, fmax_hz: float,
+    layer_overhead_s: float,
+) -> ScheduleChoice:
+    """Price one folding: time per frame and resource fit."""
+    accelerator = IteratedAccelerator(
+        build_stages(folding), fmax_hz=fmax_hz, layer_overhead_s=layer_overhead_s
+    )
+    resources = accelerator.resources()
+    return ScheduleChoice(
+        folding=folding,
+        time_per_frame_s=accelerator.time_per_frame(),
+        luts=resources.luts,
+        bram36=resources.bram36,
+        fits=resources.fits(fabric),
+    )
+
+
+def optimize_folding(
+    layers: Sequence,
+    input_scale: float,
+    input_shape: Tuple[int, int, int],
+    fabric: FPGAFabric,
+    fmax_hz: float = 100e6,
+    layer_overhead_s: float = 1e-3,
+    target_time_s: Optional[float] = None,
+) -> Tuple[Optional[ScheduleChoice], List[ScheduleChoice]]:
+    """Find the fastest iterated-engine folding that fits *fabric*.
+
+    Returns ``(best, all_evaluated)``.  ``best`` is ``None`` when nothing
+    fits; with ``target_time_s`` set, the *smallest* fitting folding that
+    meets the target is preferred (don't burn fabric you don't need).
+    """
+
+    def build(folding: Folding):
+        return compile_stages(layers, input_scale, input_shape, folding=folding)
+
+    evaluated = [
+        evaluate_folding(build, folding, fabric, fmax_hz, layer_overhead_s)
+        for folding in enumerate_foldings()
+    ]
+    fitting = [choice for choice in evaluated if choice.fits]
+    if not fitting:
+        return None, evaluated
+    if target_time_s is not None:
+        meeting = [
+            c for c in fitting if c.time_per_frame_s <= target_time_s
+        ]
+        if meeting:
+            best = min(meeting, key=lambda c: c.folding.macs_per_cycle)
+            return best, evaluated
+    best = min(fitting, key=lambda c: (c.time_per_frame_s, c.folding.macs_per_cycle))
+    return best, evaluated
+
+
+def schedule_summary(choices: Sequence[ScheduleChoice], top: int = 8) -> List[tuple]:
+    """Rows (folding, ms/frame, LUTs, BRAM, fits) sorted by speed."""
+    ranked = sorted(choices, key=lambda c: c.time_per_frame_s)[:top]
+    return [
+        (
+            f"{c.folding.pe}x{c.folding.simd}",
+            f"{c.time_per_frame_s * 1e3:.1f} ms",
+            f"{c.luts:,}",
+            c.bram36,
+            "yes" if c.fits else "no",
+        )
+        for c in ranked
+    ]
+
+
+__all__ = [
+    "ScheduleChoice",
+    "enumerate_foldings",
+    "evaluate_folding",
+    "optimize_folding",
+    "schedule_summary",
+]

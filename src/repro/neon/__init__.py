@@ -1,0 +1,54 @@
+"""NEON vectorization substrate (§III-D).
+
+A lane-accurate 128-bit SIMD register emulator (:mod:`repro.neon.simd`), the
+convolution kernel ladder from generic im2col+GEMM to the fully customized
+16x27 first-layer kernel (:mod:`repro.neon.kernels`), and the calibrated
+A53/NEON execution-time model (:mod:`repro.neon.timing`).
+"""
+
+from repro.neon.kernels import (
+    ACC16_PRESHIFT,
+    ConvStats,
+    conv_first_layer_custom,
+    conv_int8,
+    conv_fused_float,
+    conv_gemmlowp,
+    conv_generic_float,
+    F32_LANES,
+    I16_LANES,
+    I8_LANES,
+)
+from repro.neon.timing import (
+    A53_FREQ_HZ,
+    ConvTimeEstimate,
+    PATH_EFFICIENCY,
+    conv_time_generic,
+    conv_time_neon,
+    generic_efficiency,
+    pool_time,
+)
+from repro.neon import simd
+from repro.neon.gemmlowp import dot27_acc16_neon, gemm_u8_neon
+
+__all__ = [
+    "simd",
+    "gemm_u8_neon",
+    "dot27_acc16_neon",
+    "ConvStats",
+    "conv_generic_float",
+    "conv_gemmlowp",
+    "conv_fused_float",
+    "conv_first_layer_custom",
+    "conv_int8",
+    "F32_LANES",
+    "I16_LANES",
+    "I8_LANES",
+    "ACC16_PRESHIFT",
+    "A53_FREQ_HZ",
+    "PATH_EFFICIENCY",
+    "ConvTimeEstimate",
+    "generic_efficiency",
+    "conv_time_generic",
+    "conv_time_neon",
+    "pool_time",
+]

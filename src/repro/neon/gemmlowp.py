@@ -1,0 +1,118 @@
+"""A gemmlowp-style micro-GEMM written in emulated NEON instructions.
+
+This is the instruction-level counterpart of the vectorized quantized
+kernels in :mod:`repro.neon.kernels`: a small uint8 GEMM whose inner loop
+is expressed entirely through :mod:`repro.neon.simd` register operations —
+widening multiplies into int16, pairwise-add-accumulate into int32 lanes,
+final horizontal reduction — exactly the dataflow of gemmlowp's NEON
+kernels on the A53.  It exists for *fidelity*, not speed: the tests prove
+the vectorized path computes the same accumulators this instruction
+sequence produces.
+
+Also included: the 16-bit-accumulator inner loop of the paper's custom
+first-layer kernel (``vmull`` -> ``vrshr #4`` -> ``vqadd``), usable on any
+27-tap column block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.neon.simd import (
+    QReg,
+    lane_count,
+    vdup,
+    vmull,
+    vmull_high,
+    vpadal,
+    vqadd,
+    vrshr,
+)
+
+
+def gemm_u8_neon(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """uint8 x uint8 -> int32 GEMM through emulated NEON instructions.
+
+    ``a`` is ``(M, K)`` uint8, ``b`` is ``(K, N)`` uint8 with ``N`` padded
+    internally to a multiple of 16 lanes.  Returns exact int32 accumulators
+    ``(M, N)`` — offsets (zero points) are the caller's concern, as in
+    gemmlowp's ``GemmWithOffsets`` decomposition.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    lanes8 = lane_count("u8")
+    padded_n = ((n + lanes8 - 1) // lanes8) * lanes8
+    b_padded = np.zeros((k, padded_n), dtype=np.uint8)
+    b_padded[:, :n] = b
+    out = np.zeros((m, padded_n), dtype=np.int64)
+
+    for row in range(m):
+        for block in range(0, padded_n, lanes8):
+            # Two u32x4 accumulators cover 8 of the 16 u8 lanes... we keep
+            # four u32 quads to cover all 16 output columns of the block.
+            acc = [vdup("u32", 0) for _ in range(4)]
+            for depth in range(k):
+                a_reg = vdup("u8", int(a[row, depth]))
+                b_reg = QReg("u8", b_padded[depth, block : block + lanes8])
+                lo = vmull(a_reg, b_reg)        # u16 x8 (low lanes)
+                hi = vmull_high(a_reg, b_reg)   # u16 x8 (high lanes)
+                acc[0] = vpadal(acc[0], lo)
+                acc[1] = vpadal(acc[1], hi)
+                # vpadal folds lane pairs; keep the even-lane partial sums
+                # in two more accumulators so columns can be separated:
+                even_lo = QReg(
+                    "u16",
+                    np.where(np.arange(8) % 2 == 0, lo.lanes, 0).astype(np.uint16),
+                )
+                acc[2] = vpadal(acc[2], even_lo)
+                even_hi = QReg(
+                    "u16",
+                    np.where(np.arange(8) % 2 == 0, hi.lanes, 0).astype(np.uint16),
+                )
+                acc[3] = vpadal(acc[3], even_hi)
+            # Reconstruct per-column sums: pair sums and even-lane sums give
+            # even and odd columns exactly.
+            pair_lo, even_lo = acc[0].lanes.astype(np.int64), acc[2].lanes.astype(np.int64)
+            pair_hi, even_hi = acc[1].lanes.astype(np.int64), acc[3].lanes.astype(np.int64)
+            columns = np.empty(lanes8, dtype=np.int64)
+            columns[0:8:2] = even_lo
+            columns[1:8:2] = pair_lo - even_lo
+            columns[8:16:2] = even_hi
+            columns[9:16:2] = pair_hi - even_hi
+            out[row, block : block + lanes8] = columns
+    return out[:, :n].astype(np.int32)
+
+
+def dot27_acc16_neon(
+    weights: np.ndarray, columns: np.ndarray, pre_shift: int = 4
+) -> Tuple[np.ndarray, QReg]:
+    """The paper's 16-bit-accumulator inner loop over one 8-column block.
+
+    ``weights`` is ``(27,)`` int8; ``columns`` is ``(27, 8)`` int8.  Each of
+    the 27 taps contributes ``vmull`` (int8 values held in i16 lanes, so the
+    product is exact) followed by ``vrshr #pre_shift`` and a saturating
+    ``vqadd`` — returns the final int16 lane values.
+    """
+    weights = np.asarray(weights, dtype=np.int8)
+    columns = np.asarray(columns, dtype=np.int8)
+    if weights.shape != (27,) or columns.shape != (27, 8):
+        raise ValueError("dot27 expects (27,) weights and (27, 8) columns")
+    from repro.neon.simd import vmul
+
+    acc = vdup("i16", 0)
+    for tap in range(27):
+        a16 = QReg("i16", columns[tap].astype(np.int16))
+        w16 = vdup("i16", int(weights[tap]))
+        # int8 x int8 always fits int16, so the wrapping vmul is exact here.
+        product = vmul(a16, w16)
+        acc = vqadd(acc, vrshr(product, pre_shift))
+    return acc.lanes.copy(), acc
+
+
+__all__ = ["gemm_u8_neon", "dot27_acc16_neon"]

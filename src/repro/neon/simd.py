@@ -1,0 +1,247 @@
+"""Lane-accurate emulation of 128-bit NEON registers (§III-D).
+
+"Using 128-bit registers, equivalent parallel computations can be performed
+in four 32-bit lanes up to sixteen 8-bit lanes."  This module models a
+``Q`` register as a typed lane vector and implements the instructions the
+paper's kernels rely on — widening multiplies, pairwise add-accumulate,
+rounding shifts (``vrshr``), saturating arithmetic — with the exact
+wrap-around / saturation semantics of the hardware.  The fused kernels of
+:mod:`repro.neon.kernels` are vectorized numpy re-statements of the same
+operations; the tests cross-check them against this instruction-level model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+REGISTER_BITS = 128
+
+_LANE_DTYPES = {
+    "i8": np.int8,
+    "u8": np.uint8,
+    "i16": np.int16,
+    "u16": np.uint16,
+    "i32": np.int32,
+    "u32": np.uint32,
+    "i64": np.int64,
+    "f32": np.float32,
+}
+
+_LANE_BITS = {
+    "i8": 8,
+    "u8": 8,
+    "i16": 16,
+    "u16": 16,
+    "i32": 32,
+    "u32": 32,
+    "i64": 64,
+    "f32": 32,
+}
+
+_WIDEN = {"i8": "i16", "u8": "u16", "i16": "i32", "u16": "u32", "i32": "i64"}
+
+
+@dataclass(frozen=True)
+class QReg:
+    """One 128-bit NEON quad register holding typed lanes."""
+
+    kind: str
+    lanes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.kind not in _LANE_DTYPES:
+            raise ValueError(f"unknown lane kind '{self.kind}'")
+        expected = REGISTER_BITS // _LANE_BITS[self.kind]
+        if self.lanes.shape != (expected,):
+            raise ValueError(
+                f"{self.kind} register needs {expected} lanes, "
+                f"got shape {self.lanes.shape}"
+            )
+        if self.lanes.dtype != _LANE_DTYPES[self.kind]:
+            raise ValueError(
+                f"lane dtype {self.lanes.dtype} does not match kind {self.kind}"
+            )
+
+    @property
+    def n_lanes(self) -> int:
+        return self.lanes.shape[0]
+
+    def to_list(self) -> list:
+        return self.lanes.tolist()
+
+
+def lane_count(kind: str) -> int:
+    """Lanes a 128-bit register holds for *kind* (f32 -> 4, i8 -> 16)."""
+    return REGISTER_BITS // _LANE_BITS[kind]
+
+
+def vdup(kind: str, value) -> QReg:
+    """Duplicate a scalar into all lanes (``vdupq_n_*``)."""
+    dtype = _LANE_DTYPES[kind]
+    return QReg(kind, np.full(lane_count(kind), value, dtype=dtype))
+
+
+def vld1(kind: str, buffer: np.ndarray, offset: int = 0) -> QReg:
+    """Load one register from memory (``vld1q_*``)."""
+    n = lane_count(kind)
+    chunk = np.asarray(buffer)[offset : offset + n]
+    if chunk.shape != (n,):
+        raise ValueError(f"cannot load {n} {kind} lanes at offset {offset}")
+    return QReg(kind, chunk.astype(_LANE_DTYPES[kind]))
+
+
+def vst1(reg: QReg, buffer: np.ndarray, offset: int = 0) -> None:
+    """Store one register to memory (``vst1q_*``)."""
+    buffer[offset : offset + reg.n_lanes] = reg.lanes
+
+
+def _wrap(kind: str, values: np.ndarray) -> QReg:
+    """Integer results wrap modulo 2**n; floats pass through."""
+    dtype = _LANE_DTYPES[kind]
+    if kind == "f32":
+        return QReg(kind, values.astype(np.float32))
+    bits = _LANE_BITS[kind]
+    mask = (1 << bits) - 1
+    wrapped = np.asarray(values).astype(np.int64) & mask
+    if np.issubdtype(dtype, np.signedinteger):
+        sign_bit = 1 << (bits - 1)
+        wrapped = (wrapped ^ sign_bit) - sign_bit
+    return QReg(kind, wrapped.astype(dtype))
+
+
+def _check_same(a: QReg, b: QReg) -> None:
+    if a.kind != b.kind:
+        raise ValueError(f"lane kind mismatch: {a.kind} vs {b.kind}")
+
+
+def vadd(a: QReg, b: QReg) -> QReg:
+    """Lane-wise add with integer wrap-around (``vaddq_*``)."""
+    _check_same(a, b)
+    return _wrap(a.kind, a.lanes.astype(np.int64) + b.lanes.astype(np.int64)) \
+        if a.kind != "f32" else QReg("f32", a.lanes + b.lanes)
+
+
+def vsub(a: QReg, b: QReg) -> QReg:
+    """Lane-wise subtract with integer wrap-around (``vsubq_*``)."""
+    _check_same(a, b)
+    return _wrap(a.kind, a.lanes.astype(np.int64) - b.lanes.astype(np.int64)) \
+        if a.kind != "f32" else QReg("f32", a.lanes - b.lanes)
+
+
+def vmul(a: QReg, b: QReg) -> QReg:
+    """Lane-wise multiply, low bits kept on wrap (``vmulq_*``)."""
+    _check_same(a, b)
+    if a.kind == "f32":
+        return QReg("f32", a.lanes * b.lanes)
+    return _wrap(a.kind, a.lanes.astype(np.int64) * b.lanes.astype(np.int64))
+
+
+def vmla(acc: QReg, a: QReg, b: QReg) -> QReg:
+    """Multiply-accumulate within the same lane width (``vmlaq_*``)."""
+    _check_same(acc, a)
+    _check_same(a, b)
+    if acc.kind == "f32":
+        return QReg("f32", acc.lanes + a.lanes * b.lanes)
+    product = a.lanes.astype(np.int64) * b.lanes.astype(np.int64)
+    return _wrap(acc.kind, acc.lanes.astype(np.int64) + product)
+
+
+def vmull(a: QReg, b: QReg) -> QReg:
+    """Widening multiply of the *low* half (``vmull_*``): n lanes -> n/2."""
+    _check_same(a, b)
+    if a.kind not in _WIDEN:
+        raise ValueError(f"cannot widen {a.kind}")
+    wide_kind = _WIDEN[a.kind]
+    half = a.n_lanes // 2
+    product = a.lanes[:half].astype(np.int64) * b.lanes[:half].astype(np.int64)
+    return _wrap(wide_kind, product)
+
+
+def vmull_high(a: QReg, b: QReg) -> QReg:
+    """Widening multiply of the *high* half (``vmull_high_*``)."""
+    _check_same(a, b)
+    if a.kind not in _WIDEN:
+        raise ValueError(f"cannot widen {a.kind}")
+    wide_kind = _WIDEN[a.kind]
+    half = a.n_lanes // 2
+    product = a.lanes[half:].astype(np.int64) * b.lanes[half:].astype(np.int64)
+    return _wrap(wide_kind, product)
+
+
+def vpadal(acc: QReg, a: QReg) -> QReg:
+    """Pairwise add and accumulate long (``vpadalq_*``).
+
+    Adjacent lane pairs of ``a`` are summed into the double-width lanes of
+    ``acc`` — the canonical way to fold i16 products into i32 accumulators.
+    """
+    if a.kind not in _WIDEN or _WIDEN[a.kind] != acc.kind:
+        raise ValueError(f"vpadal cannot fold {a.kind} into {acc.kind}")
+    pairs = a.lanes.astype(np.int64).reshape(-1, 2).sum(axis=1)
+    return _wrap(acc.kind, acc.lanes.astype(np.int64) + pairs)
+
+
+def vrshr(a: QReg, shift: int) -> QReg:
+    """Rounding shift right (``vrshrq_n_*``): adds ``1 << (shift-1)`` first."""
+    if a.kind == "f32":
+        raise ValueError("vrshr is an integer instruction")
+    if shift < 1:
+        raise ValueError("NEON immediate shifts start at 1")
+    shifted = (a.lanes.astype(np.int64) + (1 << (shift - 1))) >> shift
+    return _wrap(a.kind, shifted)
+
+
+def vqadd(a: QReg, b: QReg) -> QReg:
+    """Saturating add (``vqaddq_*``)."""
+    _check_same(a, b)
+    if a.kind == "f32":
+        raise ValueError("vqadd is an integer instruction")
+    bits = _LANE_BITS[a.kind]
+    total = a.lanes.astype(np.int64) + b.lanes.astype(np.int64)
+    if np.issubdtype(_LANE_DTYPES[a.kind], np.signedinteger):
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    return QReg(a.kind, np.clip(total, lo, hi).astype(_LANE_DTYPES[a.kind]))
+
+
+def vmax(a: QReg, b: QReg) -> QReg:
+    """Lane-wise maximum (``vmaxq_*``) — the pooling primitive."""
+    _check_same(a, b)
+    return QReg(a.kind, np.maximum(a.lanes, b.lanes))
+
+
+def vaddv(a: QReg):
+    """Horizontal add of all lanes (``vaddvq_*``), returned as a scalar."""
+    if a.kind == "f32":
+        return float(np.sum(a.lanes, dtype=np.float64))
+    bits = _LANE_BITS[a.kind]
+    total = int(np.sum(a.lanes.astype(np.int64)))
+    mask = (1 << bits) - 1
+    wrapped = total & mask
+    if np.issubdtype(_LANE_DTYPES[a.kind], np.signedinteger):
+        sign_bit = 1 << (bits - 1)
+        wrapped = (wrapped ^ sign_bit) - sign_bit
+    return wrapped
+
+
+__all__ = [
+    "REGISTER_BITS",
+    "QReg",
+    "lane_count",
+    "vdup",
+    "vld1",
+    "vst1",
+    "vadd",
+    "vsub",
+    "vmul",
+    "vmla",
+    "vmull",
+    "vmull_high",
+    "vpadal",
+    "vrshr",
+    "vqadd",
+    "vmax",
+    "vaddv",
+]

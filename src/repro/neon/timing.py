@@ -1,0 +1,101 @@
+"""Calibrated Cortex-A53 / NEON execution-time model.
+
+We do not own a Zynq board, so wall-clock stage times are *modeled*:
+
+    time = MACs / (f_clk * efficiency(path, geometry))
+
+The efficiency of the generic scalar path grows with the GEMM inner
+dimension (loop overhead amortizes over longer dot products) and gets a
+factor ~2 for 1x1 convolutions (no im2col inflation); the NEON paths carry
+one calibrated efficiency each.  All constants were fit once against the
+paper's own measurements — Table III and the §III-D ladder — as documented
+in DESIGN.md §6 and EXPERIMENTS.md; they are *not* free parameters per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: APU clock of the Zynq UltraScale+ EG (Fig. 2).
+A53_FREQ_HZ = 1.2e9
+
+#: Generic scalar path: efficiency saturates with the GEMM inner dimension.
+#: Fit to Table III: 620 ms input layer (K=27) and 9160 ms hidden layers.
+GENERIC_EFF_MAX = 0.325
+GENERIC_K_HALF = 60.0
+#: 1x1 convolutions skip the im2col inflation entirely (Fig. 1's degenerate
+#: case): fit to the 30 ms output layer of Table III.
+POINTWISE_BONUS = 2.0
+
+#: NEON path efficiencies (MACs per cycle), fit to the §III-D ladder:
+#: 280 / 295 / 160 / 140 / 120 ms for the 74.76 MMAC first layer.
+PATH_EFFICIENCY = {
+    "gemmlowp-u8": 0.2225,
+    "fused-float": 0.2111,
+    "custom-16x27-float": 0.3894,
+    "custom-16x27-i8-acc32": 0.4450,
+    "custom-16x27-i8-acc16": 0.5192,
+}
+
+#: Effective scalar copy bandwidth of the naive maxpool (Table III: 140 ms
+#: for the 416x416x16 pool).
+POOL_BANDWIDTH_BYTES_S = 99e6
+
+
+@dataclass(frozen=True)
+class ConvTimeEstimate:
+    path: str
+    macs: int
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+def generic_efficiency(k_inner: int, kernel_size: int) -> float:
+    """MACs/cycle of Darknet's scalar C path for a given GEMM geometry."""
+    if k_inner <= 0:
+        raise ValueError("inner dimension must be positive")
+    eff = GENERIC_EFF_MAX * k_inner / (k_inner + GENERIC_K_HALF)
+    if kernel_size == 1:
+        eff *= POINTWISE_BONUS
+    return eff
+
+
+def conv_time_generic(macs: int, k_inner: int, kernel_size: int) -> ConvTimeEstimate:
+    """Modeled time of Darknet's generic scalar convolution path."""
+    eff = generic_efficiency(k_inner, kernel_size)
+    return ConvTimeEstimate("generic-float", macs, macs / (A53_FREQ_HZ * eff))
+
+
+def conv_time_neon(path: str, macs: int) -> ConvTimeEstimate:
+    """Modeled time of one calibrated NEON kernel path (see PATH_EFFICIENCY)."""
+    if path not in PATH_EFFICIENCY:
+        raise ValueError(
+            f"unknown NEON path '{path}' (known: {sorted(PATH_EFFICIENCY)})"
+        )
+    eff = PATH_EFFICIENCY[path]
+    return ConvTimeEstimate(path, macs, macs / (A53_FREQ_HZ * eff))
+
+
+def pool_time(in_elements: int, out_elements: int) -> float:
+    """Naive scalar maxpool: limited by moving the float maps through L1."""
+    bytes_moved = 4 * (in_elements + out_elements)
+    return bytes_moved / POOL_BANDWIDTH_BYTES_S
+
+
+__all__ = [
+    "A53_FREQ_HZ",
+    "GENERIC_EFF_MAX",
+    "GENERIC_K_HALF",
+    "POINTWISE_BONUS",
+    "PATH_EFFICIENCY",
+    "POOL_BANDWIDTH_BYTES_S",
+    "ConvTimeEstimate",
+    "generic_efficiency",
+    "conv_time_generic",
+    "conv_time_neon",
+    "pool_time",
+]

@@ -1,0 +1,50 @@
+"""The Darknet-like inference substrate.
+
+cfg-driven network construction (:mod:`repro.nn.config`,
+:mod:`repro.nn.network`), the layer implementations including the generic
+offload mechanism of Fig. 3/4 (:mod:`repro.nn.layers`), Darknet weight-file
+I/O (:mod:`repro.nn.weights`) and the topology zoo whose op counts reproduce
+Tables I and II (:mod:`repro.nn.zoo`).
+"""
+
+from repro.nn.calibrate import calibrate_activation_scales, quantization_sqnr
+from repro.nn.lint import Finding, lint_config
+from repro.nn.summary import network_summary, summary_rows
+from repro.nn.fold_bn import fold_batchnorm_conv, fold_network_batchnorms
+from repro.nn.config import NetworkConfig, Section, parse_config, serialize_config
+from repro.nn.network import LAYER_TYPES, Network, register_layer_type
+from repro.nn.registry import (
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.nn import zoo
+from repro.nn.weights import load_binparam, load_weights, save_binparam, save_weights
+
+__all__ = [
+    "NetworkConfig",
+    "Section",
+    "parse_config",
+    "serialize_config",
+    "Network",
+    "LAYER_TYPES",
+    "register_layer_type",
+    "register_backend",
+    "unregister_backend",
+    "registered_backends",
+    "resolve_backend",
+    "zoo",
+    "save_weights",
+    "load_weights",
+    "save_binparam",
+    "load_binparam",
+    "fold_batchnorm_conv",
+    "fold_network_batchnorms",
+    "network_summary",
+    "summary_rows",
+    "calibrate_activation_scales",
+    "quantization_sqnr",
+    "lint_config",
+    "Finding",
+]

@@ -1,0 +1,133 @@
+"""Darknet ``.cfg`` network-description parser and writer.
+
+Darknet describes networks as INI-like files with *repeated* sections, one
+per layer, preceded by a ``[net]`` section with global input geometry.  The
+paper extends this format with the ``[offload]`` section of Fig. 4 and the
+``binary=1`` convolution flag; both are first-class here.
+
+A parsed configuration is a :class:`NetworkConfig` — an ordered list of
+:class:`Section` objects with typed option access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Section:
+    """One ``[name]`` block with its ``key=value`` options."""
+
+    name: str
+    options: Dict[str, str] = field(default_factory=dict)
+
+    def get_int(self, key: str, default: Optional[int] = None) -> int:
+        value = self.options.get(key)
+        if value is None:
+            if default is None:
+                raise KeyError(f"[{self.name}] requires option '{key}'")
+            return default
+        return int(value)
+
+    def get_float(self, key: str, default: Optional[float] = None) -> float:
+        value = self.options.get(key)
+        if value is None:
+            if default is None:
+                raise KeyError(f"[{self.name}] requires option '{key}'")
+            return default
+        return float(value)
+
+    def get_str(self, key: str, default: Optional[str] = None) -> str:
+        value = self.options.get(key)
+        if value is None:
+            if default is None:
+                raise KeyError(f"[{self.name}] requires option '{key}'")
+            return default
+        return value
+
+    def get_float_list(self, key: str, default: Optional[List[float]] = None) -> List[float]:
+        value = self.options.get(key)
+        if value is None:
+            if default is None:
+                raise KeyError(f"[{self.name}] requires option '{key}'")
+            return list(default)
+        return [float(part) for part in value.split(",") if part.strip()]
+
+
+@dataclass
+class NetworkConfig:
+    """An ordered sequence of sections; the first must be ``[net]``."""
+
+    sections: List[Section]
+
+    def __post_init__(self) -> None:
+        if not self.sections:
+            raise ValueError("empty network configuration")
+        if self.sections[0].name not in ("net", "network"):
+            raise ValueError(
+                f"first section must be [net], got [{self.sections[0].name}]"
+            )
+
+    @property
+    def net(self) -> Section:
+        return self.sections[0]
+
+    @property
+    def layers(self) -> List[Section]:
+        return self.sections[1:]
+
+    def input_shape(self) -> Tuple[int, int, int]:
+        """``(channels, height, width)`` from the ``[net]`` section."""
+        net = self.net
+        return (
+            net.get_int("channels", 3),
+            net.get_int("height"),
+            net.get_int("width"),
+        )
+
+    def __iter__(self) -> Iterator[Section]:
+        return iter(self.sections)
+
+    def __len__(self) -> int:
+        return len(self.sections)
+
+
+def parse_config(text: str) -> NetworkConfig:
+    """Parse Darknet ``.cfg`` text into a :class:`NetworkConfig`.
+
+    ``#`` and ``;`` start comments; whitespace is insignificant; section
+    names repeat freely (that is the whole point of the format).
+    """
+    sections: List[Section] = []
+    current: Optional[Section] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ValueError(f"line {lineno}: malformed section header {raw!r}")
+            current = Section(name=line[1:-1].strip().lower())
+            sections.append(current)
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {lineno}: expected key=value, got {raw!r}")
+        if current is None:
+            raise ValueError(f"line {lineno}: option outside any section")
+        key, value = line.split("=", 1)
+        current.options[key.strip().lower()] = value.strip()
+    return NetworkConfig(sections)
+
+
+def serialize_config(config: NetworkConfig) -> str:
+    """Render a configuration back to ``.cfg`` text (parse round-trips)."""
+    chunks = []
+    for section in config:
+        lines = [f"[{section.name}]"]
+        lines.extend(f"{key}={value}" for key, value in section.options.items())
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+__all__ = ["Section", "NetworkConfig", "parse_config", "serialize_config"]

@@ -1,0 +1,63 @@
+"""Batch-norm folding — the classic CPU deployment transform.
+
+For the float/int8 layers that stay on the CPU (the quantization-sensitive
+input and output convolutions), batch normalization can be folded into the
+convolution weights once the statistics are frozen:
+
+    w' = w * gamma / sqrt(var + eps)
+    b' = beta - gamma * mean / sqrt(var + eps)
+
+eliminating the normalization pass entirely (and the memory traffic it
+costs on the A53).  The fold is exact for float inference and is a
+prerequisite for quantizing the weights of a BN layer with a single affine
+quantizer.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers.convolutional import BN_EPS, ConvolutionalLayer
+from repro.nn.network import Network
+
+
+def fold_batchnorm_conv(layer: ConvolutionalLayer) -> ConvolutionalLayer:
+    """Return a copy of *layer* with BN folded into weights and bias."""
+    if not layer.batch_normalize:
+        raise ValueError("layer has no batch normalization to fold")
+    if layer.binary or layer.ternary:
+        raise ValueError(
+            "folding into quantized weights would change them; fold only "
+            "float layers (the fabric handles quantized BN via thresholds)"
+        )
+    folded = copy.deepcopy(layer)
+    inv = layer.scales / np.sqrt(layer.rolling_var + BN_EPS)
+    folded.weights = (layer.weights * inv.reshape(-1, 1, 1, 1)).astype(np.float32)
+    folded.biases = (
+        layer.biases - inv * layer.rolling_mean
+    ).astype(np.float32)
+    folded.batch_normalize = False
+    folded.scales = None
+    folded.rolling_mean = None
+    folded.rolling_var = None
+    folded.section.options["batch_normalize"] = "0"
+    return folded
+
+
+def fold_network_batchnorms(network: Network) -> int:
+    """Fold every foldable convolution in place; returns the fold count."""
+    count = 0
+    for index, layer in enumerate(network.layers):
+        if (
+            isinstance(layer, ConvolutionalLayer)
+            and layer.batch_normalize
+            and not (layer.binary or layer.ternary)
+        ):
+            network.layers[index] = fold_batchnorm_conv(layer)
+            count += 1
+    return count
+
+
+__all__ = ["fold_batchnorm_conv", "fold_network_batchnorms"]

@@ -1,0 +1,152 @@
+"""Layer life cycle — the function-hook abstraction of Fig. 3.
+
+Darknet virtualizes layer functionality through function pointers; the
+paper's offload mechanism works precisely because a layer is nothing more
+than the four hooks ``init`` / ``load_weights`` / ``forward`` / ``destroy``.
+Our base class mirrors that contract so that *any* layer — including ones
+backed by the simulated FPGA fabric — plugs into the network identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.tensor import FeatureMap
+from repro.nn.config import Section
+
+
+@dataclass
+class LayerWorkload:
+    """Operation count of one layer for one frame (Table I accounting)."""
+
+    ltype: str
+    ops: int
+    note: str = ""
+
+
+class Layer:
+    """Base layer implementing the Fig. 3 life cycle.
+
+    Construction only records the section; :meth:`init` configures geometry
+    (``Initialize Layer with access to Configuration``), then
+    :meth:`load_weights` pulls parameters from a weight source (the
+    ``Weight File`` of Fig. 3), :meth:`forward` performs layer inference and
+    :meth:`destroy` releases resources.
+    """
+
+    ltype: str = "layer"
+
+    def __init__(self, section: Section) -> None:
+        self.section = section
+        self.in_shape: Optional[Tuple[int, int, int]] = None
+        self.out_shape: Optional[Tuple[int, int, int]] = None
+        self._initialized = False
+
+    # -- life cycle hooks (Fig. 3) ------------------------------------------
+
+    def init(self, in_shape: Tuple[int, int, int]) -> None:
+        """Configure the layer for an input of ``(C, H, W)``."""
+        self.in_shape = tuple(in_shape)
+        self.out_shape = self._configure(self.in_shape)
+        self._initialized = True
+
+    def load_weights(self, source: "WeightSource") -> None:
+        """Pull this layer's parameters from *source* (may be a no-op)."""
+
+    def save_weights(self, sink: "WeightSink") -> None:
+        """Push this layer's parameters to *sink* (may be a no-op)."""
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        raise NotImplementedError
+
+    def destroy(self) -> None:
+        """Release resources (buffers, backend handles)."""
+
+    # -- introspection -------------------------------------------------------
+
+    def _configure(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        raise NotImplementedError
+
+    def workload(self) -> LayerWorkload:
+        """Per-frame operation count; zero for layers Table I does not count."""
+        return LayerWorkload(self.ltype, 0)
+
+    def num_params(self) -> int:
+        return 0
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise RuntimeError(f"{self.ltype} layer used before init()")
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.in_shape} -> {self.out_shape}>"
+        )
+
+
+class WeightSource:
+    """Sequential float-array reader (Darknet weight files are flat floats)."""
+
+    def read(self, count: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class WeightSink:
+    """Sequential float-array writer."""
+
+    def write(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class ArraySource(WeightSource):
+    """In-memory weight source over a flat float32 array."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = np.asarray(values, dtype=np.float32).ravel()
+        self._cursor = 0
+
+    def read(self, count: int) -> np.ndarray:
+        end = self._cursor + count
+        if end > self._values.size:
+            raise EOFError(
+                f"weight stream exhausted: wanted {count}, "
+                f"{self._values.size - self._cursor} left"
+            )
+        chunk = self._values[self._cursor : end]
+        self._cursor = end
+        return chunk.copy()
+
+    @property
+    def remaining(self) -> int:
+        return self._values.size - self._cursor
+
+
+class ArraySink(WeightSink):
+    """In-memory weight sink collecting flat float32 chunks."""
+
+    def __init__(self) -> None:
+        self._chunks = []
+
+    def write(self, values: np.ndarray) -> None:
+        self._chunks.append(np.asarray(values, dtype=np.float32).ravel())
+
+    def tobytes(self) -> bytes:
+        return self.concatenated().tobytes()
+
+    def concatenated(self) -> np.ndarray:
+        if not self._chunks:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate(self._chunks)
+
+
+__all__ = [
+    "Layer",
+    "LayerWorkload",
+    "WeightSource",
+    "WeightSink",
+    "ArraySource",
+    "ArraySink",
+]

@@ -1,0 +1,127 @@
+"""Fully connected (Darknet ``[connected]``) layer.
+
+Used by the MLP-4 and CNV-6 networks of Table II; supports the same
+``binary=1`` / ``activation_bits`` quantization extensions as the
+convolutional layer so that W1A1 classifiers can be expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.ops import batchnorm_inference, fully_connected, leaky_relu, relu
+from repro.core.quantize import BinaryQuantizer, UnsignedUniformQuantizer
+from repro.core.tensor import FeatureMap
+from repro.nn.config import Section
+from repro.nn.layers.base import Layer, LayerWorkload, WeightSink, WeightSource
+from repro.nn.layers.convolutional import BN_EPS
+
+_ACTIVATIONS = {
+    "linear": lambda x: x,
+    "relu": relu,
+    "leaky": leaky_relu,
+    "sign": lambda x: np.where(x >= 0, 1.0, -1.0),
+}
+
+
+class ConnectedLayer(Layer):
+    """Darknet ``[connected]`` (dense) layer with W1A1 quantization support."""
+
+    ltype = "connected"
+
+    def __init__(self, section: Section) -> None:
+        super().__init__(section)
+        self.output = section.get_int("output")
+        activation = section.get_str("activation", "linear")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation '{activation}'")
+        self.activation = activation
+        self.batch_normalize = bool(section.get_int("batch_normalize", 0))
+        self.binary = bool(section.get_int("binary", 0))
+        bits = section.get_int("activation_bits", 0)
+        if bits:
+            scale = section.get_float("activation_scale", 1.0 / ((1 << bits) - 1))
+            self.out_quant = UnsignedUniformQuantizer(bits=bits, scale=scale)
+        else:
+            self.out_quant = None
+        self._binarizer = BinaryQuantizer()
+        self.weights: np.ndarray = None
+        self.biases: np.ndarray = None
+        self.scales: np.ndarray = None
+        self.rolling_mean: np.ndarray = None
+        self.rolling_var: np.ndarray = None
+
+    def _configure(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        inputs = int(np.prod(in_shape))
+        self.inputs = inputs
+        self.weights = np.zeros((self.output, inputs), dtype=np.float32)
+        self.biases = np.zeros(self.output, dtype=np.float32)
+        if self.batch_normalize:
+            self.scales = np.ones(self.output, dtype=np.float32)
+            self.rolling_mean = np.zeros(self.output, dtype=np.float32)
+            self.rolling_var = np.ones(self.output, dtype=np.float32)
+        return (self.output, 1, 1)
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        self._require_initialized()
+        scale = np.sqrt(2.0 / self.inputs)
+        self.weights = rng.normal(0.0, scale, size=self.weights.shape).astype(
+            np.float32
+        )
+
+    def load_weights(self, source: WeightSource) -> None:
+        self._require_initialized()
+        self.biases = source.read(self.output)
+        if self.batch_normalize:
+            self.scales = source.read(self.output)
+            self.rolling_mean = source.read(self.output)
+            self.rolling_var = source.read(self.output)
+        self.weights = source.read(self.weights.size).reshape(self.weights.shape)
+
+    def save_weights(self, sink: WeightSink) -> None:
+        self._require_initialized()
+        sink.write(self.biases)
+        if self.batch_normalize:
+            sink.write(self.scales)
+            sink.write(self.rolling_mean)
+            sink.write(self.rolling_var)
+        sink.write(self.weights)
+
+    def effective_weights(self) -> np.ndarray:
+        if self.binary:
+            return self._binarizer.quantize(self.weights)
+        return self.weights
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        self._require_initialized()
+        z = fully_connected(fm.values(), self.effective_weights())
+        if self.batch_normalize:
+            z = batchnorm_inference(
+                z, self.scales, self.biases, self.rolling_mean, self.rolling_var,
+                eps=BN_EPS,
+            )
+        else:
+            z = z + self.biases
+        z = _ACTIVATIONS[self.activation](z)
+        z = z.reshape(self.output, 1, 1)
+        if self.out_quant is not None:
+            levels = self.out_quant.to_levels(z)
+            return FeatureMap(levels, scale=self.out_quant.scale)
+        return FeatureMap(z.astype(np.float32))
+
+    def workload(self) -> LayerWorkload:
+        self._require_initialized()
+        regime = "W1" if self.binary else "float/int8"
+        return LayerWorkload(self.ltype, 2 * self.inputs * self.output, note=regime)
+
+    def num_params(self) -> int:
+        self._require_initialized()
+        count = self.weights.size + self.biases.size
+        if self.batch_normalize:
+            count += 3 * self.output
+        return count
+
+
+__all__ = ["ConnectedLayer"]

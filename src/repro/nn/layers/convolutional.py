@@ -1,0 +1,171 @@
+"""Convolutional layer with the paper's quantization regimes.
+
+The cfg options mirror Darknet plus the paper's extensions:
+
+* ``binary=1`` — binarize weights to ``{-1, +1}`` (Fig. 4 shows this flag on
+  the hidden layers of Tincy YOLO).
+* ``activation_bits=n`` — re-quantize the layer output to ``n``-bit unsigned
+  levels (``n=3`` gives the W1A3 regime of §III-A).
+* ``activation_scale=s`` — quantization step of the output levels.
+
+The float "fake-quantized" forward path here is the training-time view; the
+FINN backend (:mod:`repro.finn`) executes the same layers on integer
+thresholds and the tests pin down exact agreement between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.ops import batchnorm_inference, conv2d, leaky_relu, relu
+from repro.core.quantize import BinaryQuantizer, UnsignedUniformQuantizer
+from repro.core.tensor import FeatureMap, conv_output_size
+from repro.nn.config import Section
+from repro.nn.layers.base import Layer, LayerWorkload, WeightSink, WeightSource
+
+BN_EPS = 1e-6  # darknet's .000001f
+
+_ACTIVATIONS = {
+    "linear": lambda x: x,
+    "relu": relu,
+    "leaky": leaky_relu,
+    # BinaryNet-style binary activation (the W1A1 regime of MLP-4 / CNV-6).
+    "sign": lambda x: np.where(x >= 0, 1.0, -1.0),
+}
+
+
+class ConvolutionalLayer(Layer):
+    """Darknet ``[convolutional]`` with the paper's quantization regimes."""
+
+    ltype = "convolutional"
+
+    def __init__(self, section: Section) -> None:
+        super().__init__(section)
+        self.filters = section.get_int("filters")
+        self.size = section.get_int("size", 3)
+        self.stride = section.get_int("stride", 1)
+        if "padding" in section.options:
+            self.pad = section.get_int("padding")
+        else:
+            self.pad = self.size // 2 if section.get_int("pad", 0) else 0
+        self.batch_normalize = bool(section.get_int("batch_normalize", 0))
+        activation = section.get_str("activation", "linear")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation '{activation}'")
+        self.activation = activation
+        self.binary = bool(section.get_int("binary", 0))
+        # Ternary weight networks (Li et al. [12]; FPGA: [13], [14]) — the
+        # "smallest possible retreat" from full binarization (§II).
+        self.ternary = bool(section.get_int("ternary", 0))
+        if self.binary and self.ternary:
+            raise ValueError("binary=1 and ternary=1 are mutually exclusive")
+        bits = section.get_int("activation_bits", 0)
+        if bits:
+            scale = section.get_float("activation_scale", 1.0 / ((1 << bits) - 1))
+            self.out_quant = UnsignedUniformQuantizer(bits=bits, scale=scale)
+        else:
+            self.out_quant = None
+        self._binarizer = BinaryQuantizer()
+        # Parameters (allocated in init once the input depth is known).
+        self.weights: np.ndarray = None
+        self.biases: np.ndarray = None
+        self.scales: np.ndarray = None
+        self.rolling_mean: np.ndarray = None
+        self.rolling_var: np.ndarray = None
+
+    # -- life cycle -----------------------------------------------------------
+
+    def _configure(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        c, h, w = in_shape
+        out_h = conv_output_size(h, self.size, self.stride, self.pad)
+        out_w = conv_output_size(w, self.size, self.stride, self.pad)
+        self.weights = np.zeros(
+            (self.filters, c, self.size, self.size), dtype=np.float32
+        )
+        self.biases = np.zeros(self.filters, dtype=np.float32)
+        if self.batch_normalize:
+            self.scales = np.ones(self.filters, dtype=np.float32)
+            self.rolling_mean = np.zeros(self.filters, dtype=np.float32)
+            self.rolling_var = np.ones(self.filters, dtype=np.float32)
+        return (self.filters, out_h, out_w)
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        """He-style random initialization (darknet uses scaled uniform)."""
+        self._require_initialized()
+        fan_in = self.weights[0].size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weights = rng.normal(0.0, scale, size=self.weights.shape).astype(
+            np.float32
+        )
+
+    def load_weights(self, source: WeightSource) -> None:
+        self._require_initialized()
+        self.biases = source.read(self.filters)
+        if self.batch_normalize:
+            self.scales = source.read(self.filters)
+            self.rolling_mean = source.read(self.filters)
+            self.rolling_var = source.read(self.filters)
+        self.weights = source.read(self.weights.size).reshape(self.weights.shape)
+
+    def save_weights(self, sink: WeightSink) -> None:
+        self._require_initialized()
+        sink.write(self.biases)
+        if self.batch_normalize:
+            sink.write(self.scales)
+            sink.write(self.rolling_mean)
+            sink.write(self.rolling_var)
+        sink.write(self.weights)
+
+    # -- inference -------------------------------------------------------------
+
+    def effective_weights(self) -> np.ndarray:
+        """The weights the multiply actually sees (quantized per the flags)."""
+        if self.binary:
+            return self._binarizer.quantize(self.weights)
+        if self.ternary:
+            from repro.core.quantize import TernaryQuantizer
+
+            return TernaryQuantizer.from_weights(self.weights).quantize(
+                self.weights
+            )
+        return self.weights
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        self._require_initialized()
+        x = fm.values()
+        z = conv2d(x, self.effective_weights(), None, self.stride, self.pad)
+        if self.batch_normalize:
+            z = batchnorm_inference(
+                z, self.scales, self.biases, self.rolling_mean, self.rolling_var,
+                eps=BN_EPS,
+            )
+        else:
+            z = z + self.biases.reshape(-1, 1, 1)
+        z = _ACTIVATIONS[self.activation](z)
+        if self.out_quant is not None:
+            levels = self.out_quant.to_levels(z)
+            return FeatureMap(levels, scale=self.out_quant.scale)
+        return FeatureMap(z.astype(np.float32))
+
+    # -- accounting -------------------------------------------------------------
+
+    def workload(self) -> LayerWorkload:
+        """Table I convention: 2 ops (multiply + add) per kernel MAC."""
+        self._require_initialized()
+        c_in = self.in_shape[0]
+        out_c, out_h, out_w = self.out_shape
+        ops = 2 * self.size * self.size * c_in * out_c * out_h * out_w
+        regime = "W1" if self.binary else "float/int8"
+        return LayerWorkload(self.ltype, ops, note=regime)
+
+    def num_params(self) -> int:
+        self._require_initialized()
+        count = self.weights.size + self.biases.size
+        if self.batch_normalize:
+            count += 3 * self.filters
+        return count
+
+
+__all__ = ["ConvolutionalLayer", "BN_EPS"]

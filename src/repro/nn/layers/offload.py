@@ -1,0 +1,86 @@
+"""The generic offload layer of Fig. 3/4.
+
+Darknet virtualizes layer functionality through function pointers; the
+paper's ``[offload]`` section redirects those pointers into a user-supplied
+shared library.  From Darknet's perspective the offload is a single layer
+that turns an input feature map into an output feature map of the declared
+geometry — internally the backing implementation "may, for instance,
+subsume the computation of multiple layers of various kinds", which is
+exactly what the FINN fabric backend does with all of Tincy YOLO's hidden
+layers.
+
+cfg options (Fig. 4)::
+
+    [offload]
+    library=fabric.so                     # backend (registry name or module:attr)
+    network=tincy-yolo-offload.json       # sub-topology the backend executes
+    weights=binparam-tincy-yolo/          # backend weight directory
+    height=13
+    width=13
+    channel=125
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.tensor import FeatureMap
+from repro.nn.config import Section
+from repro.nn.layers.base import Layer, LayerWorkload, WeightSource
+from repro.nn.registry import resolve_backend
+
+
+class OffloadLayer(Layer):
+    """The Fig. 3/4 ``[offload]`` layer: redirects into a backend library."""
+
+    ltype = "offload"
+
+    def __init__(self, section: Section) -> None:
+        super().__init__(section)
+        self.library = section.get_str("library")
+        self.out_channels = section.get_int("channel")
+        self.out_height = section.get_int("height")
+        self.out_width = section.get_int("width")
+        self.backend = None
+
+    def _configure(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        self.backend = resolve_backend(self.library)
+        declared = (self.out_channels, self.out_height, self.out_width)
+        backend_shape = self.backend.init(self.section, in_shape)
+        if backend_shape is not None and tuple(backend_shape) != declared:
+            raise ValueError(
+                f"offload backend produces {tuple(backend_shape)} but the cfg "
+                f"declares {declared}"
+            )
+        return declared
+
+    def load_weights(self, source: WeightSource) -> None:
+        # The offload's weights live in its own directory (Fig. 4), not in
+        # the Darknet weight stream; the hook only notifies the backend.
+        self._require_initialized()
+        self.backend.load_weights()
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        self._require_initialized()
+        out = self.backend.forward(fm)
+        if tuple(out.shape) != tuple(self.out_shape):
+            raise ValueError(
+                f"offload backend returned {tuple(out.shape)}, "
+                f"declared {tuple(self.out_shape)}"
+            )
+        return out
+
+    def destroy(self) -> None:
+        if self.backend is not None:
+            self.backend.destroy()
+            self.backend = None
+
+    def workload(self) -> LayerWorkload:
+        self._require_initialized()
+        ops = 0
+        if hasattr(self.backend, "ops_per_frame"):
+            ops = int(self.backend.ops_per_frame())
+        return LayerWorkload(self.ltype, ops, note=f"library={self.library}")
+
+
+__all__ = ["OffloadLayer"]

@@ -1,0 +1,32 @@
+"""Darknet ``[softmax]`` layer (classification heads of MLP-4 / CNV-6)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.ops import softmax
+from repro.core.tensor import FeatureMap
+from repro.nn.layers.base import Layer, LayerWorkload
+
+
+class SoftmaxLayer(Layer):
+    """Darknet ``[softmax]`` classification head."""
+
+    ltype = "softmax"
+
+    def _configure(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        return in_shape
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        self._require_initialized()
+        flat = fm.values().reshape(-1)
+        probs = softmax(flat, axis=0).reshape(fm.shape)
+        return FeatureMap(probs.astype(np.float32))
+
+    def workload(self) -> LayerWorkload:
+        return LayerWorkload(self.ltype, 0)
+
+
+__all__ = ["SoftmaxLayer"]

@@ -1,0 +1,137 @@
+"""Network-configuration linting.
+
+Misconfigured quantization chains fail silently in float emulation (the
+numbers are merely wrong); the linter catches the classes of mistakes that
+bit us while building the reproduction:
+
+* a binarized hidden convolution consuming a *non-quantized* feature map
+  (the fabric cannot stream floats — §III-A's W1A3 contract is broken);
+* a quantized layer feeding a quantization-sensitive one without a wider
+  regime (information destroyed before the output head);
+* a region head whose channel count does not match anchors/classes;
+* offloadable runs interrupted by un-binarized layers.
+
+``lint_config`` returns structured findings; the CLI renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.config import NetworkConfig
+
+WARNING = "warning"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: str
+    layer_index: int       # -1 for network-level findings
+    message: str
+
+    def __str__(self) -> str:
+        where = "net" if self.layer_index < 0 else f"layer {self.layer_index}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+def lint_config(config: NetworkConfig) -> List[Finding]:
+    """Static checks on a parsed configuration."""
+    findings: List[Finding] = []
+    layers = config.layers
+
+    # -- network level ---------------------------------------------------------
+    try:
+        channels, height, width = config.input_shape()
+        if height <= 0 or width <= 0 or channels <= 0:
+            findings.append(Finding(ERROR, -1, "non-positive input geometry"))
+    except KeyError:
+        findings.append(Finding(ERROR, -1, "[net] lacks width/height"))
+        return findings
+
+    producing_bits = None  # activation bits of the upstream layer (None=float)
+    for index, section in enumerate(layers):
+        if section.name == "convolutional":
+            binary = section.options.get("binary") == "1"
+            ternary = section.options.get("ternary") == "1"
+            bits = int(section.options.get("activation_bits", "0") or 0)
+            if binary and ternary:
+                findings.append(
+                    Finding(ERROR, index, "binary=1 and ternary=1 together")
+                )
+            if binary and producing_bits is None and index > 0:
+                findings.append(
+                    Finding(
+                        WARNING,
+                        index,
+                        "binarized convolution consumes an unquantized feature "
+                        "map; the fabric streams level codes (set "
+                        "activation_bits on the producer)",
+                    )
+                )
+            if binary and producing_bits is not None and producing_bits > 4:
+                findings.append(
+                    Finding(
+                        WARNING,
+                        index,
+                        f"{producing_bits}-bit activations into a binary-weight "
+                        "layer is unusually wide for an MVTU",
+                    )
+                )
+            if bits and not section.options.get("activation") in (
+                "relu", "linear", None,
+            ) and not binary:
+                pass  # leaky + quantization is legal in emulation
+            producing_bits = bits if bits else None
+        elif section.name == "maxpool":
+            pass  # pooling preserves the level coding
+        elif section.name == "region":
+            num = int(section.options.get("num", "5"))
+            classes = int(section.options.get("classes", "20"))
+            coords = int(section.options.get("coords", "4"))
+            expected = num * (coords + 1 + classes)
+            producer = _previous_filter_count(layers, index)
+            if producer is not None and producer != expected:
+                findings.append(
+                    Finding(
+                        ERROR,
+                        index,
+                        f"region expects {expected} input channels "
+                        f"({num}x({coords}+1+{classes})) but the previous "
+                        f"convolution produces {producer}",
+                    )
+                )
+            if producing_bits is not None:
+                findings.append(
+                    Finding(
+                        WARNING,
+                        index,
+                        "region head consumes quantized activations; the "
+                        "paper keeps the output layer in float/int8 "
+                        "(quantization sensitive, §III-A)",
+                    )
+                )
+        elif section.name == "offload":
+            producing_bits = None  # backend declares its own output domain
+        elif section.name in ("connected", "softmax", "route", "reorg"):
+            if section.name == "connected":
+                producing_bits = None
+        else:
+            findings.append(
+                Finding(WARNING, index, f"unknown section [{section.name}]")
+            )
+    return findings
+
+
+def _previous_filter_count(layers, index: int):
+    for section in reversed(layers[:index]):
+        if section.name == "convolutional":
+            return int(section.options["filters"])
+        if section.name in ("maxpool", "reorg"):
+            continue
+        return None
+    return None
+
+
+__all__ = ["Finding", "lint_config", "WARNING", "ERROR"]

@@ -1,0 +1,150 @@
+"""Network construction and inference — the Darknet substrate's spine.
+
+A :class:`Network` is built from a parsed :class:`~repro.nn.config.NetworkConfig`;
+layer sections instantiate through a type registry so user extensions (and
+the tests) can add layer kinds without touching this module.  The forward
+pass runs layers strictly in sequence — exactly the execution model the
+pipelined demo mode later *disintegrates* to gain access to the individual
+layer invocations (§III-F).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+import numpy as np
+
+from repro.core.tensor import FeatureMap
+from repro.nn.config import NetworkConfig, parse_config
+from repro.nn.layers.base import ArraySink, ArraySource, Layer, LayerWorkload
+from repro.nn.layers.connected import ConnectedLayer
+from repro.nn.layers.convolutional import ConvolutionalLayer
+from repro.nn.layers.maxpool import MaxpoolLayer
+from repro.nn.layers.offload import OffloadLayer
+from repro.nn.layers.region import RegionLayer
+from repro.nn.layers.route import ReorgLayer, RouteLayer
+from repro.nn.layers.softmax import SoftmaxLayer
+
+LAYER_TYPES: Dict[str, Callable[..., Layer]] = {
+    "convolutional": ConvolutionalLayer,
+    "conv": ConvolutionalLayer,
+    "maxpool": MaxpoolLayer,
+    "connected": ConnectedLayer,
+    "region": RegionLayer,
+    "softmax": SoftmaxLayer,
+    "offload": OffloadLayer,
+    "route": RouteLayer,
+    "reorg": ReorgLayer,
+}
+
+
+class Network:
+    """An ordered stack of layers with Darknet-compatible weight handling."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        self.input_shape = config.input_shape()
+        self.layers: List[Layer] = []
+        shape = self.input_shape
+        shapes: List[Tuple[int, int, int]] = []
+        for index, section in enumerate(config.layers):
+            layer_type = LAYER_TYPES.get(section.name)
+            if layer_type is None:
+                raise ValueError(f"unknown layer type [{section.name}]")
+            layer = layer_type(section)
+            if hasattr(layer, "resolve"):
+                layer.resolve(index, shapes)
+            layer.init(shape)
+            shape = layer.out_shape
+            shapes.append(shape)
+            self.layers.append(layer)
+        self.output_shape = shape
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_cfg(cls, text: str) -> "Network":
+        return cls(parse_config(text))
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        """Randomly initialize every parameterized layer."""
+        for layer in self.layers:
+            if hasattr(layer, "initialize"):
+                layer.initialize(rng)
+
+    # -- inference --------------------------------------------------------------
+
+    def forward(self, x: FeatureMap) -> FeatureMap:
+        """Run all layers in sequence and return the final feature map."""
+        if tuple(x.shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"input shape {tuple(x.shape)} does not match network input "
+                f"{tuple(self.input_shape)}"
+            )
+        return self.forward_all(x)[-1]
+
+    def forward_all(self, x: FeatureMap) -> List[FeatureMap]:
+        """Run the network keeping every intermediate map.
+
+        The history serves two masters: the pipelined demo mode (which
+        disintegrates the forward pass) and backward-looking layers like
+        ``[route]``, which declare ``needs_history``.
+        """
+        fm = x
+        outputs: List[FeatureMap] = []
+        for layer in self.layers:
+            if getattr(layer, "needs_history", False):
+                fm = layer.forward(fm, history=outputs)
+            else:
+                fm = layer.forward(fm)
+            outputs.append(fm)
+        return outputs
+
+    # -- weights ------------------------------------------------------------------
+
+    def load_weights_array(self, values: np.ndarray) -> None:
+        """Load a flat float32 parameter array in Darknet file order."""
+        source = ArraySource(values)
+        for layer in self.layers:
+            layer.load_weights(source)
+        if source.remaining:
+            raise ValueError(f"{source.remaining} unconsumed weight floats")
+
+    def save_weights_array(self) -> np.ndarray:
+        sink = ArraySink()
+        for layer in self.layers:
+            layer.save_weights(sink)
+        return sink.concatenated()
+
+    def num_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers)
+
+    # -- accounting ------------------------------------------------------------------
+
+    def workloads(self) -> List[LayerWorkload]:
+        """Per-layer operation counts (the rows of Table I)."""
+        return [layer.workload() for layer in self.layers]
+
+    def total_ops(self) -> int:
+        return sum(item.ops for item in self.workloads())
+
+    def find_layers(self, ltype: str) -> List[Layer]:
+        return [layer for layer in self.layers if layer.ltype == ltype]
+
+    def destroy(self) -> None:
+        for layer in self.layers:
+            layer.destroy()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network {len(self.layers)} layers, "
+            f"{self.input_shape} -> {self.output_shape}>"
+        )
+
+
+def register_layer_type(name: str, factory: Callable[..., Layer]) -> None:
+    """Add a layer type to the cfg vocabulary (the tests register fakes)."""
+    LAYER_TYPES[name] = factory
+
+
+__all__ = ["Network", "LAYER_TYPES", "register_layer_type"]

@@ -1,0 +1,74 @@
+"""Darknet-style network summary printout.
+
+Darknet prints a layer table at startup (``layer filters size input ->
+output``); this is the reproduction's equivalent, extended with the
+quantization regime and per-layer operation counts so Table I's structure
+is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.network import Network
+from repro.util.tables import format_table
+
+
+def _shape(shape) -> str:
+    c, h, w = shape
+    return f"{w} x {h} x {c}"
+
+
+def _regime(layer) -> str:
+    parts = []
+    if getattr(layer, "binary", False):
+        parts.append("W1")
+    elif getattr(layer, "ternary", False):
+        parts.append("W2(ternary)")
+    quant = getattr(layer, "out_quant", None)
+    if quant is not None:
+        parts.append(f"A{quant.bits}")
+    return "".join(parts) if parts else "float"
+
+
+def summary_rows(network: Network) -> List[tuple]:
+    """Per-layer rows (index, type, detail, shapes, regime, ops)."""
+    rows = []
+    for index, layer in enumerate(network.layers):
+        detail = ""
+        if layer.ltype == "convolutional":
+            detail = (
+                f"{layer.filters} x {layer.size}x{layer.size}/{layer.stride}"
+            )
+        elif layer.ltype == "maxpool":
+            detail = f"{layer.size}x{layer.size}/{layer.stride}"
+        elif layer.ltype == "connected":
+            detail = f"-> {layer.output}"
+        elif layer.ltype == "offload":
+            detail = f"library={layer.library}"
+        rows.append(
+            (
+                index,
+                layer.ltype,
+                detail,
+                _shape(layer.in_shape),
+                _shape(layer.out_shape),
+                _regime(layer),
+                layer.workload().ops,
+            )
+        )
+    return rows
+
+
+def network_summary(network: Network, title: str = None) -> str:
+    """Render the layer table as aligned text."""
+    rows = summary_rows(network)
+    rows.append(("", "total", "", "", "", "", network.total_ops()))
+    return format_table(
+        ["#", "Layer", "Detail", "Input", "Output", "Regime", "Ops/frame"],
+        rows,
+        title=title,
+    )
+
+
+__all__ = ["summary_rows", "network_summary"]

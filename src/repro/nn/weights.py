@@ -1,0 +1,97 @@
+"""Weight file I/O: Darknet ``.weights`` and FINN ``binparam`` directories.
+
+Darknet's binary format is a 3-int32 version header (``major, minor,
+revision``), a seen-images counter (``uint64`` from format 0.2, ``uint32``
+before) and then the raw float32 parameters of every layer in network order.
+The paper's offload layers instead read a *binparam* directory produced by
+FINN's export flow (Fig. 4: ``weights=binparam-tincy-yolo/``); our
+re-interpretation stores per-layer ``.npy`` files plus a small JSON manifest
+— documented here because the original format is tied to the HLS build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import ArraySink, ArraySource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nn.network import Network
+
+MAJOR, MINOR, REVISION = 0, 2, 0
+
+
+def save_weights(network: "Network", path: str, seen: int = 0) -> None:
+    """Write *network*'s parameters as a Darknet ``.weights`` file."""
+    sink = ArraySink()
+    for layer in network.layers:
+        layer.save_weights(sink)
+    with open(path, "wb") as handle:
+        handle.write(struct.pack("<iii", MAJOR, MINOR, REVISION))
+        handle.write(struct.pack("<Q", seen))
+        handle.write(sink.tobytes())
+
+
+def load_weights(network: "Network", path: str) -> int:
+    """Load a Darknet ``.weights`` file into *network*; returns ``seen``."""
+    with open(path, "rb") as handle:
+        header = handle.read(12)
+        if len(header) != 12:
+            raise ValueError(f"{path}: truncated weight file header")
+        major, minor, revision = struct.unpack("<iii", header)
+        if (major, minor) >= (0, 2) or major >= 1000 or minor >= 1000:
+            (seen,) = struct.unpack("<Q", handle.read(8))
+        else:
+            (seen,) = struct.unpack("<I", handle.read(4))
+        blob = handle.read()
+    if len(blob) % 4:
+        raise ValueError(f"{path}: weight payload is not float32-aligned")
+    values = np.frombuffer(blob, dtype="<f4")
+    source = ArraySource(values)
+    for layer in network.layers:
+        layer.load_weights(source)
+    if source.remaining:
+        raise ValueError(f"{path}: {source.remaining} unconsumed weight floats")
+    return int(seen)
+
+
+# -- binparam directories (FINN export re-interpretation) -----------------------
+
+
+def save_binparam(directory: str, arrays: dict, meta: dict = None) -> None:
+    """Write named arrays + manifest into a FINN-style binparam directory."""
+    os.makedirs(directory, exist_ok=True)
+    manifest = {"format": "repro-binparam-v1", "arrays": sorted(arrays)}
+    if meta:
+        manifest["meta"] = meta
+    for name, array in arrays.items():
+        np.save(os.path.join(directory, f"{name}.npy"), np.asarray(array))
+    with open(os.path.join(directory, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+
+
+def load_binparam(directory: str) -> Tuple[dict, dict]:
+    """Read a binparam directory; returns ``(arrays, meta)``."""
+    manifest_path = os.path.join(directory, "manifest.json")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "repro-binparam-v1":
+        raise ValueError(f"{directory}: not a repro binparam directory")
+    arrays = {
+        name: np.load(os.path.join(directory, f"{name}.npy"))
+        for name in manifest["arrays"]
+    }
+    return arrays, manifest.get("meta", {})
+
+
+__all__ = [
+    "save_weights",
+    "load_weights",
+    "save_binparam",
+    "load_binparam",
+]

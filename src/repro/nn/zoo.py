@@ -1,0 +1,315 @@
+"""Topology zoo: Tiny YOLO, Tincy YOLO and the earlier FINN show cases.
+
+Tincy YOLO is *derived* from Tiny YOLO by the four algorithmic
+simplifications of §III-E, implemented here as explicit cfg transforms:
+
+(a) leaky ReLU is replaced by ReLU;
+(b) the number of output channels of layer 3 is increased from 32 to 64;
+(c) the number of output channels of layers 13 & 14 is decreased from
+    1024 to 512;
+(d) the first maxpool layer is removed and the stride of the first
+    convolutional layer is increased from 1 to 2;
+
+plus the W1A3 quantization of all hidden layers (§III-A).  The op counts of
+the resulting networks reproduce Tables I and II digit for digit — the
+``test_zoo`` suite pins every number.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List
+
+from repro.nn.config import NetworkConfig, Section
+from repro.nn.layers.region import TINY_YOLO_VOC_ANCHORS
+
+#: Channel progression of the Tiny YOLO feature extractor (convs 1..6).
+_TINY_YOLO_TRUNK = [16, 32, 64, 128, 256, 512]
+
+
+def _net_section(width: int, height: int, channels: int) -> Section:
+    return Section(
+        "net",
+        {"width": str(width), "height": str(height), "channels": str(channels)},
+    )
+
+
+def _conv(
+    filters: int,
+    size: int = 3,
+    stride: int = 1,
+    activation: str = "leaky",
+    batch_normalize: int = 1,
+    **extra: str,
+) -> Section:
+    options = {
+        "batch_normalize": str(batch_normalize),
+        "filters": str(filters),
+        "size": str(size),
+        "stride": str(stride),
+        "pad": "1",
+        "activation": activation,
+    }
+    options.update({key: str(value) for key, value in extra.items()})
+    return Section("convolutional", options)
+
+
+def _maxpool(size: int = 2, stride: int = 2) -> Section:
+    return Section("maxpool", {"size": str(size), "stride": str(stride)})
+
+
+def tiny_yolo_config() -> NetworkConfig:
+    """tiny-yolo-voc: 9 convolutions, 6 pools, a 125-channel region head."""
+    sections: List[Section] = [_net_section(416, 416, 3)]
+    for index, filters in enumerate(_TINY_YOLO_TRUNK):
+        sections.append(_conv(filters))
+        stride = 2 if index < len(_TINY_YOLO_TRUNK) - 1 else 1
+        sections.append(_maxpool(2, stride))
+    sections.append(_conv(1024))
+    sections.append(_conv(1024))
+    sections.append(_conv(125, size=1, activation="linear", batch_normalize=0))
+    sections.append(
+        Section(
+            "region",
+            {
+                "anchors": ",".join(str(a) for a in TINY_YOLO_VOC_ANCHORS),
+                "classes": "20",
+                "num": "5",
+                "coords": "4",
+            },
+        )
+    )
+    return NetworkConfig(sections)
+
+
+# -- §III-E modifications (a)-(d) ------------------------------------------------
+
+
+def _conv_sections(config: NetworkConfig) -> List[Section]:
+    return [s for s in config.layers if s.name == "convolutional"]
+
+
+def modification_a(config: NetworkConfig) -> NetworkConfig:
+    """(a) leaky ReLU -> ReLU on every layer that uses it."""
+    config = copy.deepcopy(config)
+    for section in config.layers:
+        if section.options.get("activation") == "leaky":
+            section.options["activation"] = "relu"
+    return config
+
+
+def modification_b(config: NetworkConfig) -> NetworkConfig:
+    """(b) layer 3 (the second convolution): 32 -> 64 output channels."""
+    config = copy.deepcopy(config)
+    second_conv = _conv_sections(config)[1]
+    if second_conv.get_int("filters") != 32:
+        raise ValueError("modification (b) expects layer 3 to have 32 filters")
+    second_conv.options["filters"] = "64"
+    return config
+
+
+def modification_c(config: NetworkConfig) -> NetworkConfig:
+    """(c) layers 13 & 14 (convs 7 and 8): 1024 -> 512 output channels."""
+    config = copy.deepcopy(config)
+    convs = _conv_sections(config)
+    for section in (convs[6], convs[7]):
+        if section.get_int("filters") != 1024:
+            raise ValueError("modification (c) expects 1024-filter layers")
+        section.options["filters"] = "512"
+    return config
+
+
+def modification_d(config: NetworkConfig) -> NetworkConfig:
+    """(d) drop the first maxpool; first convolution stride 1 -> 2."""
+    config = copy.deepcopy(config)
+    sections = config.sections
+    first_pool_index = next(
+        index for index, s in enumerate(sections) if s.name == "maxpool"
+    )
+    del sections[first_pool_index]
+    first_conv = _conv_sections(config)[0]
+    first_conv.options["stride"] = "2"
+    return config
+
+
+def quantize_hidden_w1a3(config: NetworkConfig) -> NetworkConfig:
+    """Binarize hidden-layer weights, 3-bit feature maps between them.
+
+    The first and last convolutions are quantization sensitive (§III-A) and
+    stay un-binarized (they run in 8-bit/float on the CPU); the first conv's
+    *output* is still quantized to 3 bits because that is what the fabric
+    consumes.
+    """
+    config = copy.deepcopy(config)
+    convs = _conv_sections(config)
+    for section in convs[1:-1]:
+        section.options["binary"] = "1"
+        section.options["activation_bits"] = "3"
+    convs[0].options["activation_bits"] = "3"
+    return config
+
+
+def tincy_yolo_config(quantized: bool = True) -> NetworkConfig:
+    """Tiny YOLO + (a) + (b) + (c) + (d) [+ W1A3] = Tincy YOLO."""
+    config = tiny_yolo_config()
+    config = modification_a(config)
+    config = modification_b(config)
+    config = modification_c(config)
+    config = modification_d(config)
+    if quantized:
+        config = quantize_hidden_w1a3(config)
+    return config
+
+
+def tiny_yolo_variant(name: str) -> NetworkConfig:
+    """The four Table IV variants by column name."""
+    if name == "tiny":
+        return tiny_yolo_config()
+    if name == "tiny+a":
+        return quantize_hidden_w1a3(modification_a(tiny_yolo_config()))
+    if name == "tiny+abc":
+        config = modification_a(tiny_yolo_config())
+        config = modification_b(config)
+        config = modification_c(config)
+        return quantize_hidden_w1a3(config)
+    if name == "tincy":
+        return tincy_yolo_config(quantized=True)
+    raise ValueError(f"unknown Tiny YOLO variant '{name}'")
+
+
+#: Anchor priors of yolo-voc.cfg (the full YOLOv2 for Pascal VOC).
+YOLOV2_VOC_ANCHORS = [
+    1.3221, 1.73145, 3.19275, 4.00944, 5.05587,
+    8.09892, 9.47112, 4.84053, 11.2364, 10.0071,
+]
+
+
+def yolov2_config() -> NetworkConfig:
+    """The full YOLOv2 for VOC — the paper's *other* starting point (§II).
+
+    Includes the passthrough path (``[route]`` + ``[reorg]``) that Tiny
+    YOLO lacks; useful for appreciating how much heavier the full network
+    is than even Tiny YOLO (~3x the operations).
+    """
+    sections: List[Section] = [_net_section(416, 416, 3)]
+
+    def conv(filters: int, size: int = 3) -> None:
+        sections.append(_conv(filters, size=size))
+
+    def pool() -> None:
+        sections.append(_maxpool(2, 2))
+
+    conv(32); pool()                     # noqa: E702  (darknet cfg rhythm)
+    conv(64); pool()                     # noqa: E702
+    conv(128); conv(64, 1); conv(128); pool()      # noqa: E702
+    conv(256); conv(128, 1); conv(256); pool()     # noqa: E702
+    conv(512); conv(256, 1); conv(512); conv(256, 1); conv(512); pool()  # noqa: E702
+    conv(1024); conv(512, 1); conv(1024); conv(512, 1); conv(1024)       # noqa: E702
+    conv(1024); conv(1024)               # noqa: E702
+    # Passthrough: route back to the last 26x26x512 map, squeeze, reorg.
+    sections.append(Section("route", {"layers": "-9"}))
+    conv(64, 1)
+    sections.append(Section("reorg", {"stride": "2"}))
+    sections.append(Section("route", {"layers": "-1,-4"}))
+    conv(1024)
+    sections.append(_conv(125, size=1, activation="linear", batch_normalize=0))
+    sections.append(
+        Section(
+            "region",
+            {
+                "anchors": ",".join(str(a) for a in YOLOV2_VOC_ANCHORS),
+                "classes": "20",
+                "num": "5",
+                "coords": "4",
+            },
+        )
+    )
+    return NetworkConfig(sections)
+
+
+# -- earlier FINN show cases (Table II) ------------------------------------------
+
+
+def mlp4_config() -> NetworkConfig:
+    """MLP-4: the FINN 4-layer binary MLP for MNIST/NIST (Table II row 1).
+
+    784 -> 1024 -> 1024 -> 1024 -> 10, all layers W1A1.
+    """
+    sections = [_net_section(28, 28, 1)]
+    for _ in range(3):
+        sections.append(
+            Section(
+                "connected",
+                {
+                    "output": "1024",
+                    "activation": "sign",
+                    "binary": "1",
+                    "batch_normalize": "1",
+                },
+            )
+        )
+    sections.append(
+        Section("connected", {"output": "10", "activation": "linear", "binary": "1"})
+    )
+    sections.append(Section("softmax", {}))
+    return NetworkConfig(sections)
+
+
+def cnv6_config() -> NetworkConfig:
+    """CNV-6: the FINN 6-conv BinaryNet-style CIFAR-10 network (Table II row 2).
+
+    VGG-ish valid (unpadded) 3x3 convolutions 64-64-p-128-128-p-256-256
+    followed by three dense layers 512-512-10.  The first convolution
+    processes 8-bit image data; everything downstream is W1A1.
+    """
+    sections = [_net_section(32, 32, 3)]
+
+    def cnv_conv(filters: int, binary: bool) -> Section:
+        section = _conv(filters, size=3, stride=1, activation="sign")
+        section.options["pad"] = "0"
+        section.options["activation"] = "relu" if not binary else "sign"
+        if binary:
+            section.options["binary"] = "1"
+        return section
+
+    sections.append(cnv_conv(64, binary=False))  # 8-bit input layer
+    sections.append(cnv_conv(64, binary=True))
+    sections.append(_maxpool(2, 2))
+    sections.append(cnv_conv(128, binary=True))
+    sections.append(cnv_conv(128, binary=True))
+    sections.append(_maxpool(2, 2))
+    sections.append(cnv_conv(256, binary=True))
+    sections.append(cnv_conv(256, binary=True))
+    for output in (512, 512):
+        sections.append(
+            Section(
+                "connected",
+                {
+                    "output": str(output),
+                    "activation": "sign",
+                    "binary": "1",
+                    "batch_normalize": "1",
+                },
+            )
+        )
+    sections.append(
+        Section("connected", {"output": "10", "activation": "linear", "binary": "1"})
+    )
+    sections.append(Section("softmax", {}))
+    return NetworkConfig(sections)
+
+
+__all__ = [
+    "tiny_yolo_config",
+    "yolov2_config",
+    "YOLOV2_VOC_ANCHORS",
+    "tincy_yolo_config",
+    "tiny_yolo_variant",
+    "modification_a",
+    "modification_b",
+    "modification_c",
+    "modification_d",
+    "quantize_hidden_w1a3",
+    "mlp4_config",
+    "cnv6_config",
+]

@@ -1,0 +1,82 @@
+"""Performance accounting: op counts (Tables I/II), the calibrated stage
+cost model (Table III) and the §III speedup ladder."""
+
+from repro.perf.cost_model import (
+    PAPER_TABLE3_MS,
+    fabric_hidden_accelerator,
+    fabric_hidden_time,
+    input_layer_neon_time,
+    lean_input_time,
+    output_layer_time,
+    table3_rows,
+    table3_total,
+)
+from repro.perf.ladder import (
+    PAPER_LADDER_FPS,
+    PAPER_TOTAL_SPEEDUP,
+    LadderStep,
+    ladder_steps,
+    total_speedup,
+)
+from repro.perf.memory import (
+    LayerMemory,
+    MemoryReport,
+    compression_factor,
+    network_memory,
+)
+from repro.perf.report import build_report
+from repro.perf.stages import (
+    ACQUISITION_S,
+    BOX_DRAWING_S,
+    CAMERA_ACCESS_S,
+    IMAGE_OUTPUT_S,
+    LETTERBOXING_S,
+    StageTime,
+)
+from repro.perf.workload import (
+    PAPER_TABLE1,
+    PAPER_TABLE1_TOTALS,
+    PAPER_TABLE2,
+    DotProductWorkload,
+    Table1Row,
+    dot_product_workload,
+    table1_rows,
+    table1_totals,
+    table2_rows,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_TOTALS",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_MS",
+    "PAPER_LADDER_FPS",
+    "PAPER_TOTAL_SPEEDUP",
+    "Table1Row",
+    "DotProductWorkload",
+    "table1_rows",
+    "table1_totals",
+    "table2_rows",
+    "dot_product_workload",
+    "table3_rows",
+    "table3_total",
+    "fabric_hidden_accelerator",
+    "fabric_hidden_time",
+    "input_layer_neon_time",
+    "lean_input_time",
+    "output_layer_time",
+    "LadderStep",
+    "ladder_steps",
+    "total_speedup",
+    "StageTime",
+    "ACQUISITION_S",
+    "BOX_DRAWING_S",
+    "IMAGE_OUTPUT_S",
+    "CAMERA_ACCESS_S",
+    "LETTERBOXING_S",
+    "LayerMemory",
+    "MemoryReport",
+    "network_memory",
+    "compression_factor",
+    "build_report",
+]

@@ -1,0 +1,186 @@
+"""The §III optimization ladder: 0.1 -> 1.1 -> 2.5 -> ~5.7 -> 16 fps.
+
+Each rung re-prices the frame-processing stages after one of the paper's
+measures:
+
+0. *generic*       — Darknet's reference C inference (Table III, 0.1 fps);
+1. *+ offload*     — hidden layers on the FINN fabric (11x, §III-C);
+2. *+ NEON*        — custom int8/acc16 first-layer kernel (2.5 fps, §III-D);
+3. *+ algorithmic* — modification (d): lean stride-2 input conv replaces
+   input layer + first maxpool (>5 fps, §III-E);
+4. *+ pipeline*    — the Fig. 5 demo pipeline on 4 cores (16 fps, §III-F),
+   evaluated with the discrete-event simulator.
+
+The final rung's 160x total speedup is the paper's headline number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.perf.cost_model import (
+    fabric_hidden_time,
+    input_layer_neon_time,
+    lean_input_time,
+    output_layer_time,
+    table3_rows,
+)
+from repro.perf.stages import (
+    ACQUISITION_S,
+    BOX_DRAWING_S,
+    CAMERA_ACCESS_S,
+    IMAGE_OUTPUT_S,
+    LETTERBOXING_S,
+    StageTime,
+)
+from repro.pipeline.scheduler import FABRIC, StageDescriptor
+from repro.pipeline.simulate import DEFAULT_JOB_OVERHEAD_S, PipelineSimulator
+
+#: Frame rates reported in the paper at each rung.
+PAPER_LADDER_FPS = {
+    "generic": 0.1,
+    "+offload": 1.0,
+    "+neon": 2.5,
+    "+algorithmic": 5.0,   # "more than 5 fps"
+    "+pipeline": 16.0,
+}
+
+PAPER_TOTAL_SPEEDUP = 160.0
+
+
+@dataclass
+class LadderStep:
+    name: str
+    stages: List[StageTime]
+    fps: float
+    note: str = ""
+
+    @property
+    def frame_time_s(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+
+def _io_rows(split_acquisition: bool = False) -> tuple:
+    if split_acquisition:
+        head = [
+            StageTime("#0 camera access", CAMERA_ACCESS_S, "io"),
+            StageTime("#1 letter boxing", LETTERBOXING_S, "io"),
+        ]
+    else:
+        head = [StageTime("Image Acquisition", ACQUISITION_S, "io")]
+    tail = [
+        StageTime("Object Boxing", BOX_DRAWING_S, "io"),
+        StageTime("Frame Drawing", IMAGE_OUTPUT_S, "io"),
+    ]
+    return head, tail
+
+
+def ladder_steps(
+    workers: int = 4,
+    job_overhead_s: float = DEFAULT_JOB_OVERHEAD_S,
+    n_sim_frames: int = 200,
+) -> List[LadderStep]:
+    """All five rungs with their stage breakdowns and frame rates."""
+    steps: List[LadderStep] = []
+
+    # Rung 0: the Table III baseline.
+    baseline = table3_rows()
+    fps0 = 1.0 / sum(row.seconds for row in baseline)
+    steps.append(
+        LadderStep("generic", baseline, fps0, note="Darknet reference C on A53")
+    )
+
+    fabric = fabric_hidden_time()
+    head, tail = _io_rows()
+    by_name = {row.name: row for row in baseline}
+
+    # Rung 1: hidden layers offloaded to the fabric.
+    stages1 = (
+        head
+        + [
+            by_name["Input Layer"],
+            by_name["Max Pool"],
+            StageTime("Hidden Layers (fabric)", fabric, "fabric"),
+            by_name["Output Layer"],
+        ]
+        + tail
+    )
+    fps1 = 1.0 / sum(s.seconds for s in stages1)
+    steps.append(
+        LadderStep("+offload", stages1, fps1, note="FINN QNN engine, one layer at a time")
+    )
+
+    # Rung 2: NEON custom int8/acc16 kernel for the input layer.
+    stages2 = (
+        head
+        + [
+            StageTime("Input Layer (NEON i8/acc16)", input_layer_neon_time()),
+            by_name["Max Pool"],
+            StageTime("Hidden Layers (fabric)", fabric, "fabric"),
+            by_name["Output Layer"],
+        ]
+        + tail
+    )
+    fps2 = 1.0 / sum(s.seconds for s in stages2)
+    steps.append(LadderStep("+neon", stages2, fps2, note="gemmlowp-style 16x27 kernel"))
+
+    # Rung 3: modification (d) — lean stride-2 conv replaces input+maxpool.
+    stages3 = (
+        head
+        + [
+            StageTime("Lean Input Conv (stride 2)", lean_input_time()),
+            StageTime("Hidden Layers (fabric)", fabric, "fabric"),
+            by_name["Output Layer"],
+        ]
+        + tail
+    )
+    fps3 = 1.0 / sum(s.seconds for s in stages3)
+    steps.append(
+        LadderStep("+algorithmic", stages3, fps3, note="Tincy YOLO topology, retrained")
+    )
+
+    # Rung 4: the Fig. 5 pipeline on `workers` cores.
+    split_head, split_tail = _io_rows(split_acquisition=True)
+    stages4 = (
+        list(split_head)
+        + [
+            StageTime("L[0] lean input conv", lean_input_time()),
+            StageTime("L[1..N-2] fabric offload", fabric, "fabric"),
+            StageTime("L[N-1] output conv", output_layer_time()),
+        ]
+        + list(split_tail)
+    )
+    descriptors = [
+        StageDescriptor(name=s.name, duration_s=s.seconds, resource=s.resource
+                        if s.resource == "fabric" else "cpu")
+        for s in stages4
+    ]
+    result = PipelineSimulator(
+        descriptors, workers=workers, job_overhead_s=job_overhead_s
+    ).run(n_sim_frames)
+    steps.append(
+        LadderStep(
+            "+pipeline",
+            stages4,
+            result.fps,
+            note=f"{len(stages4)}-stage pipeline on {workers} worker threads",
+        )
+    )
+    return steps
+
+
+def total_speedup(steps: List[LadderStep] = None) -> float:
+    """Last-rung over first-rung frame rate — the paper's 160x headline."""
+    if steps is None:
+        steps = ladder_steps()
+    return steps[-1].fps / steps[0].fps
+
+
+__all__ = [
+    "PAPER_LADDER_FPS",
+    "PAPER_TOTAL_SPEEDUP",
+    "LadderStep",
+    "ladder_steps",
+    "total_speedup",
+]

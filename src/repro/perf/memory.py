@@ -1,0 +1,105 @@
+"""Memory-footprint accounting — the §I motivation for quantization.
+
+"The challenges that must be addressed by a CNN inference engine are the
+storage of and timely access to the network parameters as well as the
+enormous dot-product compute.  Both challenges can be defused by
+quantization.  Eliminating unnecessary precision from the network
+parameters reduces their memory footprint accordingly."
+
+This module prices a network's parameter and feature-map storage under a
+precision regime: float32, int8, or the layer-specific quantization flags
+of the topology itself (binary weights where ``binary=1``, thresholds in
+place of BN parameters, level-coded activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.network import Network
+
+
+@dataclass
+class LayerMemory:
+    """Storage of one layer under a given regime (bits)."""
+
+    name: str
+    weight_bits: int
+    aux_bits: int            # biases / BN params or thresholds
+    activation_bits: int     # output feature map
+
+    @property
+    def total_bits(self) -> int:
+        return self.weight_bits + self.aux_bits + self.activation_bits
+
+
+@dataclass
+class MemoryReport:
+    layers: List[LayerMemory]
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(l.weight_bits for l in self.layers) // 8
+
+    @property
+    def aux_bytes(self) -> int:
+        return sum(l.aux_bits for l in self.layers) // 8
+
+    @property
+    def activation_bytes(self) -> int:
+        return sum(l.activation_bits for l in self.layers) // 8
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.aux_bytes + self.activation_bytes
+
+
+def _conv_like_memory(layer, regime: str) -> LayerMemory:
+    out_elems = int(layer.out_shape[0] * layer.out_shape[1] * layer.out_shape[2])
+    n_out = layer.out_shape[0]
+    n_weights = int(layer.weights.size)
+    bn_params = 4 * n_out if layer.batch_normalize else n_out
+
+    if regime == "float32":
+        return LayerMemory(layer.ltype, 32 * n_weights, 32 * bn_params, 32 * out_elems)
+    if regime == "int8":
+        # int8 weights + float scale/zero-point per layer; BN folded or int32.
+        return LayerMemory(layer.ltype, 8 * n_weights, 32 * bn_params, 8 * out_elems)
+    if regime == "quantized":
+        binary = getattr(layer, "binary", False)
+        quant = getattr(layer, "out_quant", None)
+        weight_bits = (1 if binary else 8) * n_weights
+        if binary and quant is not None:
+            # FINN: BN+activation folded into integer thresholds
+            # (2**bits - 1 thresholds per output channel, 24-bit each).
+            aux_bits = 24 * ((1 << quant.bits) - 1) * n_out
+        else:
+            aux_bits = 32 * bn_params
+        act_bits = (quant.bits if quant is not None else 8) * out_elems
+        return LayerMemory(layer.ltype, weight_bits, aux_bits, act_bits)
+    raise ValueError(f"unknown memory regime '{regime}'")
+
+
+def network_memory(network: Network, regime: str = "quantized") -> MemoryReport:
+    """Price every parameterized layer of *network* under *regime*.
+
+    ``regime``: ``float32`` (Darknet's native storage), ``int8`` (the
+    conservative TPU-style quantization of §II), or ``quantized`` (the
+    layer flags of the topology itself — Tincy YOLO's W1A3 regime).
+    """
+    layers = []
+    for layer in network.layers:
+        if layer.ltype in ("convolutional", "connected"):
+            layers.append(_conv_like_memory(layer, regime))
+    return MemoryReport(layers=layers)
+
+
+def compression_factor(network: Network) -> float:
+    """Weight-storage compression of the topology's regime vs float32."""
+    full = network_memory(network, "float32").weight_bytes
+    quant = network_memory(network, "quantized").weight_bytes
+    return full / quant
+
+
+__all__ = ["LayerMemory", "MemoryReport", "network_memory", "compression_factor"]

@@ -1,0 +1,122 @@
+"""One-shot reproduction report.
+
+Aggregates every *model-derived* artifact (Tables I–III, the speedup
+ladder, the memory footprint, the fabric fit matrix) into a single
+markdown document — everything except the training-based Table IV, which
+the benchmark suite owns (minutes of compute).  Used by
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.tables import format_table
+
+
+def build_report() -> str:
+    """Render the full model-derived reproduction report as markdown-ish text."""
+    from repro.finn.device import XCZU3EG, XCZU9EG
+    from repro.nn.network import Network
+    from repro.nn.zoo import tincy_yolo_config
+    from repro.perf.cost_model import (
+        PAPER_TABLE3_MS,
+        fabric_hidden_accelerator,
+        table3_rows,
+        table3_total,
+    )
+    from repro.perf.ladder import PAPER_LADDER_FPS, ladder_steps, total_speedup
+    from repro.perf.memory import compression_factor, network_memory
+    from repro.perf.workload import table1_rows, table1_totals, table2_rows
+
+    sections: List[str] = [
+        "# Reproduction report — Preußer et al., DATE 2018 (Tincy YOLO)",
+        "",
+        "Model-derived artifacts only; run `pytest benchmarks/ "
+        "--benchmark-only` for the training-based Table IV and the "
+        "functional-equivalence checks.",
+        "",
+    ]
+
+    rows = [
+        (r.layer, r.ltype, r.tiny_ops, r.tincy_ops if r.tincy_ops is not None else "-")
+        for r in table1_rows()
+    ]
+    totals = table1_totals()
+    rows.append(("", "Σ", totals[0], totals[1]))
+    sections.append(format_table(
+        ["Layer", "Type", "Tiny YOLO", "Tincy YOLO"], rows,
+        title="Table I: operations per frame (digit-exact)",
+    ))
+    sections.append("")
+
+    sections.append(format_table(
+        ["Application", "Reduced", "Regime", "8-bit"],
+        [
+            (r.name, f"{r.reduced_ops / 1e6:,.1f} M", r.regime,
+             f"{r.eightbit_ops / 1e6:,.1f} M" if r.eightbit_ops else "-")
+            for r in table2_rows()
+        ],
+        title="Table II: QNN dot-product workloads",
+    ))
+    sections.append("")
+
+    t3 = table3_rows()
+    t3_rows = [
+        (r.name, f"{r.milliseconds:8.1f}", PAPER_TABLE3_MS[r.name])
+        for r in t3
+    ]
+    t3_rows.append(
+        ("Total", f"{table3_total(t3) * 1e3:8.1f}", PAPER_TABLE3_MS["Total"])
+    )
+    sections.append(format_table(
+        ["Stage", "Model (ms)", "Paper (ms)"], t3_rows,
+        title="Table III: generic-inference stage times",
+    ))
+    sections.append("")
+
+    steps = ladder_steps()
+    sections.append(format_table(
+        ["Rung", "fps (model)", "fps (paper)"],
+        [(s.name, f"{s.fps:6.2f}", PAPER_LADDER_FPS[s.name]) for s in steps],
+        title=f"§III speedup ladder (total {total_speedup(steps):.0f}x, "
+              "paper 160x)",
+    ))
+    sections.append("")
+
+    accel = fabric_hidden_accelerator()
+    resources = accel.resources()
+    sections.append(format_table(
+        ["Quantity", "Value"],
+        [
+            ("hidden-layer fabric time",
+             f"{accel.time_per_frame() * 1e3:.1f} ms (paper ~30 ms)"),
+            ("engine folding", f"{accel.folding.pe}x{accel.folding.simd}"),
+            ("LUTs", f"{resources.luts:,} / {XCZU3EG.usable_luts:,}"),
+            ("BRAM36", f"{resources.bram36} / {XCZU3EG.usable_bram36}"),
+            ("fits XCZU3EG", "yes" if resources.fits(XCZU3EG) else "NO"),
+            ("2x engines fit", "yes" if (resources + resources).fits(XCZU3EG)
+             else "NO (only one engine fits, §III-A)"),
+            ("fits XCZU9EG", "yes" if resources.fits(XCZU9EG) else "NO"),
+        ],
+        title="FINN iterated engine on the XCZU3EG",
+    ))
+    sections.append("")
+
+    network = Network(tincy_yolo_config())
+    quant = network_memory(network, "quantized")
+    full = network_memory(network, "float32")
+    sections.append(format_table(
+        ["Quantity", "Value"],
+        [
+            ("float32 weights", f"{full.weight_bytes / 1e6:.1f} MB"),
+            ("paper-regime weights", f"{quant.weight_bytes / 1e6:.2f} MB"),
+            ("compression", f"{compression_factor(network):.0f}x"),
+            ("activations (W1A3 coding)", f"{quant.activation_bytes / 1e6:.2f} MB"),
+        ],
+        title="§I storage: Tincy YOLO memory footprint",
+    ))
+    return "\n".join(sections) + "\n"
+
+
+__all__ = ["build_report"]

@@ -1,0 +1,44 @@
+"""Frame-processing stage definitions and the fixed I/O costs.
+
+The non-compute stage constants come straight from the paper's own
+measurements (Table III: acquisition 40 ms, box drawing >= 15 ms, image
+output >= 25 ms); §III-F splits acquisition into camera access and internal
+scaling, which we apportion 25/15 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Table III constants (seconds).
+ACQUISITION_S = 0.040
+BOX_DRAWING_S = 0.015
+IMAGE_OUTPUT_S = 0.025
+
+#: §III-F: "the image acquisition was split into the camera access and the
+#: internal scaling of the captured frame".
+CAMERA_ACCESS_S = 0.025
+LETTERBOXING_S = 0.015
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """One row of a stage-time breakdown."""
+
+    name: str
+    seconds: float
+    resource: str = "cpu"
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+__all__ = [
+    "ACQUISITION_S",
+    "BOX_DRAWING_S",
+    "IMAGE_OUTPUT_S",
+    "CAMERA_ACCESS_S",
+    "LETTERBOXING_S",
+    "StageTime",
+]

@@ -1,0 +1,164 @@
+"""Operation-count accounting — Tables I and II.
+
+Table I lists the per-frame operations of every Tiny YOLO layer next to its
+Tincy YOLO counterpart; Table II breaks the dot-product workloads of three
+QNN applications into the aggressively quantized ("Reduced") and 8-bit
+parts.  Both are *derived* quantities here: the zoo builds the topologies,
+each layer reports its own operation count, and this module only arranges
+the rows.  The paper's published numbers are kept as constants so the test
+suite can assert digit-for-digit agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.nn.config import NetworkConfig
+from repro.nn.network import Network
+from repro.nn.zoo import cnv6_config, mlp4_config, tincy_yolo_config, tiny_yolo_config
+
+#: Table I as printed in the paper (layer number, type, Tiny ops, Tincy ops).
+PAPER_TABLE1: List[Tuple[int, str, int, Optional[int]]] = [
+    (1, "conv", 149_520_384, 37_380_096),
+    (2, "pool", 173_056, None),
+    (3, "conv", 398_721_024, 797_442_048),
+    (4, "pool", 43_264, 43_264),
+    (5, "conv", 398_721_024, 797_442_048),
+    (6, "pool", 10_816, 10_816),
+    (7, "conv", 398_721_024, 398_721_024),
+    (8, "pool", 2_704, 2_704),
+    (9, "conv", 398_721_024, 398_721_024),
+    (10, "pool", 676, 676),
+    (11, "conv", 398_721_024, 398_721_024),
+    (12, "pool", 676, 676),
+    (13, "conv", 1_594_884_096, 797_442_048),
+    (14, "conv", 3_189_768_192, 797_442_048),
+    (15, "conv", 43_264_000, 21_632_000),
+]
+
+PAPER_TABLE1_TOTALS = (6_971_272_984, 4_445_001_496)
+
+#: Table II: (reduced ops, regime, 8-bit ops) per application.
+PAPER_TABLE2: Dict[str, Tuple[int, str, int]] = {
+    "MLP-4": (5_820_416, "W1A1", 0),
+    "CNV-6": (115_812_352, "W1A1", 3_110_400),
+    "Tincy YOLO": (4_385_931_264, "W1A3", 59_012_096),
+}
+
+
+@dataclass
+class Table1Row:
+    layer: int
+    ltype: str
+    tiny_ops: int
+    tincy_ops: Optional[int]
+    note: str = ""
+
+
+@dataclass
+class DotProductWorkload:
+    """One Table II row: the dot-product ops of a QNN application."""
+
+    name: str
+    reduced_ops: int
+    regime: str
+    eightbit_ops: int
+
+    @property
+    def total_ops(self) -> int:
+        return self.reduced_ops + self.eightbit_ops
+
+
+def countable_layers(network: Network) -> List:
+    """The layers Table I counts: convolutions and pools, in order."""
+    return [
+        layer
+        for layer in network.layers
+        if layer.ltype in ("convolutional", "maxpool")
+    ]
+
+
+def table1_rows() -> List[Table1Row]:
+    """Regenerate Table I from the zoo topologies."""
+    tiny = Network(tiny_yolo_config())
+    tincy = Network(tincy_yolo_config())
+    tiny_layers = countable_layers(tiny)
+    tincy_layers = countable_layers(tincy)
+    rows: List[Table1Row] = []
+    tincy_cursor = 0
+    for number, layer in enumerate(tiny_layers, start=1):
+        tiny_ops = layer.workload().ops
+        if number == 2 and layer.ltype == "maxpool":
+            # Modification (d) removed this pool from Tincy YOLO.
+            rows.append(Table1Row(number, "pool", tiny_ops, None, "removed by (d)"))
+            continue
+        counterpart = tincy_layers[tincy_cursor]
+        tincy_cursor += 1
+        if counterpart.ltype != layer.ltype:
+            raise RuntimeError(
+                f"layer alignment broke at {number}: "
+                f"{layer.ltype} vs {counterpart.ltype}"
+            )
+        ltype = "conv" if layer.ltype == "convolutional" else "pool"
+        note = counterpart.workload().note
+        rows.append(
+            Table1Row(number, ltype, tiny_ops, counterpart.workload().ops, note)
+        )
+    return rows
+
+
+def table1_totals() -> Tuple[int, int]:
+    """The Σ row of Table I: (Tiny, Tincy) total ops per frame."""
+    rows = table1_rows()
+    tiny = sum(row.tiny_ops for row in rows)
+    tincy = sum(row.tincy_ops for row in rows if row.tincy_ops is not None)
+    return tiny, tincy
+
+
+def dot_product_workload(name: str, config: NetworkConfig) -> DotProductWorkload:
+    """Split a network's dot-product ops into reduced-precision and 8-bit.
+
+    Only multiply-accumulate layers count (Table II is about *dot-product*
+    workloads; pooling comparisons are excluded).  A layer is "reduced" when
+    its weights are binarized.
+    """
+    network = Network(config)
+    reduced = 0
+    eightbit = 0
+    regime = "W1A1"
+    for layer in network.layers:
+        if layer.ltype not in ("convolutional", "connected"):
+            continue
+        ops = layer.workload().ops
+        if getattr(layer, "binary", False):
+            reduced += ops
+            quant = getattr(layer, "out_quant", None)
+            if quant is not None and quant.bits > 1:
+                regime = f"W1A{quant.bits}"
+        else:
+            eightbit += ops
+    return DotProductWorkload(name, reduced, regime, eightbit)
+
+
+def table2_rows() -> List[DotProductWorkload]:
+    """Regenerate Table II from the zoo topologies."""
+    return [
+        dot_product_workload("MLP-4", mlp4_config()),
+        dot_product_workload("CNV-6", cnv6_config()),
+        dot_product_workload("Tincy YOLO", tincy_yolo_config()),
+    ]
+
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_TOTALS",
+    "PAPER_TABLE2",
+    "Table1Row",
+    "DotProductWorkload",
+    "countable_layers",
+    "table1_rows",
+    "table1_totals",
+    "dot_product_workload",
+    "table2_rows",
+]

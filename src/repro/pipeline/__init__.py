@@ -1,0 +1,40 @@
+"""The pipelined demo mode of §III-F (Fig. 5/6).
+
+Single-slot stage buffers (:mod:`repro.pipeline.buffers`), the
+most-mature-first no-overtake scheduler (:mod:`repro.pipeline.scheduler`),
+a deterministic discrete-event simulator for the timing experiments
+(:mod:`repro.pipeline.simulate`), a real worker-thread pool
+(:mod:`repro.pipeline.workers`) and the end-to-end demo assembly
+(:mod:`repro.pipeline.demo`).
+"""
+
+from repro.pipeline.buffers import StageBuffer
+from repro.pipeline.demo import DemoPayload, build_demo_stages, run_demo
+from repro.pipeline.scheduler import CPU, FABRIC, PipelineTopology, StageDescriptor
+from repro.pipeline.simulate import (
+    DEFAULT_JOB_OVERHEAD_S,
+    PipelineSimulator,
+    SimResult,
+    sequential_time,
+)
+from repro.pipeline.trace import PipelineTrace, TraceEntry, TracingSimulator
+from repro.pipeline.workers import ThreadedPipeline
+
+__all__ = [
+    "StageBuffer",
+    "StageDescriptor",
+    "PipelineTopology",
+    "CPU",
+    "FABRIC",
+    "PipelineSimulator",
+    "SimResult",
+    "sequential_time",
+    "DEFAULT_JOB_OVERHEAD_S",
+    "ThreadedPipeline",
+    "TracingSimulator",
+    "PipelineTrace",
+    "TraceEntry",
+    "DemoPayload",
+    "build_demo_stages",
+    "run_demo",
+]

@@ -1,0 +1,71 @@
+"""Single-slot stage buffers with the Fig. 6 synchronization states.
+
+Each pipeline stage owns an *output* buffer that oscillates between
+``free`` (the producer may start) and ``avail`` (the consumer may start).
+The producer of a buffer starts only when it is free and finishes by making
+it available; the consumer starts by taking the payload (making it free
+again) — exactly the hand-off drawn in Fig. 6.  Single-slot buffers plus
+the most-mature-first job selection are what "prevents that one frame
+overtakes another so that the correct video sequence is maintained".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class StageBuffer:
+    """One single-slot buffer between two pipeline stages."""
+
+    FREE = "free"
+    PRODUCING = "producing"
+    AVAIL = "avail"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._state = self.FREE
+        self._payload: Any = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def is_free(self) -> bool:
+        return self._state == self.FREE
+
+    def has_data(self) -> bool:
+        return self._state == self.AVAIL
+
+    def begin_produce(self) -> None:
+        """Producer claims the buffer (Fig. 6: producer starts when free)."""
+        if self._state != self.FREE:
+            raise RuntimeError(
+                f"buffer {self.name!r}: cannot produce while {self._state}"
+            )
+        self._state = self.PRODUCING
+
+    def finish_produce(self, payload: Any) -> None:
+        """Producer deposits the payload (buffer becomes available)."""
+        if self._state != self.PRODUCING:
+            raise RuntimeError(
+                f"buffer {self.name!r}: finish_produce while {self._state}"
+            )
+        self._payload = payload
+        self._state = self.AVAIL
+
+    def take(self) -> Any:
+        """Consumer removes the payload (buffer becomes free again)."""
+        if self._state != self.AVAIL:
+            raise RuntimeError(f"buffer {self.name!r}: take while {self._state}")
+        payload, self._payload = self._payload, None
+        self._state = self.FREE
+        return payload
+
+    def peek(self) -> Optional[Any]:
+        return self._payload if self._state == self.AVAIL else None
+
+    def __repr__(self) -> str:
+        return f"<StageBuffer {self.name!r} {self._state}>"
+
+
+__all__ = ["StageBuffer"]

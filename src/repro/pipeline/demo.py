@@ -1,0 +1,129 @@
+"""The re-implemented ``demo`` mode (Fig. 5).
+
+"Implementing the desired processing pipeline required a complete
+re-implementation of Darknet's demo mode ...  even the network inference
+(forward) pass had to be disintegrated to gain access to the invocations of
+the individual layers."
+
+:func:`build_demo_stages` performs that disintegration: the network's
+forward pass becomes one pipeline stage per layer (offload layers are
+tagged with the fabric resource so the scheduler serializes them), wrapped
+by the four extra stages of Fig. 5 — frame reading, letter boxing, object
+boxing and frame drawing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tensor import FeatureMap
+from repro.eval.boxes import Box, Detection, nms
+from repro.nn.layers.region import RegionLayer
+from repro.nn.network import Network
+from repro.pipeline.scheduler import CPU, FABRIC, StageDescriptor
+from repro.pipeline.workers import ThreadedPipeline
+from repro.video.draw import draw_detections
+from repro.video.letterbox import LetterboxGeometry, letterbox
+from repro.video.source import Frame
+
+
+@dataclass
+class DemoPayload:
+    """The object traveling through the demo pipeline, one per frame."""
+
+    frame: Frame
+    fm: Optional[FeatureMap] = None
+    geometry: Optional[LetterboxGeometry] = None
+    detections: List[Detection] = field(default_factory=list)
+    annotated: Optional[np.ndarray] = None
+
+
+def build_demo_stages(
+    network: Network,
+    camera,
+    sink,
+    detection_threshold: float = 0.24,
+    nms_threshold: float = 0.45,
+) -> List[StageDescriptor]:
+    """Fig. 5: ``#0 read, #1 letterbox, #2..N+1 layers, N+2 boxing, N+3 draw``."""
+    net_size = network.input_shape[1]
+    region = network.layers[-1]
+    if not isinstance(region, RegionLayer):
+        raise ValueError("the demo pipeline expects a region detection head")
+    if any(getattr(layer, "needs_history", False) for layer in network.layers):
+        raise ValueError(
+            "the per-layer demo pipeline cannot disintegrate networks with "
+            "backward-looking layers ([route]); Tiny/Tincy YOLO have none"
+        )
+
+    def read_frame(_ignored) -> DemoPayload:
+        return DemoPayload(frame=camera.capture())
+
+    def letter_boxing(payload: DemoPayload) -> DemoPayload:
+        boxed, geometry = letterbox(payload.frame.image, net_size)
+        payload.fm = FeatureMap(boxed.astype(np.float32))
+        payload.geometry = geometry
+        return payload
+
+    def make_layer_stage(layer):
+        def run_layer(payload: DemoPayload) -> DemoPayload:
+            payload.fm = layer.forward(payload.fm)
+            return payload
+
+        resource = FABRIC if layer.ltype == "offload" else CPU
+        return StageDescriptor(
+            name=f"L[{layer.ltype}]", work=run_layer, resource=resource
+        )
+
+    def object_boxing(payload: DemoPayload) -> DemoPayload:
+        raw = region.detections(payload.fm, threshold=detection_threshold)
+        kept = nms(raw, iou_threshold=nms_threshold)
+        payload.detections = [
+            Detection(
+                box=payload.geometry.net_box_to_frame(det.box),
+                class_id=det.class_id,
+                score=det.score,
+                objectness=det.objectness,
+            )
+            for det in kept
+        ]
+        payload.frame.detections = payload.detections
+        return payload
+
+    def frame_drawing(payload: DemoPayload) -> DemoPayload:
+        payload.annotated = draw_detections(
+            payload.frame.image, payload.detections, n_classes=region.classes
+        )
+        sink.emit(payload.annotated)
+        return payload
+
+    stages = [
+        StageDescriptor(name="#0 read-frame", work=read_frame),
+        StageDescriptor(name="#1 letter-boxing", work=letter_boxing),
+    ]
+    stages.extend(make_layer_stage(layer) for layer in network.layers)
+    stages.append(StageDescriptor(name="object-boxing", work=object_boxing))
+    stages.append(StageDescriptor(name="frame-drawing", work=frame_drawing))
+    return stages
+
+
+def run_demo(
+    network: Network,
+    camera,
+    sink,
+    n_frames: int,
+    workers: int = 4,
+    detection_threshold: float = 0.24,
+) -> List[DemoPayload]:
+    """Process *n_frames* through the threaded Fig. 5 pipeline."""
+    stages = build_demo_stages(
+        network, camera, sink, detection_threshold=detection_threshold
+    )
+    pipeline = ThreadedPipeline(stages, workers=workers)
+    return pipeline.process([None] * n_frames)
+
+
+__all__ = ["DemoPayload", "build_demo_stages", "run_demo"]

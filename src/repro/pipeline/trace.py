@@ -1,0 +1,179 @@
+"""Pipeline execution tracing and text Gantt rendering.
+
+The §III-F analysis lives and dies by *where the workers spend their
+time*: a traced simulation records every job (worker, stage, frame, start,
+end) and renders a per-worker timeline, making stalls — fabric contention,
+empty input buffers, the no-overtake discipline — visible in plain text.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.pipeline.scheduler import CPU, PipelineTopology, StageDescriptor
+from repro.pipeline.simulate import DEFAULT_JOB_OVERHEAD_S, _Event, _select_excluding
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed job."""
+
+    worker: int
+    stage: int
+    stage_name: str
+    frame: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class PipelineTrace:
+    entries: List[TraceEntry]
+    workers: int
+    total_time_s: float
+
+    def worker_entries(self, worker: int) -> List[TraceEntry]:
+        return sorted(
+            (e for e in self.entries if e.worker == worker),
+            key=lambda e: e.start_s,
+        )
+
+    def busy_fraction(self, worker: int) -> float:
+        busy = sum(e.duration_s for e in self.entries if e.worker == worker)
+        return busy / self.total_time_s if self.total_time_s else 0.0
+
+    def stage_occupancy(self) -> Dict[str, float]:
+        """Fraction of total wall time each stage kept *some* worker busy."""
+        byname: Dict[str, float] = {}
+        for entry in self.entries:
+            byname[entry.stage_name] = byname.get(entry.stage_name, 0.0) + (
+                entry.duration_s
+            )
+        return {
+            name: time / (self.total_time_s * self.workers)
+            for name, time in byname.items()
+        }
+
+    def render_gantt(self, width: int = 72, max_time_s: Optional[float] = None) -> str:
+        """Per-worker timeline; each job prints its stage index, idle is '.'"""
+        horizon = max_time_s if max_time_s is not None else self.total_time_s
+        if horizon <= 0:
+            return ""
+        lines = []
+        for worker in range(self.workers):
+            cells = ["."] * width
+            for entry in self.worker_entries(worker):
+                if entry.start_s >= horizon:
+                    continue
+                start = int(entry.start_s / horizon * width)
+                end = max(start + 1, int(min(entry.end_s, horizon) / horizon * width))
+                glyph = _stage_glyph(entry.stage)
+                for pos in range(start, min(end, width)):
+                    cells[pos] = glyph
+            lines.append(f"worker {worker}: " + "".join(cells))
+        return "\n".join(lines)
+
+
+def _stage_glyph(stage_index: int) -> str:
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    return glyphs[stage_index % len(glyphs)]
+
+
+class TracingSimulator:
+    """The discrete-event simulator, recording a full execution trace.
+
+    Same scheduling semantics as :class:`~repro.pipeline.simulate.
+    PipelineSimulator` (a shared topology/scheduler guarantees that); kept
+    separate so the fast path stays allocation-free.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageDescriptor],
+        workers: int = 4,
+        job_overhead_s: float = DEFAULT_JOB_OVERHEAD_S,
+    ) -> None:
+        self.stage_list = list(stages)
+        self.workers = workers
+        self.job_overhead_s = job_overhead_s
+
+    def run(self, n_frames: int = 50) -> PipelineTrace:
+        topology = PipelineTopology(self.stage_list)
+        n_stages = len(topology)
+        running: Set[int] = set()
+        busy_resources: Set[str] = set()
+        buffer_frame: Dict[int, int] = {}
+        next_input = 0
+        idle = list(range(self.workers))
+        events: List[_Event] = []
+        entries: List[TraceEntry] = []
+        seq = 0
+        now = 0.0
+        completed = 0
+
+        def dispatch() -> None:
+            nonlocal next_input, seq
+            while idle:
+                choice = topology.select_job(running, busy_resources)
+                if choice == 0 and next_input >= n_frames:
+                    choice = _select_excluding(
+                        topology, running, busy_resources, exclude={0}
+                    )
+                if choice is None:
+                    break
+                stage = topology.stages[choice]
+                if choice == 0:
+                    frame = next_input
+                    next_input += 1
+                else:
+                    frame = buffer_frame.pop(choice - 1)
+                    topology.buffers[choice - 1].take()
+                topology.buffers[choice].begin_produce()
+                running.add(choice)
+                if stage.resource != CPU:
+                    busy_resources.add(stage.resource)
+                worker = idle.pop(0)
+                duration = stage.duration_s + self.job_overhead_s
+                entries.append(
+                    TraceEntry(
+                        worker=worker,
+                        stage=choice,
+                        stage_name=stage.name,
+                        frame=frame,
+                        start_s=now,
+                        end_s=now + duration,
+                    )
+                )
+                seq += 1
+                heapq.heappush(
+                    events, _Event(now + duration, seq, worker, choice, frame)
+                )
+
+        dispatch()
+        while events:
+            event = heapq.heappop(events)
+            now = event.time
+            stage = topology.stages[event.stage]
+            running.discard(event.stage)
+            if stage.resource != CPU:
+                busy_resources.discard(stage.resource)
+            topology.buffers[event.stage].finish_produce(event.frame)
+            buffer_frame[event.stage] = event.frame
+            idle.append(event.worker)
+            idle.sort()
+            if event.stage == n_stages - 1:
+                topology.buffers[event.stage].take()
+                buffer_frame.pop(event.stage)
+                completed += 1
+            dispatch()
+
+        return PipelineTrace(entries=entries, workers=self.workers, total_time_s=now)
+
+
+__all__ = ["TraceEntry", "PipelineTrace", "TracingSimulator"]

@@ -1,0 +1,71 @@
+"""Quantization-aware training: backprop primitives, trainable layers with
+straight-through estimators, losses, optimizers, the mini Tiny/Tincy YOLO
+model family and the Table IV retraining protocol."""
+
+from repro.train.layers import (
+    ActQuant,
+    Activation,
+    BatchNorm2d,
+    MaxPool2d,
+    Module,
+    Param,
+    QConv2d,
+    Sequential,
+)
+from repro.train.classify import (
+    ClassifierResult,
+    binarize_images,
+    evaluate_classifier,
+    mini_mlp,
+    train_classifier,
+)
+from repro.train.dense_layers import BatchNorm1d, Flatten, QLinear, SignActivation
+from repro.train.loss import DetectionLoss, cross_entropy, decode_grid_predictions
+from repro.train.models import VARIANTS, MiniYolo, mini_yolo
+from repro.train.augment import AugmentConfig, augment_sample
+from repro.train.optimizer import SGD, Adam
+from repro.train.schedule import burn_in, constant, cosine, step_decay
+from repro.train.trainer import (
+    TrainConfig,
+    TrainResult,
+    table4_protocol,
+    train_detector,
+)
+
+__all__ = [
+    "Param",
+    "Module",
+    "QConv2d",
+    "BatchNorm2d",
+    "Activation",
+    "ActQuant",
+    "MaxPool2d",
+    "Sequential",
+    "DetectionLoss",
+    "decode_grid_predictions",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "VARIANTS",
+    "MiniYolo",
+    "mini_yolo",
+    "TrainConfig",
+    "TrainResult",
+    "train_detector",
+    "table4_protocol",
+    "Flatten",
+    "QLinear",
+    "BatchNorm1d",
+    "SignActivation",
+    "mini_mlp",
+    "ClassifierResult",
+    "binarize_images",
+    "train_classifier",
+    "evaluate_classifier",
+    "AugmentConfig",
+    "augment_sample",
+    "constant",
+    "burn_in",
+    "step_decay",
+    "cosine",
+]

@@ -1,0 +1,113 @@
+"""Training-time data augmentation (Darknet's detection recipe, scaled down).
+
+Darknet trains its detectors with random horizontal flips, exposure /
+saturation jitter and small translations; the paper's retraining inherits
+that recipe.  We implement the subset that matters for the synthetic
+shapes task — flip, brightness/contrast jitter, channel (saturation-like)
+jitter and integer translation — with exact ground-truth box transforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.eval.boxes import Box, GroundTruth
+
+
+@dataclass
+class AugmentConfig:
+    flip_probability: float = 0.5
+    brightness: float = 0.15       # additive jitter amplitude
+    contrast: float = 0.15         # multiplicative jitter amplitude
+    channel_jitter: float = 0.10   # per-channel gain (saturation-ish)
+    max_shift: int = 3             # translation in pixels
+
+
+def flip_horizontal(
+    image: np.ndarray, truths: List[GroundTruth]
+) -> Tuple[np.ndarray, List[GroundTruth]]:
+    """Mirror image and boxes about the vertical axis."""
+    flipped = image[:, :, ::-1].copy()
+    new_truths = [
+        GroundTruth(t.class_id, Box(1.0 - t.box.x, t.box.y, t.box.w, t.box.h))
+        for t in truths
+    ]
+    return flipped, new_truths
+
+
+def jitter_colors(
+    image: np.ndarray, rng: np.random.Generator, config: AugmentConfig
+) -> np.ndarray:
+    """Brightness / contrast / per-channel gain jitter, clipped to [0, 1]."""
+    contrast = 1.0 + rng.uniform(-config.contrast, config.contrast)
+    brightness = rng.uniform(-config.brightness, config.brightness)
+    gains = 1.0 + rng.uniform(
+        -config.channel_jitter, config.channel_jitter, size=(image.shape[0], 1, 1)
+    )
+    jittered = image * contrast * gains + brightness
+    return np.clip(jittered, 0.0, 1.0).astype(np.float32)
+
+
+def shift_image(
+    image: np.ndarray,
+    truths: List[GroundTruth],
+    dy: int,
+    dx: int,
+    fill: float = 0.5,
+) -> Tuple[np.ndarray, List[GroundTruth]]:
+    """Translate by whole pixels; boxes shift and clip, empties drop."""
+    c, h, w = image.shape
+    shifted = np.full_like(image, fill)
+    src_y = slice(max(0, -dy), min(h, h - dy))
+    src_x = slice(max(0, -dx), min(w, w - dx))
+    dst_y = slice(max(0, dy), min(h, h + dy))
+    dst_x = slice(max(0, dx), min(w, w + dx))
+    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+
+    new_truths: List[GroundTruth] = []
+    for t in truths:
+        left = np.clip(t.box.left + dx / w, 0.0, 1.0)
+        right = np.clip(t.box.right + dx / w, 0.0, 1.0)
+        top = np.clip(t.box.top + dy / h, 0.0, 1.0)
+        bottom = np.clip(t.box.bottom + dy / h, 0.0, 1.0)
+        bw, bh = right - left, bottom - top
+        if bw <= 1.0 / w or bh <= 1.0 / h:
+            continue  # shifted out of the frame
+        new_truths.append(
+            GroundTruth(
+                t.class_id,
+                Box((left + right) / 2, (top + bottom) / 2, bw, bh),
+            )
+        )
+    return shifted, new_truths
+
+
+def augment_sample(
+    image: np.ndarray,
+    truths: List[GroundTruth],
+    rng: np.random.Generator,
+    config: AugmentConfig = None,
+) -> Tuple[np.ndarray, List[GroundTruth]]:
+    """Apply the full augmentation chain to one training sample."""
+    config = config or AugmentConfig()
+    if rng.uniform() < config.flip_probability:
+        image, truths = flip_horizontal(image, truths)
+    if config.max_shift > 0:
+        dy = int(rng.integers(-config.max_shift, config.max_shift + 1))
+        dx = int(rng.integers(-config.max_shift, config.max_shift + 1))
+        if dy or dx:
+            image, truths = shift_image(image, truths, dy, dx)
+    image = jitter_colors(image, rng, config)
+    return image, truths
+
+
+__all__ = [
+    "AugmentConfig",
+    "flip_horizontal",
+    "jitter_colors",
+    "shift_image",
+    "augment_sample",
+]

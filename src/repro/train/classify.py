@@ -1,0 +1,127 @@
+"""Classifier training: the scaled-down MLP-4 / CNV-6 show cases.
+
+The Table II networks are classifiers; these helpers train miniature
+versions on the synthetic glyph datasets so the W1A1 regime is exercised
+end to end — including the export path onto the simulated FINN fabric
+(see ``tests/test_finn_dense.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.data.classify import GlyphClassificationDataset
+from repro.train.dense_layers import BatchNorm1d, Flatten, QLinear, SignActivation
+from repro.train.layers import Module, Sequential
+from repro.train.loss import cross_entropy
+from repro.train.optimizer import Adam
+
+
+def mini_mlp(
+    input_features: int = 784,
+    hidden: int = 64,
+    n_hidden_layers: int = 3,
+    n_classes: int = 10,
+    binary: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """A scaled-down MLP-4: ``in -> hidden^k -> classes``.
+
+    With ``binary=True`` every layer is W1A1 (binarized weights, sign
+    activations, batch norm) — the structure of FINN's MNIST network.
+    The input is consumed as ``2*x - 1`` style bipolar values by virtue of
+    the first sign activation being *absent*: like the original, the first
+    matrix multiplies the (thresholded) image directly.
+    """
+    rng = np.random.default_rng(seed)
+    modules: List[Module] = [Flatten()]
+    features = input_features
+    for _ in range(n_hidden_layers):
+        modules.append(QLinear(features, hidden, binary=binary, bias=False, rng=rng))
+        modules.append(BatchNorm1d(hidden))
+        modules.append(SignActivation() if binary else _Relu1d())
+        features = hidden
+    modules.append(QLinear(features, n_classes, binary=binary, rng=rng))
+    return Sequential(*modules)
+
+
+class _Relu1d(Module):
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+@dataclass
+class ClassifierResult:
+    losses: List[float]
+    accuracy: float
+
+
+def binarize_images(images: np.ndarray) -> np.ndarray:
+    """FINN-style input binarization: pixels to ``{-1, +1}`` at 0.5."""
+    return np.where(images >= 0.5, 1.0, -1.0).astype(np.float32)
+
+
+def train_classifier(
+    model: Sequential,
+    dataset: GlyphClassificationDataset,
+    steps: int = 200,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    eval_samples: int = 200,
+    binarize_input: bool = True,
+) -> ClassifierResult:
+    """Deterministic training run; evaluates on a held-out index block."""
+    optimizer = Adam(model.params(), lr=lr)
+    losses: List[float] = []
+    cursor = 0
+    for _ in range(steps):
+        images, labels = dataset.batch(cursor, batch_size)
+        cursor += batch_size
+        if binarize_input:
+            images = binarize_images(images)
+        logits = model.forward(images, training=True)
+        loss, grad = cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        model.backward(grad)
+        optimizer.step()
+        losses.append(loss)
+    accuracy = evaluate_classifier(
+        model, dataset, start=cursor, count=eval_samples,
+        binarize_input=binarize_input,
+    )
+    return ClassifierResult(losses=losses, accuracy=accuracy)
+
+
+def evaluate_classifier(
+    model: Sequential,
+    dataset: GlyphClassificationDataset,
+    start: int,
+    count: int,
+    binarize_input: bool = True,
+) -> float:
+    """Top-1 accuracy on ``count`` held-out samples starting at ``start``."""
+    images, labels = dataset.batch(start, count)
+    if binarize_input:
+        images = binarize_images(images)
+    logits = model.forward(images, training=False)
+    predictions = logits.argmax(axis=1)
+    return float(np.mean(predictions == labels))
+
+
+__all__ = [
+    "mini_mlp",
+    "ClassifierResult",
+    "binarize_images",
+    "train_classifier",
+    "evaluate_classifier",
+]

@@ -1,0 +1,147 @@
+"""Trainable dense modules for the W1A1 classifiers (MLP-4 / CNV-6 tails).
+
+BinaryNet-style building blocks: a (optionally binarized) linear layer,
+1-D batch norm, and the sign activation with the hard-tanh straight-through
+estimator — the exact training recipe of Hubara et al. [8] that FINN's
+show-case networks use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.train.layers import Module, Param
+
+
+class Flatten(Module):
+    """(N, C, H, W) -> (N, C*H*W)."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class QLinear(Module):
+    """Dense layer with optional binary-weight QAT."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        binary: bool = False,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Param(
+            rng.normal(0, scale, size=(out_features, in_features)).astype(np.float32),
+            name="weight",
+        )
+        self.bias = (
+            Param(np.zeros(out_features, dtype=np.float32), name="bias")
+            if bias
+            else None
+        )
+        self.binary = binary
+        self._x = None
+        self._w_eff = None
+        self._ste_mask = None
+
+    def effective_weights(self) -> np.ndarray:
+        if not self.binary:
+            return self.weight.value
+        return np.where(self.weight.value >= 0, 1.0, -1.0).astype(np.float32)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._x = x
+        self._w_eff = self.effective_weights()
+        if self.binary:
+            self._ste_mask = (np.abs(self.weight.value) <= 1.0).astype(np.float32)
+        y = x @ self._w_eff.T
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y.astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_w = grad.T @ self._x
+        if self.binary:
+            grad_w = grad_w * self._ste_mask
+        self.weight.grad += grad_w
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return (grad @ self._w_eff).astype(np.float32)
+
+    def params(self) -> List[Param]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class BatchNorm1d(Module):
+    """Per-feature batch norm over a (N, F) batch, with running stats."""
+
+    def __init__(self, features: int, momentum: float = 0.1, eps: float = 1e-5):
+        self.gamma = Param(np.ones(features, dtype=np.float32), name="gamma")
+        self.beta = Param(np.zeros(features, dtype=np.float32), name="beta")
+        self.running_mean = np.zeros(features, dtype=np.float32)
+        self.running_var = np.ones(features, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean) * inv_std
+            self._cache = (x_hat, inv_std)
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+            return (self.gamma.value * x_hat + self.beta.value).astype(np.float32)
+        inv = self.gamma.value / np.sqrt(self.running_var + self.eps)
+        return (inv * (x - self.running_mean) + self.beta.value).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        m = grad.shape[0]
+        self.gamma.grad += (grad * x_hat).sum(axis=0)
+        self.beta.grad += grad.sum(axis=0)
+        grad_xhat = grad * self.gamma.value
+        grad_x = (
+            inv_std
+            / m
+            * (
+                m * grad_xhat
+                - grad_xhat.sum(axis=0)
+                - x_hat * (grad_xhat * x_hat).sum(axis=0)
+            )
+        )
+        return grad_x.astype(np.float32)
+
+    def params(self) -> List[Param]:
+        return [self.gamma, self.beta]
+
+
+class SignActivation(Module):
+    """Binary activation with the hard-tanh STE (BinaryNet)."""
+
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = (np.abs(x) <= 1.0).astype(np.float32)
+        return np.where(x >= 0, 1.0, -1.0).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+__all__ = ["Flatten", "QLinear", "BatchNorm1d", "SignActivation"]

@@ -1,0 +1,190 @@
+"""Batched forward/backward primitives for training.
+
+The paper retrains its networks on GPUs with Darknet; offline we need our
+own backpropagation.  These functions operate on ``(N, C, H, W)`` batches
+and return the caches their ``*_backward`` counterparts consume.  All
+gradients are checked against finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.im2col import col2im, im2col
+from repro.core.tensor import conv_output_size, pool_output_size
+
+
+def conv_forward(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray, stride: int, pad: int
+) -> Tuple[np.ndarray, tuple]:
+    """Batched convolution; returns ``(y, cache)``."""
+    n, c, h, w = x.shape
+    f, c2, k, _ = weights.shape
+    if c != c2:
+        raise ValueError(f"input has {c} channels, weights expect {c2}")
+    out_h = conv_output_size(h, k, stride, pad)
+    out_w = conv_output_size(w, k, stride, pad)
+    cols = np.stack([im2col(x[i], k, stride, pad) for i in range(n)])
+    flat = weights.reshape(f, -1)
+    y = np.einsum("fk,nkp->nfp", flat, cols).reshape(n, f, out_h, out_w)
+    if bias is not None:
+        y = y + bias.reshape(1, f, 1, 1)
+    cache = (cols, x.shape, weights.shape, stride, pad)
+    out_dtype = np.result_type(x.dtype, weights.dtype, np.float32)
+    return y.astype(out_dtype), cache
+
+
+def conv_backward(
+    grad_y: np.ndarray, weights: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients wrt input, weights and bias."""
+    cols, x_shape, w_shape, stride, pad = cache
+    n, f = grad_y.shape[:2]
+    grad_flat = grad_y.reshape(n, f, -1)
+    grad_w = np.einsum("nfp,nkp->fk", grad_flat, cols).reshape(w_shape)
+    grad_b = grad_y.sum(axis=(0, 2, 3))
+    flat = weights.reshape(f, -1)
+    grad_cols = np.einsum("fk,nfp->nkp", flat, grad_flat)
+    k = w_shape[2]
+    grad_x = np.stack(
+        [
+            col2im(grad_cols[i], x_shape[1:], k, stride, pad)
+            for i in range(n)
+        ]
+    )
+    dtype = np.result_type(grad_y.dtype, weights.dtype, np.float32)
+    return grad_x.astype(dtype), grad_w.astype(dtype), grad_b.astype(dtype)
+
+
+def maxpool_forward(
+    x: np.ndarray, ksize: int, stride: int, padding: int = None
+) -> Tuple[np.ndarray, tuple]:
+    """Batched Darknet-style maxpool; returns ``(y, cache)``."""
+    if padding is None:
+        padding = ksize - 1
+    n, c, h, w = x.shape
+    out_h = pool_output_size(h, ksize, stride, padding)
+    out_w = pool_output_size(w, ksize, stride, padding)
+    pad_before = padding // 2
+    padded = np.full((n, c, h + padding, w + padding), -np.inf, dtype=np.float64)
+    padded[:, :, pad_before : pad_before + h, pad_before : pad_before + w] = x
+    s0, s1, s2, s3 = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, out_h, out_w, ksize, ksize),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, ksize * ksize)
+    arg = flat.argmax(axis=4)
+    y = np.take_along_axis(flat, arg[..., None], axis=4)[..., 0]
+    cache = (arg, x.shape, ksize, stride, padding)
+    return y.astype(x.dtype), cache
+
+
+def maxpool_backward(grad_y: np.ndarray, cache: tuple) -> np.ndarray:
+    """Scatter gradients to the argmax positions recorded in the cache."""
+    arg, x_shape, ksize, stride, padding = cache
+    n, c, h, w = x_shape
+    out_h, out_w = grad_y.shape[2:]
+    pad_before = padding // 2
+    grad_padded = np.zeros((n, c, h + padding, w + padding), dtype=np.float64)
+    ky = arg // ksize
+    kx = arg % ksize
+    oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    ys = oy[None, None] * stride + ky
+    xs = ox[None, None] * stride + kx
+    ns, cs = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+    np.add.at(
+        grad_padded,
+        (
+            ns[..., None, None].repeat(out_h, 2).repeat(out_w, 3),
+            cs[..., None, None].repeat(out_h, 2).repeat(out_w, 3),
+            ys,
+            xs,
+        ),
+        grad_y,
+    )
+    return grad_padded[
+        :, :, pad_before : pad_before + h, pad_before : pad_before + w
+    ].astype(grad_y.dtype)
+
+
+def batchnorm_forward(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> Tuple[np.ndarray, tuple]:
+    """Training-mode batch norm over ``(N, H, W)`` per channel."""
+    axes = (0, 2, 3)
+    mean = x.mean(axis=axes)
+    var = x.var(axis=axes)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+    y = gamma.reshape(1, -1, 1, 1) * x_hat + beta.reshape(1, -1, 1, 1)
+    cache = (x_hat, inv_std, gamma)
+    return y.astype(np.result_type(x.dtype, np.float32)), cache, mean, var
+
+
+def batchnorm_backward(
+    grad_y: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients wrt input, gamma and beta (standard BN backward)."""
+    x_hat, inv_std, gamma = cache
+    axes = (0, 2, 3)
+    m = grad_y.shape[0] * grad_y.shape[2] * grad_y.shape[3]
+    grad_gamma = (grad_y * x_hat).sum(axis=axes)
+    grad_beta = grad_y.sum(axis=axes)
+    grad_xhat = grad_y * gamma.reshape(1, -1, 1, 1)
+    grad_x = (
+        inv_std.reshape(1, -1, 1, 1)
+        / m
+        * (
+            m * grad_xhat
+            - grad_xhat.sum(axis=axes).reshape(1, -1, 1, 1)
+            - x_hat * (grad_xhat * x_hat).sum(axis=axes).reshape(1, -1, 1, 1)
+        )
+    )
+    dtype = np.result_type(grad_y.dtype, np.float32)
+    return grad_x.astype(dtype), grad_gamma.astype(dtype), grad_beta.astype(dtype)
+
+
+def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU returning ``(y, mask)`` for the backward pass."""
+    mask = x > 0
+    return x * mask, mask
+
+
+def relu_backward(grad_y: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Gate gradients by the forward mask."""
+    return grad_y * mask
+
+
+def leaky_forward(x: np.ndarray, slope: float = 0.1) -> Tuple[np.ndarray, np.ndarray]:
+    """Leaky ReLU returning ``(y, mask)`` for the backward pass."""
+    mask = x > 0
+    return np.where(mask, x, slope * x), mask
+
+
+def leaky_backward(
+    grad_y: np.ndarray, mask: np.ndarray, slope: float = 0.1
+) -> np.ndarray:
+    """Gradient of the leaky ReLU (``slope`` on the negative side)."""
+    return np.where(mask, grad_y, slope * grad_y)
+
+
+__all__ = [
+    "conv_forward",
+    "conv_backward",
+    "maxpool_forward",
+    "maxpool_backward",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "relu_forward",
+    "relu_backward",
+    "leaky_forward",
+    "leaky_backward",
+]

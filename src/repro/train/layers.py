@@ -1,0 +1,249 @@
+"""Trainable layer modules with quantization-aware training (QAT).
+
+Each module owns its parameters and gradients and implements
+``forward(x, training)`` / ``backward(grad)``.  Quantizers apply in the
+forward pass with straight-through-estimator gradients — the standard
+BinaryNet/FINN recipe that lets the paper "recuperate loss of accuracy
+through quantization" by retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.quantize import UnsignedUniformQuantizer
+from repro.train import functional as F
+
+
+@dataclass
+class Param:
+    """One trainable tensor with its gradient accumulator."""
+
+    value: np.ndarray
+    grad: np.ndarray = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Module:
+    """Minimal trainable-module interface."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> List[Param]:
+        return []
+
+
+class QConv2d(Module):
+    """Convolution with optional binary-weight QAT (``binary=True``)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        ksize: int = 3,
+        stride: int = 1,
+        pad: int = None,
+        binary: bool = False,
+        ternary: bool = False,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if pad is None:
+            pad = ksize // 2
+        if binary and ternary:
+            raise ValueError("binary and ternary are mutually exclusive")
+        fan_in = in_channels * ksize * ksize
+        self.weight = Param(
+            (rng.normal(0, np.sqrt(2.0 / fan_in),
+                        size=(out_channels, in_channels, ksize, ksize))
+             ).astype(np.float32),
+            name="weight",
+        )
+        self.bias = (
+            Param(np.zeros(out_channels, dtype=np.float32), name="bias")
+            if bias
+            else None
+        )
+        self.stride = stride
+        self.pad = pad
+        self.binary = binary
+        self.ternary = ternary
+        self._cache = None
+        self._ste_mask = None
+
+    def effective_weights(self) -> np.ndarray:
+        if self.binary:
+            return np.where(self.weight.value >= 0, 1.0, -1.0).astype(np.float32)
+        if self.ternary:
+            from repro.core.quantize import TernaryQuantizer
+
+            return TernaryQuantizer.from_weights(self.weight.value).quantize(
+                self.weight.value
+            )
+        return self.weight.value
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        w_eff = self.effective_weights()
+        if self.binary or self.ternary:
+            self._ste_mask = (np.abs(self.weight.value) <= 1.0).astype(np.float32)
+        bias = self.bias.value if self.bias is not None else None
+        y, self._cache = F.conv_forward(x, w_eff, bias, self.stride, self.pad)
+        self._w_eff = w_eff
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_x, grad_w, grad_b = F.conv_backward(grad, self._w_eff, self._cache)
+        if self.binary or self.ternary:
+            grad_w = grad_w * self._ste_mask  # clipped straight-through
+        self.weight.grad += grad_w
+        if self.bias is not None:
+            self.bias.grad += grad_b
+        return grad_x
+
+    def params(self) -> List[Param]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch norm with running statistics for inference."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        self.gamma = Param(np.ones(channels, dtype=np.float32), name="gamma")
+        self.beta = Param(np.zeros(channels, dtype=np.float32), name="beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            y, self._cache, mean, var = F.batchnorm_forward(
+                x, self.gamma.value, self.beta.value, eps=self.eps
+            )
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+            return y
+        inv = self.gamma.value / np.sqrt(self.running_var + self.eps)
+        return (
+            inv.reshape(1, -1, 1, 1) * (x - self.running_mean.reshape(1, -1, 1, 1))
+            + self.beta.value.reshape(1, -1, 1, 1)
+        ).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(grad, self._cache)
+        self.gamma.grad += grad_gamma
+        self.beta.grad += grad_beta
+        return grad_x
+
+    def params(self) -> List[Param]:
+        return [self.gamma, self.beta]
+
+
+class Activation(Module):
+    """ReLU or leaky ReLU (modification (a) toggles between them)."""
+
+    def __init__(self, kind: str = "leaky"):
+        if kind not in ("relu", "leaky", "linear"):
+            raise ValueError(f"unknown activation '{kind}'")
+        self.kind = kind
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if self.kind == "linear":
+            return x
+        if self.kind == "relu":
+            y, self._mask = F.relu_forward(x)
+            return y
+        y, self._mask = F.leaky_forward(x)
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self.kind == "linear":
+            return grad
+        if self.kind == "relu":
+            return F.relu_backward(grad, self._mask)
+        return F.leaky_backward(grad, self._mask)
+
+
+class ActQuant(Module):
+    """Fake-quantization of activations to n-bit unsigned levels (STE)."""
+
+    def __init__(self, bits: int = 3, scale: float = None):
+        if scale is None:
+            scale = 1.0 / ((1 << bits) - 1)
+        self.quantizer = UnsignedUniformQuantizer(bits=bits, scale=scale)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = self.quantizer.ste_mask(x)
+        return self.quantizer.quantize(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool2d(Module):
+    """Trainable-graph max pooling (darknet-padded) with argmax backward."""
+
+    def __init__(self, ksize: int = 2, stride: int = 2):
+        self.ksize = ksize
+        self.stride = stride
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y, self._cache = F.maxpool_forward(x, self.ksize, self.stride)
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return F.maxpool_backward(grad, self._cache)
+
+
+class Sequential(Module):
+    """A plain layer stack."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+    def params(self) -> List[Param]:
+        collected: List[Param] = []
+        for module in self.modules:
+            collected.extend(module.params())
+        return collected
+
+
+__all__ = [
+    "Param",
+    "Module",
+    "QConv2d",
+    "BatchNorm2d",
+    "Activation",
+    "ActQuant",
+    "MaxPool2d",
+    "Sequential",
+]

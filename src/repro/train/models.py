@@ -1,0 +1,144 @@
+"""Scaled-down Tiny/Tincy YOLO models for the Table IV retraining study.
+
+Full-size training on Pascal VOC is GPU-scale work; what Table IV actually
+demonstrates is *relative*: W1A3 quantization costs accuracy even after
+retraining, and the topology modifications (a)-(d) are roughly accuracy-
+neutral.  The :func:`mini_yolo` family mirrors the structure of the real
+networks — a quantization-sensitive input convolution, binarized hidden
+convolutions with 3-bit feature maps, a float output head — at a size that
+trains in seconds on a laptop, and exposes the same (a)-(d) transforms:
+
+* ``mini-tiny``      — leaky ReLU, float everywhere (the Tiny YOLO column);
+* ``mini-tiny+a``    — ReLU + W1A3 hidden layers;
+* ``mini-tiny+abc``  — + widened layer 2, narrowed deep layers;
+* ``mini-tincy``     — + stride-2 input conv replacing the first pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.eval.boxes import Detection, GroundTruth
+from repro.eval.metrics import ImageEval, MAPResult, evaluate_map
+from repro.train.layers import (
+    Activation,
+    ActQuant,
+    BatchNorm2d,
+    MaxPool2d,
+    Module,
+    Param,
+    QConv2d,
+    Sequential,
+)
+from repro.train.loss import DetectionLoss, decode_grid_predictions
+
+VARIANTS = ("mini-tiny", "mini-tiny+a", "mini-tiny+abc", "mini-tincy")
+
+
+def _block(
+    in_ch: int,
+    out_ch: int,
+    activation: str,
+    binary: bool,
+    act_bits: int,
+    rng: np.random.Generator,
+    stride: int = 1,
+) -> List[Module]:
+    layers: List[Module] = [
+        QConv2d(in_ch, out_ch, ksize=3, stride=stride, binary=binary,
+                bias=False, rng=rng),
+        BatchNorm2d(out_ch),
+        Activation(activation),
+    ]
+    if act_bits:
+        layers.append(ActQuant(bits=act_bits))
+    return layers
+
+
+@dataclass
+class MiniYolo:
+    """A grid detector: backbone + 1x1 head over an ``S x S`` grid."""
+
+    network: Sequential
+    grid: int
+    n_classes: int
+    variant: str
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.network.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad)
+
+    def params(self) -> List[Param]:
+        return self.network.params()
+
+    def detect(self, image: np.ndarray, threshold: float = 0.3) -> List[Detection]:
+        preds = self.forward(image[None], training=False)[0]
+        from repro.eval.boxes import nms
+
+        return nms(decode_grid_predictions(preds, self.n_classes, threshold))
+
+    def evaluate(
+        self,
+        samples: Sequence,
+        threshold: float = 0.05,
+        method: str = "11pt",
+    ) -> MAPResult:
+        images = []
+        for image, truths in samples:
+            detections = self.detect(image, threshold=threshold)
+            images.append(ImageEval(detections=detections, truths=truths))
+        return evaluate_map(images, n_classes=self.n_classes, method=method)
+
+
+def mini_yolo(
+    variant: str,
+    n_classes: int,
+    input_size: int = 48,
+    seed: int = 0,
+) -> MiniYolo:
+    """Build one of the four Table IV mini variants."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant '{variant}' (choose from {VARIANTS})")
+    rng = np.random.default_rng(seed)
+    has_a = variant != "mini-tiny"
+    has_bc = variant in ("mini-tiny+abc", "mini-tincy")
+    has_d = variant == "mini-tincy"
+
+    activation = "relu" if has_a else "leaky"
+    hidden_bits = 3 if has_a else 0
+    hidden_binary = has_a
+    width2 = 32 if has_bc else 16       # modification (b): widen layer 2
+    width4 = 32 if has_bc else 64       # modification (c): narrow deep layer
+
+    layers: List[Module] = []
+    # Input convolution: quantization sensitive, never binarized (§III-A).
+    if has_d:
+        layers += _block(3, 8, activation, False, hidden_bits, rng, stride=2)
+    else:
+        layers += _block(3, 8, activation, False, hidden_bits, rng, stride=1)
+        layers.append(MaxPool2d(2, 2))
+    # Hidden convolutions: the W1A3 regime when quantized.
+    layers += _block(8, width2, activation, hidden_binary, hidden_bits, rng)
+    layers.append(MaxPool2d(2, 2))
+    layers += _block(width2, 32, activation, hidden_binary, hidden_bits, rng)
+    layers.append(MaxPool2d(2, 2))
+    layers += _block(32, width4, activation, hidden_binary, hidden_bits, rng)
+    # Output head: float 1x1 convolution (quantization sensitive).
+    layers.append(
+        QConv2d(width4, 5 + n_classes, ksize=1, pad=0, binary=False, rng=rng)
+    )
+    grid = input_size // 8
+    return MiniYolo(
+        network=Sequential(*layers),
+        grid=grid,
+        n_classes=n_classes,
+        variant=variant,
+    )
+
+
+__all__ = ["VARIANTS", "MiniYolo", "mini_yolo"]

@@ -1,0 +1,83 @@
+"""Optimizers: SGD with momentum (Darknet's) and Adam."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.train.layers import Param
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum and decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Param],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.value) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.value += velocity
+
+
+class Adam:
+    """Adam with bias correction — robust for the short QAT runs."""
+
+    def __init__(
+        self,
+        params: Sequence[Param],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            param.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+__all__ = ["SGD", "Adam"]

@@ -1,0 +1,70 @@
+"""Learning-rate schedules — Darknet's training policies.
+
+Darknet's cfg supports ``policy=steps`` with burn-in; we implement the
+ones the YOLO family actually trains with (constant, step decay with
+burn-in, cosine) as plain callables ``step -> lr`` so any optimizer can
+consume them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+Schedule = Callable[[int], float]
+
+
+def constant(lr: float) -> Schedule:
+    """A fixed learning rate (``policy=constant``)."""
+
+    def schedule(step: int) -> float:
+        return lr
+
+    return schedule
+
+
+def burn_in(base: Schedule, steps: int, power: float = 4.0) -> Schedule:
+    """Darknet's warm-up: lr * (step/burn_in)**power until *steps*."""
+    if steps < 0:
+        raise ValueError("burn-in steps must be non-negative")
+
+    def schedule(step: int) -> float:
+        if steps and step < steps:
+            return base(step) * (step / steps) ** power
+        return base(step)
+
+    return schedule
+
+
+def step_decay(
+    lr: float, milestones: Sequence[Tuple[int, float]]
+) -> Schedule:
+    """``policy=steps``: multiply by each scale once its step is reached.
+
+    ``milestones`` is a sequence of ``(step, scale)`` pairs, ascending.
+    """
+    ordered = sorted(milestones)
+
+    def schedule(step: int) -> float:
+        value = lr
+        for milestone, scale in ordered:
+            if step >= milestone:
+                value *= scale
+        return value
+
+    return schedule
+
+
+def cosine(lr: float, total_steps: int, floor: float = 0.0) -> Schedule:
+    """Cosine annealing from *lr* to *floor* over *total_steps*."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+
+    def schedule(step: int) -> float:
+        progress = min(max(step / total_steps, 0.0), 1.0)
+        return floor + (lr - floor) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+__all__ = ["Schedule", "constant", "burn_in", "step_decay", "cosine"]

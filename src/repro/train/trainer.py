@@ -1,0 +1,132 @@
+"""Training loops: float pre-training and quantization-aware retraining.
+
+The paper's flow (§I, §III-E): train in float, quantize, then *retrain* to
+recuperate the accuracy loss.  :func:`train_detector` runs one (seeded,
+deterministic) optimization; :func:`table4_protocol` packages the exact
+procedure the Table IV benchmark uses for every variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.shapes import ShapesDetectionDataset
+from repro.eval.metrics import MAPResult
+from repro.train.loss import DetectionLoss
+from repro.train.models import MiniYolo, mini_yolo
+from repro.train.optimizer import Adam
+
+
+@dataclass
+class TrainConfig:
+    steps: int = 300
+    batch_size: int = 8
+    lr: float = 2e-3
+    eval_samples: int = 64
+    detection_threshold: float = 0.05
+    log_every: int = 0  # 0 = silent
+    #: apply the Darknet-style augmentation chain to training samples
+    augment: bool = False
+    augment_seed: int = 0
+    #: optional learning-rate schedule (step -> lr); overrides ``lr``
+    lr_schedule: Optional[Callable[[int], float]] = None
+
+
+@dataclass
+class TrainResult:
+    losses: List[float]
+    final_map: MAPResult
+
+    @property
+    def map_percent(self) -> float:
+        return self.final_map.map_percent
+
+
+def train_detector(
+    model: MiniYolo,
+    dataset: ShapesDetectionDataset,
+    config: TrainConfig,
+    start_index: int = 0,
+) -> TrainResult:
+    """Run one deterministic training; evaluates on a held-out index range.
+
+    Training samples come from indices ``start_index ..``; evaluation uses
+    the disjoint block right after the training stream.
+    """
+    loss_fn = DetectionLoss(n_classes=model.n_classes)
+    optimizer = Adam(model.params(), lr=config.lr)
+    losses: List[float] = []
+    cursor = start_index
+    augment_rng = (
+        np.random.default_rng(config.augment_seed) if config.augment else None
+    )
+    for step in range(config.steps):
+        batch_images = []
+        batch_truths = []
+        for _ in range(config.batch_size):
+            image, truths = dataset.sample(cursor)
+            if augment_rng is not None:
+                from repro.train.augment import augment_sample
+
+                image, truths = augment_sample(image, truths, augment_rng)
+            batch_images.append(image)
+            batch_truths.append(truths)
+            cursor += 1
+        if config.lr_schedule is not None:
+            optimizer.lr = config.lr_schedule(step)
+        x = np.stack(batch_images)
+        preds = model.forward(x, training=True)
+        loss, grad = loss_fn(preds, batch_truths)
+        optimizer.zero_grad()
+        model.backward(grad)
+        optimizer.step()
+        losses.append(loss)
+        if config.log_every and (step + 1) % config.log_every == 0:
+            print(f"step {step + 1}/{config.steps}: loss {loss:.4f}")
+
+    eval_samples = dataset.batch(cursor, config.eval_samples)
+    final = model.evaluate(eval_samples, threshold=config.detection_threshold)
+    return TrainResult(losses=losses, final_map=final)
+
+
+def table4_protocol(
+    variants: Sequence[str] = None,
+    n_classes_mode: str = "shape",
+    steps: int = 300,
+    batch_size: int = 8,
+    eval_samples: int = 64,
+    seed: int = 1,
+) -> Dict[str, float]:
+    """Train every Table IV mini variant identically; return mAP per variant.
+
+    All variants see the same data stream, the same step budget and the
+    same seed, so differences are attributable to the topology/quantization
+    changes — the paper's controlled comparison.
+    """
+    from repro.train.models import VARIANTS
+
+    if variants is None:
+        variants = VARIANTS
+    dataset = ShapesDetectionDataset(
+        image_size=48,
+        min_objects=1,
+        max_objects=2,
+        min_scale=0.25,
+        max_scale=0.5,
+        seed=seed,
+    )
+    config = TrainConfig(
+        steps=steps, batch_size=batch_size, eval_samples=eval_samples
+    )
+    results: Dict[str, float] = {}
+    for variant in variants:
+        model = mini_yolo(variant, n_classes=20, input_size=48, seed=seed)
+        outcome = train_detector(model, dataset, config)
+        results[variant] = outcome.map_percent
+    return results
+
+
+__all__ = ["TrainConfig", "TrainResult", "train_detector", "table4_protocol"]

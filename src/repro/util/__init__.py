@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG handling and plain-text tables."""
+
+from repro.util.rng import new_rng
+from repro.util.tables import format_table
+
+__all__ = ["new_rng", "format_table"]

@@ -1,0 +1,45 @@
+"""Deterministic random number generation.
+
+Every stochastic component in the library (synthetic datasets, weight
+initialization, the synthetic camera) takes an explicit seed or
+``numpy.random.Generator``.  This module centralizes the conversion so that
+``None``/int/Generator are all accepted uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+_DEFAULT_SEED = 0xD47E2018  # homage to the paper's venue and year
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for *seed*.
+
+    ``None`` yields the library-wide default seed (so unseeded runs are still
+    reproducible), an ``int`` seeds a fresh generator, and an existing
+    ``Generator`` is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a numbered *stream*.
+
+    Used when one seeded component (e.g. the synthetic dataset) must hand
+    independent, reproducible streams to sub-components (per-image noise,
+    per-layer initializers) without sharing state.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (stream * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)
+
+
+__all__ = ["SeedLike", "new_rng", "derive_rng"]

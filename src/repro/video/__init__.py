@@ -1,0 +1,26 @@
+"""Video path: synthetic camera, letterboxing, box drawing, sinks, PPM I/O."""
+
+from repro.video.ascii_art import frame_to_ascii
+from repro.video.draw import class_color, draw_box, draw_detections
+from repro.video.image import read_ppm, resize_bilinear, resize_nearest, write_ppm
+from repro.video.letterbox import LetterboxGeometry, letterbox
+from repro.video.sink import CollectingSink, NullSink
+from repro.video.source import Frame, MotionCamera, SyntheticCamera
+
+__all__ = [
+    "Frame",
+    "SyntheticCamera",
+    "MotionCamera",
+    "letterbox",
+    "LetterboxGeometry",
+    "class_color",
+    "draw_box",
+    "draw_detections",
+    "CollectingSink",
+    "NullSink",
+    "write_ppm",
+    "read_ppm",
+    "resize_nearest",
+    "resize_bilinear",
+    "frame_to_ascii",
+]

@@ -1,0 +1,74 @@
+"""ASCII rendering of frames — terminal-friendly "video output".
+
+The original demo draws to X11; offline, the closest universally available
+sink is the terminal.  Frames render as a luminance character ramp with
+detection boxes overdrawn, which makes the examples reviewable over ssh
+and the annotated output testable without image diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.eval.boxes import Detection
+
+#: Dark -> bright luminance ramp.
+RAMP = " .:-=+*#%@"
+
+#: ITU-R BT.601 luma weights.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def frame_to_ascii(
+    image: np.ndarray, width: int = 64, detections: Iterable[Detection] = (),
+) -> str:
+    """Render a ``(3, H, W)`` float image as ASCII art with boxes overdrawn.
+
+    Character cells are roughly twice as tall as wide, so the vertical
+    resolution is halved to keep the aspect ratio.
+    """
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {image.shape}")
+    _, h, w = image.shape
+    height = max(1, int(width * h / w / 2))
+    luma = np.tensordot(_LUMA, np.clip(image, 0, 1), axes=1)
+    # Nearest-neighbour sample onto the character grid.
+    rows = np.minimum((np.arange(height) * h) // height, h - 1)
+    cols = np.minimum((np.arange(width) * w) // width, w - 1)
+    sampled = luma[rows[:, None], cols[None, :]]
+    indices = np.minimum(
+        (sampled * len(RAMP)).astype(int), len(RAMP) - 1
+    )
+    grid: List[List[str]] = [
+        [RAMP[index] for index in row] for row in indices
+    ]
+    for detection in detections:
+        _draw_ascii_box(grid, detection, width, height)
+    return "\n".join("".join(row) for row in grid)
+
+
+def _draw_ascii_box(grid, detection: Detection, width: int, height: int) -> None:
+    left = int(np.clip(detection.box.left * width, 0, width - 1))
+    right = int(np.clip(detection.box.right * width, 0, width - 1))
+    top = int(np.clip(detection.box.top * height, 0, height - 1))
+    bottom = int(np.clip(detection.box.bottom * height, 0, height - 1))
+    if right <= left or bottom <= top:
+        return
+    for col in range(left, right + 1):
+        grid[top][col] = "-"
+        grid[bottom][col] = "-"
+    for row in range(top, bottom + 1):
+        grid[row][left] = "|"
+        grid[row][right] = "|"
+    for row, col in ((top, left), (top, right), (bottom, left), (bottom, right)):
+        grid[row][col] = "+"
+    label = str(detection.class_id)
+    for offset, char in enumerate(label):
+        col = left + 1 + offset
+        if col < right:
+            grid[top][col] = char
+
+
+__all__ = ["frame_to_ascii", "RAMP"]

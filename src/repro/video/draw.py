@@ -1,0 +1,66 @@
+"""Box drawing — the annotation stage before video output (Fig. 5, N+2/N+3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.boxes import Detection
+
+
+def class_color(class_id: int, n_classes: int = 20) -> Tuple[float, float, float]:
+    """A stable, saturated color per class (Darknet-style HSV wheel)."""
+    hue = (class_id % max(n_classes, 1)) / max(n_classes, 1)
+    segment = int(hue * 6) % 6
+    fraction = hue * 6 - int(hue * 6)
+    p, q, t = 0.0, 1.0 - fraction, fraction
+    table = [
+        (1.0, t, p),
+        (q, 1.0, p),
+        (p, 1.0, t),
+        (p, q, 1.0),
+        (t, p, 1.0),
+        (1.0, p, q),
+    ]
+    return table[segment]
+
+
+def draw_box(
+    image: np.ndarray,
+    detection: Detection,
+    thickness: int = 2,
+    n_classes: int = 20,
+) -> None:
+    """Draw one detection's rectangle onto a ``(3, H, W)`` image in place."""
+    _, height, width = image.shape
+    color = class_color(detection.class_id, n_classes)
+    left = int(np.clip(detection.box.left * width, 0, width - 1))
+    right = int(np.clip(detection.box.right * width, 0, width - 1))
+    top = int(np.clip(detection.box.top * height, 0, height - 1))
+    bottom = int(np.clip(detection.box.bottom * height, 0, height - 1))
+    if right <= left or bottom <= top:
+        return
+    for offset in range(thickness):
+        t = min(top + offset, height - 1)
+        b = max(bottom - offset, 0)
+        l = min(left + offset, width - 1)
+        r = max(right - offset, 0)
+        for ch in range(3):
+            image[ch, t, left : right + 1] = color[ch]
+            image[ch, b, left : right + 1] = color[ch]
+            image[ch, top : bottom + 1, l] = color[ch]
+            image[ch, top : bottom + 1, r] = color[ch]
+
+
+def draw_detections(
+    image: np.ndarray, detections: Iterable[Detection], n_classes: int = 20
+) -> np.ndarray:
+    """Return a copy of *image* with all detections drawn."""
+    annotated = image.copy()
+    for detection in detections:
+        draw_box(annotated, detection, n_classes=n_classes)
+    return annotated
+
+
+__all__ = ["class_color", "draw_box", "draw_detections"]

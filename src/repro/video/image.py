@@ -1,0 +1,82 @@
+"""Minimal image handling: PPM I/O and resizing (no OpenCV/PIL available).
+
+Images are ``(3, H, W)`` float32 arrays in ``[0, 1]`` — the layout Darknet
+uses internally after ``load_image``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write a ``(3, H, W)`` float image in ``[0,1]`` as binary PPM (P6)."""
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {image.shape}")
+    _, height, width = image.shape
+    pixels = np.clip(image * 255.0 + 0.5, 0, 255).astype(np.uint8)
+    interleaved = np.ascontiguousarray(pixels.transpose(1, 2, 0))
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(interleaved.tobytes())
+
+
+def read_ppm(path: str) -> np.ndarray:
+    """Read a binary PPM (P6) back into ``(3, H, W)`` float32 in ``[0,1]``."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    # Header: magic, width, height, maxval — whitespace/comment separated.
+    tokens = []
+    cursor = 0
+    while len(tokens) < 4:
+        while cursor < len(blob) and blob[cursor : cursor + 1].isspace():
+            cursor += 1
+        if blob[cursor : cursor + 1] == b"#":
+            while cursor < len(blob) and blob[cursor : cursor + 1] != b"\n":
+                cursor += 1
+            continue
+        start = cursor
+        while cursor < len(blob) and not blob[cursor : cursor + 1].isspace():
+            cursor += 1
+        tokens.append(blob[start:cursor])
+    cursor += 1  # single whitespace after maxval
+    magic, width, height, maxval = tokens
+    if magic != b"P6":
+        raise ValueError(f"{path}: not a binary PPM (P6) file")
+    width, height, maxval = int(width), int(height), int(maxval)
+    data = np.frombuffer(blob, dtype=np.uint8, count=width * height * 3, offset=cursor)
+    pixels = data.reshape(height, width, 3).transpose(2, 0, 1)
+    return (pixels.astype(np.float32) / float(maxval)).astype(np.float32)
+
+
+def resize_nearest(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest-neighbour resize of a ``(C, H, W)`` image."""
+    c, h, w = image.shape
+    rows = np.minimum((np.arange(out_h) * h) // out_h, h - 1)
+    cols = np.minimum((np.arange(out_w) * w) // out_w, w - 1)
+    return image[:, rows[:, None], cols[None, :]]
+
+
+def resize_bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of a ``(C, H, W)`` image (Darknet's resize_image)."""
+    c, h, w = image.shape
+    if (h, w) == (out_h, out_w):
+        return image.copy()
+    ys = np.linspace(0, h - 1, out_h)
+    xs = np.linspace(0, w - 1, out_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None]
+    wx = (xs - x0)[None, None, :]
+    top = image[:, y0[:, None], x0[None, :]] * (1 - wx) + image[
+        :, y0[:, None], x1[None, :]
+    ] * wx
+    bottom = image[:, y1[:, None], x0[None, :]] * (1 - wx) + image[
+        :, y1[:, None], x1[None, :]
+    ] * wx
+    return (top * (1 - wy) + bottom * wy).astype(image.dtype)
+
+
+__all__ = ["write_ppm", "read_ppm", "resize_nearest", "resize_bilinear"]

@@ -1,0 +1,72 @@
+"""Letterboxing — Darknet's aspect-preserving input scaling (Fig. 5 stage #1).
+
+The captured frame is scaled to fit the square network input while keeping
+its aspect ratio; the unused border is filled with mid-gray (0.5), exactly
+like Darknet's ``letterbox_image``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.boxes import Box
+from repro.video.image import resize_bilinear
+
+
+@dataclass(frozen=True)
+class LetterboxGeometry:
+    """How a frame was placed inside the square network input."""
+
+    src_h: int
+    src_w: int
+    net_size: int
+    scaled_h: int
+    scaled_w: int
+    offset_y: int
+    offset_x: int
+
+    def frame_box_to_net(self, box: Box) -> Box:
+        """Map a box in frame-relative coordinates into net-relative ones."""
+        return Box(
+            x=(box.x * self.scaled_w + self.offset_x) / self.net_size,
+            y=(box.y * self.scaled_h + self.offset_y) / self.net_size,
+            w=box.w * self.scaled_w / self.net_size,
+            h=box.h * self.scaled_h / self.net_size,
+        )
+
+    def net_box_to_frame(self, box: Box) -> Box:
+        """Map a network-relative detection back onto the frame."""
+        return Box(
+            x=(box.x * self.net_size - self.offset_x) / self.scaled_w,
+            y=(box.y * self.net_size - self.offset_y) / self.scaled_h,
+            w=box.w * self.net_size / self.scaled_w,
+            h=box.h * self.net_size / self.scaled_h,
+        )
+
+
+def letterbox(image: np.ndarray, net_size: int) -> tuple:
+    """Scale *image* into a ``net_size`` square; returns ``(image, geometry)``."""
+    c, h, w = image.shape
+    scale = min(net_size / w, net_size / h)
+    scaled_w = max(1, int(round(w * scale)))
+    scaled_h = max(1, int(round(h * scale)))
+    resized = resize_bilinear(image, scaled_h, scaled_w)
+    canvas = np.full((c, net_size, net_size), 0.5, dtype=np.float32)
+    offset_y = (net_size - scaled_h) // 2
+    offset_x = (net_size - scaled_w) // 2
+    canvas[:, offset_y : offset_y + scaled_h, offset_x : offset_x + scaled_w] = resized
+    geometry = LetterboxGeometry(
+        src_h=h,
+        src_w=w,
+        net_size=net_size,
+        scaled_h=scaled_h,
+        scaled_w=scaled_w,
+        offset_y=offset_y,
+        offset_x=offset_x,
+    )
+    return canvas, geometry
+
+
+__all__ = ["letterbox", "LetterboxGeometry"]

@@ -1,0 +1,47 @@
+"""Video sinks — the X11 output substitute.
+
+"The video source and sink are always available and free, respectively."
+The sinks here never block: they collect frames in memory and optionally
+persist them as numbered PPM files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.video.image import write_ppm
+
+
+class CollectingSink:
+    """Keeps annotated frames in memory (and optionally on disk)."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self.frames: List[np.ndarray] = []
+
+    def emit(self, image: np.ndarray) -> None:
+        self.frames.append(image)
+        if self.directory:
+            path = os.path.join(self.directory, f"frame{len(self.frames):05d}.ppm")
+            write_ppm(path, image)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+class NullSink:
+    """Discards frames (pure-throughput runs)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, image: np.ndarray) -> None:
+        self.count += 1
+
+
+__all__ = ["CollectingSink", "NullSink"]

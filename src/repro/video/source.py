@@ -1,0 +1,193 @@
+"""Frame sources: the synthetic camera standing in for the USB camera.
+
+The paper processes a live video stream; offline we synthesize one.  The
+:class:`SyntheticCamera` produces a deterministic sequence of shape scenes
+(with ground truth, so end-to-end accuracy can be measured on the live
+path too) at a configurable resolution and aspect ratio — a 4:3 camera
+frame by default so the letterboxing stage has real work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.shapes import GroundTruth, ShapesDetectionDataset
+from repro.eval.boxes import Box
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class Frame:
+    """One captured frame with its (synthetic) ground truth."""
+
+    index: int
+    image: np.ndarray               # (3, H, W) float32 in [0, 1]
+    truths: List[GroundTruth] = field(default_factory=list)
+    #: annotations attached by downstream pipeline stages
+    detections: list = field(default_factory=list)
+
+
+class SyntheticCamera:
+    """A deterministic camera: ``capture()`` yields the next frame."""
+
+    def __init__(
+        self,
+        height: int = 240,
+        width: int = 320,
+        seed: SeedLike = 0,
+        scene_kwargs: Optional[dict] = None,
+    ) -> None:
+        kwargs = dict(scene_kwargs or {})
+        kwargs.setdefault("image_size", max(height, width))
+        self._dataset = ShapesDetectionDataset(seed=seed, **kwargs)
+        self.height = height
+        self.width = width
+        self._cursor = 0
+
+    def capture(self) -> Frame:
+        """Grab the next frame (cropped to the camera's aspect ratio)."""
+        square, truths = self._dataset.sample(self._cursor)
+        size = square.shape[1]
+        top = (size - self.height) // 2
+        left = (size - self.width) // 2
+        image = square[:, top : top + self.height, left : left + self.width]
+        adjusted = [
+            GroundTruth(t.class_id, _crop_box(t.box, size, top, left,
+                                              self.height, self.width))
+            for t in truths
+        ]
+        adjusted = [t for t in adjusted if t.box.w > 0 and t.box.h > 0]
+        frame = Frame(index=self._cursor, image=image.copy(), truths=adjusted)
+        self._cursor += 1
+        return frame
+
+    def stream(self, n_frames: int) -> Iterator[Frame]:
+        for _ in range(n_frames):
+            yield self.capture()
+
+
+class MotionCamera:
+    """A camera with *temporal coherence*: objects drift between frames.
+
+    :class:`SyntheticCamera` draws an independent scene per frame, which is
+    fine for accuracy statistics but nothing like a live video stream.
+    Here each object is a track — shape, color, size, position, velocity —
+    advanced every frame and bounced off the borders, so consecutive
+    frames differ by small motions exactly as a camera feed does.
+    """
+
+    def __init__(
+        self,
+        height: int = 96,
+        width: int = 96,
+        n_objects: int = 2,
+        speed: float = 0.02,
+        min_scale: float = 0.2,
+        max_scale: float = 0.4,
+        noise: float = 0.03,
+        seed: SeedLike = 0,
+    ) -> None:
+        from repro.util.rng import new_rng
+
+        self.height = height
+        self.width = width
+        self.noise = noise
+        self._rng = new_rng(seed)
+        self._cursor = 0
+        self._background = self._rng.uniform(0.25, 0.55, size=3)
+        from repro.data.shapes import COLORS, SHAPES
+
+        self._tracks = []
+        for _ in range(n_objects):
+            shape = SHAPES[self._rng.integers(0, len(SHAPES))]
+            color_index = int(self._rng.integers(0, len(COLORS)))
+            size_frac = float(self._rng.uniform(min_scale, max_scale))
+            angle = float(self._rng.uniform(0, 2 * np.pi))
+            self._tracks.append(
+                {
+                    "shape": shape,
+                    "color_index": color_index,
+                    "size": size_frac,
+                    "x": float(self._rng.uniform(0.2, 0.8)),
+                    "y": float(self._rng.uniform(0.2, 0.8)),
+                    "vx": speed * np.cos(angle),
+                    "vy": speed * np.sin(angle),
+                }
+            )
+
+    def capture(self) -> Frame:
+        from repro.data.shapes import COLORS, SHAPES, _shape_mask
+
+        h, w = self.height, self.width
+        image = np.tile(
+            self._background[:, None, None].astype(np.float32), (1, h, w)
+        )
+        image += self._rng.normal(0, self.noise, size=image.shape).astype(
+            np.float32
+        )
+        truths: List[GroundTruth] = []
+        for track in self._tracks:
+            # Advance and bounce.
+            track["x"] += track["vx"]
+            track["y"] += track["vy"]
+            half = track["size"] / 2
+            for axis, velocity in (("x", "vx"), ("y", "vy")):
+                if track[axis] < half:
+                    track[axis] = half
+                    track[velocity] = abs(track[velocity])
+                elif track[axis] > 1 - half:
+                    track[axis] = 1 - half
+                    track[velocity] = -abs(track[velocity])
+            obj_px = max(6, int(track["size"] * min(h, w)))
+            top = int(np.clip(track["y"] * h - obj_px / 2, 0, h - obj_px))
+            left = int(np.clip(track["x"] * w - obj_px / 2, 0, w - obj_px))
+            mask = _shape_mask(track["shape"], obj_px)
+            color = COLORS[track["color_index"]][1]
+            for channel in range(3):
+                patch = image[channel, top : top + obj_px, left : left + obj_px]
+                patch[mask] = color[channel]
+            from repro.data.shapes import class_id
+
+            truths.append(
+                GroundTruth(
+                    class_id(track["shape"], COLORS[track["color_index"]][0]),
+                    Box(
+                        x=(left + obj_px / 2) / w,
+                        y=(top + obj_px / 2) / h,
+                        w=obj_px / w,
+                        h=obj_px / h,
+                    ),
+                )
+            )
+        np.clip(image, 0.0, 1.0, out=image)
+        frame = Frame(index=self._cursor, image=image, truths=truths)
+        self._cursor += 1
+        return frame
+
+    def stream(self, n_frames: int) -> Iterator[Frame]:
+        for _ in range(n_frames):
+            yield self.capture()
+
+
+def _crop_box(box, size, top, left, height, width):
+    """Re-express a square-scene box in cropped-frame coordinates (clipped)."""
+    from repro.eval.boxes import Box
+
+    x_left = max(box.left * size - left, 0.0)
+    x_right = min(box.right * size - left, float(width))
+    y_top = max(box.top * size - top, 0.0)
+    y_bottom = min(box.bottom * size - top, float(height))
+    w = max(x_right - x_left, 0.0)
+    h = max(y_bottom - y_top, 0.0)
+    return Box(
+        x=(x_left + w / 2) / width,
+        y=(y_top + h / 2) / height,
+        w=w / width,
+        h=h / height,
+    )
+
+
+__all__ = ["Frame", "SyntheticCamera", "MotionCamera"]

@@ -1,0 +1,119 @@
+"""API quality gates: public surface is documented and importable.
+
+Deliverable (e) of the reproduction plan requires doc comments on every
+public item; this test walks the package and enforces it, so documentation
+rot fails CI instead of accumulating.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.nn",
+    "repro.nn.layers",
+    "repro.finn",
+    "repro.neon",
+    "repro.perf",
+    "repro.pipeline",
+    "repro.video",
+    "repro.data",
+    "repro.train",
+    "repro.eval",
+    "repro.util",
+]
+
+
+def _iter_modules():
+    seen = set()
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        yield package
+        seen.add(name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                full = f"{name}.{info.name}"
+                if full not in seen:
+                    seen.add(full)
+                    yield importlib.import_module(full)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+    )
+    def test_every_module_has_a_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+    )
+    def test_every_public_item_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name, None)
+            if item is None or not (
+                inspect.isclass(item) or inspect.isfunction(item)
+            ):
+                continue
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{module.__name__}: undocumented public items {undocumented}"
+        )
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+    )
+    def test_all_exports_resolve(self, module):
+        missing = [
+            name
+            for name in getattr(module, "__all__", [])
+            if not hasattr(module, name)
+        ]
+        assert not missing, f"{module.__name__}: __all__ lists missing {missing}"
+
+
+class TestLoadNetwork:
+    def test_loads_cfg_and_weights(self, rng, tmp_path):
+        import numpy as np
+
+        from repro import load_network
+        from repro.nn.network import Network
+        from repro.nn.weights import save_weights
+
+        cfg_text = (
+            "[net]\nwidth=8\nheight=8\nchannels=3\n"
+            "[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\n"
+            "activation=relu\n"
+        )
+        cfg = tmp_path / "net.cfg"
+        cfg.write_text(cfg_text)
+        reference = Network.from_cfg(cfg_text)
+        reference.initialize(rng)
+        weights = tmp_path / "net.weights"
+        save_weights(reference, str(weights))
+
+        loaded = load_network(str(cfg), str(weights))
+        assert np.array_equal(
+            loaded.save_weights_array(), reference.save_weights_array()
+        )
+
+    def test_cfg_only(self, tmp_path):
+        from repro import load_network
+
+        cfg = tmp_path / "net.cfg"
+        cfg.write_text(
+            "[net]\nwidth=8\nheight=8\nchannels=1\n[softmax]\n"
+        )
+        network = load_network(str(cfg))
+        assert network.output_shape == (1, 8, 8)

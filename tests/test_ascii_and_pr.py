@@ -1,0 +1,104 @@
+"""ASCII renderer and PR-curve tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.boxes import Box, Detection, GroundTruth
+from repro.eval.metrics import ImageEval, evaluate_map
+from repro.eval.pr import pr_curves, render_pr_table
+from repro.video.ascii_art import RAMP, frame_to_ascii
+
+
+class TestAsciiRenderer:
+    def test_geometry_and_aspect(self):
+        image = np.zeros((3, 60, 120), dtype=np.float32)
+        text = frame_to_ascii(image, width=40)
+        lines = text.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) == 10  # 40 * (60/120) / 2
+
+    def test_dark_frame_is_spaces_bright_is_dense(self):
+        dark = frame_to_ascii(np.zeros((3, 8, 16), dtype=np.float32), width=16)
+        assert set(dark) <= {" ", "\n"}
+        bright = frame_to_ascii(np.ones((3, 8, 16), dtype=np.float32), width=16)
+        assert RAMP[-1] in bright
+        assert " " not in bright.replace("\n", "")
+
+    def test_gradient_uses_ramp_order(self):
+        image = np.tile(
+            np.linspace(0, 1, 64, dtype=np.float32), (3, 8, 1)
+        )
+        text = frame_to_ascii(image, width=64).splitlines()[0]
+        first, last = text[0], text[-1]
+        assert RAMP.index(first) < RAMP.index(last)
+
+    def test_detection_box_drawn(self):
+        image = np.full((3, 32, 64), 0.2, dtype=np.float32)
+        det = Detection(Box(0.5, 0.5, 0.5, 0.5), class_id=7, score=0.9)
+        text = frame_to_ascii(image, width=64, detections=[det])
+        assert "+" in text
+        assert "|" in text and "-" in text
+        assert "7" in text  # class label on the top edge
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="3, H, W"):
+            frame_to_ascii(np.zeros((1, 8, 8)))
+
+
+def _image(dets, truths):
+    return ImageEval(detections=dets, truths=truths)
+
+
+class TestPRCurves:
+    def _make_images(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        far = Box(0.1, 0.1, 0.08, 0.08)
+        return [
+            _image(
+                [Detection(box, 0, 0.9), Detection(far, 0, 0.4)],
+                [GroundTruth(0, box), GroundTruth(0, far)],
+            ),
+            _image(
+                [Detection(box, 0, 0.8)],
+                [GroundTruth(0, box)],
+            ),
+        ]
+
+    def test_curve_shape_and_ap_consistency(self):
+        images = self._make_images()
+        curves = pr_curves(images, n_classes=2)
+        assert list(curves) == [0]
+        curve = curves[0]
+        assert curve.n_truth == 3
+        assert curve.recall.size == 3  # three detections
+        # perfect detector here: AP matches evaluate_map
+        result = evaluate_map(images, n_classes=2)
+        assert curve.ap_11pt * 100 == pytest.approx(result.map_percent)
+
+    def test_max_recall_reflects_misses(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [
+            _image([Detection(box, 0, 0.9)], [GroundTruth(0, box)]),
+            _image([], [GroundTruth(0, box)]),
+        ]
+        curve = pr_curves(images, n_classes=1)[0]
+        assert curve.max_recall == pytest.approx(0.5)
+
+    def test_precision_at_recall(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        far = Box(0.1, 0.1, 0.08, 0.08)
+        images = [
+            _image(
+                [Detection(box, 0, 0.9), Detection(far, 0, 0.8)],
+                [GroundTruth(0, box)],
+            )
+        ]
+        curve = pr_curves(images, n_classes=1)[0]
+        assert curve.precision_at_recall(1.0) == pytest.approx(1.0)
+        assert curve.precision_at_recall(0.0) == pytest.approx(1.0)
+
+    def test_render_table(self):
+        curves = pr_curves(self._make_images(), n_classes=2)
+        rows = render_pr_table(curves, class_names=["red-square", "other"])
+        assert rows[0][0] == "red-square"
+        assert rows[0][5] == 3

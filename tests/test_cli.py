@@ -1,0 +1,148 @@
+"""CLI tests (the Darknet-style front end)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCfgCommand:
+    def test_emits_parseable_tincy_cfg(self, capsys):
+        assert main(["cfg", "tincy"]) == 0
+        text = capsys.readouterr().out
+        from repro.nn.network import Network
+
+        network = Network.from_cfg(text)
+        assert network.total_ops() == 4_445_001_496
+
+    def test_all_zoo_networks(self, capsys):
+        for name in ("tiny", "tincy", "mlp4", "cnv6"):
+            assert main(["cfg", name]) == 0
+            assert "[net]" in capsys.readouterr().out
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cfg", "yolov8"])
+
+
+class TestTableCommands:
+    def test_workload(self, capsys):
+        assert main(["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "6,971,272,984" in out
+        assert "4,445,001,496" in out
+        assert "Table II" in out
+
+    def test_stages(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        assert "Hidden Layers" in out
+        assert "0.10 fps" in out
+
+    def test_ladder(self, capsys):
+        assert main(["ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "+pipeline" in out
+        assert "paper: 160x" in out
+
+    def test_folding(self, capsys):
+        assert main(["folding", "--device", "XCZU3EG", "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "best fitting" in out
+
+    def test_folding_unknown_device(self, capsys):
+        assert main(["folding", "--device", "XC9999"]) == 2
+
+
+class TestDetectCommand:
+    @pytest.fixture
+    def setup_files(self, tmp_path):
+        from repro.video.image import write_ppm
+
+        cfg = tmp_path / "net.cfg"
+        cfg.write_text(
+            "[net]\nwidth=48\nheight=48\nchannels=3\n"
+            "[convolutional]\nbatch_normalize=1\nfilters=8\nsize=3\nstride=2\n"
+            "pad=1\nactivation=relu\n"
+            "[convolutional]\nfilters=125\nsize=1\nstride=1\npad=0\n"
+            "activation=linear\n"
+            "[region]\nclasses=20\nnum=5\n"
+        )
+        image = tmp_path / "frame.ppm"
+        rng = np.random.default_rng(0)
+        write_ppm(str(image), rng.uniform(size=(3, 60, 80)).astype(np.float32))
+        return cfg, image, tmp_path
+
+    def test_detect_with_random_weights(self, setup_files, capsys):
+        cfg, image, tmp_path = setup_files
+        out_file = tmp_path / "annotated.ppm"
+        code = main([
+            "detect", "--cfg", str(cfg), "--image", str(image),
+            "--thresh", "0.0", "--output", str(out_file),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: no --weights" in captured.err
+        assert out_file.exists()
+
+    def test_detect_with_weights_roundtrip(self, setup_files, capsys):
+        from repro.nn.network import Network
+        from repro.nn.weights import save_weights
+
+        cfg, image, tmp_path = setup_files
+        network = Network.from_cfg(cfg.read_text())
+        network.initialize(np.random.default_rng(3))
+        weights = tmp_path / "net.weights"
+        save_weights(network, str(weights))
+        code = main([
+            "detect", "--cfg", str(cfg), "--weights", str(weights),
+            "--image", str(image), "--thresh", "0.9",
+        ])
+        assert code == 0
+        assert "no --weights" not in capsys.readouterr().err
+
+    def test_detect_requires_region_head(self, tmp_path, capsys):
+        from repro.video.image import write_ppm
+
+        cfg = tmp_path / "net.cfg"
+        cfg.write_text(
+            "[net]\nwidth=8\nheight=8\nchannels=3\n"
+            "[convolutional]\nfilters=4\nsize=1\nstride=1\npad=0\n"
+            "activation=linear\n"
+        )
+        image = tmp_path / "x.ppm"
+        write_ppm(str(image), np.zeros((3, 8, 8), dtype=np.float32))
+        assert main(["detect", "--cfg", str(cfg), "--image", str(image)]) == 2
+
+
+class TestSummaryCommand:
+    def test_zoo_summary(self, capsys):
+        assert main(["summary", "tincy"]) == 0
+        out = capsys.readouterr().out
+        assert "W1A3" in out
+        assert "4,445,001,496" in out
+
+    def test_cfg_file_summary(self, tmp_path, capsys):
+        cfg = tmp_path / "net.cfg"
+        cfg.write_text(
+            "[net]\nwidth=8\nheight=8\nchannels=3\n"
+            "[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\n"
+            "activation=relu\n"
+        )
+        assert main(["summary", str(cfg)]) == 0
+        assert "convolutional" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "6,971,272,984" in out
+        assert "speedup ladder" in out
+        assert "only one engine fits" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert "Table III" in path.read_text()

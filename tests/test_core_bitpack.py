@@ -1,0 +1,132 @@
+"""Bit packing and XNOR-popcount datapath tests.
+
+These guarantee the packed binary arithmetic is *bit-faithful* to plain
+integer dot products — the property that makes the FINN emulation exact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitpack import (
+    bitserial_dot,
+    pack_bits,
+    pack_levels,
+    popcount,
+    signed_bitplane_dot,
+    unpack_bits,
+    xnor_popcount_dot,
+)
+
+
+class TestPackBits:
+    def test_roundtrip_short(self, rng):
+        bits = rng.integers(0, 2, size=13)
+        words, n = pack_bits(bits)
+        assert n == 13
+        assert words.shape == (1,)
+        assert np.array_equal(unpack_bits(words, n), bits)
+
+    def test_roundtrip_multiword(self, rng):
+        bits = rng.integers(0, 2, size=200)
+        words, n = pack_bits(bits)
+        assert words.shape == (4,)
+        assert np.array_equal(unpack_bits(words, n), bits)
+
+    def test_batched_leading_dims(self, rng):
+        bits = rng.integers(0, 2, size=(5, 3, 70))
+        words, n = pack_bits(bits)
+        assert words.shape == (5, 3, 2)
+        assert np.array_equal(unpack_bits(words, n), bits)
+
+    @given(n=st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_length(self, n):
+        bits = np.random.default_rng(n).integers(0, 2, size=n)
+        words, length = pack_bits(bits)
+        assert np.array_equal(unpack_bits(words, length), bits)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount(words).tolist() == [0, 1, 2, 64]
+
+    def test_matches_python_bin(self, rng):
+        words = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount(words).tolist() == expected
+
+
+class TestXnorPopcountDot:
+    def _reference(self, w, a):
+        return int(np.dot(w, a))
+
+    def test_matches_integer_dot(self, rng):
+        for n in (1, 27, 64, 65, 144, 1000):
+            w = rng.choice([-1, 1], size=n)
+            a = rng.choice([-1, 1], size=n)
+            pw, _ = pack_bits((w > 0).astype(np.uint8))
+            pa, _ = pack_bits((a > 0).astype(np.uint8))
+            assert xnor_popcount_dot(pw, pa, n) == self._reference(w, a)
+
+    def test_padding_bits_do_not_leak(self):
+        # All -1 against all -1 over 3 elements: dot = 3, but the 61 padding
+        # zeros of both words XNOR to ones — they must be masked away.
+        w = np.array([-1, -1, -1])
+        pw, _ = pack_bits((w > 0).astype(np.uint8))
+        assert xnor_popcount_dot(pw, pw, 3) == 3
+
+    def test_batched_weight_matrix(self, rng):
+        n, rows = 100, 16
+        weights = rng.choice([-1, 1], size=(rows, n))
+        activation = rng.choice([-1, 1], size=n)
+        pw, _ = pack_bits((weights > 0).astype(np.uint8))
+        pa, _ = pack_bits((activation > 0).astype(np.uint8))
+        got = xnor_popcount_dot(pw, pa, n)
+        expected = weights @ activation
+        assert np.array_equal(got, expected)
+
+
+class TestBitserialDot:
+    def test_single_plane_matches_signed_dot(self, rng):
+        n = 80
+        w = rng.choice([-1, 1], size=n)
+        bits = rng.integers(0, 2, size=n)
+        pw, _ = pack_bits((w > 0).astype(np.uint8))
+        plane, _ = pack_bits(bits)
+        assert signed_bitplane_dot(pw, plane, n) == int(np.dot(w, bits))
+
+    def test_three_bit_activations(self, rng):
+        # The exact W1A3 datapath of the paper's hidden layers.
+        n = 144  # 16 channels * 3x3 kernel
+        w = rng.choice([-1, 1], size=n)
+        levels = rng.integers(0, 8, size=n)
+        pw, _ = pack_bits((w > 0).astype(np.uint8))
+        planes, _ = pack_levels(levels, bits=3)
+        assert bitserial_dot(pw, planes, n) == int(np.dot(w, levels))
+
+    @given(n=st.integers(1, 200), bits=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_any_width(self, n, bits):
+        rng = np.random.default_rng(n * 10 + bits)
+        w = rng.choice([-1, 1], size=n)
+        levels = rng.integers(0, 1 << bits, size=n)
+        pw, _ = pack_bits((w > 0).astype(np.uint8))
+        planes, _ = pack_levels(levels, bits=bits)
+        assert bitserial_dot(pw, planes, n) == int(np.dot(w, levels))
+
+    def test_batched_matrix_times_vector(self, rng):
+        rows, n = 8, 90
+        weights = rng.choice([-1, 1], size=(rows, n))
+        levels = rng.integers(0, 8, size=n)
+        pw, _ = pack_bits((weights > 0).astype(np.uint8))
+        planes, _ = pack_levels(levels, bits=3)
+        got = bitserial_dot(pw, planes, n)
+        assert np.array_equal(got, weights @ levels)
+
+    def test_pack_levels_rejects_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            pack_levels(np.array([8]), bits=3)

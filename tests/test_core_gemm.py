@@ -1,0 +1,144 @@
+"""gemmlowp-style quantized GEMM tests (§III-D datapaths)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gemm import (
+    RequantizeParams,
+    gemm_f32,
+    gemm_i8_acc16,
+    gemm_i8_acc32,
+    rounding_rshift,
+    saturate,
+)
+
+
+class TestRoundingRshift:
+    def test_vrshr_semantics(self):
+        x = np.array([0, 7, 8, 9, 15, 16, -7, -8, -9, -16])
+        got = rounding_rshift(x, 4)
+        # (x + 8) >> 4 with arithmetic shift.
+        assert got.tolist() == [0, 0, 1, 1, 1, 1, 0, 0, -1, -1]
+
+    def test_shift_zero_is_identity(self):
+        x = np.array([1, -5, 7])
+        assert rounding_rshift(x, 0).tolist() == x.tolist()
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            rounding_rshift(np.array([1]), -1)
+
+    @given(x=st.integers(-(2**30), 2**30), shift=st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_half_ulp(self, x, shift):
+        got = int(rounding_rshift(np.array([x]), shift)[0])
+        assert abs(got - x / (1 << shift)) <= 0.5
+
+
+class TestSaturate:
+    def test_int16_bounds(self):
+        x = np.array([-40000, -32768, 0, 32767, 40000])
+        assert saturate(x, 16).tolist() == [-32768, -32768, 0, 32767, 32767]
+
+    def test_unsigned(self):
+        x = np.array([-1, 0, 255, 300])
+        assert saturate(x, 8, signed=False).tolist() == [0, 0, 255, 255]
+
+
+class TestGemmAcc32:
+    def test_matches_float_reference(self, rng):
+        # Offsets are negated zero points: the dequantized product must match.
+        a = rng.integers(0, 256, size=(4, 27), dtype=np.int64)
+        b = rng.integers(0, 256, size=(27, 10), dtype=np.int64)
+        acc = gemm_i8_acc32(a, b, a_offset=-128, b_offset=-100)
+        expected = (a - 128) @ (b - 100)
+        assert np.array_equal(acc, expected)
+
+    def test_overflow_detection(self):
+        a = np.full((1, 70000), 255, dtype=np.int64)
+        b = np.full((70000, 1), 255, dtype=np.int64)
+        with pytest.raises(OverflowError):
+            gemm_i8_acc32(a, b)
+
+
+class TestGemmAcc16:
+    def test_no_overflow_with_paper_preshift(self, rng):
+        # 27 products of the 16x27 first layer: with the paper's shift of 4,
+        # worst case 27 * (127*255 + 8)/16 ~ 54k exceeds int16 only for
+        # adversarial all-max inputs; typical image data stays clean.
+        a = rng.integers(-100, 100, size=(16, 27), dtype=np.int64)
+        b = rng.integers(0, 200, size=(27, 64), dtype=np.int64)
+        acc16, overflow = gemm_i8_acc16(a, b, pre_shift=4)
+        assert overflow == 0
+        exact = (a @ b) / 16.0
+        assert np.max(np.abs(acc16 - exact)) <= 27 * 0.5  # per-product rounding
+
+    def test_small_accuracy_loss_vs_acc32(self, rng):
+        """The §III-D claim: the 16-bit path introduces *some small* loss."""
+        a = rng.integers(-127, 128, size=(16, 27), dtype=np.int64)
+        b = rng.integers(0, 256, size=(27, 100), dtype=np.int64)
+        acc32 = gemm_i8_acc32(a, b)
+        acc16, _ = gemm_i8_acc16(a, b, pre_shift=4)
+        rel_err = np.abs(acc16.astype(np.float64) * 16 - acc32) / (
+            np.abs(acc32) + 1e-9
+        )
+        # Loss exists (not bit exact) but is small on average.
+        assert np.median(rel_err[np.abs(acc32) > 1000]) < 0.05
+
+    def test_saturation_counted(self):
+        a = np.full((1, 27), 127, dtype=np.int64)
+        b = np.full((27, 1), 255, dtype=np.int64)
+        _, overflow = gemm_i8_acc16(a, b, pre_shift=0)
+        assert overflow > 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_i8_acc16(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+class TestRequantize:
+    def test_real_scale_decomposition_accuracy(self):
+        for scale in (0.5, 0.01, 3.0e-4, 1.7):
+            params = RequantizeParams.from_real_scale(scale)
+            assert params.multiplier / (1 << 31) <= 1.0
+            approx = params.multiplier / 2.0**params.shift
+            assert approx == pytest.approx(scale, rel=1e-6)
+
+    def test_apply_matches_float_pipeline(self, rng):
+        scale = 0.0031
+        params = RequantizeParams.from_real_scale(scale, zero_point=128)
+        acc = rng.integers(-(2**20), 2**20, size=1000)
+        got = params.apply(acc)
+        expected = np.clip(np.floor(acc * scale + 0.5) + 128, 0, 255)
+        # Fixed-point vs float may differ by 1 ulp on exact .5 boundaries.
+        assert np.max(np.abs(got - expected)) <= 1
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            RequantizeParams.from_real_scale(0.0)
+
+
+class TestGemmF32:
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=(8, 27)).astype(np.float32)
+        b = rng.normal(size=(27, 33)).astype(np.float32)
+        assert np.allclose(gemm_f32(a, b), a @ b, atol=1e-5)
+
+
+class TestAcc16Acc32Relationship:
+    @given(seed=st.integers(0, 200), k=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_acc16_tracks_acc32_within_rounding_bound(self, seed, k):
+        """acc16 * 2**s differs from acc32 by at most K * 2**(s-1) — the
+        accumulated per-product rounding — whenever no saturation occurs."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-64, 64, size=(3, k), dtype=np.int64)
+        b = rng.integers(0, 128, size=(k, 5), dtype=np.int64)
+        acc32 = gemm_i8_acc32(a, b)
+        acc16, overflow = gemm_i8_acc16(a, b, pre_shift=4)
+        if overflow:
+            return  # saturated results are allowed to deviate arbitrarily
+        drift = np.abs(acc16.astype(np.int64) * 16 - acc32)
+        assert drift.max() <= k * 8  # K * 2**(pre_shift - 1)

@@ -1,0 +1,129 @@
+"""im2col / col2im / sliced-im2col tests (Fig. 1 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.im2col import col2im, im2col, im2col_inflation, sliced_im2col
+from repro.core.ops import conv2d
+
+
+def _naive_im2col(x, ksize, stride, pad):
+    c, h, w = x.shape
+    out_h = (h + 2 * pad - ksize) // stride + 1
+    out_w = (w + 2 * pad - ksize) // stride + 1
+    padded = np.zeros((c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+    padded[:, pad : pad + h, pad : pad + w] = x
+    cols = np.zeros((c * ksize * ksize, out_h * out_w), dtype=x.dtype)
+    row = 0
+    for ch in range(c):
+        for ky in range(ksize):
+            for kx in range(ksize):
+                col = 0
+                for oy in range(out_h):
+                    for ox in range(out_w):
+                        cols[row, col] = padded[ch, oy * stride + ky, ox * stride + kx]
+                        col += 1
+                row += 1
+    return cols
+
+
+class TestIm2col:
+    @pytest.mark.parametrize(
+        "shape,ksize,stride,pad",
+        [
+            ((3, 8, 8), 3, 1, 1),
+            ((2, 7, 9), 3, 2, 1),
+            ((1, 5, 5), 5, 1, 0),  # degenerate fully-connected case
+            ((4, 6, 6), 1, 1, 0),
+            ((2, 10, 10), 2, 2, 0),
+        ],
+    )
+    def test_matches_naive(self, rng, shape, ksize, stride, pad):
+        x = rng.normal(size=shape).astype(np.float32)
+        assert np.array_equal(
+            im2col(x, ksize, stride, pad), _naive_im2col(x, ksize, stride, pad)
+        )
+
+    def test_row_order_is_darknet_channel_major(self):
+        # Channel 0's kernel rows must come before channel 1's.
+        x = np.stack([np.zeros((3, 3)), np.ones((3, 3))]).astype(np.float32)
+        cols = im2col(x, 3, 1, 0)
+        assert cols.shape == (18, 1)
+        assert np.array_equal(cols[:9, 0], np.zeros(9))
+        assert np.array_equal(cols[9:, 0], np.ones(9))
+
+    def test_output_is_writable_copy(self, rng):
+        x = rng.normal(size=(2, 6, 6)).astype(np.float32)
+        cols = im2col(x, 3, 1, 1)
+        cols[0, 0] = 42.0  # must not raise (stride-tricks views are read-only)
+
+
+class TestCol2im:
+    @given(
+        c=st.integers(1, 3),
+        hw=st.integers(4, 9),
+        ksize=st.sampled_from([1, 2, 3]),
+        stride=st.sampled_from([1, 2]),
+        pad=st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjoint_of_im2col(self, c, hw, ksize, stride, pad):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        if hw + 2 * pad < ksize:
+            return
+        rng = np.random.default_rng(c * 1000 + hw * 10 + ksize)
+        x = rng.normal(size=(c, hw, hw))
+        cols = im2col(x, ksize, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, ksize, stride, pad)))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestInflation:
+    def test_stride_one_small_kernel_approaches_k_squared(self):
+        factor = im2col_inflation(416, 416, 16, ksize=3, stride=1, pad=1)
+        assert factor == pytest.approx(9.0, rel=0.01)
+
+    def test_fully_connected_degenerates_to_one(self):
+        # Kernel the size of the map: single application, no inflation (Fig. 1).
+        assert im2col_inflation(13, 13, 256, ksize=13, stride=1, pad=0) == 1.0
+
+    def test_stride_two_quarters_the_inflation(self):
+        s1 = im2col_inflation(416, 416, 3, ksize=3, stride=1, pad=1)
+        s2 = im2col_inflation(416, 416, 3, ksize=3, stride=2, pad=1)
+        assert s2 == pytest.approx(s1 / 4, rel=0.01)
+
+
+class TestSlicedIm2col:
+    @pytest.mark.parametrize("slice_width", [1, 4, 8, 100, 1000])
+    def test_concatenation_reproduces_full_matrix(self, rng, slice_width):
+        x = rng.normal(size=(3, 12, 12)).astype(np.float32)
+        full = im2col(x, 3, 1, 1)
+        parts = []
+        cursor = 0
+        for part, start, stop in sliced_im2col(x, 3, 1, 1, slice_width):
+            assert start == cursor
+            assert part.shape[1] == stop - start
+            assert part.shape[1] <= slice_width
+            parts.append(part)
+            cursor = stop
+        assert np.array_equal(np.concatenate(parts, axis=1), full)
+
+    def test_sliced_gemm_equals_conv(self, rng):
+        # The fused-kernel contract: slice-wise GEMM equals the full conv.
+        x = rng.normal(size=(3, 9, 9)).astype(np.float32)
+        weights = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        flat = weights.reshape(4, -1)
+        out = np.zeros((4, 81), dtype=np.float32)
+        for part, start, stop in sliced_im2col(x, 3, 1, 1, slice_width=8):
+            out[:, start:stop] = flat @ part
+        expected = conv2d(x, weights, stride=1, pad=1).reshape(4, -1)
+        assert np.allclose(out, expected, atol=1e-5)
+
+    def test_rejects_bad_slice_width(self, rng):
+        x = rng.normal(size=(1, 4, 4))
+        with pytest.raises(ValueError):
+            list(sliced_im2col(x, 3, 1, 1, slice_width=0))

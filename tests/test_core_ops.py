@@ -1,0 +1,172 @@
+"""Reference layer-operation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import (
+    batchnorm_inference,
+    conv2d,
+    fully_connected,
+    leaky_relu,
+    maxpool2d,
+    maxpool2d_argmax,
+    maxpool2d_backward,
+    relu,
+    sigmoid,
+    softmax,
+)
+
+
+def _naive_conv(x, w, stride, pad):
+    c_out, c_in, k, _ = w.shape
+    c, h, width = x.shape
+    padded = np.zeros((c, h + 2 * pad, width + 2 * pad))
+    padded[:, pad : pad + h, pad : pad + width] = x
+    out_h = (h + 2 * pad - k) // stride + 1
+    out_w = (width + 2 * pad - k) // stride + 1
+    out = np.zeros((c_out, out_h, out_w))
+    for co in range(c_out):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                patch = padded[:, oy * stride : oy * stride + k, ox * stride : ox * stride + k]
+                out[co, oy, ox] = np.sum(patch * w[co])
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    def test_matches_naive(self, rng, stride, pad):
+        x = rng.normal(size=(3, 8, 8))
+        w = rng.normal(size=(5, 3, 3, 3))
+        got = conv2d(x, w, stride=stride, pad=pad)
+        assert np.allclose(got, _naive_conv(x, w, stride, pad), atol=1e-9)
+
+    def test_bias_broadcast(self, rng):
+        x = rng.normal(size=(2, 4, 4))
+        w = rng.normal(size=(3, 2, 1, 1))
+        bias = np.array([1.0, 2.0, 3.0])
+        got = conv2d(x, w, bias=bias)
+        base = conv2d(x, w)
+        for ch in range(3):
+            assert np.allclose(got[ch] - base[ch], bias[ch])
+
+    def test_one_by_one_kernel_is_channel_mix(self, rng):
+        x = rng.normal(size=(4, 5, 5))
+        w = rng.normal(size=(2, 4, 1, 1))
+        got = conv2d(x, w)
+        expected = np.einsum("oc,chw->ohw", w[:, :, 0, 0], x)
+        assert np.allclose(got, expected, atol=1e-9)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(rng.normal(size=(3, 4, 4)), rng.normal(size=(2, 5, 3, 3)))
+
+    def test_tiny_yolo_first_layer_geometry(self, rng):
+        """416x416x3 -> conv 16@3x3 s1 p1 -> 416x416x16 (Table I layer 1)."""
+        x = rng.normal(size=(3, 416, 416)).astype(np.float32)
+        w = rng.normal(size=(16, 3, 3, 3)).astype(np.float32)
+        assert conv2d(x, w, stride=1, pad=1).shape == (16, 416, 416)
+
+    def test_tincy_first_layer_stride_two(self, rng):
+        """Modification (d): stride 2 halves the map — 208x208 out."""
+        x = rng.normal(size=(3, 416, 416)).astype(np.float32)
+        w = rng.normal(size=(16, 3, 3, 3)).astype(np.float32)
+        assert conv2d(x, w, stride=2, pad=1).shape == (16, 208, 208)
+
+
+class TestMaxpool:
+    def test_two_by_two_stride_two(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        got = maxpool2d(x, 2, 2)
+        assert got.shape == (1, 2, 2)
+        assert got[0].tolist() == [[5, 7], [13, 15]]
+
+    def test_stride_one_keeps_size(self, rng):
+        """Darknet's stride-1 maxpool (Tiny YOLO layer 12) keeps 13x13."""
+        x = rng.normal(size=(2, 13, 13))
+        assert maxpool2d(x, 2, 1).shape == (2, 13, 13)
+
+    def test_darknet_geometry_416(self, rng):
+        x = rng.normal(size=(1, 416, 416))
+        assert maxpool2d(x, 2, 2).shape == (1, 208, 208)
+
+    def test_padding_uses_minus_inf_not_zero(self):
+        # All-negative input: zero padding would corrupt the edge maxima.
+        x = np.full((1, 3, 3), -5.0)
+        got = maxpool2d(x, 2, 1)
+        assert np.all(got == -5.0)
+
+    def test_argmax_consistent_with_values(self, rng):
+        x = rng.normal(size=(3, 8, 8))
+        values, arg = maxpool2d_argmax(x, 2, 2)
+        assert np.array_equal(values, maxpool2d(x, 2, 2))
+        assert arg.shape == values.shape
+
+    def test_backward_routes_gradient_to_maxima(self):
+        x = np.array([[[1.0, 9.0], [2.0, 3.0]]])
+        values, arg = maxpool2d_argmax(x, 2, 2, padding=0)
+        grad = maxpool2d_backward(np.ones((1, 1, 1)), arg, x.shape, 2, 2, padding=0)
+        assert grad[0].tolist() == [[0.0, 1.0], [0.0, 0.0]]
+
+    def test_backward_adjoint_property(self, rng):
+        x = rng.normal(size=(2, 6, 6))
+        values, arg = maxpool2d_argmax(x, 2, 2)
+        grad_out = rng.normal(size=values.shape)
+        grad_in = maxpool2d_backward(grad_out, arg, x.shape, 2, 2)
+        # Gradient wrt x of sum(grad_out * pool(x)) via finite differences.
+        eps = 1e-6
+        idx = (1, 3, 2)
+        bumped = x.copy()
+        bumped[idx] += eps
+        v2 = maxpool2d(bumped, 2, 2)
+        numeric = float(np.sum(grad_out * (v2 - values)) / eps)
+        assert numeric == pytest.approx(grad_in[idx], abs=1e-4)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert relu(np.array([-1.0, 0.0, 2.0])).tolist() == [0.0, 0.0, 2.0]
+
+    def test_leaky_slope(self):
+        got = leaky_relu(np.array([-10.0, 10.0]))
+        assert got.tolist() == [-1.0, 10.0]
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(size=100) * 10
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_softmax_normalizes(self, rng):
+        x = rng.normal(size=(5, 20)) * 50  # large logits: stability check
+        p = softmax(x, axis=-1)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+        assert not np.any(np.isnan(p))
+
+
+class TestBatchnormAndFC:
+    def test_batchnorm_normalizes_statistics(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(4, 32, 32))
+        mean = x.mean(axis=(1, 2))
+        var = x.var(axis=(1, 2))
+        y = batchnorm_inference(x, np.ones(4), np.zeros(4), mean, var)
+        assert np.allclose(y.mean(axis=(1, 2)), 0.0, atol=1e-9)
+        assert np.allclose(y.var(axis=(1, 2)), 1.0, atol=1e-3)
+
+    def test_batchnorm_affine(self, rng):
+        x = rng.normal(size=(2, 3, 3))
+        y = batchnorm_inference(
+            x, np.array([2.0, 1.0]), np.array([5.0, 0.0]),
+            np.zeros(2), np.ones(2) - 1e-6,
+        )
+        assert np.allclose(y[0], 2 * x[0] + 5, atol=1e-5)
+
+    def test_fully_connected(self, rng):
+        x = rng.normal(size=(2, 2, 2))
+        w = rng.normal(size=(3, 8))
+        b = rng.normal(size=3)
+        assert np.allclose(fully_connected(x, w, b), w @ x.ravel() + b)
+
+    def test_fully_connected_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            fully_connected(np.zeros(7), rng.normal(size=(3, 8)))

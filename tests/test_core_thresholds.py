@@ -1,0 +1,111 @@
+"""FINN threshold-activation derivation tests.
+
+The central invariant: counting integer thresholds is *exactly* equivalent to
+the float BN + ReLU + re-quantization pipeline, for every integer
+accumulator value a layer can produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.thresholds import (
+    ThresholdActivation,
+    derive_thresholds,
+    float_reference_activation,
+)
+
+
+def _random_bn(rng, channels, allow_negative_gamma=True):
+    gamma = rng.uniform(0.2, 2.0, size=channels)
+    if allow_negative_gamma:
+        gamma *= rng.choice([-1.0, 1.0], size=channels)
+    beta = rng.uniform(-1.0, 1.0, size=channels)
+    mean = rng.uniform(-5.0, 5.0, size=channels)
+    var = rng.uniform(0.1, 4.0, size=channels)
+    return gamma, beta, mean, var
+
+
+class TestDeriveThresholds:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_exact_equivalence_exhaustive_accumulators(self, rng, bits):
+        channels = 8
+        gamma, beta, mean, var = _random_bn(rng, channels)
+        in_scale, out_scale = 1.0 / 7.0, 1.0 / 7.0
+        ta = derive_thresholds(gamma, beta, mean, var, in_scale, out_scale, bits)
+        # Every accumulator a 3x3x16 binary-weight layer can produce.
+        max_acc = 7 * 144
+        acc = np.tile(np.arange(-max_acc, max_acc + 1), (channels, 1))
+        got = ta.apply(acc)
+        expected = float_reference_activation(
+            acc, gamma, beta, mean, var, in_scale, out_scale, bits
+        )
+        assert np.array_equal(got, expected)
+
+    def test_negative_gamma_flips_comparison(self, rng):
+        channels = 4
+        gamma = np.full(channels, -1.0)
+        beta = np.zeros(channels)
+        mean = np.zeros(channels)
+        var = np.ones(channels) - 1e-6
+        ta = derive_thresholds(gamma, beta, mean, var, 1.0, 1.0, bits=1)
+        assert np.all(ta.signs == -1)
+        # y = -acc: positive accumulators give level 0, negative level 1.
+        acc = np.tile(np.array([-3, -1, 0, 1, 3]), (channels, 1))
+        got = ta.apply(acc)
+        expected = float_reference_activation(
+            acc, gamma, beta, mean, var, 1.0, 1.0, bits=1
+        )
+        assert np.array_equal(got, expected)
+
+    def test_zero_gamma_constant_channel(self):
+        gamma = np.array([0.0, 0.0])
+        beta = np.array([10.0, -10.0])
+        mean = np.zeros(2)
+        var = np.ones(2)
+        ta = derive_thresholds(gamma, beta, mean, var, 1.0, 1.0, bits=2)
+        acc = np.tile(np.array([-100, 0, 100]), (2, 1))
+        got = ta.apply(acc)
+        assert np.all(got[0] == 3)  # beta=10 saturates to top level
+        assert np.all(got[1] == 0)
+
+    @given(seed=st.integers(0, 10_000), bits=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_random_bn(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        channels = 3
+        gamma, beta, mean, var = _random_bn(rng, channels)
+        in_scale = float(rng.uniform(0.05, 1.0))
+        out_scale = float(rng.uniform(0.05, 1.0))
+        ta = derive_thresholds(gamma, beta, mean, var, in_scale, out_scale, bits)
+        acc = rng.integers(-500, 500, size=(channels, 64))
+        got = ta.apply(acc)
+        expected = float_reference_activation(
+            acc, gamma, beta, mean, var, in_scale, out_scale, bits
+        )
+        assert np.array_equal(got, expected)
+
+    def test_apply_on_spatial_maps(self, rng):
+        channels = 5
+        gamma, beta, mean, var = _random_bn(rng, channels)
+        ta = derive_thresholds(gamma, beta, mean, var, 0.2, 0.3, bits=3)
+        acc = rng.integers(-200, 200, size=(channels, 6, 7))
+        got = ta.apply(acc)
+        assert got.shape == (channels, 6, 7)
+        expected = float_reference_activation(
+            acc, gamma, beta, mean, var, 0.2, 0.3, bits=3
+        )
+        assert np.array_equal(got, expected)
+
+    def test_wrong_channel_count_rejected(self, rng):
+        gamma, beta, mean, var = _random_bn(rng, 4)
+        ta = derive_thresholds(gamma, beta, mean, var, 1.0, 1.0, bits=3)
+        with pytest.raises(ValueError):
+            ta.apply(np.zeros((5, 2)))
+
+    def test_threshold_count_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdActivation(
+                thresholds=np.zeros((2, 3)), signs=np.ones(2), bits=3
+            )

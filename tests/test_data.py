@@ -1,0 +1,122 @@
+"""Synthetic dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.classify import GlyphClassificationDataset, cifar_like, mnist_like
+from repro.data.shapes import (
+    CLASS_NAMES,
+    N_CLASSES,
+    SHAPES,
+    ShapesDetectionDataset,
+    class_id,
+)
+
+
+class TestShapesDataset:
+    def test_determinism(self):
+        a = ShapesDetectionDataset(seed=3)
+        b = ShapesDetectionDataset(seed=3)
+        image_a, truths_a = a.sample(7)
+        image_b, truths_b = b.sample(7)
+        assert np.array_equal(image_a, image_b)
+        assert truths_a == truths_b
+
+    def test_different_indices_differ(self):
+        dataset = ShapesDetectionDataset(seed=3)
+        image_a, _ = dataset.sample(0)
+        image_b, _ = dataset.sample(1)
+        assert not np.array_equal(image_a, image_b)
+
+    def test_image_range_and_shape(self):
+        dataset = ShapesDetectionDataset(image_size=64, seed=1)
+        image, _ = dataset.sample(0)
+        assert image.shape == (3, 64, 64)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_ground_truth_boxes_valid(self):
+        dataset = ShapesDetectionDataset(seed=1, max_objects=3)
+        for index in range(20):
+            _, truths = dataset.sample(index)
+            assert 1 <= len(truths) <= 3
+            for truth in truths:
+                assert 0 <= truth.class_id < N_CLASSES
+                assert 0.0 <= truth.box.left and truth.box.right <= 1.0 + 1e-9
+                assert 0.0 <= truth.box.top and truth.box.bottom <= 1.0 + 1e-9
+
+    def test_twenty_classes_like_voc(self):
+        assert N_CLASSES == 20
+        assert len(CLASS_NAMES) == 20
+
+    def test_class_id_mapping(self):
+        assert class_id(SHAPES[0], "red") == 0
+        assert class_id(SHAPES[1], "red") == 4
+        with pytest.raises(ValueError):
+            class_id("hexagon", "red")
+
+    def test_objects_are_visible(self):
+        """Rendered shapes must paint their class color inside their box."""
+        from repro.data.shapes import COLORS
+
+        dataset = ShapesDetectionDataset(seed=9, noise=0.0, min_objects=1, max_objects=1)
+        for index in range(10):
+            image, truths = dataset.sample(index)
+            truth = truths[0]
+            size = image.shape[1]
+            left, right = int(truth.box.left * size), int(truth.box.right * size)
+            top, bottom = int(truth.box.top * size), int(truth.box.bottom * size)
+            patch = image[:, top:bottom, left:right]
+            color = np.array(COLORS[truth.class_id % len(COLORS)][1])
+            # Some pixel of the patch must be close to the (possibly shaded)
+            # class color — shapes like rings are hollow, so not all are.
+            diffs = np.abs(patch - color[:, None, None]).max(axis=0)
+            assert diffs.min() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_objects"):
+            ShapesDetectionDataset(min_objects=3, max_objects=1)
+
+
+class TestGlyphDataset:
+    def test_mnist_like_geometry(self):
+        image, label = mnist_like(seed=0).sample(0)
+        assert image.shape == (1, 28, 28)
+        assert 0 <= label < 10
+
+    def test_cifar_like_geometry(self):
+        image, label = cifar_like(seed=0).sample(0)
+        assert image.shape == (3, 32, 32)
+
+    def test_determinism(self):
+        a, la = mnist_like(seed=4).sample(5)
+        b, lb = mnist_like(seed=4).sample(5)
+        assert np.array_equal(a, b) and la == lb
+
+    def test_batch(self):
+        images, labels = cifar_like(seed=1).batch(0, 8)
+        assert images.shape == (8, 3, 32, 32)
+        assert labels.shape == (8,)
+
+    def test_all_classes_reachable(self):
+        dataset = GlyphClassificationDataset(seed=2)
+        labels = {dataset.sample(i)[1] for i in range(200)}
+        assert labels == set(range(10))
+
+    def test_classes_distinguishable_by_template(self):
+        """A trivial nearest-template classifier must beat chance easily —
+        otherwise the dataset is too hard to show quantization effects."""
+        from repro.data.classify import _glyph
+
+        dataset = GlyphClassificationDataset(seed=3, jitter=1, noise=0.1)
+        templates = np.stack([_glyph(c, 26) for c in range(10)])
+        correct = 0
+        total = 100
+        for i in range(total):
+            image, label = dataset.sample(i)
+            padded = image[0, 1:27, 1:27]
+            scores = [
+                float((padded * t).sum() / (t.sum() + 1)) for t in templates
+            ]
+            if int(np.argmax(scores)) == label:
+                correct += 1
+        assert correct / total > 0.5

@@ -1,0 +1,177 @@
+"""Boxes / NMS / mAP tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.shapes import GroundTruth
+from repro.eval.boxes import Box, Detection, iou, nms
+from repro.eval.metrics import (
+    ImageEval,
+    average_precision_11pt,
+    average_precision_area,
+    evaluate_map,
+)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(Box(0.1, 0.1, 0.1, 0.1), Box(0.9, 0.9, 0.1, 0.1)) == 0.0
+
+    def test_half_overlap(self):
+        a = Box(0.25, 0.5, 0.5, 0.5)
+        b = Box(0.5, 0.5, 0.5, 0.5)
+        # intersection .25 x .5 = .125; union .5 - .125 = .375
+        assert iou(a, b) == pytest.approx(0.125 / 0.375)
+
+    def test_symmetry(self, rng):
+        for _ in range(20):
+            a = Box(*rng.uniform(0.1, 0.9, size=2), *rng.uniform(0.05, 0.5, size=2))
+            b = Box(*rng.uniform(0.1, 0.9, size=2), *rng.uniform(0.05, 0.5, size=2))
+            assert iou(a, b) == pytest.approx(iou(b, a))
+
+    @given(
+        x=st.floats(0.2, 0.8), y=st.floats(0.2, 0.8),
+        w=st.floats(0.05, 0.4), h=st.floats(0.05, 0.4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, x, y, w, h):
+        a = Box(x, y, w, h)
+        b = Box(0.5, 0.5, 0.3, 0.3)
+        assert 0.0 <= iou(a, b) <= 1.0
+
+
+class TestNMS:
+    def test_suppresses_overlapping_same_class(self):
+        dets = [
+            Detection(Box(0.5, 0.5, 0.3, 0.3), 0, 0.9),
+            Detection(Box(0.51, 0.5, 0.3, 0.3), 0, 0.8),
+            Detection(Box(0.9, 0.9, 0.1, 0.1), 0, 0.7),
+        ]
+        kept = nms(dets, iou_threshold=0.45)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+
+    def test_keeps_overlapping_different_classes(self):
+        dets = [
+            Detection(Box(0.5, 0.5, 0.3, 0.3), 0, 0.9),
+            Detection(Box(0.5, 0.5, 0.3, 0.3), 1, 0.8),
+        ]
+        assert len(nms(dets)) == 2
+
+    def test_sorted_output(self):
+        dets = [
+            Detection(Box(0.2, 0.2, 0.1, 0.1), 0, 0.5),
+            Detection(Box(0.8, 0.8, 0.1, 0.1), 1, 0.9),
+        ]
+        kept = nms(dets)
+        assert [d.score for d in kept] == [0.9, 0.5]
+
+    def test_empty(self):
+        assert nms([]) == []
+
+
+class TestAveragePrecision:
+    def test_perfect_detector(self):
+        precision = np.array([1.0, 1.0, 1.0])
+        recall = np.array([1 / 3, 2 / 3, 1.0])
+        assert average_precision_11pt(precision, recall) == pytest.approx(1.0)
+        assert average_precision_area(precision, recall) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert average_precision_11pt(np.array([]), np.array([])) == 0.0
+        assert average_precision_area(np.array([]), np.array([])) == 0.0
+
+    def test_half_recall(self):
+        precision = np.array([1.0])
+        recall = np.array([0.5])
+        # 11pt: points 0.0 .. 0.5 see precision 1, the rest 0 -> 6/11
+        assert average_precision_11pt(precision, recall) == pytest.approx(6 / 11)
+        assert average_precision_area(precision, recall) == pytest.approx(0.5)
+
+
+def _image(dets, truths):
+    return ImageEval(detections=dets, truths=truths)
+
+
+class TestEvaluateMap:
+    def test_perfect_detections(self):
+        truth_box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [
+            _image(
+                [Detection(truth_box, 0, 0.9)],
+                [GroundTruth(0, truth_box)],
+            )
+        ]
+        result = evaluate_map(images, n_classes=2)
+        assert result.map_percent == pytest.approx(100.0)
+
+    def test_misses_halve_map(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [
+            _image([Detection(box, 0, 0.9)], [GroundTruth(0, box)]),
+            _image([], [GroundTruth(0, box)]),
+        ]
+        result = evaluate_map(images, n_classes=1)
+        assert 40.0 < result.map_percent < 60.0
+
+    def test_duplicates_are_false_positives(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [
+            _image(
+                [Detection(box, 0, 0.9), Detection(box, 0, 0.8)],
+                [GroundTruth(0, box)],
+            )
+        ]
+        result = evaluate_map(images, n_classes=1, method="area")
+        assert result.map_percent == pytest.approx(100.0)
+        # ... but precision drops, visible at lower score threshold in 11pt:
+        result_11 = evaluate_map(images, n_classes=1)
+        assert result_11.map_percent == pytest.approx(100.0)
+
+    def test_wrong_class_scores_zero(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [_image([Detection(box, 1, 0.9)], [GroundTruth(0, box)])]
+        result = evaluate_map(images, n_classes=2)
+        assert result.map_percent == 0.0
+
+    def test_low_iou_rejected(self):
+        images = [
+            _image(
+                [Detection(Box(0.2, 0.2, 0.1, 0.1), 0, 0.9)],
+                [GroundTruth(0, Box(0.7, 0.7, 0.1, 0.1))],
+            )
+        ]
+        assert evaluate_map(images, n_classes=1).map_percent == 0.0
+
+    def test_absent_classes_skipped(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        images = [_image([Detection(box, 0, 0.9)], [GroundTruth(0, box)])]
+        result = evaluate_map(images, n_classes=20)
+        assert list(result.per_class_ap) == [0]
+        assert result.map_percent == pytest.approx(100.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            evaluate_map([], n_classes=1, method="fancy")
+
+    def test_score_ordering_matters(self):
+        """A high-scoring FP before the TP lowers 11pt AP."""
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        far = Box(0.1, 0.1, 0.05, 0.05)
+        good_first = [_image(
+            [Detection(box, 0, 0.9), Detection(far, 0, 0.3)],
+            [GroundTruth(0, box)],
+        )]
+        bad_first = [_image(
+            [Detection(box, 0, 0.3), Detection(far, 0, 0.9)],
+            [GroundTruth(0, box)],
+        )]
+        ap_good = evaluate_map(good_first, n_classes=1).map_percent
+        ap_bad = evaluate_map(bad_first, n_classes=1).map_percent
+        assert ap_good > ap_bad

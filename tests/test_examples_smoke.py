@@ -1,0 +1,38 @@
+"""Smoke tests for the fast examples (the training-heavy ones are covered
+by the benchmarks; these just must not rot)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run_example(name: str, argv=None, monkeypatch=None):
+    if monkeypatch is not None and argv is not None:
+        monkeypatch.setattr(sys, "argv", [name] + list(argv))
+    runpy.run_path(f"examples/{name}", run_name="__main__")
+
+
+class TestFastExamples:
+    def test_custom_offload(self, capsys):
+        _run_example("custom_offload.py")
+        out = capsys.readouterr().out
+        assert "equals float W1A3 network: True" in out
+
+    def test_voc_bridge(self, capsys):
+        _run_example("voc_bridge.py")
+        out = capsys.readouterr().out
+        assert "mAP" in out
+
+    def test_folding_explorer(self, capsys):
+        _run_example("folding_explorer.py")
+        out = capsys.readouterr().out
+        assert "fits XCZU3EG?" in out
+        assert "paper: ~30 ms" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        _run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "797,442,048" in out       # Table I rows rendered
+        assert "Total speedup" in out     # the §III ladder ran

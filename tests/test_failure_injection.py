@@ -1,0 +1,188 @@
+"""Failure-injection tests: corrupted artifacts and misuse must fail loudly.
+
+"Errors should never pass silently" — these tests poke corrupted weight
+files, mangled binparam bundles, mismatched offload declarations and
+mid-pipeline crashes, asserting that every one surfaces as a clear error
+rather than silently wrong numbers.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro.finn  # noqa: F401
+from repro.core.tensor import FeatureMap
+from repro.finn.offload_backend import FabricBackend, export_offload
+from repro.nn.config import Section
+from repro.nn.network import Network
+from repro.nn.weights import load_binparam, load_weights, save_binparam, save_weights
+
+SMALL_CFG = """
+[net]
+width=16
+height=16
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=2
+pad=1
+activation=relu
+activation_bits=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=relu
+binary=1
+activation_bits=3
+"""
+
+
+@pytest.fixture
+def exported_bundle(rng, tmp_path):
+    network = Network.from_cfg(SMALL_CFG)
+    network.initialize(rng)
+    for layer in network.layers:
+        layer.scales = rng.uniform(0.5, 2.0, size=8).astype(np.float32)
+        layer.rolling_var = rng.uniform(0.5, 2.0, size=8).astype(np.float32)
+    directory = str(tmp_path / "binparam")
+    export_offload(
+        network.layers[1:2],
+        input_scale=network.layers[0].out_quant.scale,
+        input_shape=network.layers[0].out_shape,
+        directory=directory,
+    )
+    return network, directory
+
+
+class TestCorruptedWeights:
+    def test_truncated_payload(self, rng, tmp_path):
+        network = Network.from_cfg(SMALL_CFG)
+        network.initialize(rng)
+        path = str(tmp_path / "net.weights")
+        save_weights(network, path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        # Depending on where the cut lands this is either a stream underrun
+        # or a misaligned payload — both must be loud.
+        with pytest.raises((EOFError, ValueError), match="exhausted|aligned"):
+            load_weights(Network.from_cfg(SMALL_CFG), path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.weights"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="truncated"):
+            load_weights(Network.from_cfg(SMALL_CFG), str(path))
+
+
+class TestCorruptedBinparam:
+    def test_missing_manifest(self, exported_bundle):
+        _, directory = exported_bundle
+        os.remove(os.path.join(directory, "manifest.json"))
+        with pytest.raises(FileNotFoundError):
+            load_binparam(directory)
+
+    def test_wrong_format_marker(self, exported_bundle):
+        _, directory = exported_bundle
+        manifest_path = os.path.join(directory, "manifest.json")
+        manifest = json.load(open(manifest_path))
+        manifest["format"] = "something-else"
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(ValueError, match="binparam"):
+            load_binparam(directory)
+
+    def test_missing_array_file(self, exported_bundle):
+        _, directory = exported_bundle
+        victims = [f for f in os.listdir(directory) if f.endswith("-weights.npy")]
+        os.remove(os.path.join(directory, victims[0]))
+        with pytest.raises(FileNotFoundError):
+            load_binparam(directory)
+
+    def test_tampered_threshold_shape_detected(self, exported_bundle):
+        network, directory = exported_bundle
+        # Replace thresholds with a wrong-width array: ThresholdActivation
+        # validation must reject it at backend build time.
+        path = os.path.join(directory, "stage00-thresholds.npy")
+        np.save(path, np.zeros((8, 3), dtype=np.int64))  # 3 != 7 for 3 bits
+        backend = FabricBackend()
+        section = Section("offload", {"library": "fabric.so", "weights": directory})
+        with pytest.raises(ValueError, match="thresholds"):
+            backend.init(section, network.layers[0].out_shape)
+
+    def test_tampered_weights_detected(self, exported_bundle):
+        network, directory = exported_bundle
+        path = os.path.join(directory, "stage00-weights.npy")
+        corrupt = np.load(path)
+        corrupt[0, 0] = 3  # not a {-1,+1} weight
+        np.save(path, corrupt)
+        backend = FabricBackend()
+        section = Section("offload", {"library": "fabric.so", "weights": directory})
+        with pytest.raises(ValueError, match="binary"):
+            backend.init(section, network.layers[0].out_shape)
+
+
+class TestPipelineCrashes:
+    def test_crash_in_middle_stage_propagates(self):
+        from repro.pipeline.scheduler import StageDescriptor
+        from repro.pipeline.workers import ThreadedPipeline
+
+        def boom(payload):
+            if payload == 3:
+                raise ValueError("frame 3 is cursed")
+            return payload
+
+        stages = [
+            StageDescriptor("pass", work=lambda x: x),
+            StageDescriptor("boom", work=boom),
+            StageDescriptor("pass2", work=lambda x: x),
+        ]
+        with pytest.raises(ValueError, match="cursed"):
+            ThreadedPipeline(stages, workers=4).process(range(8))
+
+    def test_crash_does_not_hang_workers(self):
+        """The pool must terminate (join) even when a stage dies early."""
+        import time
+
+        from repro.pipeline.scheduler import StageDescriptor
+        from repro.pipeline.workers import ThreadedPipeline
+
+        def boom(payload):
+            raise RuntimeError("immediate")
+
+        stages = [StageDescriptor("boom", work=boom)]
+        start = time.time()
+        with pytest.raises(RuntimeError):
+            ThreadedPipeline(stages, workers=4).process(range(100))
+        assert time.time() - start < 10.0
+
+
+class TestMisuse:
+    def test_network_with_offload_but_no_finn_import(self, tmp_path):
+        """A helpful LookupError, not an AttributeError, for unknown libs."""
+        cfg = (
+            "[net]\nwidth=8\nheight=8\nchannels=1\n"
+            "[offload]\nlibrary=not-registered.so\nnetwork=x\nweights=x\n"
+            "height=8\nwidth=8\nchannel=1\n"
+        )
+        with pytest.raises(LookupError, match="not-registered.so"):
+            Network.from_cfg(cfg)
+
+    def test_feature_map_must_be_3d(self):
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            FeatureMap(np.zeros((4, 4)))
+
+    def test_save_binparam_roundtrip_meta(self, tmp_path):
+        directory = str(tmp_path / "bundle")
+        save_binparam(directory, {"a": np.arange(4)}, meta={"k": 1})
+        arrays, meta = load_binparam(directory)
+        assert np.array_equal(arrays["a"], np.arange(4))
+        assert meta == {"k": 1}

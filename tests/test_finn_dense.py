@@ -1,0 +1,192 @@
+"""W1A1 dense fabric stages: sign thresholds, MVTU execution, end-to-end.
+
+The headline test trains a miniature binary MLP (the MLP-4 structure) on
+glyph data, exports it layer by layer onto the simulated fabric and checks
+the fabric classifier predicts *identically* to the trained float-emulated
+network — the full FINN story for the Table II show cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import FeatureMap
+from repro.finn.dense import (
+    MVTUDenseLayer,
+    compile_dense_stage,
+    derive_sign_thresholds,
+)
+from repro.finn.mvtu import MVTU, Folding
+from repro.nn.config import Section
+from repro.nn.layers.connected import ConnectedLayer
+
+
+def _bn(rng, n):
+    return (
+        rng.uniform(0.3, 2.0, size=n) * rng.choice([-1.0, 1.0], size=n),
+        rng.normal(size=n),
+        rng.normal(size=n) * 2,
+        rng.uniform(0.3, 2.0, size=n),
+    )
+
+
+class TestSignThresholds:
+    def test_matches_float_pipeline(self, rng):
+        n = 16
+        gamma, beta, mean, var = _bn(rng, n)
+        ta = derive_sign_thresholds(gamma, beta, mean, var, in_scale=1.0)
+        acc = rng.integers(-200, 200, size=(n, 64))
+        got = ta.apply(acc)
+        y = (
+            gamma[:, None] * (acc - mean[:, None]) / np.sqrt(var[:, None] + 1e-6)
+            + beta[:, None]
+        )
+        expected = (y >= 0).astype(np.int32)
+        assert np.array_equal(got, expected)
+
+    def test_zero_gamma(self):
+        ta = derive_sign_thresholds(
+            np.array([0.0, 0.0]),
+            np.array([1.0, -1.0]),
+            np.zeros(2),
+            np.ones(2),
+        )
+        got = ta.apply(np.array([[-5, 5], [-5, 5]]))
+        assert got[0].tolist() == [1, 1]
+        assert got[1].tolist() == [0, 0]
+
+    def test_single_threshold_per_neuron(self, rng):
+        gamma, beta, mean, var = _bn(rng, 4)
+        ta = derive_sign_thresholds(gamma, beta, mean, var)
+        assert ta.thresholds.shape == (4, 1)
+        assert ta.bits == 1
+
+
+class TestMVTUDenseLayer:
+    def _layer(self, rng, inputs=32, outputs=8):
+        weights = rng.choice([-1, 1], size=(outputs, inputs))
+        gamma, beta, mean, var = _bn(rng, outputs)
+        thresholds = derive_sign_thresholds(gamma, beta, mean, var)
+        mvtu = MVTU(weights, thresholds, Folding(4, 8))
+        return MVTUDenseLayer(mvtu, inputs=inputs), (weights, gamma, beta, mean, var)
+
+    def test_matches_bipolar_reference(self, rng):
+        layer, (weights, gamma, beta, mean, var) = self._layer(rng)
+        bits = rng.integers(0, 2, size=32)
+        out = layer.forward(FeatureMap(bits.reshape(-1, 1, 1)))
+        acc = weights @ (2 * bits - 1)
+        y = gamma * (acc - mean) / np.sqrt(var + 1e-6) + beta
+        assert np.array_equal(out.data.ravel(), (y >= 0).astype(np.int32))
+
+    def test_rejects_non_binary_levels(self, rng):
+        layer, _ = self._layer(rng)
+        with pytest.raises(ValueError, match="0,1"):
+            layer.forward(FeatureMap(np.full((32, 1, 1), 3)))
+
+    def test_rejects_wrong_size(self, rng):
+        layer, _ = self._layer(rng)
+        with pytest.raises(ValueError, match="inputs"):
+            layer.forward(FeatureMap(np.zeros((16, 1, 1), dtype=np.int64)))
+
+    def test_cycles_follow_folding(self, rng):
+        layer, _ = self._layer(rng, inputs=64, outputs=16)
+        assert layer.cycles() == Folding(4, 8).fold(16, 64)
+
+    def test_requires_1bit_thresholds(self, rng):
+        from repro.core.thresholds import ThresholdActivation
+
+        thresholds = ThresholdActivation(
+            np.zeros((4, 7), dtype=np.int64), np.ones(4, dtype=np.int8), bits=3
+        )
+        mvtu = MVTU(rng.choice([-1, 1], size=(4, 8)), thresholds, Folding(1, 1))
+        with pytest.raises(ValueError, match="1-bit"):
+            MVTUDenseLayer(mvtu, inputs=8)
+
+
+class TestCompileDenseStage:
+    def _connected(self, rng, inputs=20, outputs=6):
+        layer = ConnectedLayer(
+            Section(
+                "connected",
+                {
+                    "output": str(outputs),
+                    "activation": "sign",
+                    "binary": "1",
+                    "batch_normalize": "1",
+                },
+            )
+        )
+        layer.init((inputs, 1, 1))
+        layer.initialize(rng)
+        gamma, beta, mean, var = _bn(rng, outputs)
+        layer.scales = gamma.astype(np.float32)
+        layer.biases = beta.astype(np.float32)
+        layer.rolling_mean = mean.astype(np.float32)
+        layer.rolling_var = var.astype(np.float32)
+        return layer
+
+    def test_equivalence_with_darknet_layer(self, rng):
+        layer = self._connected(rng)
+        stage = compile_dense_stage(layer, Folding(2, 4))
+        bipolar = rng.choice([-1.0, 1.0], size=(20, 1, 1)).astype(np.float32)
+        float_out = layer.forward(FeatureMap(bipolar))
+        bits = ((bipolar + 1) / 2).astype(np.int64)
+        fabric_out = stage.forward(FeatureMap(bits))
+        # float path emits {-1,+1}; fabric emits {0,1}: same information.
+        assert np.array_equal(
+            (float_out.data.ravel() > 0).astype(np.int32),
+            fabric_out.data.ravel(),
+        )
+
+    def test_guards(self, rng):
+        layer = self._connected(rng)
+        layer.binary = False
+        with pytest.raises(ValueError, match="binary"):
+            compile_dense_stage(layer, Folding(1, 1))
+
+
+class TestEndToEndMLP:
+    def test_trained_binary_mlp_runs_on_fabric_identically(self):
+        """Train a mini MLP-4 (W1A1), export to fabric stages, compare."""
+        from repro.data.classify import mnist_like
+        from repro.train.classify import (
+            binarize_images,
+            mini_mlp,
+            train_classifier,
+        )
+        from repro.train.dense_layers import BatchNorm1d, QLinear
+
+        dataset = mnist_like(seed=5)
+        model = mini_mlp(hidden=32, n_hidden_layers=2, binary=True, seed=3)
+        result = train_classifier(model, dataset, steps=120, batch_size=32)
+        assert result.accuracy > 0.6  # well above 10% chance
+
+        # Export: pair each hidden QLinear with its BatchNorm1d.
+        modules = model.modules
+        linears = [m for m in modules if isinstance(m, QLinear)]
+        bns = [m for m in modules if isinstance(m, BatchNorm1d)]
+        stages = []
+        for linear, bn in zip(linears[:-1], bns):
+            thresholds = derive_sign_thresholds(
+                bn.gamma.value, bn.beta.value,
+                bn.running_mean, bn.running_var, eps=bn.eps,
+            )
+            mvtu = MVTU(linear.effective_weights(), thresholds, Folding(4, 8))
+            stages.append(MVTUDenseLayer(mvtu, inputs=linear.weight.value.shape[1]))
+        head = linears[-1]
+        head_weights = head.effective_weights().astype(np.int64)
+        head_bias = head.bias.value
+
+        images, labels = dataset.batch(10_000, 64)
+        bipolar = binarize_images(images)
+        expected = model.forward(bipolar, training=False).argmax(axis=1)
+
+        got = []
+        for image in bipolar:
+            bits = ((image.reshape(-1) + 1) / 2).astype(np.int64)
+            fm = FeatureMap(bits.reshape(-1, 1, 1))
+            for stage in stages:
+                fm = stage.forward(fm)
+            bipolar_hidden = 2 * fm.data.ravel().astype(np.int64) - 1
+            logits = head_weights @ bipolar_hidden + head_bias
+            got.append(int(np.argmax(logits)))
+        assert np.array_equal(np.asarray(got), expected)

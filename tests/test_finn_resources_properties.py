@@ -1,0 +1,108 @@
+"""Property tests on the fabric resource model (sanity of the cost space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finn.device import XC7Z020, XCZU3EG, XCZU7EV, XCZU9EG
+from repro.finn.mvtu import Folding, MVTUGeometry
+from repro.finn.resources import (
+    BRAM36_BITS,
+    ResourceEstimate,
+    mvtu_compute_resources,
+    pool_resources,
+    swu_resources,
+    weight_storage_resources,
+)
+
+_pow2 = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+class TestComputeResources:
+    @given(pe=_pow2, simd=_pow2, bits=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_luts_monotone_in_parallelism(self, pe, simd, bits):
+        base = mvtu_compute_resources(Folding(pe, simd), bits).luts
+        wider = mvtu_compute_resources(Folding(pe * 2, simd), bits).luts
+        deeper = mvtu_compute_resources(Folding(pe, simd * 2), bits).luts
+        assert wider > base
+        assert deeper > base
+
+    @given(pe=_pow2, simd=_pow2)
+    @settings(max_examples=30, deadline=None)
+    def test_wider_activations_cost_more(self, pe, simd):
+        one_bit = mvtu_compute_resources(Folding(pe, simd), 1).luts
+        three_bit = mvtu_compute_resources(Folding(pe, simd), 3).luts
+        assert three_bit > one_bit
+
+
+class TestWeightStorage:
+    @given(
+        rows=st.integers(8, 1024),
+        cols=st.integers(8, 4608),
+        pe=_pow2,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bram_covers_the_bits(self, rows, cols, pe):
+        geometry = MVTUGeometry(rows, cols, 1, 3)
+        estimate = weight_storage_resources([geometry], Folding(pe, 8))
+        assert estimate.bram36 * BRAM36_BITS >= geometry.weight_storage_bits
+
+    @given(rows=st.integers(8, 512), cols=st.integers(8, 1024))
+    @settings(max_examples=30, deadline=None)
+    def test_at_least_one_bank_per_pe(self, rows, cols):
+        geometry = MVTUGeometry(rows, cols, 1, 3)
+        for pe in (1, 8, 32):
+            estimate = weight_storage_resources([geometry], Folding(pe, 8))
+            assert estimate.bram36 >= pe
+
+    def test_many_matrices_share_banks(self):
+        """The iterated engine stores all layers in shared PE banks, so the
+        total is driven by total bits, not per-matrix minimums."""
+        small = [MVTUGeometry(16, 144, 1, 3)] * 7
+        shared = weight_storage_resources(small, Folding(32, 32))
+        separate = sum(
+            (weight_storage_resources([g], Folding(32, 32)) for g in small),
+            ResourceEstimate(0, 0),
+        )
+        assert shared.bram36 < separate.bram36
+
+
+class TestFitMonotonicity:
+    def test_fit_monotone_across_device_sizes(self):
+        """Anything that fits a smaller fabric fits every larger one."""
+        devices = [XC7Z020, XCZU3EG, XCZU7EV, XCZU9EG]
+        estimates = [
+            ResourceEstimate(luts=l, bram36=b)
+            for l in (1_000, 40_000, 150_000)
+            for b in (10, 100, 400)
+        ]
+        for estimate in estimates:
+            fits = [estimate.fits(d) for d in devices]
+            # once it fits device i, it fits all bigger ones
+            for smaller, larger in zip(fits, fits[1:]):
+                if smaller:
+                    assert larger
+
+    def test_shell_reservation_reduces_capacity(self):
+        assert XCZU3EG.usable_luts < XCZU3EG.luts
+        assert XCZU3EG.usable_bram36 < XCZU3EG.bram36
+
+
+class TestSWU:
+    @given(
+        ksize=st.sampled_from([1, 3, 5]),
+        width=st.integers(13, 416),
+        channels=st.sampled_from([3, 16, 64, 512]),
+        bits=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_line_buffer_covers_k_rows(self, ksize, width, channels, bits):
+        estimate = swu_resources(ksize, width, channels, bits, Folding(8, 8))
+        assert estimate.bram36 * BRAM36_BITS >= ksize * width * channels * bits
+
+    def test_pool_stage_is_cheap(self):
+        pool = pool_resources()
+        assert pool.luts < 1_000
+        assert pool.bram36 <= 1

@@ -1,0 +1,90 @@
+"""Folding-space search tests."""
+
+import numpy as np
+import pytest
+
+from repro.finn.device import XCZU3EG, XCZU9EG, FPGAFabric
+from repro.finn.mvtu import Folding
+from repro.finn.schedule import (
+    enumerate_foldings,
+    optimize_folding,
+    schedule_summary,
+)
+from repro.nn.network import Network
+from repro.nn.zoo import tincy_yolo_config
+
+
+@pytest.fixture(scope="module")
+def tincy_hidden():
+    network = Network(tincy_yolo_config())
+    return (
+        network.layers[1:-2],
+        network.layers[0].out_quant.scale,
+        network.layers[0].out_shape,
+    )
+
+
+class TestEnumerate:
+    def test_budget_respected(self):
+        foldings = enumerate_foldings(max_macs_per_cycle=256)
+        assert all(f.macs_per_cycle <= 256 for f in foldings)
+        assert Folding(16, 16) in foldings
+        assert Folding(32, 32) not in foldings
+
+    def test_powers_of_two(self):
+        for folding in enumerate_foldings(64):
+            assert folding.pe & (folding.pe - 1) == 0
+            assert folding.simd & (folding.simd - 1) == 0
+
+
+class TestOptimize:
+    def test_best_fits_and_is_fastest_fitting(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        best, evaluated = optimize_folding(layers, scale, shape, XCZU3EG)
+        assert best is not None
+        assert best.fits
+        fitting = [c for c in evaluated if c.fits]
+        assert best.time_per_frame_s == min(c.time_per_frame_s for c in fitting)
+
+    def test_target_time_prefers_smaller_engine(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        # 16 fps needs <= 62.5 ms of fabric; a modest engine suffices.
+        best, _ = optimize_folding(
+            layers, scale, shape, XCZU3EG, target_time_s=0.0625
+        )
+        fastest, _ = optimize_folding(layers, scale, shape, XCZU3EG)
+        assert best.time_per_frame_s <= 0.0625
+        assert best.folding.macs_per_cycle <= fastest.folding.macs_per_cycle
+
+    def test_paper_operating_point_is_in_the_fitting_set(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        _, evaluated = optimize_folding(layers, scale, shape, XCZU3EG)
+        point = next(
+            c for c in evaluated
+            if (c.folding.pe, c.folding.simd) == (32, 32)
+        )
+        assert point.fits
+        assert point.time_per_frame_s == pytest.approx(0.029, rel=0.05)
+
+    def test_nothing_fits_a_tiny_fabric(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        toy = FPGAFabric(name="toy", luts=2_000, flipflops=4_000, bram36=8, dsp=0)
+        best, evaluated = optimize_folding(layers, scale, shape, toy)
+        assert best is None
+        assert all(not c.fits for c in evaluated)
+
+    def test_bigger_device_unlocks_faster_points(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        best_small, _ = optimize_folding(layers, scale, shape, XCZU3EG)
+        best_big, _ = optimize_folding(layers, scale, shape, XCZU9EG)
+        assert best_big.time_per_frame_s <= best_small.time_per_frame_s
+
+
+class TestSummary:
+    def test_rows_sorted_by_speed(self, tincy_hidden):
+        layers, scale, shape = tincy_hidden
+        _, evaluated = optimize_folding(layers, scale, shape, XCZU3EG)
+        rows = schedule_summary(evaluated, top=5)
+        assert len(rows) == 5
+        times = [float(r[1].split()[0]) for r in rows]
+        assert times == sorted(times)

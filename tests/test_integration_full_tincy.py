@@ -1,0 +1,110 @@
+"""Full-scale integration: the real Tincy YOLO topology, end to end.
+
+This is the heavyweight smoke test of the whole stack at the paper's
+actual geometry (416x416 input, 125x13x13 output): the first convolution
+on the CPU path, all hidden layers exported to and executed on the
+simulated FINN fabric, the output convolution and region decode on the
+CPU — one frame, bit-faithful, asserting agreement between the hybrid
+fabric network and the plain fake-quantized network.
+"""
+
+import numpy as np
+import pytest
+
+import repro.finn  # noqa: F401
+from repro.core.tensor import FeatureMap
+from repro.finn.offload_backend import export_offload
+from repro.nn.config import Section, serialize_config
+from repro.nn.network import Network
+from repro.nn.zoo import tincy_yolo_config
+
+
+@pytest.fixture(scope="module")
+def tincy(rng_module):
+    network = Network(tincy_yolo_config())
+    network.initialize(rng_module)
+    for layer in network.layers:
+        if layer.ltype != "convolutional":
+            continue
+        n = layer.filters
+        layer.biases = (rng_module.normal(size=n) * 0.1).astype(np.float32)
+        if layer.batch_normalize:
+            layer.scales = rng_module.uniform(0.5, 1.5, size=n).astype(np.float32)
+            layer.rolling_mean = (rng_module.normal(size=n) * 0.2).astype(
+                np.float32
+            )
+            layer.rolling_var = rng_module.uniform(0.5, 1.5, size=n).astype(
+                np.float32
+            )
+    return network
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(20180621)
+
+
+class TestFullScaleTincy:
+    def test_full_frame_hybrid_equals_reference(self, tincy, rng_module, tmp_path_factory):
+        binparam = str(tmp_path_factory.mktemp("binparam-tincy"))
+        hidden = tincy.layers[1:-2]
+        export_offload(
+            hidden,
+            input_scale=tincy.layers[0].out_quant.scale,
+            input_shape=tincy.layers[0].out_shape,
+            directory=binparam,
+        )
+
+        # Build the hybrid cfg: conv1 + [offload] + conv15 + region.
+        sections = [tincy.config.sections[0], tincy.config.layers[0]]
+        sections.append(
+            Section(
+                "offload",
+                {
+                    "library": "fabric.so",
+                    "network": "tincy-yolo-offload.json",
+                    "weights": binparam,
+                    "height": "13",
+                    "width": "13",
+                    "channel": "512",
+                },
+            )
+        )
+        sections.extend(tincy.config.layers[-2:])
+        from repro.nn.config import NetworkConfig
+
+        hybrid = Network(NetworkConfig(sections))
+        # Copy the CPU layers' parameters.
+        for src, dst in ((tincy.layers[0], hybrid.layers[0]),
+                         (tincy.layers[-2], hybrid.layers[2])):
+            dst.weights = src.weights.copy()
+            dst.biases = src.biases.copy()
+            if src.batch_normalize:
+                dst.scales = src.scales.copy()
+                dst.rolling_mean = src.rolling_mean.copy()
+                dst.rolling_var = src.rolling_var.copy()
+        hybrid.layers[1].backend.load_weights()
+
+        x = FeatureMap(
+            rng_module.uniform(0, 1, size=(3, 416, 416)).astype(np.float32)
+        )
+        reference = tincy.forward(x)
+        got = hybrid.forward(x)
+        assert got.shape == (125, 13, 13) == tuple(reference.shape)
+        assert np.allclose(got.data, reference.data, atol=1e-4)
+
+        backend = hybrid.layers[1].backend
+        assert backend.ops_per_frame() == 4_385_931_264  # Table II reduced ops
+        assert backend.time_per_frame() == pytest.approx(0.029, rel=0.05)
+
+    def test_full_frame_detections_decode(self, tincy, rng_module):
+        x = FeatureMap(
+            rng_module.uniform(0, 1, size=(3, 416, 416)).astype(np.float32)
+        )
+        out = tincy.forward(x)
+        region = tincy.layers[-1]
+        detections = region.detections(out, threshold=0.0)
+        assert len(detections) > 0
+        for det in detections[:20]:
+            assert 0 <= det.class_id < 20
+            assert 0.0 <= det.objectness <= 1.0

@@ -1,0 +1,78 @@
+"""Instruction-level gemmlowp micro-GEMM tests.
+
+These pin the equivalence chain: NEON instruction sequence ==
+vectorized numpy kernels == plain integer arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc32
+from repro.neon.gemmlowp import dot27_acc16_neon, gemm_u8_neon
+
+
+class TestGemmU8Neon:
+    def test_matches_integer_reference(self, rng):
+        a = rng.integers(0, 256, size=(3, 9), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(9, 16), dtype=np.uint8)
+        got = gemm_u8_neon(a, b)
+        expected = a.astype(np.int64) @ b.astype(np.int64)
+        assert np.array_equal(got, expected)
+
+    def test_unaligned_column_count(self, rng):
+        """N not a multiple of the 16 u8 lanes: padding must not leak."""
+        a = rng.integers(0, 256, size=(2, 5), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(5, 21), dtype=np.uint8)
+        got = gemm_u8_neon(a, b)
+        assert got.shape == (2, 21)
+        assert np.array_equal(got, a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_matches_core_gemm_with_offsets(self, rng):
+        """The gemmlowp decomposition: offsets applied outside the kernel."""
+        a = rng.integers(0, 256, size=(2, 8), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+        a_off, b_off = -128, -100
+        raw = gemm_u8_neon(a, b).astype(np.int64)
+        # GemmWithOffsets: (A + ao)(B + bo) = AB + ao*colsum(B) + bo*rowsum(A)
+        #                  + K*ao*bo
+        k = a.shape[1]
+        corrected = (
+            raw
+            + a_off * b.astype(np.int64).sum(axis=0)[None, :]
+            + b_off * a.astype(np.int64).sum(axis=1)[:, None]
+            + k * a_off * b_off
+        )
+        expected = gemm_i8_acc32(a, b, a_offset=a_off, b_offset=b_off)
+        assert np.array_equal(corrected, expected)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            gemm_u8_neon(np.zeros((2, 3), np.uint8), np.zeros((4, 5), np.uint8))
+
+
+class TestDot27Acc16:
+    def test_matches_vectorized_acc16_path(self, rng):
+        weights = rng.integers(-127, 128, size=27).astype(np.int8)
+        columns = rng.integers(-127, 128, size=(27, 8)).astype(np.int8)
+        lanes, _ = dot27_acc16_neon(weights, columns, pre_shift=4)
+        expected, _ = gemm_i8_acc16(
+            weights.reshape(1, 27).astype(np.int64),
+            columns.astype(np.int64),
+            pre_shift=4,
+        )
+        assert lanes.tolist() == expected[0].tolist()
+
+    def test_saturation_semantics(self):
+        """Without the pre-shift, all-max inputs saturate the i16 lanes —
+        the 'destructive numeric overflow' the paper engineered around."""
+        weights = np.full(27, 127, dtype=np.int8)
+        columns = np.full((27, 8), 127, dtype=np.int8)
+        lanes, _ = dot27_acc16_neon(weights, columns, pre_shift=1)
+        assert np.all(lanes == np.iinfo(np.int16).max)
+        # With the paper's shift of 4 the sum stays representable.
+        safe, _ = dot27_acc16_neon(weights, columns, pre_shift=4)
+        assert np.all(safe < np.iinfo(np.int16).max)
+
+    def test_geometry_validation(self, rng):
+        with pytest.raises(ValueError, match="dot27"):
+            dot27_acc16_neon(np.zeros(20, np.int8), np.zeros((27, 8), np.int8))

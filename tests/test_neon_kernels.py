@@ -1,0 +1,215 @@
+"""Kernel-ladder tests: every §III-D variant agrees with the reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import conv2d
+from repro.neon.kernels import (
+    conv_first_layer_custom,
+    conv_fused_float,
+    conv_gemmlowp,
+    conv_generic_float,
+)
+from repro.neon.timing import (
+    PATH_EFFICIENCY,
+    conv_time_generic,
+    conv_time_neon,
+    generic_efficiency,
+    pool_time,
+)
+
+
+@pytest.fixture
+def first_layer(rng):
+    """A scaled-down first layer: 3 channels in, 16 filters, image in [0,1]."""
+    x = rng.uniform(0.0, 1.0, size=(3, 32, 32)).astype(np.float32)
+    weights = (rng.normal(size=(16, 3, 3, 3)) * 0.2).astype(np.float32)
+    return x, weights
+
+
+class TestGenericKernel:
+    def test_matches_reference_conv(self, first_layer):
+        x, w = first_layer
+        out, stats = conv_generic_float(x, w, stride=1, pad=1)
+        assert np.allclose(out, conv2d(x, w, None, 1, 1), atol=1e-5)
+        assert stats.macs == 27 * 16 * 32 * 32
+        assert stats.lanes == 1
+
+    def test_peak_buffer_shows_k_squared_inflation(self, first_layer):
+        x, w = first_layer
+        _, stats = conv_generic_float(x, w, stride=1, pad=1)
+        assert stats.peak_buffer_floats == 27 * 32 * 32  # K^2 * input size
+
+
+class TestGemmlowpKernel:
+    def test_close_to_float_reference(self, first_layer):
+        x, w = first_layer
+        out, stats = conv_gemmlowp(x, w, stride=1, pad=1)
+        reference = conv2d(x, w, None, 1, 1)
+        err = np.abs(out - reference)
+        assert err.max() < 0.05  # 8-bit quantization noise only
+        assert stats.quantized
+        assert stats.lanes == 16
+
+    def test_quantization_error_nonzero(self, first_layer):
+        """It *is* quantized — bit-exact agreement would be a bug."""
+        x, w = first_layer
+        out, _ = conv_gemmlowp(x, w, stride=1, pad=1)
+        assert not np.allclose(out, conv2d(x, w, None, 1, 1), atol=1e-7)
+
+
+class TestFusedKernel:
+    def test_bitwise_equal_to_generic(self, first_layer):
+        """Fusion changes the schedule, not the math."""
+        x, w = first_layer
+        fused, _ = conv_fused_float(x, w, stride=1, pad=1)
+        generic, _ = conv_generic_float(x, w, stride=1, pad=1)
+        assert np.allclose(fused, generic, atol=1e-6)
+
+    def test_slice_buffer_is_tiny(self, first_layer):
+        x, w = first_layer
+        _, fused_stats = conv_fused_float(x, w, stride=1, pad=1, slice_width=4)
+        _, generic_stats = conv_generic_float(x, w, stride=1, pad=1)
+        # The locality argument: the live multiplicand shrinks by ~N/4.
+        assert fused_stats.peak_buffer_floats == 27 * 4
+        assert fused_stats.peak_buffer_floats < generic_stats.peak_buffer_floats / 100
+
+
+class TestCustomFirstLayer:
+    def test_float_variant_equals_generic(self, first_layer):
+        x, w = first_layer
+        custom, stats = conv_first_layer_custom(x, w, variant="float")
+        generic, _ = conv_generic_float(x, w)
+        assert np.allclose(custom, generic, atol=1e-6)
+        assert stats.path == "custom-16x27-float"
+
+    def test_acc32_variant_close_to_float(self, first_layer):
+        x, w = first_layer
+        out, stats = conv_first_layer_custom(x, w, variant="i8_acc32")
+        reference = conv2d(x, w, None, 1, 1)
+        assert np.abs(out - reference).max() < 0.05
+        assert stats.accumulator_bits == 32
+
+    def test_acc16_variant_small_additional_loss(self, first_layer):
+        """§III-D: the 16-bit accumulator 'introduces some small loss'."""
+        x, w = first_layer
+        reference = conv2d(x, w, None, 1, 1)
+        out32, _ = conv_first_layer_custom(x, w, variant="i8_acc32")
+        out16, stats16 = conv_first_layer_custom(x, w, variant="i8_acc16")
+        drift = np.abs(out16 - out32)
+        assert drift.max() > 0.0               # loss exists (not bit-equal)...
+        assert drift.max() < 0.05              # ...but is small
+        # and stays in the same error band as plain 8-bit quantization
+        assert np.abs(out16 - reference).mean() < 2 * np.abs(
+            out32 - reference
+        ).mean() + 0.01
+        assert stats16.accumulator_bits == 16
+        assert stats16.lanes == 8     # twice the 32-bit lane count
+
+    def test_acc16_never_overflows_with_preshift(self, first_layer):
+        x, w = first_layer
+        _, stats = conv_first_layer_custom(x, w, variant="i8_acc16")
+        # 27 products of |p| <= 16384 >> 4 keeps the i16 accumulator safe.
+        assert stats.overflow_events == 0
+
+    def test_rejects_wrong_geometry(self, rng):
+        x = rng.normal(size=(8, 16, 16)).astype(np.float32)
+        w = rng.normal(size=(16, 8, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="16x27"):
+            conv_first_layer_custom(x, w)
+
+    def test_rejects_unknown_variant(self, first_layer):
+        x, w = first_layer
+        with pytest.raises(ValueError, match="variant"):
+            conv_first_layer_custom(x, w, variant="i4")
+
+    def test_stride_two_lean_conv(self, first_layer):
+        """Modification (d)'s lean convolution: stride 2, same kernel."""
+        x, w = first_layer
+        out, stats = conv_first_layer_custom(x, w, stride=2, variant="i8_acc16")
+        assert out.shape == (16, 16, 16)
+        assert stats.macs == 27 * 16 * 16 * 16
+
+
+FIRST_LAYER_MACS = 16 * 27 * 416 * 416  # Tiny YOLO layer 1 (stride 1)
+
+
+class TestTimingModel:
+    def test_generic_first_layer_is_620ms(self):
+        t = conv_time_generic(FIRST_LAYER_MACS, k_inner=27, kernel_size=3)
+        assert t.milliseconds == pytest.approx(620, rel=0.02)
+
+    def test_neon_ladder_matches_paper(self):
+        """§III-D: 280 (gemmlowp) / ~295 (fused) / 160 / 140 / 120 ms."""
+        expected = {
+            "gemmlowp-u8": 280,
+            "fused-float": 295,
+            "custom-16x27-float": 160,
+            "custom-16x27-i8-acc32": 140,
+            "custom-16x27-i8-acc16": 120,
+        }
+        for path, target_ms in expected.items():
+            t = conv_time_neon(path, FIRST_LAYER_MACS)
+            assert t.milliseconds == pytest.approx(target_ms, rel=0.02), path
+
+    def test_speedup_factors(self):
+        base = conv_time_generic(FIRST_LAYER_MACS, 27, 3).seconds
+        assert base / conv_time_neon("gemmlowp-u8", FIRST_LAYER_MACS).seconds == (
+            pytest.approx(2.2, abs=0.1)
+        )
+        assert base / conv_time_neon(
+            "custom-16x27-float", FIRST_LAYER_MACS
+        ).seconds == pytest.approx(3.8, abs=0.15)
+
+    def test_lean_conv_time_near_35ms(self):
+        """Modification (d): stride-2 custom conv 'needing just 35 ms'."""
+        lean_macs = 16 * 27 * 208 * 208
+        t = conv_time_neon("custom-16x27-i8-acc16", lean_macs)
+        assert 0.025 <= t.seconds <= 0.040
+
+    def test_first_maxpool_time_is_140ms(self):
+        t = pool_time(416 * 416 * 16, 208 * 208 * 16)
+        assert t == pytest.approx(0.140, rel=0.02)
+
+    def test_efficiency_monotone_in_inner_dim(self):
+        assert generic_efficiency(27, 3) < generic_efficiency(576, 3)
+        assert generic_efficiency(576, 3) < generic_efficiency(4608, 3)
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="unknown NEON path"):
+            conv_time_neon("magic", 1000)
+
+    def test_bad_inner_dim_rejected(self):
+        with pytest.raises(ValueError):
+            generic_efficiency(0, 3)
+
+
+class TestConvInt8Generic:
+    def test_acc32_close_to_float_any_geometry(self, rng):
+        from repro.neon.kernels import conv_int8
+
+        x = rng.uniform(0, 1, size=(8, 20, 20)).astype(np.float32)
+        w = (rng.normal(size=(12, 8, 3, 3)) * 0.1).astype(np.float32)
+        out, stats = conv_int8(x, w, stride=2, pad=1, accumulator_bits=32)
+        reference = conv2d(x, w, None, 2, 1)
+        assert out.shape == reference.shape
+        assert np.abs(out - reference).max() < 0.1
+        assert stats.path == "int8-acc32"
+
+    def test_acc16_stays_close_to_acc32(self, rng):
+        from repro.neon.kernels import conv_int8
+
+        x = rng.uniform(0, 1, size=(4, 16, 16)).astype(np.float32)
+        w = (rng.normal(size=(6, 4, 3, 3)) * 0.15).astype(np.float32)
+        out32, _ = conv_int8(x, w, accumulator_bits=32)
+        out16, stats16 = conv_int8(x, w, accumulator_bits=16)
+        assert np.abs(out16 - out32).max() < 0.1
+        assert stats16.accumulator_bits == 16
+
+    def test_rejects_unknown_width(self, rng):
+        from repro.neon.kernels import conv_int8
+
+        x = rng.uniform(size=(1, 4, 4)).astype(np.float32)
+        w = rng.normal(size=(1, 1, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError, match="accumulator_bits"):
+            conv_int8(x, w, accumulator_bits=24)

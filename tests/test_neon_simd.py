@@ -1,0 +1,165 @@
+"""Instruction-level NEON emulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.neon.simd import (
+    QReg,
+    lane_count,
+    vadd,
+    vaddv,
+    vdup,
+    vld1,
+    vmax,
+    vmla,
+    vmul,
+    vmull,
+    vmull_high,
+    vpadal,
+    vqadd,
+    vrshr,
+    vst1,
+    vsub,
+)
+
+
+class TestRegisters:
+    def test_lane_counts_match_fig2(self):
+        # "four single-precision floating-point lanes or eight 16-bit
+        # integer lanes" (§III-B), sixteen 8-bit lanes (§III-D).
+        assert lane_count("f32") == 4
+        assert lane_count("i16") == 8
+        assert lane_count("i8") == 16
+
+    def test_wrong_lane_count_rejected(self):
+        with pytest.raises(ValueError, match="lanes"):
+            QReg("i8", np.zeros(8, dtype=np.int8))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            QReg("i8", np.zeros(16, dtype=np.int16))
+
+    def test_load_store_roundtrip(self, rng):
+        buffer = rng.integers(-100, 100, size=32).astype(np.int16)
+        reg = vld1("i16", buffer, offset=8)
+        out = np.zeros(32, dtype=np.int16)
+        vst1(reg, out, offset=8)
+        assert np.array_equal(out[8:16], buffer[8:16])
+
+    def test_short_load_rejected(self):
+        with pytest.raises(ValueError, match="lanes"):
+            vld1("i8", np.zeros(10, dtype=np.int8))
+
+
+class TestArithmetic:
+    def test_add_wraps_like_hardware(self):
+        a = vdup("i8", 120)
+        b = vdup("i8", 20)
+        assert vadd(a, b).to_list() == [-116] * 16  # 140 wraps to -116
+
+    def test_sub_wraps(self):
+        a = vdup("i8", -120)
+        b = vdup("i8", 20)
+        assert vsub(a, b).to_list() == [116] * 16
+
+    def test_saturating_add_clamps(self):
+        a = vdup("i16", 30000)
+        b = vdup("i16", 10000)
+        assert vqadd(a, b).to_list() == [32767] * 8
+
+    def test_mul_wraps(self):
+        a = vdup("i16", 1000)
+        # 1_000_000 & 0xFFFF = 16960, which is positive in int16.
+        assert vmul(a, a).to_list() == [16960] * 8
+
+    def test_float_ops(self):
+        a = vdup("f32", 1.5)
+        b = vdup("f32", 2.0)
+        assert vmul(a, b).to_list() == [3.0] * 4
+        assert vmla(vdup("f32", 1.0), a, b).to_list() == [4.0] * 4
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            vadd(vdup("i8", 0), vdup("i16", 0))
+
+    def test_vmax(self, rng):
+        a = rng.integers(-50, 50, size=8).astype(np.int16)
+        b = rng.integers(-50, 50, size=8).astype(np.int16)
+        got = vmax(QReg("i16", a), QReg("i16", b))
+        assert got.to_list() == np.maximum(a, b).tolist()
+
+
+class TestWideningOps:
+    def test_vmull_low_half(self):
+        a = QReg("i8", np.arange(16, dtype=np.int8))
+        b = vdup("i8", 3)
+        got = vmull(a, b)
+        assert got.kind == "i16"
+        assert got.to_list() == [i * 3 for i in range(8)]
+
+    def test_vmull_high_half(self):
+        a = QReg("i8", np.arange(16, dtype=np.int8))
+        b = vdup("i8", 3)
+        assert vmull_high(a, b).to_list() == [i * 3 for i in range(8, 16)]
+
+    def test_vmull_no_intermediate_overflow(self):
+        # int8 x int8 always fits int16: -128 * -128 = 16384 < 32767.
+        a = vdup("i8", -128)
+        assert vmull(a, a).to_list() == [16384] * 8
+
+    def test_vpadal_pairwise_fold(self):
+        acc = vdup("i32", 10)
+        prods = QReg("i16", np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.int16))
+        got = vpadal(acc, prods)
+        assert got.to_list() == [13, 17, 21, 25]
+
+    def test_vpadal_kind_check(self):
+        with pytest.raises(ValueError, match="vpadal"):
+            vpadal(vdup("i16", 0), vdup("i16", 0))
+
+
+class TestRoundingShift:
+    def test_vrshr_matches_core_semantics(self, rng):
+        from repro.core.gemm import rounding_rshift
+
+        values = rng.integers(-(2**14), 2**14, size=8).astype(np.int16)
+        got = vrshr(QReg("i16", values), 4)
+        expected = rounding_rshift(values.astype(np.int64), 4)
+        assert got.to_list() == expected.tolist()
+
+    def test_vrshr_rejects_zero_shift(self):
+        with pytest.raises(ValueError, match="start at 1"):
+            vrshr(vdup("i16", 8), 0)
+
+    def test_vrshr_rejects_float(self):
+        with pytest.raises(ValueError, match="integer"):
+            vrshr(vdup("f32", 1.0), 1)
+
+
+class TestDotProductMicrokernel:
+    def test_acc16_dot27_matches_gemm_i8_acc16(self, rng):
+        """One output row x 8 positions of the paper's 16-bit-accumulator
+        kernel, written instruction by instruction, must equal the
+        vectorized ``gemm_i8_acc16`` datapath."""
+        from repro.core.gemm import gemm_i8_acc16
+
+        weights = rng.integers(-127, 128, size=27).astype(np.int8)
+        cols = rng.integers(-127, 128, size=(27, 8)).astype(np.int8)
+
+        acc = vdup("i16", 0)
+        for k in range(27):
+            a16 = QReg("i16", cols[k].astype(np.int16))
+            w16 = vdup("i16", int(weights[k]))
+            prod = vmul(a16, w16)            # int8 values in i16 lanes: exact
+            shifted = vrshr(prod, 4)         # rounding right shift by 4
+            acc = vqadd(acc, shifted)        # saturating accumulate
+        expected, _ = gemm_i8_acc16(
+            weights.reshape(1, 27).astype(np.int64),
+            cols.astype(np.int64),
+            pre_shift=4,
+        )
+        assert acc.to_list() == expected[0].tolist()
+
+    def test_vaddv_horizontal_sum(self, rng):
+        values = rng.integers(-100, 100, size=4).astype(np.int32)
+        assert vaddv(QReg("i32", values)) == int(values.sum())

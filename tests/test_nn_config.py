@@ -1,0 +1,102 @@
+"""cfg parser tests."""
+
+import pytest
+
+from repro.nn.config import NetworkConfig, Section, parse_config, serialize_config
+
+SAMPLE = """
+[net]
+width=416
+height=416
+channels=3
+
+[convolutional]   # first layer
+filters=16
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[offload]
+library=fabric.so
+network=tincy-yolo-offload.json
+weights=binparam-tincy-yolo/
+height=13
+width=13
+channel=125
+"""
+
+
+class TestParse:
+    def test_section_sequence(self):
+        config = parse_config(SAMPLE)
+        assert [s.name for s in config] == ["net", "convolutional", "maxpool", "offload"]
+
+    def test_input_shape(self):
+        assert parse_config(SAMPLE).input_shape() == (3, 416, 416)
+
+    def test_comments_stripped(self):
+        config = parse_config(SAMPLE)
+        assert config.layers[0].get_int("filters") == 16
+
+    def test_offload_section_of_fig4(self):
+        offload = parse_config(SAMPLE).layers[-1]
+        assert offload.get_str("library") == "fabric.so"
+        assert offload.get_str("weights") == "binparam-tincy-yolo/"
+        assert offload.get_int("channel") == 125
+
+    def test_repeated_sections_stay_ordered(self):
+        text = "[net]\nwidth=8\nheight=8\n[maxpool]\nstride=2\n[maxpool]\nstride=1\n"
+        config = parse_config(text)
+        strides = [s.get_int("stride") for s in config.layers]
+        assert strides == [2, 1]
+
+    def test_malformed_section_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_config("[net\nwidth=1")
+
+    def test_option_outside_section_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            parse_config("width=416\n[net]")
+
+    def test_missing_net_section_rejected(self):
+        with pytest.raises(ValueError, match=r"\[net\]"):
+            parse_config("[convolutional]\nfilters=1")
+
+    def test_non_kv_line_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_config("[net]\nwidth 416")
+
+
+class TestSectionAccessors:
+    def test_typed_defaults(self):
+        section = Section("convolutional", {"filters": "16"})
+        assert section.get_int("stride", 1) == 1
+        assert section.get_float("momentum", 0.9) == 0.9
+        assert section.get_str("activation", "linear") == "linear"
+
+    def test_missing_required_raises(self):
+        with pytest.raises(KeyError, match="filters"):
+            Section("convolutional", {}).get_int("filters")
+
+    def test_float_list(self):
+        section = Section("region", {"anchors": "1.08,1.19, 3.42,4.41"})
+        assert section.get_float_list("anchors") == [1.08, 1.19, 3.42, 4.41]
+
+
+class TestSerialize:
+    def test_round_trip(self):
+        config = parse_config(SAMPLE)
+        text = serialize_config(config)
+        again = parse_config(text)
+        assert [s.name for s in again] == [s.name for s in config]
+        for a, b in zip(again, config):
+            assert a.options == b.options
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig([])

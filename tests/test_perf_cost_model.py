@@ -1,0 +1,117 @@
+"""Cost-model tests: Table III rows and the §III speedup ladder."""
+
+import pytest
+
+from repro.perf.cost_model import (
+    PAPER_TABLE3_MS,
+    fabric_hidden_accelerator,
+    fabric_hidden_time,
+    input_layer_neon_time,
+    lean_input_time,
+    output_layer_time,
+    table3_rows,
+    table3_total,
+)
+from repro.perf.ladder import (
+    PAPER_LADDER_FPS,
+    PAPER_TOTAL_SPEEDUP,
+    ladder_steps,
+    total_speedup,
+)
+
+
+class TestTable3:
+    def test_every_row_within_five_percent_of_paper(self):
+        rows = {row.name: row.milliseconds for row in table3_rows()}
+        for name, paper_ms in PAPER_TABLE3_MS.items():
+            if name == "Total":
+                continue
+            assert rows[name] == pytest.approx(paper_ms, rel=0.05), name
+
+    def test_total_within_two_percent(self):
+        assert table3_total() * 1e3 == pytest.approx(
+            PAPER_TABLE3_MS["Total"], rel=0.02
+        )
+
+    def test_baseline_frame_rate_is_about_a_tenth_fps(self):
+        fps = 1.0 / table3_total()
+        assert 0.09 <= fps <= 0.11
+
+    def test_hidden_layers_dominate(self):
+        """§III-C: "it is the inference in the hidden network layers which
+        contributes the highest processing costs"."""
+        rows = {row.name: row.seconds for row in table3_rows()}
+        hidden = rows.pop("Hidden Layers")
+        assert hidden > sum(rows.values())
+
+
+class TestFabricTiming:
+    def test_hidden_offload_takes_about_30ms(self):
+        assert fabric_hidden_time() == pytest.approx(0.030, rel=0.2)
+
+    def test_hidden_stage_speedup_over_300x(self):
+        """§III-C: "a speedup of more than 300x for this particular
+        processing stage"."""
+        rows = {row.name: row.seconds for row in table3_rows()}
+        assert rows["Hidden Layers"] / fabric_hidden_time() > 300
+
+    def test_accelerator_serves_seven_stages(self):
+        accel = fabric_hidden_accelerator()
+        assert len(accel.stages) == 7  # Tincy's hidden convolutions
+
+
+class TestNeonStageTimes:
+    def test_input_layer_120ms(self):
+        assert input_layer_neon_time() * 1e3 == pytest.approx(120, rel=0.05)
+
+    def test_lean_conv_near_35ms(self):
+        """§III-E: "a lean convolution needing just 35 ms" (we model 30)."""
+        assert 0.025 <= lean_input_time() <= 0.040
+
+    def test_output_layer_30ms(self):
+        assert output_layer_time() * 1e3 == pytest.approx(30, rel=0.05)
+
+
+class TestLadder:
+    @pytest.fixture(scope="class")
+    def steps(self):
+        return ladder_steps()
+
+    def test_five_rungs(self, steps):
+        assert [s.name for s in steps] == [
+            "generic", "+offload", "+neon", "+algorithmic", "+pipeline",
+        ]
+
+    def test_fps_monotonically_increases(self, steps):
+        fps = [s.fps for s in steps]
+        assert fps == sorted(fps)
+
+    def test_offload_gives_11x(self, steps):
+        """§III-C: "the net effect reduces to a 11x speedup allowing a frame
+        rate of just above 1 fps"."""
+        ratio = steps[1].fps / steps[0].fps
+        assert ratio == pytest.approx(11, rel=0.1)
+        assert 1.0 <= steps[1].fps <= 1.3
+
+    def test_neon_reaches_2_5_fps(self, steps):
+        assert steps[2].fps == pytest.approx(2.5, rel=0.05)
+
+    def test_algorithmic_exceeds_5_fps(self, steps):
+        assert steps[3].fps > 5.0
+
+    def test_pipeline_lands_near_16_fps(self, steps):
+        """§III-F: "a frame rate of 16 fps"."""
+        assert 14.0 <= steps[4].fps <= 18.5
+
+    def test_pipeline_speedup_is_almost_threefold(self, steps):
+        ratio = steps[4].fps / steps[3].fps
+        assert 2.3 <= ratio <= 3.2
+
+    def test_total_speedup_about_160x(self, steps):
+        """The paper's headline: "an overall speedup of 160x"."""
+        speedup = total_speedup(steps)
+        assert 140 <= speedup <= 190
+
+    def test_frame_times_sum_to_fps_for_sequential_rungs(self, steps):
+        for step in steps[:4]:
+            assert step.fps == pytest.approx(1.0 / step.frame_time_s, rel=1e-6)

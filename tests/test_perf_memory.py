@@ -1,0 +1,63 @@
+"""Memory-footprint model tests (§I: quantization defuses parameter storage)."""
+
+import pytest
+
+from repro.nn.network import Network
+from repro.nn.zoo import mlp4_config, tincy_yolo_config, tiny_yolo_config
+from repro.perf.memory import compression_factor, network_memory
+
+
+class TestFloatBaseline:
+    def test_tiny_yolo_float_weights_are_tens_of_megabytes(self):
+        network = Network(tiny_yolo_config())
+        report = network_memory(network, "float32")
+        # ~15.8 M weights * 4 bytes ~ 63 MB: far beyond on-chip memory.
+        assert 40e6 < report.weight_bytes < 80e6
+
+    def test_total_includes_activations(self):
+        network = Network(tiny_yolo_config())
+        report = network_memory(network, "float32")
+        assert report.total_bytes > report.weight_bytes
+        assert report.activation_bytes > 0
+
+
+class TestQuantizedRegime:
+    def test_tincy_weights_fit_fpga_bram(self):
+        """The §III-A enabler: binarized hidden weights fit on-chip."""
+        network = Network(tincy_yolo_config())
+        report = network_memory(network, "quantized")
+        hidden = [l for l in report.layers if l.name == "convolutional"][1:-1]
+        hidden_weight_bits = sum(l.weight_bits for l in hidden)
+        assert hidden_weight_bits == 6_312_960  # matches the BRAM model
+        from repro.finn.device import XCZU3EG
+
+        assert hidden_weight_bits < XCZU3EG.bram_bits
+
+    def test_compression_factor_large(self):
+        network = Network(tincy_yolo_config())
+        factor = compression_factor(network)
+        # binary hidden weights + int8 ends: ~25-32x smaller than float32.
+        assert factor > 20.0
+
+    def test_activation_maps_shrink_with_3bit_coding(self):
+        network = Network(tincy_yolo_config())
+        quantized = network_memory(network, "quantized")
+        floating = network_memory(network, "float32")
+        assert quantized.activation_bytes < floating.activation_bytes / 8
+
+    def test_int8_regime_between_extremes(self):
+        network = Network(tincy_yolo_config())
+        float_w = network_memory(network, "float32").weight_bytes
+        int8_w = network_memory(network, "int8").weight_bytes
+        quant_w = network_memory(network, "quantized").weight_bytes
+        assert quant_w < int8_w < float_w
+        assert int8_w == pytest.approx(float_w / 4, rel=0.05)
+
+    def test_mlp4_binary_weights_under_a_megabyte(self):
+        network = Network(mlp4_config())
+        report = network_memory(network, "quantized")
+        assert report.weight_bytes < 1e6  # ~2.9 Mbit / 8
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError, match="regime"):
+            network_memory(Network(mlp4_config()), "bfloat16")

@@ -1,0 +1,126 @@
+"""Data-augmentation tests (geometry transforms must track the boxes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.boxes import Box, GroundTruth
+from repro.train.augment import (
+    AugmentConfig,
+    augment_sample,
+    flip_horizontal,
+    jitter_colors,
+    shift_image,
+)
+
+
+def _sample(rng, size=32):
+    image = rng.uniform(size=(3, size, size)).astype(np.float32)
+    truths = [GroundTruth(2, Box(0.3, 0.6, 0.2, 0.25))]
+    return image, truths
+
+
+class TestFlip:
+    def test_involution(self, rng):
+        image, truths = _sample(rng)
+        flipped, flipped_truths = flip_horizontal(image, truths)
+        back, back_truths = flip_horizontal(flipped, flipped_truths)
+        assert np.array_equal(back, image)
+        assert back_truths[0].box.x == pytest.approx(truths[0].box.x)
+
+    def test_box_mirrors(self, rng):
+        image, truths = _sample(rng)
+        _, flipped_truths = flip_horizontal(image, truths)
+        assert flipped_truths[0].box.x == pytest.approx(0.7)
+        assert flipped_truths[0].box.y == pytest.approx(0.6)
+
+    def test_pixels_actually_flip(self, rng):
+        image, truths = _sample(rng)
+        flipped, _ = flip_horizontal(image, truths)
+        assert np.array_equal(flipped[:, :, 0], image[:, :, -1])
+
+    @given(x=st.floats(0.1, 0.9), w=st.floats(0.05, 0.2))
+    @settings(max_examples=30, deadline=None)
+    def test_flip_preserves_area(self, x, w):
+        truths = [GroundTruth(0, Box(x, 0.5, w, 0.1))]
+        _, flipped = flip_horizontal(np.zeros((3, 8, 8), np.float32), truths)
+        assert flipped[0].box.area == pytest.approx(truths[0].box.area)
+
+
+class TestJitter:
+    def test_output_in_range(self, rng):
+        image, _ = _sample(rng)
+        out = jitter_colors(image, rng, AugmentConfig())
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_amplitude_is_identity(self, rng):
+        image, _ = _sample(rng)
+        config = AugmentConfig(brightness=0.0, contrast=0.0, channel_jitter=0.0)
+        out = jitter_colors(image, rng, config)
+        assert np.allclose(out, image, atol=1e-6)
+
+
+class TestShift:
+    def test_pixels_move(self, rng):
+        image, truths = _sample(rng)
+        shifted, _ = shift_image(image, truths, dy=2, dx=-3)
+        assert np.array_equal(shifted[:, 2:, :-3], image[:, :-2, 3:])
+
+    def test_fill_value_where_vacated(self, rng):
+        image, truths = _sample(rng)
+        shifted, _ = shift_image(image, truths, dy=4, dx=0, fill=0.5)
+        assert np.allclose(shifted[:, :4, :], 0.5)
+
+    def test_boxes_translate(self, rng):
+        image, truths = _sample(rng, size=32)
+        _, new_truths = shift_image(image, truths, dy=0, dx=8)
+        assert new_truths[0].box.x == pytest.approx(0.3 + 8 / 32)
+
+    def test_box_leaving_frame_dropped(self, rng):
+        image = rng.uniform(size=(3, 32, 32)).astype(np.float32)
+        truths = [GroundTruth(0, Box(0.05, 0.5, 0.08, 0.1))]
+        _, new_truths = shift_image(image, truths, dy=0, dx=-10)
+        assert new_truths == []
+
+    def test_box_clips_at_edge(self, rng):
+        image = rng.uniform(size=(3, 32, 32)).astype(np.float32)
+        truths = [GroundTruth(0, Box(0.2, 0.5, 0.3, 0.3))]
+        _, new_truths = shift_image(image, truths, dy=0, dx=-4)
+        assert new_truths[0].box.left >= 0.0
+        assert new_truths[0].box.w < 0.3 + 1e-9
+
+
+class TestAugmentSample:
+    def test_deterministic_given_rng(self, rng):
+        image, truths = _sample(rng)
+        a = augment_sample(image, truths, np.random.default_rng(1))
+        b = augment_sample(image, truths, np.random.default_rng(1))
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+    def test_boxes_stay_normalized(self, rng):
+        for seed in range(10):
+            image, truths = _sample(np.random.default_rng(seed))
+            out_image, out_truths = augment_sample(
+                image, truths, np.random.default_rng(seed)
+            )
+            assert out_image.shape == image.shape
+            for t in out_truths:
+                assert -1e-9 <= t.box.left and t.box.right <= 1.0 + 1e-9
+                assert -1e-9 <= t.box.top and t.box.bottom <= 1.0 + 1e-9
+
+
+class TestTrainerIntegration:
+    def test_augmented_training_runs_and_learns(self):
+        from repro.data.shapes import ShapesDetectionDataset
+        from repro.train.models import mini_yolo
+        from repro.train.trainer import TrainConfig, train_detector
+
+        dataset = ShapesDetectionDataset(image_size=48, seed=3, max_objects=2)
+        model = mini_yolo("mini-tiny", n_classes=20, seed=3)
+        result = train_detector(
+            model, dataset,
+            TrainConfig(steps=25, batch_size=4, eval_samples=8, augment=True),
+        )
+        assert np.mean(result.losses[-5:]) < np.mean(result.losses[:5])

@@ -1,0 +1,141 @@
+"""Dense training modules and the classifier trainer (MLP-4 show case)."""
+
+import numpy as np
+import pytest
+
+from repro.data.classify import cifar_like, mnist_like
+from repro.train.classify import (
+    binarize_images,
+    evaluate_classifier,
+    mini_mlp,
+    train_classifier,
+)
+from repro.train.dense_layers import BatchNorm1d, Flatten, QLinear, SignActivation
+
+
+class TestQLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = QLinear(6, 4, rng=rng)
+        x = rng.normal(size=(3, 6)).astype(np.float32)
+        y = layer.forward(x)
+        assert np.allclose(y, x @ layer.weight.value.T + layer.bias.value, atol=1e-5)
+
+    def test_gradients_match_finite_difference(self, rng):
+        layer = QLinear(5, 3, rng=rng)
+        x = rng.normal(size=(2, 5)).astype(np.float64)
+        grad_out = rng.normal(size=(2, 3))
+
+        y = layer.forward(x.astype(np.float32))
+        grad_x = layer.backward(grad_out.astype(np.float32))
+
+        eps = 1e-4
+        for index in [(0, 0), (1, 4)]:
+            bumped = x.copy()
+            bumped[index] += eps
+            plus = float(np.sum(layer.forward(bumped.astype(np.float32)) * grad_out))
+            bumped[index] -= 2 * eps
+            minus = float(np.sum(layer.forward(bumped.astype(np.float32)) * grad_out))
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_x[index] == pytest.approx(numeric, abs=1e-2)
+
+    def test_binary_weights_and_ste(self, rng):
+        layer = QLinear(4, 2, binary=True, rng=rng)
+        assert set(np.unique(layer.effective_weights())) <= {-1.0, 1.0}
+        layer.weight.value[...] = 3.0  # all weights outside the STE window
+        layer.forward(np.ones((1, 4), dtype=np.float32))
+        layer.backward(np.ones((1, 2), dtype=np.float32))
+        assert np.all(layer.weight.grad == 0)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_batch(self, rng):
+        bn = BatchNorm1d(4)
+        x = rng.normal(5.0, 3.0, size=(64, 4)).astype(np.float32)
+        y = bn.forward(x)
+        assert np.allclose(y.mean(axis=0), 0.0, atol=1e-5)
+        assert np.allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        bn = BatchNorm1d(3)
+        x = rng.normal(size=(8, 3)).astype(np.float64)
+        grad_out = rng.normal(size=(8, 3))
+        bn.forward(x.astype(np.float32))
+        grad_x = bn.backward(grad_out.astype(np.float32))
+        eps = 1e-4
+        index = (2, 1)
+        bumped = x.copy()
+        bumped[index] += eps
+        plus = float(np.sum(bn.forward(bumped.astype(np.float32)) * grad_out))
+        bumped[index] -= 2 * eps
+        minus = float(np.sum(bn.forward(bumped.astype(np.float32)) * grad_out))
+        numeric = (plus - minus) / (2 * eps)
+        assert grad_x[index] == pytest.approx(numeric, abs=1e-2)
+
+    def test_inference_mode(self, rng):
+        bn = BatchNorm1d(2, momentum=1.0)
+        bn.forward(rng.normal(1.0, 2.0, size=(128, 2)).astype(np.float32))
+        y = bn.forward(np.ones((1, 2), dtype=np.float32), training=False)
+        assert np.all(np.isfinite(y))
+
+
+class TestSignActivation:
+    def test_binary_output(self, rng):
+        act = SignActivation()
+        y = act.forward(rng.normal(size=(4, 4)).astype(np.float32))
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+
+    def test_hardtanh_ste(self):
+        act = SignActivation()
+        x = np.array([[-2.0, -0.5, 0.5, 2.0]], dtype=np.float32)
+        act.forward(x)
+        grad = act.backward(np.ones_like(x))
+        assert grad.ravel().tolist() == [0.0, 1.0, 1.0, 0.0]
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        flat = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        y = flat.forward(x)
+        assert y.shape == (2, 48)
+        assert flat.backward(y).shape == x.shape
+
+
+class TestClassifierTraining:
+    def test_float_mlp_learns_glyphs(self):
+        dataset = mnist_like(seed=2)
+        model = mini_mlp(binary=False, hidden=64, seed=1)
+        result = train_classifier(model, dataset, steps=120, batch_size=32)
+        assert result.accuracy > 0.9
+        assert result.losses[-1] < result.losses[0]
+
+    def test_binary_mlp_learns_but_loses_accuracy(self):
+        """W1A1 works but costs accuracy vs float — the §II trade-off."""
+        dataset = mnist_like(seed=2)
+        float_model = mini_mlp(binary=False, hidden=64, seed=1)
+        binary_model = mini_mlp(binary=True, hidden=64, seed=1)
+        float_result = train_classifier(float_model, dataset, steps=150)
+        binary_result = train_classifier(binary_model, dataset, steps=150)
+        assert binary_result.accuracy > 0.5          # far above chance
+        assert binary_result.accuracy <= float_result.accuracy + 0.02
+
+    def test_cnv_like_input(self):
+        """RGB 32x32 input (the CNV-6 geometry) through a dense stack."""
+        dataset = cifar_like(seed=3)
+        model = mini_mlp(
+            input_features=3 * 32 * 32, hidden=48, n_hidden_layers=2,
+            binary=True, seed=2,
+        )
+        result = train_classifier(model, dataset, steps=120, batch_size=32)
+        assert result.accuracy > 0.4
+
+    def test_binarize_images(self, rng):
+        images = rng.uniform(size=(2, 1, 4, 4)).astype(np.float32)
+        bipolar = binarize_images(images)
+        assert set(np.unique(bipolar)) <= {-1.0, 1.0}
+
+    def test_evaluate_uses_heldout(self):
+        dataset = mnist_like(seed=2)
+        model = mini_mlp(binary=False, seed=1)
+        accuracy = evaluate_classifier(model, dataset, start=0, count=32)
+        assert 0.0 <= accuracy <= 1.0

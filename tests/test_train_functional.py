@@ -1,0 +1,142 @@
+"""Backprop primitive tests — every gradient checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.train import functional as F
+
+
+def _numeric_grad(fn, x, eps=1e-5):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn()
+        flat[index] = original - eps
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConvGrad:
+    def test_forward_matches_reference(self, rng):
+        from repro.core.ops import conv2d
+
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        y, _ = F.conv_forward(x, w, b, stride=1, pad=1)
+        for item in range(2):
+            expected = conv2d(x[item], w, b, 1, 1)
+            assert np.allclose(y[item], expected, atol=1e-4)
+
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0)])
+    def test_grad_x(self, rng, stride, pad):
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float64)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        b = np.zeros(3, dtype=np.float32)
+        grad_out = rng.normal(size=F.conv_forward(x, w, b, stride, pad)[0].shape)
+
+        def loss():
+            y, _ = F.conv_forward(x, w, b, stride, pad)
+            return float(np.sum(y * grad_out))
+
+        y, cache = F.conv_forward(x, w, b, stride, pad)
+        grad_x, grad_w, grad_b = F.conv_backward(grad_out, w, cache)
+        numeric = _numeric_grad(loss, x)
+        assert np.allclose(grad_x, numeric, atol=1e-2)
+
+    def test_grad_w_and_b(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float64)
+        b = rng.normal(size=3).astype(np.float64)
+        grad_out = rng.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            y, _ = F.conv_forward(x, w, b, 1, 1)
+            return float(np.sum(y * grad_out))
+
+        y, cache = F.conv_forward(x, w, b, 1, 1)
+        _, grad_w, grad_b = F.conv_backward(
+            grad_out, w, cache
+        )
+        assert np.allclose(grad_w, _numeric_grad(loss, w), atol=1e-2)
+        assert np.allclose(grad_b, _numeric_grad(loss, b), atol=1e-2)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv_forward(
+                np.zeros((1, 2, 4, 4), dtype=np.float32),
+                np.zeros((3, 4, 3, 3), dtype=np.float32),
+                None, 1, 1,
+            )
+
+
+class TestMaxpoolGrad:
+    def test_forward_matches_single_image_op(self, rng):
+        from repro.core.ops import maxpool2d
+
+        x = rng.normal(size=(3, 2, 6, 6)).astype(np.float32)
+        y, _ = F.maxpool_forward(x, 2, 2)
+        for item in range(3):
+            assert np.allclose(y[item], maxpool2d(x[item], 2, 2))
+
+    def test_grad(self, rng):
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float64)
+        grad_out = rng.normal(size=(2, 2, 3, 3))
+
+        def loss():
+            y, _ = F.maxpool_forward(x, 2, 2)
+            return float(np.sum(y * grad_out))
+
+        y, cache = F.maxpool_forward(x, 2, 2)
+        grad_x = F.maxpool_backward(grad_out, cache)
+        numeric = _numeric_grad(loss, x)
+        assert np.allclose(grad_x, numeric, atol=1e-2)
+
+
+class TestBatchnormGrad:
+    def test_normalizes(self, rng):
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32)
+        y, cache, mean, var = F.batchnorm_forward(x, np.ones(4), np.zeros(4))
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        assert np.allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_grads(self, rng):
+        x = rng.normal(size=(3, 2, 4, 4)).astype(np.float64)
+        gamma = rng.uniform(0.5, 1.5, size=2).astype(np.float64)
+        beta = rng.normal(size=2).astype(np.float64)
+        grad_out = rng.normal(size=x.shape)
+
+        def loss():
+            y, _, _, _ = F.batchnorm_forward(
+                x, gamma, beta,
+            )
+            return float(np.sum(y * grad_out))
+
+        y, cache, _, _ = F.batchnorm_forward(
+            x, gamma, beta
+        )
+        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(
+            grad_out, cache
+        )
+        assert np.allclose(grad_x, _numeric_grad(loss, x), atol=2e-2)
+        assert np.allclose(grad_gamma, _numeric_grad(loss, gamma), atol=2e-2)
+        assert np.allclose(grad_beta, _numeric_grad(loss, beta), atol=2e-2)
+
+
+class TestActivationGrads:
+    def test_relu(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, mask = F.relu_forward(x)
+        grad = F.relu_backward(np.ones_like(y), mask)
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_leaky(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, mask = F.leaky_forward(x)
+        grad = F.leaky_backward(np.ones_like(y), mask)
+        assert np.array_equal(grad, np.where(x > 0, 1.0, 0.1))

@@ -1,0 +1,204 @@
+"""Trainable-module, loss and optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.boxes import Box, GroundTruth
+from repro.train.layers import (
+    ActQuant,
+    Activation,
+    BatchNorm2d,
+    MaxPool2d,
+    QConv2d,
+    Sequential,
+)
+from repro.train.loss import DetectionLoss, cross_entropy, decode_grid_predictions
+from repro.train.optimizer import SGD, Adam
+
+
+class TestQConv2d:
+    def test_binary_forward_uses_sign_weights(self, rng):
+        conv = QConv2d(2, 3, binary=True, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        y = conv.forward(x)
+        eff = conv.effective_weights()
+        assert set(np.unique(eff)) <= {-1.0, 1.0}
+        from repro.train.functional import conv_forward
+
+        expected, _ = conv_forward(x, eff, conv.bias.value, 1, 1)
+        assert np.allclose(y, expected)
+
+    def test_ste_clips_large_weights(self, rng):
+        conv = QConv2d(1, 1, ksize=1, pad=0, binary=True, rng=rng)
+        conv.weight.value[...] = 2.0  # outside the STE window
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        y = conv.forward(x)
+        conv.backward(np.ones_like(y))
+        assert np.all(conv.weight.grad == 0.0)
+
+    def test_float_gradients_accumulate(self, rng):
+        conv = QConv2d(1, 1, ksize=1, pad=0, rng=rng)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        for _ in range(2):
+            y = conv.forward(x)
+            conv.backward(np.ones_like(y))
+        assert conv.weight.grad[0, 0, 0, 0] == pytest.approx(8.0)
+
+
+class TestActQuant:
+    def test_quantizes_to_levels(self, rng):
+        quant = ActQuant(bits=3)
+        x = rng.uniform(0, 1, size=(1, 2, 4, 4)).astype(np.float32)
+        y = quant.forward(x)
+        levels = np.round(y * 7)
+        assert np.allclose(y, levels / 7, atol=1e-6)
+
+    def test_ste_window(self):
+        quant = ActQuant(bits=3)
+        x = np.array([[[[-0.5, 0.5, 1.5]]]], dtype=np.float32)
+        quant.forward(x)
+        grad = quant.backward(np.ones_like(x))
+        assert grad.ravel().tolist() == [0.0, 1.0, 0.0]
+
+
+class TestBatchNormModule:
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        for _ in range(20):
+            bn.forward(rng.normal(3.0, 2.0, size=(16, 2, 4, 4)).astype(np.float32))
+        assert np.allclose(bn.running_mean, 3.0, atol=0.5)
+        assert np.allclose(bn.running_var, 4.0, atol=1.0)
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.running_mean[...] = 1.0
+        bn.running_var[...] = 4.0
+        x = np.full((1, 2, 2, 2), 3.0, dtype=np.float32)
+        y = bn.forward(x, training=False)
+        assert np.allclose(y, (3.0 - 1.0) / 2.0, atol=1e-3)
+
+
+class TestSequentialEndToEnd:
+    def test_backward_reaches_input(self, rng):
+        net = Sequential(
+            QConv2d(1, 4, rng=rng),
+            BatchNorm2d(4),
+            Activation("relu"),
+            MaxPool2d(2, 2),
+            QConv2d(4, 2, ksize=1, pad=0, rng=rng),
+        )
+        x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)
+        y = net.forward(x)
+        assert y.shape == (2, 2, 4, 4)
+        grad_x = net.backward(np.ones_like(y))
+        assert grad_x.shape == x.shape
+
+    def test_params_collected(self, rng):
+        net = Sequential(QConv2d(1, 2, rng=rng), BatchNorm2d(2))
+        names = [p.name for p in net.params()]
+        assert names == ["weight", "bias", "gamma", "beta"]
+
+
+class TestDetectionLoss:
+    def _target(self):
+        return [[GroundTruth(1, Box(0.55, 0.55, 0.3, 0.3))]]
+
+    def test_loss_positive_and_grad_shape(self, rng):
+        loss_fn = DetectionLoss(n_classes=3)
+        preds = rng.normal(size=(1, 8, 4, 4)).astype(np.float32)
+        loss, grad = loss_fn(preds, self._target())
+        assert loss > 0
+        assert grad.shape == preds.shape
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss_fn = DetectionLoss(n_classes=3)
+        preds = rng.normal(size=(1, 8, 4, 4)).astype(np.float64)
+        targets = self._target()
+        _, grad = loss_fn(preds, targets)
+        eps = 1e-5
+        for index in [(0, 0, 2, 2), (0, 4, 2, 2), (0, 6, 2, 2), (0, 4, 0, 0)]:
+            bumped = preds.copy()
+            bumped[index] += eps
+            plus, _ = loss_fn(bumped, targets)
+            bumped[index] -= 2 * eps
+            minus, _ = loss_fn(bumped, targets)
+            numeric = (plus - minus) / (2 * eps)
+            assert grad[index] == pytest.approx(numeric, abs=1e-3)
+
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = DetectionLoss(n_classes=3)
+        preds = np.zeros((1, 8, 4, 4), dtype=np.float32)
+        preds[0, 4] = -20.0  # no object anywhere...
+        box = Box((2 + 0.5) / 4, (2 + 0.5) / 4, 0.5, 0.5)
+        # ...except the responsible cell.
+        preds[0, 4, 2, 2] = 20.0
+        preds[0, 0, 2, 2] = 0.0  # sigmoid(0) = .5 = tx target
+        preds[0, 1, 2, 2] = 0.0
+        preds[0, 2, 2, 2] = 0.0  # sigmoid(0) = .5 = width target
+        preds[0, 3, 2, 2] = 0.0
+        preds[0, 5 + 1, 2, 2] = 20.0  # class 1
+        loss, _ = loss_fn(preds, [[GroundTruth(1, box)]])
+        assert loss < 1e-3
+
+    def test_shape_validation(self, rng):
+        loss_fn = DetectionLoss(n_classes=3)
+        with pytest.raises(ValueError, match="predictions"):
+            loss_fn(np.zeros((1, 7, 4, 4), dtype=np.float32), [[]])
+
+    def test_decode_roundtrip(self):
+        preds = np.full((8, 4, 4), -20.0, dtype=np.float32)
+        preds[4, 1, 3] = 20.0
+        preds[5 + 2, 1, 3] = 20.0
+        preds[0, 1, 3] = 0.0
+        preds[1, 1, 3] = 0.0
+        preds[2, 1, 3] = 0.0
+        preds[3, 1, 3] = 0.0
+        dets = decode_grid_predictions(preds, n_classes=3, threshold=0.5)
+        assert len(dets) == 1
+        assert dets[0].class_id == 2
+        assert dets[0].box.x == pytest.approx(3.5 / 4)
+        assert dets[0].box.w == pytest.approx(0.5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 1, 2, 3])
+        loss, grad = cross_entropy(logits, labels)
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(4), labels]))
+        assert loss == pytest.approx(expected)
+        assert grad.sum() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        from repro.train.layers import Param
+
+        return Param(np.array([5.0, -3.0], dtype=np.float32))
+
+    def test_sgd_descends(self):
+        param = self._quadratic_param()
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(100):
+            optimizer.zero_grad()
+            param.grad[...] = 2 * param.value  # d/dx x^2
+            optimizer.step()
+        assert np.abs(param.value).max() < 0.1
+
+    def test_adam_descends(self):
+        param = self._quadratic_param()
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(100):
+            optimizer.zero_grad()
+            param.grad[...] = 2 * param.value
+            optimizer.step()
+        assert np.abs(param.value).max() < 0.1
+
+    def test_weight_decay_shrinks(self):
+        param = self._quadratic_param()
+        optimizer = SGD([param], lr=0.1, momentum=0.0, weight_decay=1.0)
+        optimizer.zero_grad()
+        optimizer.step()  # gradient zero: only decay acts
+        assert np.abs(param.value[0]) < 5.0

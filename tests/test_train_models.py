@@ -1,0 +1,105 @@
+"""Mini Tiny/Tincy YOLO model-family and trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import ShapesDetectionDataset
+from repro.train.layers import MaxPool2d, QConv2d
+from repro.train.models import VARIANTS, mini_yolo
+from repro.train.trainer import TrainConfig, train_detector
+
+
+class TestMiniYoloVariants:
+    def test_all_variants_build_and_run(self, rng):
+        x = rng.uniform(size=(1, 3, 48, 48)).astype(np.float32)
+        for variant in VARIANTS:
+            model = mini_yolo(variant, n_classes=20, seed=0)
+            preds = model.forward(x, training=False)
+            assert preds.shape == (1, 25, 6, 6)
+
+    def test_quantized_variants_binarize_hidden_only(self):
+        model = mini_yolo("mini-tiny+a", n_classes=20, seed=0)
+        convs = [m for m in model.network.modules if isinstance(m, QConv2d)]
+        assert not convs[0].binary      # input layer: quantization sensitive
+        assert not convs[-1].binary     # output head
+        assert all(c.binary for c in convs[1:-1])
+
+    def test_float_variant_has_no_quantization(self):
+        model = mini_yolo("mini-tiny", n_classes=20, seed=0)
+        from repro.train.layers import ActQuant
+
+        assert not any(isinstance(m, ActQuant) for m in model.network.modules)
+
+    def test_modification_d_removes_pool_adds_stride(self):
+        tincy = mini_yolo("mini-tincy", n_classes=20, seed=0)
+        tiny = mini_yolo("mini-tiny+abc", n_classes=20, seed=0)
+        tincy_pools = sum(
+            isinstance(m, MaxPool2d) for m in tincy.network.modules
+        )
+        tiny_pools = sum(isinstance(m, MaxPool2d) for m in tiny.network.modules)
+        assert tincy_pools == tiny_pools - 1
+        first_conv = next(
+            m for m in tincy.network.modules if isinstance(m, QConv2d)
+        )
+        assert first_conv.stride == 2
+
+    def test_modifications_b_c_change_widths(self):
+        base = mini_yolo("mini-tiny+a", n_classes=20, seed=0)
+        modified = mini_yolo("mini-tiny+abc", n_classes=20, seed=0)
+        base_convs = [m for m in base.network.modules if isinstance(m, QConv2d)]
+        mod_convs = [m for m in modified.network.modules if isinstance(m, QConv2d)]
+        assert mod_convs[1].weight.value.shape[0] == 2 * base_convs[1].weight.value.shape[0]
+        assert mod_convs[3].weight.value.shape[0] < base_convs[3].weight.value.shape[0]
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            mini_yolo("mini-huge", n_classes=20)
+
+    def test_detect_returns_detections(self, rng):
+        model = mini_yolo("mini-tiny", n_classes=20, seed=0)
+        dets = model.detect(
+            rng.uniform(size=(3, 48, 48)).astype(np.float32), threshold=0.0
+        )
+        assert all(0 <= d.class_id < 20 for d in dets)
+
+
+class TestTrainer:
+    def test_short_training_reduces_loss(self):
+        dataset = ShapesDetectionDataset(image_size=48, seed=3, max_objects=2)
+        model = mini_yolo("mini-tiny", n_classes=20, seed=3)
+        result = train_detector(
+            model, dataset, TrainConfig(steps=25, batch_size=4, eval_samples=8)
+        )
+        early = np.mean(result.losses[:5])
+        late = np.mean(result.losses[-5:])
+        assert late < early
+
+    def test_training_is_deterministic(self):
+        def run():
+            dataset = ShapesDetectionDataset(image_size=48, seed=3, max_objects=2)
+            model = mini_yolo("mini-tiny", n_classes=20, seed=3)
+            return train_detector(
+                model, dataset, TrainConfig(steps=5, batch_size=4, eval_samples=4)
+            ).losses
+
+        assert run() == run()
+
+    def test_quantized_variant_trains(self):
+        dataset = ShapesDetectionDataset(image_size=48, seed=3, max_objects=2)
+        model = mini_yolo("mini-tincy", n_classes=20, seed=3)
+        result = train_detector(
+            model, dataset, TrainConfig(steps=25, batch_size=4, eval_samples=8)
+        )
+        assert np.mean(result.losses[-5:]) < np.mean(result.losses[:5])
+
+    def test_eval_uses_heldout_indices(self):
+        """Evaluation must come from samples the training stream never saw."""
+        dataset = ShapesDetectionDataset(image_size=48, seed=3)
+        model = mini_yolo("mini-tiny", n_classes=20, seed=3)
+        config = TrainConfig(steps=2, batch_size=2, eval_samples=2)
+        result = train_detector(model, dataset, config)
+        assert result.final_map.map_percent >= 0.0
+        # Training consumed indices [0, 4); eval starts at 4 — distinct data:
+        train_img, _ = dataset.sample(0)
+        eval_img, _ = dataset.sample(4)
+        assert not np.array_equal(train_img, eval_img)

@@ -1,0 +1,64 @@
+"""Utility-module tests: RNG handling and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, new_rng
+from repro.util.tables import format_table
+
+
+class TestNewRng:
+    def test_none_is_reproducible(self):
+        a = new_rng(None).integers(0, 1000, size=5)
+        b = new_rng(None).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = new_rng(7).integers(0, 1000, size=5)
+        b = new_rng(7).integers(0, 1000, size=5)
+        c = new_rng(8).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert new_rng(gen) is gen
+
+    def test_derive_rng_streams_differ(self):
+        parent = np.random.default_rng(1)
+        child_a = derive_rng(parent, 0)
+        parent2 = np.random.default_rng(1)
+        child_b = derive_rng(parent2, 1)
+        assert not np.array_equal(
+            child_a.integers(0, 1000, 8), child_b.integers(0, 1000, 8)
+        )
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["A", "BBB"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_thousands_separators(self):
+        text = format_table(["N"], [[6_971_272_984]])
+        assert "6,971,272,984" in text
+
+    def test_float_formatting(self):
+        text = format_table(["F"], [[1234.5678]])
+        assert "1,234.6" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["A", "B"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,198 @@
+"""Video path tests: PPM I/O, resize, letterbox, drawing, camera."""
+
+import numpy as np
+import pytest
+
+from repro.eval.boxes import Box, Detection
+from repro.video.draw import class_color, draw_box, draw_detections
+from repro.video.image import read_ppm, resize_bilinear, resize_nearest, write_ppm
+from repro.video.letterbox import letterbox
+from repro.video.sink import CollectingSink, NullSink
+from repro.video.source import SyntheticCamera
+
+
+class TestPPM:
+    def test_roundtrip(self, rng, tmp_path):
+        image = rng.uniform(0, 1, size=(3, 20, 30)).astype(np.float32)
+        path = str(tmp_path / "frame.ppm")
+        write_ppm(path, image)
+        back = read_ppm(path)
+        assert back.shape == image.shape
+        assert np.abs(back - image).max() <= 1.0 / 255 + 1e-6
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError, match="3, H, W"):
+            write_ppm(str(tmp_path / "x.ppm"), np.zeros((1, 4, 4)))
+
+    def test_rejects_non_p6(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError, match="P6"):
+            read_ppm(str(path))
+
+
+class TestResize:
+    def test_nearest_identity(self, rng):
+        image = rng.uniform(size=(3, 8, 8)).astype(np.float32)
+        assert np.array_equal(resize_nearest(image, 8, 8), image)
+
+    def test_nearest_upscale_repeats(self):
+        image = np.arange(4, dtype=np.float32).reshape(1, 2, 2)
+        up = resize_nearest(image, 4, 4)
+        assert up[0, 0, 0] == up[0, 1, 1] == 0
+
+    def test_bilinear_preserves_constant(self):
+        image = np.full((3, 5, 7), 0.25, dtype=np.float32)
+        out = resize_bilinear(image, 13, 11)
+        assert np.allclose(out, 0.25, atol=1e-6)
+
+    def test_bilinear_range_bounded(self, rng):
+        image = rng.uniform(size=(3, 9, 9)).astype(np.float32)
+        out = resize_bilinear(image, 33, 17)
+        assert out.min() >= image.min() - 1e-6
+        assert out.max() <= image.max() + 1e-6
+
+
+class TestLetterbox:
+    def test_wide_frame_pads_top_bottom(self, rng):
+        image = rng.uniform(size=(3, 240, 320)).astype(np.float32)
+        boxed, geometry = letterbox(image, 416)
+        assert boxed.shape == (3, 416, 416)
+        assert geometry.scaled_w == 416
+        assert geometry.offset_y > 0 and geometry.offset_x == 0
+        # gray bars above and below
+        assert np.allclose(boxed[:, 0, :], 0.5)
+        assert np.allclose(boxed[:, -1, :], 0.5)
+
+    def test_box_mapping_roundtrip(self, rng):
+        image = rng.uniform(size=(3, 240, 320)).astype(np.float32)
+        _, geometry = letterbox(image, 416)
+        box = Box(0.5, 0.4, 0.3, 0.2)
+        mapped = geometry.net_box_to_frame(geometry.frame_box_to_net(box))
+        assert mapped.x == pytest.approx(box.x, abs=1e-6)
+        assert mapped.y == pytest.approx(box.y, abs=1e-6)
+        assert mapped.w == pytest.approx(box.w, abs=1e-6)
+        assert mapped.h == pytest.approx(box.h, abs=1e-6)
+
+    def test_square_input_fills_canvas(self, rng):
+        image = rng.uniform(size=(3, 100, 100)).astype(np.float32)
+        boxed, geometry = letterbox(image, 96)
+        assert geometry.offset_x == 0 and geometry.offset_y == 0
+        assert boxed.shape == (3, 96, 96)
+
+
+class TestDrawing:
+    def test_draw_box_marks_edges(self):
+        image = np.zeros((3, 40, 40), dtype=np.float32)
+        det = Detection(Box(0.5, 0.5, 0.5, 0.5), class_id=3, score=0.9)
+        draw_box(image, det, thickness=1)
+        assert image[:, 10, 10:31].max() > 0  # top edge drawn
+
+    def test_draw_detections_copies(self):
+        image = np.zeros((3, 20, 20), dtype=np.float32)
+        out = draw_detections(
+            image, [Detection(Box(0.5, 0.5, 0.4, 0.4), 0, 1.0)]
+        )
+        assert image.max() == 0.0
+        assert out.max() > 0.0
+
+    def test_class_colors_distinct(self):
+        colors = {class_color(c) for c in range(20)}
+        assert len(colors) >= 15  # distinct hues
+
+    def test_degenerate_box_ignored(self):
+        image = np.zeros((3, 20, 20), dtype=np.float32)
+        draw_box(image, Detection(Box(0.5, 0.5, 0.0, 0.0), 0, 1.0))
+        assert image.max() == 0.0
+
+
+class TestCamera:
+    def test_deterministic_stream(self):
+        a = SyntheticCamera(seed=5)
+        b = SyntheticCamera(seed=5)
+        fa, fb = a.capture(), b.capture()
+        assert np.array_equal(fa.image, fb.image)
+        assert fa.index == 0
+
+    def test_frames_differ_over_time(self):
+        camera = SyntheticCamera(seed=5)
+        first = camera.capture()
+        second = camera.capture()
+        assert not np.array_equal(first.image, second.image)
+        assert second.index == 1
+
+    def test_aspect_ratio(self):
+        camera = SyntheticCamera(height=240, width=320, seed=1)
+        frame = camera.capture()
+        assert frame.image.shape == (3, 240, 320)
+
+    def test_truths_within_frame(self):
+        camera = SyntheticCamera(seed=2)
+        for frame in camera.stream(5):
+            for truth in frame.truths:
+                assert 0.0 <= truth.box.x <= 1.0
+                assert 0.0 <= truth.box.y <= 1.0
+                assert truth.box.w > 0 and truth.box.h > 0
+
+
+class TestSinks:
+    def test_collecting_sink(self, rng, tmp_path):
+        sink = CollectingSink(directory=str(tmp_path / "frames"))
+        sink.emit(rng.uniform(size=(3, 10, 10)).astype(np.float32))
+        sink.emit(rng.uniform(size=(3, 10, 10)).astype(np.float32))
+        assert len(sink) == 2
+        assert (tmp_path / "frames" / "frame00001.ppm").exists()
+
+    def test_null_sink_counts(self, rng):
+        sink = NullSink()
+        sink.emit(rng.uniform(size=(3, 4, 4)))
+        assert sink.count == 1
+
+
+class TestMotionCamera:
+    def test_temporal_coherence(self):
+        from repro.video.source import MotionCamera
+
+        camera = MotionCamera(seed=3, n_objects=2, speed=0.02)
+        frames = list(camera.stream(5))
+        # Object identity persists: same classes every frame...
+        classes = [sorted(t.class_id for t in f.truths) for f in frames]
+        assert all(c == classes[0] for c in classes)
+        # ...and positions move by roughly the configured speed.
+        for earlier, later in zip(frames, frames[1:]):
+            for a, b in zip(earlier.truths, later.truths):
+                dx = abs(b.box.x - a.box.x)
+                dy = abs(b.box.y - a.box.y)
+                assert dx + dy < 0.1  # small per-frame motion
+        # across 5 frames the objects actually moved
+        total = sum(
+            abs(frames[-1].truths[i].box.x - frames[0].truths[i].box.x)
+            + abs(frames[-1].truths[i].box.y - frames[0].truths[i].box.y)
+            for i in range(len(frames[0].truths))
+        )
+        assert total > 0.01
+
+    def test_objects_bounce_off_borders(self):
+        from repro.video.source import MotionCamera
+
+        camera = MotionCamera(seed=3, n_objects=1, speed=0.08)
+        for frame in camera.stream(100):
+            for truth in frame.truths:
+                assert -1e-9 <= truth.box.left
+                assert truth.box.right <= 1.0 + 1e-9
+
+    def test_deterministic(self):
+        from repro.video.source import MotionCamera
+
+        a = list(MotionCamera(seed=9).stream(3))
+        b = list(MotionCamera(seed=9).stream(3))
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.image, fb.image)
+
+    def test_frames_are_valid_images(self):
+        from repro.video.source import MotionCamera
+
+        camera = MotionCamera(seed=5, height=64, width=96)
+        frame = camera.capture()
+        assert frame.image.shape == (3, 64, 96)
+        assert 0.0 <= frame.image.min() and frame.image.max() <= 1.0

@@ -1,0 +1,181 @@
+"""VOC XML interchange and LR-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.voc import (
+    VOC_CLASS_INDEX,
+    VOC_CLASSES,
+    VOCAnnotation,
+    load_voc_annotation,
+    load_voc_directory,
+    parse_voc_xml,
+    save_voc_annotation,
+    write_voc_xml,
+)
+from repro.eval.boxes import Box, GroundTruth
+from repro.train.schedule import burn_in, constant, cosine, step_decay
+
+SAMPLE_XML = """
+<annotation>
+  <folder>VOC2007</folder>
+  <filename>000001.jpg</filename>
+  <size><width>353</width><height>500</height><depth>3</depth></size>
+  <object>
+    <name>dog</name>
+    <pose>Left</pose>
+    <difficult>0</difficult>
+    <bndbox><xmin>48</xmin><ymin>240</ymin><xmax>195</xmax><ymax>371</ymax></bndbox>
+  </object>
+  <object>
+    <name>person</name>
+    <difficult>0</difficult>
+    <bndbox><xmin>8</xmin><ymin>12</ymin><xmax>352</xmax><ymax>498</ymax></bndbox>
+  </object>
+</annotation>
+"""
+
+
+class TestVOCParsing:
+    def test_parse_real_schema(self):
+        annotation = parse_voc_xml(SAMPLE_XML)
+        assert annotation.filename == "000001.jpg"
+        assert (annotation.width, annotation.height) == (353, 500)
+        assert len(annotation.truths) == 2
+        dog = annotation.truths[0]
+        assert dog.class_id == VOC_CLASS_INDEX["dog"]
+        assert dog.box.x == pytest.approx((48 + 195) / 2 / 353)
+        assert dog.box.w == pytest.approx((195 - 48) / 353)
+
+    def test_twenty_classes(self):
+        assert len(VOC_CLASSES) == 20
+        assert VOC_CLASS_INDEX["aeroplane"] == 0
+        assert VOC_CLASS_INDEX["tvmonitor"] == 19
+
+    def test_unknown_class_rejected(self):
+        bad = SAMPLE_XML.replace("dog", "dragon")
+        with pytest.raises(ValueError, match="dragon"):
+            parse_voc_xml(bad)
+
+    def test_degenerate_box_rejected(self):
+        bad = SAMPLE_XML.replace("<xmax>195</xmax>", "<xmax>48</xmax>")
+        with pytest.raises(ValueError, match="degenerate"):
+            parse_voc_xml(bad)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError, match="root tag"):
+            parse_voc_xml("<something/>")
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            parse_voc_xml("<annotation><filename>x</filename></annotation>")
+
+
+class TestVOCRoundtrip:
+    def _annotation(self):
+        return VOCAnnotation(
+            filename="synthetic.ppm",
+            width=320,
+            height=240,
+            truths=[
+                GroundTruth(3, Box(0.5, 0.5, 0.25, 0.3)),
+                GroundTruth(14, Box(0.2, 0.7, 0.1, 0.2)),
+            ],
+        )
+
+    def test_write_parse_roundtrip(self):
+        original = self._annotation()
+        text = write_voc_xml(original)
+        back = parse_voc_xml(text)
+        assert back.filename == original.filename
+        assert len(back.truths) == 2
+        for a, b in zip(back.truths, original.truths):
+            assert a.class_id == b.class_id
+            assert a.box.x == pytest.approx(b.box.x, abs=1e-2)
+            assert a.box.w == pytest.approx(b.box.w, abs=1e-2)
+
+    def test_directory_loading(self, tmp_path):
+        for index in range(3):
+            annotation = self._annotation()
+            save_voc_annotation(annotation, str(tmp_path / f"{index:06d}.xml"))
+        (tmp_path / "notes.txt").write_text("ignored")
+        loaded = load_voc_directory(str(tmp_path))
+        assert len(loaded) == 3
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "a.xml")
+        save_voc_annotation(self._annotation(), path)
+        assert load_voc_annotation(path).width == 320
+
+    def test_evaluation_pipeline_compatible(self):
+        """Parsed VOC truths drop straight into the mAP evaluator."""
+        from repro.eval.boxes import Detection
+        from repro.eval.metrics import ImageEval, evaluate_map
+
+        annotation = parse_voc_xml(SAMPLE_XML)
+        detections = [
+            Detection(truth.box, truth.class_id, 0.9)
+            for truth in annotation.truths
+        ]
+        result = evaluate_map(
+            [ImageEval(detections=detections, truths=annotation.truths)],
+            n_classes=20,
+        )
+        assert result.map_percent == pytest.approx(100.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = constant(0.01)
+        assert schedule(0) == schedule(10_000) == 0.01
+
+    def test_burn_in_ramps(self):
+        schedule = burn_in(constant(0.01), steps=100)
+        assert schedule(0) == 0.0
+        assert schedule(50) < schedule(99) < 0.01
+        assert schedule(100) == 0.01
+        assert schedule(500) == 0.01
+
+    def test_step_decay(self):
+        schedule = step_decay(0.01, [(100, 0.1), (200, 0.1)])
+        assert schedule(0) == pytest.approx(0.01)
+        assert schedule(150) == pytest.approx(0.001)
+        assert schedule(250) == pytest.approx(0.0001)
+
+    def test_cosine_endpoints_and_monotone(self):
+        schedule = cosine(0.01, total_steps=100, floor=0.001)
+        assert schedule(0) == pytest.approx(0.01)
+        assert schedule(100) == pytest.approx(0.001)
+        values = [schedule(s) for s in range(0, 101, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosine(0.1, total_steps=0)
+        with pytest.raises(ValueError):
+            burn_in(constant(0.1), steps=-1)
+
+
+class TestTrainerScheduleIntegration:
+    def test_schedule_drives_optimizer_lr(self):
+        from repro.data.shapes import ShapesDetectionDataset
+        from repro.train.models import mini_yolo
+        from repro.train.trainer import TrainConfig, train_detector
+
+        dataset = ShapesDetectionDataset(image_size=48, seed=3, max_objects=2)
+        model = mini_yolo("mini-tiny", n_classes=20, seed=3)
+        seen = []
+
+        def spy_schedule(step):
+            lr = 2e-3 * (0.5 if step >= 5 else 1.0)
+            seen.append(lr)
+            return lr
+
+        result = train_detector(
+            model, dataset,
+            TrainConfig(steps=10, batch_size=2, eval_samples=2,
+                        lr_schedule=spy_schedule),
+        )
+        assert len(seen) == 10
+        assert seen[0] == 2e-3 and seen[-1] == 1e-3
+        assert len(result.losses) == 10

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report demo quickstart lint-zoo clean
+.PHONY: install test bench bench-pytest report demo quickstart lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,6 +11,9 @@ test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_inference.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 report:

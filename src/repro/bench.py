@@ -1,0 +1,234 @@
+"""Inference micro-benchmarks — ``repro bench``.
+
+Times the end-to-end batched forward pass (frames/sec at several batch
+sizes), the per-layer costs of a single-frame pass, and the vectorized
+acc16 first-layer GEMM against its per-K-step oracle loop.  Results are
+emitted as JSON (``BENCH_inference.json``) so runs can be diffed across
+commits; wall-clock numbers are taken as the *minimum* over repeats, the
+usual micro-benchmark noise floor.
+
+This is a host-side throughput harness for the reproduction's numpy
+substrate — it complements (and does not replace) the calibrated A53/NEON
+time model of :mod:`repro.neon.timing`, which models the embedded target.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc16_reference
+from repro.core.tensor import FeatureMap, FeatureMapBatch
+
+#: Tincy YOLO's first-layer GEMM geometry: 16x27 weights against one column
+#: per output pixel of the 416x416 input (52*52*16 = padded-conv positions).
+ACC16_BENCH_M = 16
+ACC16_BENCH_K = 27
+ACC16_BENCH_N = 43264
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of *fn* over *repeats* calls (noise floor)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_batches(
+    network,
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    repeats: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict]:
+    """Frames/sec of :meth:`Network.forward_batch` at each batch size."""
+    rng = rng or np.random.default_rng(0)
+    results = []
+    frames = [
+        FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
+        for _ in range(max(batch_sizes))
+    ]
+    # Warm the packed-weight / folded-threshold caches outside the clock.
+    network.forward(frames[0])
+    for batch in batch_sizes:
+        fmb = FeatureMapBatch.from_maps(frames[:batch])
+        seconds = _best_of(lambda: network.forward_batch(fmb), repeats)
+        results.append(
+            {
+                "batch": int(batch),
+                "seconds": seconds,
+                "frames_per_second": batch / seconds,
+            }
+        )
+    return results
+
+
+def bench_per_layer(
+    network,
+    repeats: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict]:
+    """Single-frame per-layer milliseconds (minimum over repeats)."""
+    rng = rng or np.random.default_rng(0)
+    x = FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
+    best = [float("inf")] * len(network.layers)
+    for _ in range(max(1, repeats)):
+        fm = x
+        outputs: List[FeatureMap] = []
+        for index, layer in enumerate(network.layers):
+            start = time.perf_counter()
+            if getattr(layer, "needs_history", False):
+                fm = layer.forward(fm, history=outputs)
+            else:
+                fm = layer.forward(fm)
+            best[index] = min(best[index], time.perf_counter() - start)
+            outputs.append(fm)
+    return [
+        {"index": index, "type": layer.ltype, "ms": best[index] * 1e3}
+        for index, layer in enumerate(network.layers)
+    ]
+
+
+def bench_acc16_kernel(
+    batch: int = 16,
+    repeats: int = 2,
+    m: int = ACC16_BENCH_M,
+    k: int = ACC16_BENCH_K,
+    n: int = ACC16_BENCH_N,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict:
+    """Vectorized acc16 GEMM (one stacked batch) vs the oracle per-frame loop.
+
+    Operand distribution mirrors the zero-point-free first-layer regime:
+    symmetric signed int8 weights, unsigned uint8 image columns.
+    """
+    rng = rng or np.random.default_rng(0)
+    a = rng.integers(-127, 128, size=(m, k)).astype(np.int64)
+    frames = [
+        rng.integers(0, 256, size=(k, n)).astype(np.int64) for _ in range(batch)
+    ]
+    stacked = np.concatenate(frames, axis=1)
+
+    vec_seconds = _best_of(lambda: gemm_i8_acc16(a, stacked), repeats)
+
+    def reference_loop():
+        for frame in frames:
+            gemm_i8_acc16_reference(a, frame)
+
+    ref_seconds = _best_of(reference_loop, max(1, repeats))
+    # Consistency gate: the two paths must agree bit-for-bit on one frame.
+    vec_acc, vec_events = gemm_i8_acc16(a, frames[0])
+    ref_acc, ref_events = gemm_i8_acc16_reference(a, frames[0])
+    if not (np.array_equal(vec_acc, ref_acc) and vec_events == ref_events):
+        raise AssertionError("vectorized acc16 GEMM diverged from the oracle")
+    return {
+        "m": m,
+        "k": k,
+        "n_per_frame": n,
+        "batch": batch,
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+    }
+
+
+def run_bench(
+    network_name: str = "tincy",
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    repeats: int = 2,
+    kernel_batch: int = 16,
+    skip_network: bool = False,
+    skip_kernel: bool = False,
+    seed: int = 0,
+) -> Dict:
+    """Full harness: network throughput + per-layer + acc16 kernel."""
+    report: Dict = {
+        "batch_sizes": [int(b) for b in batch_sizes],
+        "repeats": int(repeats),
+    }
+    if not skip_network:
+        from repro.nn import zoo
+        from repro.nn.network import Network
+
+        factories = {
+            "tiny": zoo.tiny_yolo_config,
+            "tincy": zoo.tincy_yolo_config,
+            "mlp4": zoo.mlp4_config,
+            "cnv6": zoo.cnv6_config,
+        }
+        if network_name not in factories:
+            raise ValueError(
+                f"unknown network '{network_name}' "
+                f"(choose from {sorted(factories)})"
+            )
+        network = Network(factories[network_name]())
+        network.initialize(np.random.default_rng(seed))
+        report["network"] = network_name
+        report["input_shape"] = [int(v) for v in network.input_shape]
+        report["batches"] = bench_batches(
+            network, batch_sizes, repeats, rng=np.random.default_rng(seed)
+        )
+        report["per_layer_ms"] = bench_per_layer(
+            network, repeats, rng=np.random.default_rng(seed)
+        )
+    if not skip_kernel:
+        report["acc16_kernel"] = bench_acc16_kernel(
+            batch=kernel_batch, repeats=repeats, rng=np.random.default_rng(seed)
+        )
+    return report
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write a bench *report* dict as indented JSON to *path*."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable summary of a bench report."""
+    lines = []
+    if "batches" in report:
+        lines.append(
+            f"network {report['network']} "
+            f"(input {tuple(report['input_shape'])}):"
+        )
+        for row in report["batches"]:
+            lines.append(
+                f"  batch {row['batch']:3d}: "
+                f"{row['frames_per_second']:8.2f} frames/s "
+                f"({row['seconds'] * 1e3:8.1f} ms/batch)"
+            )
+        slowest = sorted(
+            report["per_layer_ms"], key=lambda r: r["ms"], reverse=True
+        )[:5]
+        lines.append("  slowest layers (single frame):")
+        for row in slowest:
+            lines.append(
+                f"    #{row['index']:2d} {row['type']:<14s} {row['ms']:8.2f} ms"
+            )
+    if "acc16_kernel" in report:
+        kernel = report["acc16_kernel"]
+        lines.append(
+            f"acc16 GEMM {kernel['m']}x{kernel['k']} @ "
+            f"{kernel['n_per_frame']} cols x {kernel['batch']} frames: "
+            f"{kernel['speedup']:.2f}x over the per-frame oracle loop "
+            f"({kernel['vectorized_seconds'] * 1e3:.1f} ms vs "
+            f"{kernel['reference_seconds'] * 1e3:.1f} ms)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "bench_batches",
+    "bench_per_layer",
+    "bench_acc16_kernel",
+    "run_bench",
+    "write_report",
+    "format_report",
+]

@@ -8,6 +8,7 @@ exposes the reproduction's equivalents:
 * ``python -m repro stages`` — regenerate Table III
 * ``python -m repro ladder`` — the §III speedup ladder
 * ``python -m repro folding [--device ...]`` — FINN folding search
+* ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
 
@@ -229,6 +230,34 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_report, run_bench, write_report
+
+    try:
+        batch_sizes = [int(v) for v in args.batches.split(",") if v.strip()]
+    except ValueError:
+        print(f"--batches must be comma-separated ints, got '{args.batches}'",
+              file=sys.stderr)
+        return 2
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        print("--batches needs at least one positive size", file=sys.stderr)
+        return 2
+    report = run_bench(
+        network_name=args.network,
+        batch_sizes=batch_sizes,
+        repeats=args.repeats,
+        kernel_batch=args.kernel_batch,
+        skip_network=args.skip_network,
+        skip_kernel=args.skip_kernel,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,6 +301,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--output", help="write to a file instead of stdout")
     p_report.set_defaults(func=cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="inference micro-benchmarks (BENCH_inference.json)"
+    )
+    p_bench.add_argument("--network", default="tincy", choices=sorted(_ZOO))
+    p_bench.add_argument(
+        "--batches", default="1,4,16",
+        help="comma-separated batch sizes (default 1,4,16)",
+    )
+    p_bench.add_argument("--repeats", type=int, default=2)
+    p_bench.add_argument("--kernel-batch", type=int, default=16)
+    p_bench.add_argument("--skip-network", action="store_true",
+                         help="only run the acc16 kernel benchmark")
+    p_bench.add_argument("--skip-kernel", action="store_true",
+                         help="only run the network benchmark")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--output", help="write the JSON report here")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_detect = sub.add_parser("detect", help="detect objects in a PPM image")
     p_detect.add_argument("--cfg", required=True)

@@ -37,13 +37,11 @@ def pack_bits(bits: np.ndarray) -> Tuple[np.ndarray, int]:
     n_words = (n + _WORD_BITS - 1) // _WORD_BITS
     padded = np.zeros(bits.shape[:-1] + (n_words * _WORD_BITS,), dtype=np.uint8)
     padded[..., :n] = bits.astype(np.uint8) & 1
-    # Reshape into (..., n_words, 64) and weigh each bit position.
-    grouped = padded.reshape(bits.shape[:-1] + (n_words, _WORD_BITS))
-    weights = (np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)).reshape(
-        (1,) * (grouped.ndim - 1) + (_WORD_BITS,)
-    )
-    words = np.sum(grouped.astype(np.uint64) * weights, axis=-1, dtype=np.uint64)
-    return words, n
+    # Bit i of the vector is bit i % 64 of word i // 64 — exactly numpy's
+    # little-endian byte packing viewed as little-endian uint64 words.
+    packed = np.packbits(padded, axis=-1, bitorder="little")
+    words = packed.view("<u8").reshape(bits.shape[:-1] + (n_words,))
+    return words.astype(np.uint64, copy=False), n
 
 
 def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:

@@ -50,6 +50,35 @@ def im2col(
     return windows.reshape(c * ksize * ksize, out_h * out_w).copy()
 
 
+def im2col_batch(
+    x: np.ndarray, ksize: int, stride: int, pad: int, fill: float = 0.0
+) -> np.ndarray:
+    """Batched :func:`im2col`: ``(N, C, H, W)`` to ``(N, C*K*K, OH*OW)``.
+
+    Frame ``i`` of the result equals ``im2col(x[i], ...)`` exactly (same
+    gather, same dtype); the batch is lowered in one strided pass so batched
+    GEMM consumers get their multiplicand without a per-frame Python loop.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batched im2col expects (N, C, H, W), got {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, ksize, stride, pad)
+    out_w = conv_output_size(w, ksize, stride, pad)
+    if pad > 0:
+        padded = np.full((n, c, h + 2 * pad, w + 2 * pad), fill, dtype=x.dtype)
+        padded[:, :, pad : pad + h, pad : pad + w] = x
+    else:
+        padded = x
+    s0, s1, s2, s3 = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, ksize, ksize, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    return windows.reshape(n, c * ksize * ksize, out_h * out_w).copy()
+
+
 def col2im(
     cols: np.ndarray, x_shape: Tuple[int, int, int], ksize: int, stride: int, pad: int
 ) -> np.ndarray:
@@ -111,4 +140,4 @@ def sliced_im2col(
         yield full[:, start:stop], start, stop
 
 
-__all__ = ["im2col", "col2im", "im2col_inflation", "sliced_im2col"]
+__all__ = ["im2col", "im2col_batch", "col2im", "im2col_inflation", "sliced_im2col"]

@@ -12,8 +12,18 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core.im2col import im2col
+from repro.core.im2col import im2col, im2col_batch
 from repro.core.tensor import conv_output_size, pool_output_size
+
+#: Column-buffer budget (in *bytes*, at the GEMM compute dtype) for batched
+#: convolution: frames are lowered and multiplied in chunks so a big batch
+#: never materializes the full ``N * K**2``-inflated multiplicand at once.
+_CONV_BATCH_COL_BUDGET = 1 << 26
+
+#: Byte budget for one padded maxpool chunk (the ``-inf``-filled float64
+#: window array); bounding it keeps batched pooling as cache-friendly as the
+#: single-frame pass.
+_POOL_BATCH_BUDGET = 1 << 25
 
 
 def conv2d(
@@ -40,6 +50,52 @@ def conv2d(
     if bias is not None:
         out = out + np.asarray(bias).reshape(c_out, 1)
     return out.reshape(c_out, out_h, out_w)
+
+
+def conv2d_batch(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Batched :func:`conv2d`: ``(N, C, H, W)`` in, ``(N, C_out, OH, OW)`` out.
+
+    Frames are lowered with :func:`im2col_batch` and multiplied through a
+    broadcast ``matmul`` — one BLAS GEMM per frame with the exact operand
+    shapes of the single-frame path, so frame ``i`` of the result is
+    bit-identical to ``conv2d(x[i], ...)`` (stacking columns *across* frames
+    into one wider GEMM would not carry that guarantee for float32).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batched conv expects (N, C, H, W), got {x.shape}")
+    c_out, c_in, ksize, ksize2 = weights.shape
+    if ksize != ksize2:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != c_in:
+        raise ValueError(f"input has {x.shape[1]} channels, weights expect {c_in}")
+    n = x.shape[0]
+    out_h = conv_output_size(x.shape[2], ksize, stride, pad)
+    out_w = conv_output_size(x.shape[3], ksize, stride, pad)
+    flat_weights = weights.reshape(c_out, c_in * ksize * ksize)
+    positions = out_h * out_w
+    # Operands must share the promoted dtype *before* matmul: a mixed-dtype
+    # matmul (float32 weights against int32 level codes is the common hidden-
+    # layer case) falls off the BLAS path into a buffered elementwise loop.
+    dt = np.result_type(flat_weights, x)
+    gemm_weights = flat_weights.astype(dt, copy=False)
+    cols_bytes = c_in * ksize * ksize * positions * np.dtype(dt).itemsize
+    chunk = max(1, _CONV_BATCH_COL_BUDGET // max(1, cols_bytes))
+    out = np.empty((n, c_out, positions), dtype=dt)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        cols = im2col_batch(x[start:stop], ksize, stride, pad).astype(
+            dt, copy=False
+        )
+        np.matmul(gemm_weights, cols, out=out[start:stop])
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(1, c_out, 1)
+    return out.reshape(n, c_out, out_h, out_w)
 
 
 def maxpool2d(
@@ -71,6 +127,32 @@ def maxpool2d(
         writeable=False,
     )
     return windows.max(axis=(3, 4)).astype(x.dtype)
+
+
+def maxpool2d_batch(
+    x: np.ndarray, ksize: int, stride: int, padding: int = None
+) -> np.ndarray:
+    """Batched :func:`maxpool2d` over ``(N, C, H, W)``.
+
+    Pooling is per-channel and per-frame independent, so the batch is
+    flattened into the channel axis and pooled in one strided pass; frame
+    ``i`` equals ``maxpool2d(x[i], ...)`` bit for bit.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batched maxpool expects (N, C, H, W), got {x.shape}")
+    n, c, h, w = x.shape
+    pad_total = (ksize - 1) if padding is None else padding
+    frame_bytes = c * (h + pad_total) * (w + pad_total) * 8  # float64 padded
+    chunk = max(1, _POOL_BATCH_BUDGET // max(1, frame_bytes))
+    parts = []
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        flat = x[start:stop].reshape((stop - start) * c, h, w)
+        pooled = maxpool2d(flat, ksize, stride, padding)
+        parts.append(
+            pooled.reshape(stop - start, c, pooled.shape[1], pooled.shape[2])
+        )
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
 
 
 def maxpool2d_argmax(
@@ -144,9 +226,18 @@ def batchnorm_inference(
     mean: np.ndarray,
     var: np.ndarray,
     eps: float = 1e-6,
+    channel_axis: int = 0,
 ) -> np.ndarray:
-    """Per-channel batch normalization with frozen statistics."""
-    shape = (-1,) + (1,) * (x.ndim - 1)
+    """Per-channel batch normalization with frozen statistics.
+
+    ``channel_axis`` selects which axis of ``x`` carries the channels
+    (0 for single ``(C, H, W)`` maps, 1 for ``(N, C, H, W)`` batches); the
+    arithmetic is elementwise, so batched application is bit-identical to
+    per-frame application.
+    """
+    shape = [1] * x.ndim
+    shape[channel_axis] = -1
+    shape = tuple(shape)
     inv = gamma.reshape(shape) / np.sqrt(var.reshape(shape) + eps)
     return inv * (x - mean.reshape(shape)) + beta.reshape(shape)
 
@@ -180,7 +271,9 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 __all__ = [
     "conv2d",
+    "conv2d_batch",
     "maxpool2d",
+    "maxpool2d_batch",
     "maxpool2d_argmax",
     "maxpool2d_backward",
     "relu",

@@ -1,15 +1,21 @@
-"""Feature-map container used throughout the inference substrate.
+"""Feature-map containers used throughout the inference substrate.
 
 Darknet passes raw ``float*`` buffers between layers; we pass a thin
 :class:`FeatureMap` wrapper around a channel-major ``(C, H, W)`` numpy array.
 The wrapper additionally carries a *scale* so that quantized maps can travel
 through the network as integer level codes (``value = data * scale``), which
 is exactly how the FINN accelerator of the paper streams 3-bit activations.
+
+Batched inference uses :class:`FeatureMapBatch`, the same container with a
+leading batch axis: ``data`` is ``(N, C, H, W)`` with frame ``i`` being
+``data[i]``.  All batched layer paths are required (and tested) to produce
+bit-identical per-frame results to the sequential single-frame paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -65,6 +71,90 @@ class FeatureMap:
         return cls(np.asarray(values, dtype=np.float32), 1.0)
 
 
+@dataclass
+class FeatureMapBatch:
+    """A batch of feature maps: ``(N, C, H, W)`` with one quantization scale.
+
+    The batch axis is axis 0; every frame keeps the channel-major
+    ``(C, H, W)`` layout of :class:`FeatureMap`.  A batch is homogeneous:
+    all frames share the same geometry and the same scale (which is what the
+    network's deterministic per-layer scales guarantee anyway).
+    """
+
+    data: np.ndarray
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 4:
+            raise ValueError(
+                f"feature map batch must be (N, C, H, W), got {self.data.shape}"
+            )
+
+    @property
+    def batch(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def channels(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def height(self) -> int:
+        return int(self.data.shape[2])
+
+    @property
+    def width(self) -> int:
+        return int(self.data.shape[3])
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(self.data.shape)
+
+    @property
+    def frame_shape(self) -> tuple:
+        """Shape of one frame: ``(C, H, W)``."""
+        return tuple(self.data.shape[1:])
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def values(self) -> np.ndarray:
+        """Return the represented (dequantized) values as ``float32``."""
+        if self.scale == 1.0 and self.data.dtype == np.float32:
+            return self.data
+        return (self.data.astype(np.float64) * self.scale).astype(np.float32)
+
+    def frame(self, index: int) -> FeatureMap:
+        """Frame *index* as a :class:`FeatureMap` (a view, not a copy)."""
+        return FeatureMap(self.data[index], self.scale)
+
+    def frames(self) -> Iterator[FeatureMap]:
+        for index in range(self.batch):
+            yield self.frame(index)
+
+    def copy(self) -> "FeatureMapBatch":
+        return FeatureMapBatch(self.data.copy(), self.scale)
+
+    @classmethod
+    def from_maps(cls, maps: Sequence[FeatureMap]) -> "FeatureMapBatch":
+        """Stack single-frame maps into a batch (shapes/scales must agree)."""
+        if not maps:
+            raise ValueError("cannot build a batch from zero frames")
+        shapes = {tuple(fm.shape) for fm in maps}
+        if len(shapes) != 1:
+            raise ValueError(f"frames disagree on shape: {sorted(shapes)}")
+        scales = {float(fm.scale) for fm in maps}
+        if len(scales) != 1:
+            raise ValueError(f"frames disagree on scale: {sorted(scales)}")
+        return cls(np.stack([fm.data for fm in maps], axis=0), maps[0].scale)
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "FeatureMapBatch":
+        """Wrap plain float values (scale 1) as a feature-map batch."""
+        return cls(np.asarray(values, dtype=np.float32), 1.0)
+
+
 def conv_output_size(size: int, ksize: int, stride: int, pad: int) -> int:
     """Darknet's convolutional output size: ``(size + 2*pad - ksize)/stride + 1``."""
     out = (size + 2 * pad - ksize) // stride + 1
@@ -92,4 +182,4 @@ def pool_output_size(size: int, ksize: int, stride: int, padding: int) -> int:
     return out
 
 
-__all__ = ["FeatureMap", "conv_output_size", "pool_output_size"]
+__all__ = ["FeatureMap", "FeatureMapBatch", "conv_output_size", "pool_output_size"]

@@ -61,6 +61,25 @@ class ThresholdActivation:
             raise ValueError(
                 f"accumulator has {acc.shape[0]} channels, expected {self.channels}"
             )
+        plan = self._sorted_plan()
+        if plan is None:
+            return self._apply_generic(acc)
+        n_thresh = self.thresholds.shape[-1]
+        out = np.empty(acc.shape, dtype=np.int32)
+        for ch, (sign, ascending) in enumerate(plan):
+            channel = np.asarray(acc[ch])
+            flat = channel.reshape(-1)
+            if sign > 0:
+                # hits = |{T : acc >= T}| over an ascending threshold vector.
+                counts = np.searchsorted(ascending, flat, side="right")
+            else:
+                # hits = |{T : acc <= T}| = n - |{T : T < acc}|.
+                counts = n_thresh - np.searchsorted(ascending, flat, side="left")
+            out[ch] = counts.reshape(channel.shape)
+        return out
+
+    def _apply_generic(self, acc: np.ndarray) -> np.ndarray:
+        """Literal hit-counting over all thresholds (any threshold order)."""
         extra = acc.ndim - 1
         thr = self.thresholds.reshape((self.channels,) + (1,) * extra + (-1,))
         sign = self.signs.reshape((self.channels,) + (1,) * extra)
@@ -69,6 +88,30 @@ class ThresholdActivation:
             sign[..., None] > 0, acc_exp >= thr, acc_exp <= thr
         )
         return hits.sum(axis=-1).astype(np.int32)
+
+    def _sorted_plan(self):
+        """Cached per-channel ascending threshold vectors for searchsorted.
+
+        Returns ``None`` when some channel's thresholds are not monotone in
+        its comparison direction (then only the generic path is exact).
+        The cache is keyed on the identity of the threshold/sign arrays so
+        reassigning them invalidates it.
+        """
+        key = (id(self.thresholds), id(self.signs))
+        cached = getattr(self, "_plan_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        plan = []
+        for ch in range(self.channels):
+            sign = int(self.signs[ch])
+            thr = self.thresholds[ch]
+            ascending = thr if sign > 0 else thr[::-1]
+            if np.any(np.diff(ascending) < 0):
+                plan = None
+                break
+            plan.append((sign, np.ascontiguousarray(ascending)))
+        self._plan_cache = (key, plan)
+        return plan
 
 
 def derive_thresholds(

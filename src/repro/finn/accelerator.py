@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.core.thresholds import derive_thresholds
 from repro.finn.mvtu import MVTU, Folding, MVTUConvLayer
 from repro.finn.resources import (
@@ -34,7 +34,7 @@ from repro.finn.resources import (
 )
 from repro.nn.layers.convolutional import BN_EPS, ConvolutionalLayer
 from repro.nn.layers.maxpool import MaxpoolLayer
-from repro.core.ops import maxpool2d
+from repro.core.ops import maxpool2d, maxpool2d_batch
 
 #: Defaults calibrated in DESIGN.md §6: a 32x32 engine at 200 MHz in the
 #: XCZU3EG fabric with ~1 ms of invocation overhead per offloaded layer
@@ -57,6 +57,12 @@ class PoolStage:
             fm.data.astype(np.float64), self.size, self.stride, self.padding
         )
         return FeatureMap(pooled.astype(fm.data.dtype), scale=fm.scale)
+
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        pooled = maxpool2d_batch(
+            fmb.data.astype(np.float64), self.size, self.stride, self.padding
+        )
+        return FeatureMapBatch(pooled.astype(fmb.data.dtype), scale=fmb.scale)
 
     def out_shape(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
         from repro.core.tensor import pool_output_size
@@ -92,6 +98,12 @@ class FabricStage:
         out = self.conv.forward(fm)
         if self.pool is not None:
             out = self.pool.forward(out)
+        return out
+
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        out = self.conv.forward_batch(fmb)
+        if self.pool is not None:
+            out = self.pool.forward_batch(out)
         return out
 
     def cycles(self) -> int:
@@ -232,6 +244,11 @@ class IteratedAccelerator:
             fm = stage.forward(fm)
         return fm
 
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        for stage in self.stages:
+            fmb = stage.forward_batch(fmb)
+        return fmb
+
     def cycles_per_frame(self) -> int:
         return sum(stage.cycles() for stage in self.stages)
 
@@ -295,6 +312,11 @@ class DataflowAccelerator:
         for stage in self.stages:
             fm = stage.forward(fm)
         return fm
+
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        for stage in self.stages:
+            fmb = stage.forward_batch(fmb)
+        return fmb
 
     def initiation_interval_cycles(self) -> int:
         return max(stage.cycles() for stage in self.stages)

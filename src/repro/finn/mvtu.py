@@ -28,9 +28,14 @@ from typing import Optional
 import numpy as np
 
 from repro.core.bitpack import bitserial_dot, pack_bits, pack_levels
-from repro.core.im2col import im2col
-from repro.core.tensor import FeatureMap, conv_output_size
+from repro.core.im2col import im2col, im2col_batch
+from repro.core.tensor import FeatureMap, FeatureMapBatch, conv_output_size
 from repro.core.thresholds import ThresholdActivation
+
+#: Element budget for one batched im2col chunk (int64); frames are lowered
+#: and multiplied in chunks so huge batches never materialize the whole
+#: K**2-inflated multiplicand at once.
+_BATCH_COL_BUDGET = 1 << 24
 
 
 @dataclass(frozen=True)
@@ -211,6 +216,44 @@ class MVTUConvLayer:
         cols = im2col(levels.astype(np.int64), self.ksize, self.stride, self.pad)
         out_levels = self.mvtu.matmat(cols).reshape(out_c, out_h, out_w)
         return FeatureMap(out_levels.astype(np.int32), scale=self.out_scale)
+
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Batched forward: all frames' columns stack into wide matmats.
+
+        The MVTU accumulates exactly (integer values through an exact
+        float64 matmul, or the bit-serial path), so stacking columns across
+        frames is bit-identical per frame to :meth:`forward` — unlike the
+        float32 layers, no per-frame GEMM split is needed.  Frames are
+        chunked to bound the transient im2col storage.
+        """
+        levels = np.asarray(fmb.data)
+        if levels.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {levels.shape[1]}"
+            )
+        n = levels.shape[0]
+        out_c, out_h, out_w = self.out_shape(levels.shape[1:])
+        positions = out_h * out_w
+        ckk = self.mvtu.geometry.cols
+        chunk = max(1, _BATCH_COL_BUDGET // max(1, ckk * positions))
+        out = np.empty((n, out_c, positions), dtype=np.int32)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            cols = im2col_batch(
+                levels[start:stop].astype(np.int64),
+                self.ksize,
+                self.stride,
+                self.pad,
+            )
+            stacked = cols.transpose(1, 0, 2).reshape(ckk, -1)
+            out_levels = self.mvtu.matmat(stacked)
+            out[start:stop] = (
+                out_levels.reshape(out_c, stop - start, positions)
+                .transpose(1, 0, 2)
+            )
+        return FeatureMapBatch(
+            out.reshape(n, out_c, out_h, out_w), scale=self.out_scale
+        )
 
     def cycles(self, in_shape) -> int:
         _, out_h, out_w = self.out_shape(in_shape)

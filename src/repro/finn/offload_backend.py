@@ -20,7 +20,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.core.thresholds import ThresholdActivation
 from repro.finn.accelerator import (
     DEFAULT_FMAX_HZ,
@@ -181,6 +181,23 @@ class FabricBackend:
         if not np.issubdtype(levels.dtype, np.integer):
             raise ValueError("fabric offload consumes integer level codes")
         return self.accelerator.forward(FeatureMap(levels, scale=fm.scale))
+
+    def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Batched offload: the accelerator stacks all frames' GEMM columns."""
+        if self.accelerator is None:
+            raise RuntimeError("forward_batch before init")
+        expected = self._meta["input_scale"]
+        if not np.isclose(fmb.scale, expected, rtol=1e-6):
+            raise ValueError(
+                f"offload input scale {fmb.scale} does not match the exported "
+                f"bundle's {expected}"
+            )
+        levels = np.asarray(fmb.data)
+        if not np.issubdtype(levels.dtype, np.integer):
+            raise ValueError("fabric offload consumes integer level codes")
+        return self.accelerator.forward_batch(
+            FeatureMapBatch(levels, scale=fmb.scale)
+        )
 
     def destroy(self) -> None:
         self.accelerator = None

@@ -10,9 +10,12 @@ from repro.neon.kernels import (
     ACC16_PRESHIFT,
     ConvStats,
     conv_first_layer_custom,
+    conv_first_layer_custom_batch,
     conv_int8,
+    conv_int8_batch,
     conv_fused_float,
     conv_gemmlowp,
+    conv_gemmlowp_batch,
     conv_generic_float,
     F32_LANES,
     I16_LANES,
@@ -37,9 +40,12 @@ __all__ = [
     "ConvStats",
     "conv_generic_float",
     "conv_gemmlowp",
+    "conv_gemmlowp_batch",
     "conv_fused_float",
     "conv_first_layer_custom",
+    "conv_first_layer_custom_batch",
     "conv_int8",
+    "conv_int8_batch",
     "F32_LANES",
     "I16_LANES",
     "I8_LANES",

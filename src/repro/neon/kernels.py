@@ -30,7 +30,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc32, rounding_rshift, saturate
-from repro.core.im2col import im2col, sliced_im2col
+from repro.core.im2col import im2col, im2col_batch, sliced_im2col
 from repro.core.quantize import AffineQuantizer
 from repro.core.tensor import conv_output_size
 
@@ -41,6 +41,11 @@ I8_LANES = 16
 
 #: The paper's pre-accumulation shift for the 16-bit accumulator variant.
 ACC16_PRESHIFT = 4
+
+#: Element budget (int64) for one batched im2col chunk: frames are lowered
+#: and multiplied in chunks so large batches never materialize the whole
+#: stacked multiplicand at once.
+_NEON_BATCH_COL_BUDGET = 1 << 24
 
 
 @dataclass
@@ -289,13 +294,207 @@ def conv_first_layer_custom(
     return out.reshape(c_out, out_h, out_w).astype(np.float32), stats
 
 
+# -- batched variants ------------------------------------------------------------
+#
+# The batched kernels take ``(N, C, H, W)`` inputs and stack every frame's
+# im2col columns into one wide integer GEMM instead of looping frames.
+# Integer accumulation is exact and the acc16 saturation recurrence is
+# per-entry independent, so the stacked product is bit-identical per frame
+# to the single-frame kernels — *provided the quantizers are shared*.  The
+# single-frame kernels derive ``x_range`` from each frame when it is not
+# given; the batched kernels derive one range from the whole batch, so pass
+# an explicit ``x_range`` when comparing against per-frame calls.
+
+
+def _stacked_int_gemm(
+    x: np.ndarray,
+    flat: np.ndarray,
+    to_levels,
+    ksize: int,
+    stride: int,
+    pad: int,
+    accumulator_bits: int,
+    a_offset: int = 0,
+    b_offset: int = 0,
+):
+    """Chunked frames -> stacked columns -> one integer GEMM per chunk.
+
+    Returns ``(acc (N, c_out, positions), overflow_events, peak_cols)``.
+    """
+    n = x.shape[0]
+    c_out = flat.shape[0]
+    ckk = flat.shape[1]
+    out_h = conv_output_size(x.shape[2], ksize, stride, pad)
+    out_w = conv_output_size(x.shape[3], ksize, stride, pad)
+    positions = out_h * out_w
+    chunk = max(1, _NEON_BATCH_COL_BUDGET // max(1, ckk * positions))
+    acc_dtype = np.int16 if accumulator_bits == 16 else np.int32
+    acc = np.empty((n, c_out, positions), dtype=acc_dtype)
+    overflow = 0
+    peak = 0
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        cols = to_levels(
+            im2col_batch(x[start:stop], ksize, stride, pad)
+        ).astype(np.int64)
+        stacked = cols.transpose(1, 0, 2).reshape(ckk, -1)
+        peak = max(peak, stacked.size)
+        if accumulator_bits == 16:
+            part, events = gemm_i8_acc16(
+                flat, stacked, a_offset=a_offset, b_offset=b_offset,
+                pre_shift=ACC16_PRESHIFT,
+            )
+            overflow += events
+        else:
+            part = gemm_i8_acc32(
+                flat, stacked, a_offset=a_offset, b_offset=b_offset
+            )
+        acc[start:stop] = (
+            part.reshape(c_out, stop - start, positions).transpose(1, 0, 2)
+        )
+    return acc, overflow, peak, (out_h, out_w)
+
+
+def conv_gemmlowp_batch(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 1,
+    x_range: Tuple[float, float] = None,
+) -> Tuple[np.ndarray, ConvStats]:
+    """Batched :func:`conv_gemmlowp`: one uint8 GEMM over all frames' columns."""
+    if x.ndim != 4:
+        raise ValueError(f"batched input must be (N, C, H, W), got {x.shape}")
+    c_out = weights.shape[0]
+    if x_range is None:
+        x_range = (float(x.min()), float(x.max()))
+    x_q = AffineQuantizer.from_range(x_range[0], x_range[1], bits=8, signed=False)
+    w_q = AffineQuantizer.from_range(
+        float(weights.min()), float(weights.max()), bits=8, signed=False
+    )
+    w_levels = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    acc, _, peak, (out_h, out_w) = _stacked_int_gemm(
+        x, w_levels, x_q.to_levels, weights.shape[2], stride, pad,
+        accumulator_bits=32,
+        a_offset=-w_q.zero_point, b_offset=-x_q.zero_point,
+    )
+    out = acc.astype(np.float64) * (w_q.scale * x_q.scale)
+    _, _, _, _, _, macs = _geometry(x[0], weights, stride, pad)
+    stats = ConvStats(
+        path="gemmlowp-u8-batch",
+        macs=macs * x.shape[0],
+        lanes=I8_LANES,
+        peak_buffer_floats=peak // 4,
+        quantized=True,
+        accumulator_bits=32,
+    )
+    return out.reshape(x.shape[0], c_out, out_h, out_w).astype(np.float32), stats
+
+
+def conv_int8_batch(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 1,
+    accumulator_bits: int = 32,
+    x_range: Tuple[float, float] = None,
+) -> Tuple[np.ndarray, ConvStats]:
+    """Batched :func:`conv_int8`: all frames share one stacked integer GEMM.
+
+    ``overflow_events`` in the returned stats is the total across the batch
+    (equal to the sum over per-frame calls, since the acc16 saturation
+    recurrence is independent per output entry).
+    """
+    if accumulator_bits not in (16, 32):
+        raise ValueError("accumulator_bits must be 16 or 32")
+    if x.ndim != 4:
+        raise ValueError(f"batched input must be (N, C, H, W), got {x.shape}")
+    c_out = weights.shape[0]
+    if x_range is None:
+        x_range = (float(x.min()), float(x.max()))
+    x_q = AffineQuantizer.from_range(0.0, x_range[1], bits=8, signed=False)
+    w_q = AffineQuantizer.symmetric(
+        max(abs(float(weights.min())), abs(float(weights.max()))), bits=8
+    )
+    flat = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    acc, overflow, peak, (out_h, out_w) = _stacked_int_gemm(
+        x, flat, x_q.to_levels, weights.shape[2], stride, pad,
+        accumulator_bits=accumulator_bits,
+    )
+    rescale = w_q.scale * x_q.scale
+    if accumulator_bits == 16:
+        rescale *= 1 << ACC16_PRESHIFT
+    out = acc.astype(np.float64) * rescale
+    _, _, _, _, _, macs = _geometry(x[0], weights, stride, pad)
+    stats = ConvStats(
+        path=f"int8-acc{accumulator_bits}-batch",
+        macs=macs * x.shape[0],
+        lanes=I16_LANES if accumulator_bits == 16 else F32_LANES,
+        peak_buffer_floats=peak // 4,
+        quantized=True,
+        accumulator_bits=accumulator_bits,
+        overflow_events=overflow,
+    )
+    return out.reshape(x.shape[0], c_out, out_h, out_w).astype(np.float32), stats
+
+
+def conv_first_layer_custom_batch(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 1,
+    variant: str = "float",
+    x_range: Tuple[float, float] = None,
+) -> Tuple[np.ndarray, ConvStats]:
+    """Batched 16x27 first-layer kernel.
+
+    The integer variants stack all frames into one GEMM (bit-identical per
+    frame); the float variant keeps the per-frame sliced loop, whose whole
+    point is the slice-sized buffer reuse.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batched input must be (N, C, H, W), got {x.shape}")
+    c_out, c_in, k, _ = weights.shape
+    if (c_out, c_in * k * k) != (16, 27):
+        raise ValueError(
+            f"the custom kernel is specialized for a 16x27 weight matrix, "
+            f"got {c_out}x{c_in * k * k}"
+        )
+    if variant == "float":
+        outs = []
+        stats = None
+        for frame in x:
+            out, stats = conv_first_layer_custom(
+                frame, weights, stride, pad, variant="float"
+            )
+            outs.append(out)
+        stats = ConvStats(
+            path="custom-16x27-float-batch",
+            macs=stats.macs * x.shape[0],
+            lanes=stats.lanes,
+            peak_buffer_floats=stats.peak_buffer_floats,
+        )
+        return np.stack(outs, axis=0), stats
+    if variant not in ("i8_acc32", "i8_acc16"):
+        raise ValueError(f"unknown variant '{variant}'")
+    bits = 16 if variant == "i8_acc16" else 32
+    out, stats = conv_int8_batch(
+        x, weights, stride, pad, accumulator_bits=bits, x_range=x_range
+    )
+    stats.path = f"custom-16x27-i8-acc{bits}-batch"
+    return out, stats
+
+
 __all__ = [
     "ConvStats",
     "conv_int8",
+    "conv_int8_batch",
     "conv_generic_float",
     "conv_gemmlowp",
+    "conv_gemmlowp_batch",
     "conv_fused_float",
     "conv_first_layer_custom",
+    "conv_first_layer_custom_batch",
     "F32_LANES",
     "I16_LANES",
     "I8_LANES",

@@ -14,7 +14,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.tensor import FeatureMap
+from typing import List
+
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 
 
@@ -61,6 +63,30 @@ class Layer:
 
     def forward(self, fm: FeatureMap) -> FeatureMap:
         raise NotImplementedError
+
+    def forward_batch(
+        self,
+        fmb: FeatureMapBatch,
+        history: Optional[List[FeatureMapBatch]] = None,
+    ) -> FeatureMapBatch:
+        """Batched forward over ``(N, C, H, W)``; batch axis is axis 0.
+
+        The default loops :meth:`forward` over the frames — always correct,
+        never fast.  Layers with vectorized batched kernels override this;
+        every override must stay bit-identical per frame to the sequential
+        path (the batched-equivalence tests enforce it).
+        """
+        self._require_initialized()
+        outputs = []
+        for index in range(fmb.batch):
+            if getattr(self, "needs_history", False):
+                if history is None:
+                    raise ValueError(f"[{self.ltype}] needs the layer history")
+                frame_history = [item.frame(index) for item in history]
+                outputs.append(self.forward(fmb.frame(index), history=frame_history))
+            else:
+                outputs.append(self.forward(fmb.frame(index)))
+        return FeatureMapBatch.from_maps(outputs)
 
     def destroy(self) -> None:
         """Release resources (buffers, backend handles)."""

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.core.ops import batchnorm_inference, fully_connected, leaky_relu, relu
 from repro.core.quantize import BinaryQuantizer, UnsignedUniformQuantizer
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload, WeightSink, WeightSource
 from repro.nn.layers.convolutional import BN_EPS
@@ -47,6 +47,7 @@ class ConnectedLayer(Layer):
         else:
             self.out_quant = None
         self._binarizer = BinaryQuantizer()
+        self._effective_cache = None
         self.weights: np.ndarray = None
         self.biases: np.ndarray = None
         self.scales: np.ndarray = None
@@ -90,9 +91,14 @@ class ConnectedLayer(Layer):
         sink.write(self.weights)
 
     def effective_weights(self) -> np.ndarray:
-        if self.binary:
-            return self._binarizer.quantize(self.weights)
-        return self.weights
+        if not self.binary:
+            return self.weights
+        cached = self._effective_cache
+        if cached is not None and cached[0] is self.weights:
+            return cached[1]
+        effective = self._binarizer.quantize(self.weights)
+        self._effective_cache = (self.weights, effective)
+        return effective
 
     def forward(self, fm: FeatureMap) -> FeatureMap:
         self._require_initialized()
@@ -110,6 +116,31 @@ class ConnectedLayer(Layer):
             levels = self.out_quant.to_levels(z)
             return FeatureMap(levels, scale=self.out_quant.scale)
         return FeatureMap(z.astype(np.float32))
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        self._require_initialized()
+        weights = self.effective_weights()
+        x = fmb.values().reshape(fmb.batch, -1)
+        # BLAS gemv (one frame) and gemm (stacked frames) round float32
+        # accumulations differently, so the matrix product stays per-frame
+        # to keep batched outputs bit-identical; the epilogue (BN,
+        # activation, quantization) is elementwise and vectorizes freely.
+        z = np.stack(
+            [fully_connected(x[i], weights) for i in range(fmb.batch)], axis=0
+        )
+        if self.batch_normalize:
+            z = batchnorm_inference(
+                z, self.scales, self.biases, self.rolling_mean, self.rolling_var,
+                eps=BN_EPS, channel_axis=1,
+            )
+        else:
+            z = z + self.biases[None, :]
+        z = _ACTIVATIONS[self.activation](z)
+        z = z.reshape(fmb.batch, self.output, 1, 1)
+        if self.out_quant is not None:
+            levels = self.out_quant.to_levels(z)
+            return FeatureMapBatch(levels, scale=self.out_quant.scale)
+        return FeatureMapBatch(z.astype(np.float32))
 
     def workload(self) -> LayerWorkload:
         self._require_initialized()

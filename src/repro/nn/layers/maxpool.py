@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.ops import maxpool2d
-from repro.core.tensor import FeatureMap, pool_output_size
+from repro.core.ops import maxpool2d, maxpool2d_batch
+from repro.core.tensor import FeatureMap, FeatureMapBatch, pool_output_size
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload
 
@@ -36,6 +36,11 @@ class MaxpoolLayer(Layer):
         # Max over levels == max over values: pooling commutes with the
         # (monotone) quantization scale, so levels pass through unchanged.
         return FeatureMap(pooled, scale=fm.scale)
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        self._require_initialized()
+        pooled = maxpool2d_batch(fmb.data, self.size, self.stride, self.padding)
+        return FeatureMapBatch(pooled, scale=fmb.scale)
 
     def workload(self) -> LayerWorkload:
         """Table I counts pooling as K*K comparisons per output *position*.

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload, WeightSource
 from repro.nn.registry import resolve_backend
@@ -66,6 +66,27 @@ class OffloadLayer(Layer):
         if tuple(out.shape) != tuple(self.out_shape):
             raise ValueError(
                 f"offload backend returned {tuple(out.shape)}, "
+                f"declared {tuple(self.out_shape)}"
+            )
+        return out
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        """Hand the whole batch to the backend when it can take one.
+
+        Backends exposing ``forward_batch`` (the FINN fabric does) get the
+        ``(N, C, H, W)`` batch in one call and batch their own GEMMs; legacy
+        backends fall back to a per-frame loop.
+        """
+        self._require_initialized()
+        if hasattr(self.backend, "forward_batch"):
+            out = self.backend.forward_batch(fmb)
+        else:
+            out = FeatureMapBatch.from_maps(
+                [self.backend.forward(frame) for frame in fmb.frames()]
+            )
+        if tuple(out.frame_shape) != tuple(self.out_shape):
+            raise ValueError(
+                f"offload backend returned frames {tuple(out.frame_shape)}, "
                 f"declared {tuple(self.out_shape)}"
             )
         return out

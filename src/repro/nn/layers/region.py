@@ -16,7 +16,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.ops import sigmoid, softmax
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.eval.boxes import Box, Detection
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload
@@ -64,6 +64,21 @@ class RegionLayer(Layer):
         out[:, self.coords] = sigmoid(blocks[:, self.coords])  # objectness
         out[:, self.coords + 1 :] = softmax(blocks[:, self.coords + 1 :], axis=1)
         return FeatureMap(out.reshape(c, h, w).astype(np.float32))
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        self._require_initialized()
+        x = fmb.values().astype(np.float64)
+        n, c, h, w = x.shape
+        per_anchor = self.coords + 1 + self.classes
+        blocks = x.reshape(n, self.num, per_anchor, h, w)
+        out = blocks.copy()
+        out[:, :, 0] = sigmoid(blocks[:, :, 0])  # tx
+        out[:, :, 1] = sigmoid(blocks[:, :, 1])  # ty
+        out[:, :, self.coords] = sigmoid(blocks[:, :, self.coords])  # objectness
+        out[:, :, self.coords + 1 :] = softmax(
+            blocks[:, :, self.coords + 1 :], axis=2
+        )
+        return FeatureMapBatch(out.reshape(n, c, h, w).astype(np.float32))
 
     def detections(self, fm: FeatureMap, threshold: float = 0.24) -> List[Detection]:
         """Decode a *forwarded* region map into thresholded detections."""

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload
 
@@ -81,6 +81,20 @@ class RouteLayer(Layer):
         data = np.concatenate([np.asarray(s.data) for s in sources], axis=0)
         return FeatureMap(data, scale=sources[0].scale)
 
+    def forward_batch(
+        self, fmb: FeatureMapBatch, history: List[FeatureMapBatch] = None
+    ) -> FeatureMapBatch:
+        self._require_initialized()
+        if history is None:
+            raise ValueError("[route] needs the network's layer history")
+        sources = [history[i] for i in self._resolved]
+        scales = {s.scale for s in sources}
+        if len(scales) != 1:
+            data = np.concatenate([s.values() for s in sources], axis=1)
+            return FeatureMapBatch(data.astype(np.float32))
+        data = np.concatenate([np.asarray(s.data) for s in sources], axis=1)
+        return FeatureMapBatch(data, scale=sources[0].scale)
+
     def workload(self) -> LayerWorkload:
         return LayerWorkload(self.ltype, 0)
 
@@ -120,6 +134,17 @@ class ReorgLayer(Layer):
             c * s * s, h // s, w // s
         )
         return FeatureMap(rearranged, scale=fm.scale)
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        self._require_initialized()
+        data = np.asarray(fmb.data)
+        n, c, h, w = data.shape
+        s = self.stride
+        blocks = data.reshape(n, c, h // s, s, w // s, s)
+        rearranged = blocks.transpose(0, 3, 5, 1, 2, 4).reshape(
+            n, c * s * s, h // s, w // s
+        )
+        return FeatureMapBatch(rearranged, scale=fmb.scale)
 
     def workload(self) -> LayerWorkload:
         return LayerWorkload(self.ltype, 0)

@@ -7,7 +7,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.ops import softmax
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.layers.base import Layer, LayerWorkload
 
 
@@ -24,6 +24,12 @@ class SoftmaxLayer(Layer):
         flat = fm.values().reshape(-1)
         probs = softmax(flat, axis=0).reshape(fm.shape)
         return FeatureMap(probs.astype(np.float32))
+
+    def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
+        self._require_initialized()
+        flat = fmb.values().reshape(fmb.batch, -1)
+        probs = softmax(flat, axis=1).reshape(fmb.shape)
+        return FeatureMapBatch(probs.astype(np.float32))
 
     def workload(self) -> LayerWorkload:
         return LayerWorkload(self.ltype, 0)

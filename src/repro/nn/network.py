@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
 import numpy as np
 
-from repro.core.tensor import FeatureMap
+from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import NetworkConfig, parse_config
 from repro.nn.layers.base import ArraySink, ArraySource, Layer, LayerWorkload
 from repro.nn.layers.connected import ConnectedLayer
@@ -98,6 +98,31 @@ class Network:
             else:
                 fm = layer.forward(fm)
             outputs.append(fm)
+        return outputs
+
+    def forward_batch(self, x: FeatureMapBatch) -> FeatureMapBatch:
+        """Run a batch of frames (batch axis 0) through all layers.
+
+        Per-frame outputs are bit-identical to sequential :meth:`forward`
+        calls — batching changes throughput, never results.
+        """
+        if tuple(x.frame_shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"input frames {tuple(x.frame_shape)} do not match network "
+                f"input {tuple(self.input_shape)}"
+            )
+        return self.forward_batch_all(x)[-1]
+
+    def forward_batch_all(self, x: FeatureMapBatch) -> List[FeatureMapBatch]:
+        """Batched :meth:`forward_all`: every intermediate batch is kept."""
+        fmb = x
+        outputs: List[FeatureMapBatch] = []
+        for layer in self.layers:
+            if getattr(layer, "needs_history", False):
+                fmb = layer.forward_batch(fmb, history=outputs)
+            else:
+                fmb = layer.forward_batch(fmb)
+            outputs.append(fmb)
         return outputs
 
     # -- weights ------------------------------------------------------------------

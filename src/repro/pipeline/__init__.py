@@ -8,6 +8,7 @@ a deterministic discrete-event simulator for the timing experiments
 (:mod:`repro.pipeline.demo`).
 """
 
+from repro.pipeline.batching import forward_frames, iter_batches
 from repro.pipeline.buffers import StageBuffer
 from repro.pipeline.demo import DemoPayload, build_demo_stages, run_demo
 from repro.pipeline.scheduler import CPU, FABRIC, PipelineTopology, StageDescriptor
@@ -22,6 +23,8 @@ from repro.pipeline.workers import ThreadedPipeline
 
 __all__ = [
     "StageBuffer",
+    "iter_batches",
+    "forward_frames",
     "StageDescriptor",
     "PipelineTopology",
     "CPU",

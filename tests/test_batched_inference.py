@@ -1,0 +1,244 @@
+"""Batched inference (batch axis 0) is bit-identical to per-frame forward.
+
+The batched layer paths exist purely for throughput: every
+``forward_batch`` must reproduce the corresponding sequential ``forward``
+calls bit for bit — including the full Tincy YOLO network at batch 16,
+the FINN fabric offload, and the batched NEON integer kernels (under a
+shared calibration range).
+"""
+
+import numpy as np
+import pytest
+
+import repro.finn  # noqa: F401  (registers fabric.so)
+from repro.core.tensor import FeatureMap, FeatureMapBatch
+from repro.finn.mvtu import Folding
+from repro.finn.offload_backend import export_offload
+from repro.nn import zoo
+from repro.nn.network import Network
+from repro.pipeline import forward_frames, iter_batches
+
+
+def _frames(rng, shape, count):
+    return [
+        FeatureMap(rng.normal(size=shape).astype(np.float32))
+        for _ in range(count)
+    ]
+
+
+def _assert_batch_matches_sequential(network, frames):
+    sequential = [network.forward(fm) for fm in frames]
+    batched = network.forward_batch(FeatureMapBatch.from_maps(frames))
+    assert batched.batch == len(frames)
+    for expected, got in zip(sequential, batched.frames()):
+        assert got.scale == expected.scale
+        assert np.array_equal(got.data, expected.data)
+
+
+class TestFeatureMapBatch:
+    def test_from_maps_roundtrip(self, rng):
+        maps = [
+            FeatureMap(rng.integers(0, 8, size=(2, 4, 4)).astype(np.int32), 0.25)
+            for _ in range(3)
+        ]
+        fmb = FeatureMapBatch.from_maps(maps)
+        assert fmb.shape == (3, 2, 4, 4)
+        for original, frame in zip(maps, fmb.frames()):
+            assert frame.scale == original.scale
+            assert np.array_equal(frame.data, original.data)
+
+    def test_mixed_scales_rejected(self, rng):
+        a = FeatureMap(np.zeros((1, 2, 2), dtype=np.int32), 0.5)
+        b = FeatureMap(np.zeros((1, 2, 2), dtype=np.int32), 0.25)
+        with pytest.raises(ValueError, match="scale"):
+            FeatureMapBatch.from_maps([a, b])
+
+    def test_mixed_shapes_rejected(self):
+        a = FeatureMap(np.zeros((1, 2, 2), dtype=np.float32))
+        b = FeatureMap(np.zeros((1, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            FeatureMapBatch.from_maps([a, b])
+
+    def test_values_dequantizes_like_single_frame(self, rng):
+        maps = [
+            FeatureMap(rng.integers(0, 8, size=(2, 4, 4)).astype(np.int32), 1 / 7)
+            for _ in range(4)
+        ]
+        fmb = FeatureMapBatch.from_maps(maps)
+        for original, values in zip(maps, fmb.values()):
+            assert np.array_equal(values, original.values())
+
+
+class TestNetworksBatchedEquivalence:
+    def test_mlp4_batch_matches_sequential(self, rng):
+        network = Network(zoo.mlp4_config())
+        network.initialize(rng)
+        _assert_batch_matches_sequential(
+            network, _frames(rng, network.input_shape, 5)
+        )
+
+    def test_cnv6_batch_matches_sequential(self, rng):
+        network = Network(zoo.cnv6_config())
+        network.initialize(rng)
+        _assert_batch_matches_sequential(
+            network, _frames(rng, network.input_shape, 3)
+        )
+
+    @pytest.mark.slow
+    def test_tincy_batch16_matches_sequential(self, rng):
+        # The headline guarantee: Tincy YOLO at batch 16 is bit-identical,
+        # frame for frame, to 16 sequential batch-1 forward passes.
+        network = Network(zoo.tincy_yolo_config())
+        network.initialize(rng)
+        _assert_batch_matches_sequential(
+            network, _frames(rng, network.input_shape, 16)
+        )
+
+    def test_partial_and_single_frame_batches(self, rng):
+        network = Network(zoo.mlp4_config())
+        network.initialize(rng)
+        _assert_batch_matches_sequential(
+            network, _frames(rng, network.input_shape, 1)
+        )
+
+    def test_wrong_frame_shape_rejected(self, rng):
+        network = Network(zoo.mlp4_config())
+        network.initialize(rng)
+        bad = FeatureMapBatch(np.zeros((2, 1, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="do not match network"):
+            network.forward_batch(bad)
+
+
+class TestOffloadBatchedEquivalence:
+    # Reuses the Fig. 4 export flow of test_finn_offload on a small W1A3 run.
+    CFG = """
+[net]
+width=24
+height=24
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=2
+pad=1
+activation=relu
+activation_bits=3
+
+[offload]
+library=fabric.so
+network=hidden.cfg
+weights={binparam}
+height=6
+width=6
+channel=16
+
+[convolutional]
+filters=10
+size=1
+stride=1
+pad=0
+activation=linear
+"""
+
+    def test_hybrid_network_batch_matches_sequential(self, rng, tmp_path):
+        from tests.test_finn_offload import FULL_CFG, _trained
+
+        full = _trained(rng, FULL_CFG)
+        binparam = str(tmp_path / "binparam-mini")
+        export_offload(
+            full.layers[1:4],
+            input_scale=full.layers[0].out_quant.scale,
+            input_shape=full.layers[0].out_shape,
+            directory=binparam,
+            folding=Folding(4, 4),
+        )
+        hybrid = Network.from_cfg(self.CFG.format(binparam=binparam))
+        for src_index, dst_index in ((0, 0), (4, 2)):
+            src, dst = full.layers[src_index], hybrid.layers[dst_index]
+            dst.weights = src.weights.copy()
+            dst.biases = src.biases.copy()
+            if src.batch_normalize:
+                dst.scales = src.scales.copy()
+                dst.rolling_mean = src.rolling_mean.copy()
+                dst.rolling_var = src.rolling_var.copy()
+        hybrid.layers[1].backend.load_weights()
+        _assert_batch_matches_sequential(hybrid, _frames(rng, (3, 24, 24), 5))
+
+
+class TestNeonBatchedKernels:
+    # Batched NEON kernels derive x_range from the whole batch; pin it
+    # explicitly so per-frame comparisons are apples to apples.
+    def _operands(self, rng, frames=3, c=3, hw=12, c_out=8):
+        x = rng.normal(size=(frames, c, hw, hw)).astype(np.float32)
+        w = rng.normal(size=(c_out, c, 3, 3)).astype(np.float32) * 0.2
+        return x, w
+
+    def test_gemmlowp_batch_matches_per_frame(self, rng):
+        from repro.neon import conv_gemmlowp, conv_gemmlowp_batch
+
+        x, w = self._operands(rng)
+        x_range = (float(x.min()), float(x.max()))
+        batched, stats = conv_gemmlowp_batch(x, w, x_range=x_range)
+        for i in range(x.shape[0]):
+            single, _ = conv_gemmlowp(x[i], w, x_range=x_range)
+            assert np.array_equal(batched[i], single)
+        assert stats.path == "gemmlowp-u8-batch"
+
+    @pytest.mark.parametrize("bits", [16, 32])
+    def test_int8_batch_matches_per_frame(self, rng, bits):
+        from repro.neon import conv_int8, conv_int8_batch
+
+        x, w = self._operands(rng)
+        x_range = (float(x.min()), float(x.max()))
+        batched, stats = conv_int8_batch(
+            x, w, accumulator_bits=bits, x_range=x_range
+        )
+        overflow_total = 0
+        for i in range(x.shape[0]):
+            single, s = conv_int8(x[i], w, accumulator_bits=bits, x_range=x_range)
+            overflow_total += s.overflow_events
+            assert np.array_equal(batched[i], single)
+        assert stats.overflow_events == overflow_total
+
+    @pytest.mark.parametrize("variant", ["float", "i8_acc32", "i8_acc16"])
+    def test_first_layer_batch_matches_per_frame(self, rng, variant):
+        from repro.neon import conv_first_layer_custom, conv_first_layer_custom_batch
+
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        w = rng.normal(size=(16, 3, 3, 3)).astype(np.float32) * 0.2
+        x_range = (float(x.min()), float(x.max()))
+        batched, _ = conv_first_layer_custom_batch(
+            x, w, variant=variant, x_range=x_range
+        )
+        for i in range(x.shape[0]):
+            single, _ = conv_first_layer_custom(
+                x[i], w, variant=variant, x_range=x_range
+            )
+            assert np.array_equal(batched[i], single)
+
+
+class TestMicroBatching:
+    def test_iter_batches_sizes_and_order(self, rng):
+        frames = _frames(rng, (1, 2, 2), 7)
+        chunks = list(iter_batches(frames, 3))
+        assert [c.batch for c in chunks] == [3, 3, 1]
+        flat = [frame for chunk in chunks for frame in chunk.frames()]
+        for original, frame in zip(frames, flat):
+            assert np.array_equal(frame.data, original.data)
+
+    def test_iter_batches_rejects_bad_size(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            list(iter_batches(_frames(rng, (1, 2, 2), 2), 0))
+
+    def test_forward_frames_matches_sequential(self, rng):
+        network = Network(zoo.mlp4_config())
+        network.initialize(rng)
+        frames = _frames(rng, network.input_shape, 7)
+        expected = [network.forward(fm) for fm in frames]
+        got = forward_frames(network, frames, batch_size=3)
+        assert len(got) == len(expected)
+        for e, g in zip(expected, got):
+            assert g.scale == e.scale
+            assert np.array_equal(g.data, e.data)

@@ -1,0 +1,94 @@
+"""Smoke tests for the `repro bench` throughput harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    bench_acc16_kernel,
+    bench_batches,
+    bench_per_layer,
+    format_report,
+    run_bench,
+    write_report,
+)
+from repro.cli import main
+from repro.nn import zoo
+from repro.nn.network import Network
+
+
+@pytest.fixture()
+def mlp4(rng):
+    network = Network(zoo.mlp4_config())
+    network.initialize(rng)
+    return network
+
+
+class TestBenchHarness:
+    def test_bench_batches_rows(self, mlp4, rng):
+        rows = bench_batches(mlp4, batch_sizes=(1, 3), repeats=1, rng=rng)
+        assert [row["batch"] for row in rows] == [1, 3]
+        for row in rows:
+            assert row["seconds"] > 0
+            assert row["frames_per_second"] == pytest.approx(
+                row["batch"] / row["seconds"]
+            )
+
+    def test_bench_per_layer_covers_all_layers(self, mlp4, rng):
+        rows = bench_per_layer(mlp4, repeats=1, rng=rng)
+        assert [row["index"] for row in rows] == list(range(len(mlp4.layers)))
+        assert all(row["ms"] >= 0 for row in rows)
+        assert rows[0]["type"] == mlp4.layers[0].ltype
+
+    def test_acc16_kernel_consistency_gate(self, rng):
+        result = bench_acc16_kernel(batch=2, repeats=1, m=4, k=9, n=64, rng=rng)
+        assert result["batch"] == 2
+        assert result["speedup"] == pytest.approx(
+            result["reference_seconds"] / result["vectorized_seconds"]
+        )
+
+    def test_run_bench_report_shape(self, tmp_path, rng):
+        report = run_bench(
+            network_name="mlp4", batch_sizes=(1, 2), repeats=1, skip_kernel=True
+        )
+        assert report["network"] == "mlp4"
+        assert "acc16_kernel" not in report
+        assert len(report["batches"]) == 2
+        path = tmp_path / "bench.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text())["network"] == "mlp4"
+        text = format_report(report)
+        assert "mlp4" in text
+        assert "batch   1" in text
+
+    def test_run_bench_unknown_network(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            run_bench(network_name="yolov8", skip_kernel=True)
+
+
+class TestBenchCli:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_inference.json"
+        code = main([
+            "bench", "--network", "mlp4", "--batches", "1,2",
+            "--repeats", "1", "--skip-kernel", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["network"] == "mlp4"
+        assert [row["batch"] for row in report["batches"]] == [1, 2]
+        assert "frames/s" in capsys.readouterr().out
+
+    def test_bench_rejects_bad_batches(self, capsys):
+        assert main(["bench", "--batches", "1,x"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+        assert main(["bench", "--batches", "0"]) == 2
+
+    def test_bench_kernel_only(self, capsys):
+        # Tiny kernel geometry keeps the oracle loop fast.
+        code = main([
+            "bench", "--skip-network", "--kernel-batch", "1", "--repeats", "1",
+        ])
+        assert code == 0
+        assert "acc16 GEMM" in capsys.readouterr().out

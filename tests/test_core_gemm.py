@@ -9,6 +9,7 @@ from repro.core.gemm import (
     RequantizeParams,
     gemm_f32,
     gemm_i8_acc16,
+    gemm_i8_acc16_reference,
     gemm_i8_acc32,
     rounding_rshift,
     saturate,
@@ -142,3 +143,133 @@ class TestAcc16Acc32Relationship:
             return  # saturated results are allowed to deviate arbitrarily
         drift = np.abs(acc16.astype(np.int64) * 16 - acc32)
         assert drift.max() <= k * 8  # K * 2**(pre_shift - 1)
+
+
+class TestRequantizeProperties:
+    @given(
+        exponent=st.floats(-12.0, 12.0),
+        mantissa=st.floats(0.5, 0.999999),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_multiplier_range_over_magnitude_sweep(self, exponent, mantissa):
+        """The Q31 mantissa stays in [1, 2**31 - 1] across magnitudes —
+        including real scales whose mantissa rounds *up* to 2.0."""
+        real_scale = mantissa * 2.0**exponent
+        params = RequantizeParams.from_real_scale(real_scale)
+        assert 1 <= params.multiplier <= (1 << 31) - 1
+        assert params.shift >= 0
+        approx = params.multiplier / 2.0**params.shift
+        assert approx == pytest.approx(real_scale, rel=1e-6)
+
+    def test_mantissa_rounding_to_two_is_renormalized(self):
+        # frexp mantissa 0.5 - 0.1/2**32: rounds to 2**31 exactly, the
+        # overflow case the decomposition must renormalize (halve the
+        # mantissa, absorb a factor 2 into the shift).
+        real_scale = ((1 << 31) - 0.2) / 2.0**32
+        params = RequantizeParams.from_real_scale(real_scale)
+        assert params.multiplier == 1 << 30
+        assert 1 <= params.multiplier <= (1 << 31) - 1
+        approx = params.multiplier / 2.0**params.shift
+        assert approx == pytest.approx(real_scale, rel=1e-6)
+
+    def test_scale_too_large_for_q31_rejected(self):
+        # A scale so large the renormalized shift would go negative cannot
+        # be represented as multiplier * 2**-shift with shift >= 0.
+        with pytest.raises(ValueError, match="too large"):
+            RequantizeParams.from_real_scale(2.0**32)
+
+    @given(
+        exponent=st.floats(-10.0, 1.0),
+        mantissa=st.floats(0.5, 0.999999),
+        zero_point=st.integers(0, 255),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_apply_matches_float_reference_within_one_lsb(
+        self, exponent, mantissa, zero_point, seed
+    ):
+        real_scale = mantissa * 2.0**exponent
+        params = RequantizeParams.from_real_scale(real_scale, zero_point)
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(2**20), 2**20, size=64)
+        got = params.apply(acc)
+        expected = np.clip(
+            np.floor(acc * real_scale + 0.5) + zero_point, 0, 255
+        )
+        assert np.max(np.abs(got.astype(np.int64) - expected)) <= 1
+
+    @pytest.mark.parametrize(
+        "dtype", [np.int8, np.int16, np.int32, np.int64]
+    )
+    def test_rounding_rshift_zero_shift_dtype_invariant(self, dtype):
+        """shift=0 must still widen to int64: callers scale the result by
+        Q31 multipliers, which overflows any narrower accumulator dtype."""
+        x = np.array([-128, -1, 0, 1, 127], dtype=dtype)
+        got = rounding_rshift(x, 0)
+        assert got.dtype == np.int64
+        assert got.tolist() == x.tolist()
+        # The int64 widening is what makes this safe:
+        assert (got * (1 << 31)).tolist() == [
+            v * (1 << 31) for v in x.tolist()
+        ]
+
+
+class TestAcc16PropertyVsOracle:
+    """The blocked/vectorized acc16 GEMM is a drop-in for the per-K loop:
+    identical int16 accumulators *and* identical saturation-event counts,
+    across offsets, shifts (0-9) and operand ranges that force saturation."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(1, 6),
+        k=st.integers(1, 48),
+        n=st.integers(1, 12),
+        pre_shift=st.integers(0, 9),
+        a_offset=st.integers(-16, 16),
+        b_offset=st.integers(-16, 16),
+        wide=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bit_identical_to_reference(
+        self, seed, m, k, n, pre_shift, a_offset, b_offset, wide
+    ):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-128, 128, size=(m, k), dtype=np.int64)
+        b = rng.integers(0, 256, size=(k, n), dtype=np.int64)
+        if wide:
+            # Push sums past int16 to exercise the saturation recurrence
+            # and its overflow counter.
+            a = a * rng.choice([1, 1, 4], size=a.shape)
+            b = b * rng.choice([1, 1, 4], size=b.shape)
+        got_acc, got_events = gemm_i8_acc16(
+            a, b, a_offset=a_offset, b_offset=b_offset, pre_shift=pre_shift
+        )
+        ref_acc, ref_events = gemm_i8_acc16_reference(
+            a, b, a_offset=a_offset, b_offset=b_offset, pre_shift=pre_shift
+        )
+        assert got_acc.dtype == ref_acc.dtype
+        assert np.array_equal(got_acc, ref_acc)
+        assert got_events == ref_events
+
+    def test_all_saturating_column(self):
+        # Every product maximal: saturates immediately and stays pinned.
+        a = np.full((2, 32), 127, dtype=np.int64)
+        b = np.full((32, 3), 255, dtype=np.int64)
+        got_acc, got_events = gemm_i8_acc16(a, b)
+        ref_acc, ref_events = gemm_i8_acc16_reference(a, b)
+        assert np.array_equal(got_acc, ref_acc)
+        assert got_events == ref_events
+        assert got_events > 0
+        assert got_acc.max() == 32767
+
+    def test_wide_column_block_boundary(self, rng):
+        # Spans several column blocks of the blocked kernel.
+        from repro.core.gemm import ACC16_COL_BLOCK
+
+        n = ACC16_COL_BLOCK + 17
+        a = rng.integers(-128, 128, size=(4, 27), dtype=np.int64)
+        b = rng.integers(0, 256, size=(27, n), dtype=np.int64)
+        got_acc, got_events = gemm_i8_acc16(a, b)
+        ref_acc, ref_events = gemm_i8_acc16_reference(a, b)
+        assert np.array_equal(got_acc, ref_acc)
+        assert got_events == ref_events

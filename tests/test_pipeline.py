@@ -226,3 +226,89 @@ class TestThreadedPipeline:
         outputs = ThreadedPipeline(stages, workers=3).process(data)
         expected = [float(np.trace(m @ m.T)) for m in data]
         assert outputs == pytest.approx(expected)
+
+
+class TestThreadedPipelineErrorPropagation:
+    """A stage raising mid-frame must terminate the whole pool promptly.
+
+    Regression guard: idle workers park in ``work_ready.wait()``; the error
+    path must notify them and they must re-check the error flag, or the
+    pool deadlocks with the caller blocked in ``join()`` forever — most
+    easily with more workers than frames.
+    """
+
+    def _process_with_watchdog(self, pipeline, frames, timeout_s=20.0):
+        import threading
+
+        box = {}
+
+        def run():
+            try:
+                box["result"] = pipeline.process(frames)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout_s)
+        assert not thread.is_alive(), "pipeline deadlocked after stage error"
+        return box
+
+    def test_mid_frame_error_with_more_workers_than_frames(self):
+        def boom(x):
+            if x == 1:
+                raise RuntimeError("frame 1 exploded")
+            return x
+
+        stages = [
+            StageDescriptor("pre", work=lambda x: x),
+            StageDescriptor("boom", work=boom),
+            StageDescriptor("post", work=lambda x: x),
+        ]
+        pipeline = ThreadedPipeline(stages, workers=8)
+        box = self._process_with_watchdog(pipeline, [0, 1, 2])
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "frame 1 exploded" in str(box["error"])
+
+    def test_error_in_last_stage(self):
+        import time
+
+        def slow_sink(x):
+            time.sleep(0.002)
+            raise ValueError("sink rejected the frame")
+
+        stages = [
+            StageDescriptor("work", work=lambda x: x * 2),
+            StageDescriptor("sink", work=slow_sink),
+        ]
+        pipeline = ThreadedPipeline(stages, workers=6)
+        box = self._process_with_watchdog(pipeline, list(range(4)))
+        assert isinstance(box.get("error"), ValueError)
+
+    def test_single_worker_error_does_not_hang(self):
+        def boom(x):
+            raise KeyError("immediate")
+
+        pipeline = ThreadedPipeline(
+            [StageDescriptor("boom", work=boom)], workers=1
+        )
+        box = self._process_with_watchdog(pipeline, [1, 2, 3])
+        assert isinstance(box.get("error"), KeyError)
+
+    def test_pool_survives_for_reuse_after_error(self):
+        # process() builds fresh topology/threads per call: after an error
+        # the same ThreadedPipeline object must work again.
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first call fails")
+            return x + 1
+
+        pipeline = ThreadedPipeline(
+            [StageDescriptor("flaky", work=flaky)], workers=3
+        )
+        box = self._process_with_watchdog(pipeline, [10])
+        assert isinstance(box.get("error"), RuntimeError)
+        assert pipeline.process([10, 20]) == [11, 21]

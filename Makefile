@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest report demo quickstart lint-zoo clean
+.PHONY: install test bench bench-pytest serve-bench serve-smoke report demo quickstart lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,12 @@ bench:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+serve-bench:
+	PYTHONPATH=src $(PYTHON) -m repro serve-bench --output BENCH_serve.json
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serve_smoke.py -q
 
 report:
 	$(PYTHON) -m repro report --output reproduction-report.md

@@ -1,4 +1,4 @@
-"""Inference micro-benchmarks — ``repro bench``.
+"""Inference micro-benchmarks — ``repro bench`` / ``repro serve-bench``.
 
 Times the end-to-end batched forward pass (frames/sec at several batch
 sizes), the per-layer costs of a single-frame pass, and the vectorized
@@ -6,6 +6,11 @@ acc16 first-layer GEMM against its per-K-step oracle loop.  Results are
 emitted as JSON (``BENCH_inference.json``) so runs can be diffed across
 commits; wall-clock numbers are taken as the *minimum* over repeats, the
 usual micro-benchmark noise floor.
+
+The *serve* scenario (:func:`bench_serve`) drives the request-driven
+:mod:`repro.serve` server with a seeded open-loop arrival process and
+reports the server's metrics snapshot (shed count, batch-size histogram,
+latency percentiles, throughput) in the same JSON schema.
 
 This is a host-side throughput harness for the reproduction's numpy
 substrate — it complements (and does not replace) the calibrated A53/NEON
@@ -137,6 +142,101 @@ def bench_acc16_kernel(
     }
 
 
+def bench_serve(
+    network,
+    requests: int = 64,
+    arrival_rate_hz: Optional[float] = None,
+    max_batch: int = 8,
+    max_delay_s: float = 0.002,
+    queue_depth: int = 32,
+    cpu_workers: int = 2,
+    seed: int = 0,
+    result_timeout_s: float = 120.0,
+) -> Dict:
+    """Serving scenario: drive an :class:`InferenceServer` open loop.
+
+    An open-loop arrival process submits *requests* frames on a schedule
+    drawn once from a seeded RNG (exponential inter-arrival gaps at
+    *arrival_rate_hz*; ``None`` means back-to-back submission with no
+    sleeping at all, which is what the tests use — no wall-clock
+    dependence).  Arrivals never wait for completions, so overload is
+    possible by design: shed requests are counted, accepted ones are
+    awaited, and the server's full metrics snapshot lands in the report.
+    """
+    from repro.serve import InferenceServer, Overloaded, ServeConfig
+    from repro.util.rng import new_rng
+
+    if requests < 1:
+        raise ValueError("need at least one request")
+    rng = new_rng(seed)
+    # A small rotation of distinct frames keeps memory bounded at high
+    # request counts while still exercising distinct inputs.
+    distinct = [
+        FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
+        for _ in range(min(requests, 8))
+    ]
+    gaps = None
+    if arrival_rate_hz is not None:
+        if arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be positive")
+        gaps = rng.exponential(1.0 / arrival_rate_hz, size=requests)
+    config = ServeConfig(
+        max_queue_depth=queue_depth,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        cpu_workers=cpu_workers,
+    )
+    futures = []
+    with InferenceServer(network, config) as server:
+        start = time.perf_counter()
+        for index in range(requests):
+            if gaps is not None and gaps[index] > 0:
+                time.sleep(gaps[index])
+            try:
+                futures.append(server.submit(distinct[index % len(distinct)]))
+            except Overloaded:
+                pass  # counted by the server's metrics registry
+        for future in futures:
+            future.result(result_timeout_s)
+        wall = time.perf_counter() - start
+        snapshot = server.metrics.snapshot()
+    return {
+        "requests": int(requests),
+        "arrival_rate_hz": arrival_rate_hz,
+        "max_batch": int(max_batch),
+        "max_delay_ms": max_delay_s * 1e3,
+        "queue_depth_limit": int(queue_depth),
+        "cpu_workers": int(cpu_workers),
+        "seed": int(seed),
+        "wall_seconds": wall,
+        "metrics": snapshot,
+    }
+
+
+#: Valid values of ``run_bench(scenario=...)`` / ``repro bench --scenario``.
+SCENARIOS = ("inference", "serve", "all")
+
+
+def _zoo_network(network_name: str, seed: int):
+    from repro.nn import zoo
+    from repro.nn.network import Network
+
+    factories = {
+        "tiny": zoo.tiny_yolo_config,
+        "tincy": zoo.tincy_yolo_config,
+        "mlp4": zoo.mlp4_config,
+        "cnv6": zoo.cnv6_config,
+    }
+    if network_name not in factories:
+        raise ValueError(
+            f"unknown network '{network_name}' "
+            f"(choose from {sorted(factories)})"
+        )
+    network = Network(factories[network_name]())
+    network.initialize(np.random.default_rng(seed))
+    return network
+
+
 def run_bench(
     network_name: str = "tincy",
     batch_sizes: Sequence[int] = (1, 4, 16),
@@ -145,40 +245,58 @@ def run_bench(
     skip_network: bool = False,
     skip_kernel: bool = False,
     seed: int = 0,
+    scenario: str = "inference",
+    serve_requests: int = 64,
+    serve_arrival_hz: Optional[float] = None,
+    serve_max_batch: int = 8,
+    serve_max_delay_s: float = 0.002,
+    serve_queue_depth: int = 32,
+    serve_cpu_workers: int = 2,
 ) -> Dict:
-    """Full harness: network throughput + per-layer + acc16 kernel."""
+    """Full harness: inference scenario, serving scenario, or both.
+
+    One entry point, one JSON schema: the inference sections
+    (``batches``/``per_layer_ms``/``acc16_kernel``) and the serving
+    section (``serve``) live side by side in the same report dict.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario '{scenario}' (choose from {SCENARIOS})")
     report: Dict = {
+        "scenario": scenario,
         "batch_sizes": [int(b) for b in batch_sizes],
         "repeats": int(repeats),
     }
-    if not skip_network:
-        from repro.nn import zoo
-        from repro.nn.network import Network
-
-        factories = {
-            "tiny": zoo.tiny_yolo_config,
-            "tincy": zoo.tincy_yolo_config,
-            "mlp4": zoo.mlp4_config,
-            "cnv6": zoo.cnv6_config,
-        }
-        if network_name not in factories:
-            raise ValueError(
-                f"unknown network '{network_name}' "
-                f"(choose from {sorted(factories)})"
-            )
-        network = Network(factories[network_name]())
-        network.initialize(np.random.default_rng(seed))
+    network = None
+    if (scenario in ("inference", "all") and not skip_network) or scenario in (
+        "serve",
+        "all",
+    ):
+        network = _zoo_network(network_name, seed)
         report["network"] = network_name
         report["input_shape"] = [int(v) for v in network.input_shape]
-        report["batches"] = bench_batches(
-            network, batch_sizes, repeats, rng=np.random.default_rng(seed)
-        )
-        report["per_layer_ms"] = bench_per_layer(
-            network, repeats, rng=np.random.default_rng(seed)
-        )
-    if not skip_kernel:
-        report["acc16_kernel"] = bench_acc16_kernel(
-            batch=kernel_batch, repeats=repeats, rng=np.random.default_rng(seed)
+    if scenario in ("inference", "all"):
+        if not skip_network:
+            report["batches"] = bench_batches(
+                network, batch_sizes, repeats, rng=np.random.default_rng(seed)
+            )
+            report["per_layer_ms"] = bench_per_layer(
+                network, repeats, rng=np.random.default_rng(seed)
+            )
+        if not skip_kernel:
+            report["acc16_kernel"] = bench_acc16_kernel(
+                batch=kernel_batch, repeats=repeats,
+                rng=np.random.default_rng(seed),
+            )
+    if scenario in ("serve", "all"):
+        report["serve"] = bench_serve(
+            network,
+            requests=serve_requests,
+            arrival_rate_hz=serve_arrival_hz,
+            max_batch=serve_max_batch,
+            max_delay_s=serve_max_delay_s,
+            queue_depth=serve_queue_depth,
+            cpu_workers=serve_cpu_workers,
+            seed=seed,
         )
     return report
 
@@ -221,6 +339,36 @@ def format_report(report: Dict) -> str:
             f"({kernel['vectorized_seconds'] * 1e3:.1f} ms vs "
             f"{kernel['reference_seconds'] * 1e3:.1f} ms)"
         )
+    if "serve" in report:
+        serve = report["serve"]
+        metrics = serve["metrics"]
+        rate = serve["arrival_rate_hz"]
+        lines.append(
+            f"serving {serve['requests']} requests "
+            f"({'back-to-back' if rate is None else f'{rate:g} req/s open loop'}, "
+            f"max batch {serve['max_batch']}, "
+            f"deadline {serve['max_delay_ms']:g} ms): "
+            f"accepted {metrics['accepted']}, shed {metrics['shed']}"
+        )
+        throughput = metrics.get("throughput_rps")
+        if throughput:
+            lines.append(f"  throughput {throughput:8.2f} req/s")
+        latency = metrics.get("latency")
+        if latency:
+            lines.append(
+                f"  latency p50 {latency['p50_ms']:7.2f} ms  "
+                f"p95 {latency['p95_ms']:7.2f} ms  "
+                f"p99 {latency['p99_ms']:7.2f} ms"
+            )
+        causes = ", ".join(
+            f"{cause}={count}"
+            for cause, count in metrics["flush_causes"].items()
+        )
+        sizes = ", ".join(
+            f"{size}x{count}"
+            for size, count in metrics["batch_histogram"].items()
+        )
+        lines.append(f"  flushes: {causes or 'none'}; batch sizes: {sizes or 'none'}")
     return "\n".join(lines)
 
 
@@ -228,6 +376,8 @@ __all__ = [
     "bench_batches",
     "bench_per_layer",
     "bench_acc16_kernel",
+    "bench_serve",
+    "SCENARIOS",
     "run_bench",
     "write_report",
     "format_report",

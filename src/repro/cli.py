@@ -9,6 +9,7 @@ exposes the reproduction's equivalents:
 * ``python -m repro ladder`` — the §III speedup ladder
 * ``python -m repro folding [--device ...]`` — FINN folding search
 * ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
+* ``python -m repro serve-bench [--output BENCH_serve.json]`` — serving bench
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
 
@@ -230,17 +231,29 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_kwargs(args: argparse.Namespace) -> dict:
+    """Map the shared serving flags onto ``run_bench`` keyword arguments."""
+    return {
+        "serve_requests": args.requests,
+        "serve_arrival_hz": args.arrival_hz,
+        "serve_max_batch": args.max_batch,
+        "serve_max_delay_s": args.max_delay_ms / 1e3,
+        "serve_queue_depth": args.queue_depth,
+        "serve_cpu_workers": args.cpu_workers,
+    }
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_report, run_bench, write_report
 
     try:
         batch_sizes = [int(v) for v in args.batches.split(",") if v.strip()]
     except ValueError:
-        print(f"--batches must be comma-separated ints, got '{args.batches}'",
+        print(f"--batch-sizes must be comma-separated ints, got '{args.batches}'",
               file=sys.stderr)
         return 2
     if not batch_sizes or any(b < 1 for b in batch_sizes):
-        print("--batches needs at least one positive size", file=sys.stderr)
+        print("--batch-sizes needs at least one positive size", file=sys.stderr)
         return 2
     report = run_bench(
         network_name=args.network,
@@ -250,6 +263,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         skip_network=args.skip_network,
         skip_kernel=args.skip_kernel,
         seed=args.seed,
+        scenario=args.scenario,
+        **_serve_kwargs(args),
+    )
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve-bench`` — the serving scenario on its own.
+
+    A thin front end over the same ``run_bench`` entry point (and the same
+    JSON schema) as ``repro bench --scenario serve``.
+    """
+    from repro.bench import format_report, run_bench, write_report
+
+    report = run_bench(
+        network_name=args.network,
+        seed=args.seed,
+        scenario="serve",
+        **_serve_kwargs(args),
     )
     print(format_report(report))
     if args.output:
@@ -302,12 +338,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", help="write to a file instead of stdout")
     p_report.set_defaults(func=cmd_report)
 
+    def add_serve_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--requests", type=int, default=64,
+                            help="open-loop requests to submit (default 64)")
+        parser.add_argument("--arrival-hz", type=float, default=None,
+                            help="mean arrival rate; omit for back-to-back")
+        parser.add_argument("--max-batch", type=int, default=8,
+                            help="dynamic batcher size trigger (default 8)")
+        parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                            help="dynamic batcher deadline trigger (default 2)")
+        parser.add_argument("--queue-depth", type=int, default=32,
+                            help="admission-control queue limit (default 32)")
+        parser.add_argument("--cpu-workers", type=int, default=2,
+                            help="CPU workers next to the fabric executor")
+
     p_bench = sub.add_parser(
         "bench", help="inference micro-benchmarks (BENCH_inference.json)"
     )
     p_bench.add_argument("--network", default="tincy", choices=sorted(_ZOO))
     p_bench.add_argument(
-        "--batches", default="1,4,16",
+        "--batch-sizes", "--batches", dest="batches", default="1,4,16",
         help="comma-separated batch sizes (default 1,4,16)",
     )
     p_bench.add_argument("--repeats", type=int, default=2)
@@ -317,8 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--skip-kernel", action="store_true",
                          help="only run the network benchmark")
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--scenario", default="inference",
+                         choices=["inference", "serve", "all"],
+                         help="which bench scenario(s) to run")
+    add_serve_options(p_bench)
     p_bench.add_argument("--output", help="write the JSON report here")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="request-driven serving benchmark (repro.serve, BENCH_serve.json)",
+    )
+    p_serve.add_argument("--network", default="tincy", choices=sorted(_ZOO))
+    p_serve.add_argument("--seed", type=int, default=0)
+    add_serve_options(p_serve)
+    p_serve.add_argument("--output", help="write the JSON report here")
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_detect = sub.add_parser("detect", help="detect objects in a PPM image")
     p_detect.add_argument("--cfg", required=True)

@@ -100,25 +100,38 @@ class Network:
             outputs.append(fm)
         return outputs
 
-    def forward_batch(self, x: FeatureMapBatch) -> FeatureMapBatch:
+    def forward_batch(
+        self, x: FeatureMapBatch, offload_guard=None
+    ) -> FeatureMapBatch:
         """Run a batch of frames (batch axis 0) through all layers.
 
         Per-frame outputs are bit-identical to sequential :meth:`forward`
         calls — batching changes throughput, never results.
+
+        *offload_guard*, when given, is a context manager entered around
+        every ``[offload]`` layer execution.  The serving subsystem passes
+        its fabric gate here: the FINN engine is a single serialized
+        resource, so concurrent batch executions must queue on it rather
+        than overlap (the guard asserts and accounts for exactly that).
         """
         if tuple(x.frame_shape) != tuple(self.input_shape):
             raise ValueError(
                 f"input frames {tuple(x.frame_shape)} do not match network "
                 f"input {tuple(self.input_shape)}"
             )
-        return self.forward_batch_all(x)[-1]
+        return self.forward_batch_all(x, offload_guard=offload_guard)[-1]
 
-    def forward_batch_all(self, x: FeatureMapBatch) -> List[FeatureMapBatch]:
+    def forward_batch_all(
+        self, x: FeatureMapBatch, offload_guard=None
+    ) -> List[FeatureMapBatch]:
         """Batched :meth:`forward_all`: every intermediate batch is kept."""
         fmb = x
         outputs: List[FeatureMapBatch] = []
         for layer in self.layers:
-            if getattr(layer, "needs_history", False):
+            if offload_guard is not None and layer.ltype == "offload":
+                with offload_guard:
+                    fmb = layer.forward_batch(fmb)
+            elif getattr(layer, "needs_history", False):
                 fmb = layer.forward_batch(fmb, history=outputs)
             else:
                 fmb = layer.forward_batch(fmb)
@@ -155,6 +168,16 @@ class Network:
 
     def find_layers(self, ltype: str) -> List[Layer]:
         return [layer for layer in self.layers if layer.ltype == ltype]
+
+    @property
+    def uses_fabric(self) -> bool:
+        """True when any layer offloads to the FINN fabric engine.
+
+        Such a network occupies the platform's single serialized fabric
+        resource while it runs — the pipeline scheduler and the serving
+        worker pool both key their FABRIC-vs-CPU routing off this.
+        """
+        return any(layer.ltype == "offload" for layer in self.layers)
 
     def destroy(self) -> None:
         for layer in self.layers:

@@ -19,7 +19,7 @@ from repro.pipeline.simulate import (
     sequential_time,
 )
 from repro.pipeline.trace import PipelineTrace, TraceEntry, TracingSimulator
-from repro.pipeline.workers import ThreadedPipeline
+from repro.pipeline.workers import ThreadedPipeline, join_threads
 
 __all__ = [
     "StageBuffer",
@@ -34,6 +34,7 @@ __all__ = [
     "sequential_time",
     "DEFAULT_JOB_OVERHEAD_S",
     "ThreadedPipeline",
+    "join_threads",
     "TracingSimulator",
     "PipelineTrace",
     "TraceEntry",

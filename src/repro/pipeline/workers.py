@@ -11,15 +11,40 @@ a single fabric resource, and in-order frame delivery.  (CPython threads
 do not give numpy-bound stages true parallel speedups the way pinned A53
 cores do — the *timing* claims are made by the simulator; this class makes
 the *concurrency logic* real and testable.)
+
+The pool supports clean early shutdown: :meth:`ThreadedPipeline.stop`
+stops admitting new frames and lets in-flight frames drain, and
+:meth:`ThreadedPipeline.shutdown` additionally joins the workers against a
+deadline.  The same join-with-deadline helper (:func:`join_threads`) backs
+the long-running worker pools of :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.pipeline.scheduler import CPU, PipelineTopology, StageDescriptor
+
+
+def join_threads(
+    threads: Sequence[threading.Thread], timeout: Optional[float] = None
+) -> bool:
+    """Join *threads* against one shared deadline.
+
+    Unlike a naive loop of ``thread.join(timeout)`` calls, the *total* wait
+    is bounded by *timeout*, not ``timeout * len(threads)``.  Returns True
+    iff every thread exited before the deadline.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for thread in threads:
+        if deadline is None:
+            thread.join()
+        else:
+            thread.join(max(0.0, deadline - time.monotonic()))
+    return not any(thread.is_alive() for thread in threads)
 
 
 class ThreadedPipeline:
@@ -31,9 +56,16 @@ class ThreadedPipeline:
                 raise ValueError(f"stage {stage.name!r} has no work callable")
         self.stage_list = list(stages)
         self.workers = workers
+        self._control = threading.Lock()
+        self._active: Optional[dict] = None
 
     def process(self, frames: Iterable[Any]) -> List[Any]:
-        """Feed *frames* through the pipeline; returns outputs in order."""
+        """Feed *frames* through the pipeline; returns outputs in order.
+
+        If :meth:`stop` is called concurrently, no further frames are
+        admitted from the source, in-flight frames drain through their
+        remaining stages, and the outputs completed so far are returned.
+        """
         topology = PipelineTopology(self.stage_list)
         n_stages = len(topology)
         source = deque(frames)
@@ -44,14 +76,14 @@ class ThreadedPipeline:
         buffer_payload = {}
         lock = threading.Lock()
         work_ready = threading.Condition(lock)
-        state = {"completed": 0, "error": None}
+        state = {"completed": 0, "error": None, "stopped": False}
 
         def pick_job() -> Optional[int]:
             for index in range(n_stages - 1, -1, -1):
                 if not topology.stage_runnable(index, running, busy_resources):
                     continue
-                if index == 0 and not source:
-                    continue
+                if index == 0 and (not source or state["stopped"]):
+                    continue  # a stopped pipeline admits no new frames
                 return index
             return None
 
@@ -60,7 +92,11 @@ class ThreadedPipeline:
                 with work_ready:
                     job = pick_job()
                     while job is None:
-                        if state["completed"] >= n_frames or state["error"]:
+                        if (
+                            state["completed"] >= n_frames
+                            or state["error"]
+                            or state["stopped"]
+                        ):
                             return
                         work_ready.wait()
                         job = pick_job()
@@ -100,13 +136,58 @@ class ThreadedPipeline:
             threading.Thread(target=worker, name=f"pipeline-worker-{i}")
             for i in range(self.workers)
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with self._control:
+            if self._active is not None:
+                raise RuntimeError("this pipeline is already processing frames")
+            self._active = {
+                "cond": work_ready,
+                "state": state,
+                "threads": threads,
+            }
+            # Started under the control lock so a concurrent shutdown()
+            # never observes registered-but-unstarted (unjoinable) threads.
+            for thread in threads:
+                thread.start()
+        try:
+            for thread in threads:
+                thread.join()
+        finally:
+            with self._control:
+                self._active = None
         if state["error"] is not None:
             raise state["error"]
         return results
 
+    def stop(self) -> bool:
+        """Request early shutdown of an in-flight :meth:`process` call.
 
-__all__ = ["ThreadedPipeline"]
+        The source stops admitting frames; frames already inside the
+        pipeline drain through their remaining stages and idle workers are
+        woken so nobody is left parked on the condition variable.  Returns
+        True if a run was active.
+        """
+        with self._control:
+            active = self._active
+        if active is None:
+            return False
+        with active["cond"]:
+            active["state"]["stopped"] = True
+            active["cond"].notify_all()
+        return True
+
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """:meth:`stop` plus joining the workers against *timeout* seconds.
+
+        Returns True iff every worker exited in time (trivially True when
+        no run is active).  Reused by :mod:`repro.serve` for the same
+        stop-notify-join contract on its long-running pools.
+        """
+        self.stop()
+        with self._control:
+            active = self._active
+        if active is None:
+            return True
+        return join_threads(active["threads"], timeout)
+
+
+__all__ = ["ThreadedPipeline", "join_threads"]

@@ -1,0 +1,54 @@
+"""``repro.serve`` — request-driven inference serving (docs/SERVING.md).
+
+Turns the batched forward pass of PR 1 into a request/response system:
+a bounded admission queue that sheds load with :class:`Overloaded`, a
+dynamic batcher that coalesces requests into ``FeatureMapBatch`` flushes
+(max-batch-size or max-latency-deadline), a heterogeneous worker pool
+modeling the paper's single serialized FINN fabric engine next to N CPU
+workers, and a metrics registry exported as JSON through ``repro
+serve-bench``.
+"""
+
+from repro.serve.batcher import (
+    FLUSH_DEADLINE,
+    FLUSH_FORCED,
+    FLUSH_SIZE,
+    DynamicBatcher,
+    Flush,
+    to_feature_batch,
+)
+from repro.serve.metrics import MetricsRegistry, percentile
+from repro.serve.queue import (
+    BoundedRequestQueue,
+    InferenceRequest,
+    Overloaded,
+    RequestCancelled,
+    RequestFuture,
+    RequestTimeout,
+    ServerClosed,
+)
+from repro.serve.server import InferenceServer, ServeConfig
+from repro.serve.workers import BatchJob, FabricGate, HeterogeneousWorkerPool
+
+__all__ = [
+    "InferenceServer",
+    "ServeConfig",
+    "BoundedRequestQueue",
+    "InferenceRequest",
+    "RequestFuture",
+    "Overloaded",
+    "RequestCancelled",
+    "RequestTimeout",
+    "ServerClosed",
+    "DynamicBatcher",
+    "Flush",
+    "to_feature_batch",
+    "FLUSH_SIZE",
+    "FLUSH_DEADLINE",
+    "FLUSH_FORCED",
+    "MetricsRegistry",
+    "percentile",
+    "FabricGate",
+    "BatchJob",
+    "HeterogeneousWorkerPool",
+]

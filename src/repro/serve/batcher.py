@@ -1,0 +1,116 @@
+"""Dynamic batching: coalesce pending requests into one wide forward pass.
+
+PR 1 made ``Network.forward_batch`` amortize per-layer Python/BLAS
+overhead across frames; this module decides *which* requests share a
+batch.  The policy is the classic two-trigger one:
+
+* **size trigger** — flush as soon as ``max_batch`` requests are pending
+  (throughput-optimal, no request waits once a full batch exists);
+* **deadline trigger** — flush a partial batch once its *oldest* request
+  has waited ``max_delay_s`` (bounds the latency a straggler pays for
+  batching; a single idle request never waits longer than the deadline).
+
+The batcher is a pure state machine over an explicit ``now`` parameter —
+it never reads a clock — so flush semantics are tested without any
+wall-clock dependence.  The serving thread owns the clock and drives
+:meth:`add` / :meth:`poll`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.tensor import FeatureMapBatch
+
+from repro.serve.queue import InferenceRequest
+
+#: Flush causes, recorded in the metrics registry per flush.
+FLUSH_SIZE = "size"
+FLUSH_DEADLINE = "deadline"
+FLUSH_FORCED = "forced"
+
+
+@dataclass
+class Flush:
+    """One emitted batch: the requests plus why they were flushed."""
+
+    requests: List[InferenceRequest]
+    cause: str
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class DynamicBatcher:
+    """Coalesce requests; flush on max-batch-size or max-latency-deadline."""
+
+    def __init__(self, max_batch: int, max_delay_s: float) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._pending: List[InferenceRequest] = []
+        self._oldest_at: Optional[float] = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def next_deadline(self) -> Optional[float]:
+        """Absolute time of the pending batch's deadline flush, or None."""
+        if self._oldest_at is None:
+            return None
+        return self._oldest_at + self.max_delay_s
+
+    def add(self, request: InferenceRequest, now: float) -> Optional[Flush]:
+        """Accept one request; returns a size-triggered flush when full.
+
+        A deadline that already passed is honored on the same call, so a
+        caller that was blocked in ``queue.pop`` past the deadline flushes
+        immediately rather than waiting a full extra period.
+        """
+        if self._oldest_at is None:
+            self._oldest_at = now
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            return self._emit(FLUSH_SIZE)
+        if now >= self._oldest_at + self.max_delay_s:
+            return self._emit(FLUSH_DEADLINE)
+        return None
+
+    def poll(self, now: float) -> Optional[Flush]:
+        """Deadline check: flush the partial batch once it waited too long."""
+        if self._oldest_at is None:
+            return None
+        if now >= self._oldest_at + self.max_delay_s:
+            return self._emit(FLUSH_DEADLINE)
+        return None
+
+    def flush(self) -> Optional[Flush]:
+        """Force out whatever is pending (used at shutdown drain)."""
+        if not self._pending:
+            return None
+        return self._emit(FLUSH_FORCED)
+
+    def _emit(self, cause: str) -> Flush:
+        batch, self._pending = self._pending, []
+        self._oldest_at = None
+        return Flush(batch, cause)
+
+
+def to_feature_batch(requests: Sequence[InferenceRequest]) -> FeatureMapBatch:
+    """Stack the requests' input frames into one ``(N, C, H, W)`` batch."""
+    return FeatureMapBatch.from_maps([request.frame for request in requests])
+
+
+__all__ = [
+    "DynamicBatcher",
+    "Flush",
+    "to_feature_batch",
+    "FLUSH_SIZE",
+    "FLUSH_DEADLINE",
+    "FLUSH_FORCED",
+]

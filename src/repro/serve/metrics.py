@@ -1,0 +1,170 @@
+"""Serving metrics: counters, batch-size histogram, latency percentiles.
+
+Everything the load-shedding and batching policies promise is observable
+here: queue depth (current and high-water), shed count, batch-size
+histogram split by flush cause, request latency percentiles (p50/p95/p99),
+and completed-request throughput.  :meth:`MetricsRegistry.snapshot`
+returns a plain JSON-safe dict so ``repro bench``/``repro serve-bench``
+can embed it next to the existing ``BENCH_inference.json`` sections.
+
+All observation methods take explicit timestamps (the caller owns the
+clock), which keeps the registry deterministic under the virtual clocks
+the tests use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+#: Cap on retained latency samples; beyond it the reservoir keeps every
+#: k-th sample (enough fidelity for p99 at serving-bench scales without
+#: unbounded memory on long-running servers).
+MAX_LATENCY_SAMPLES = 65536
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (deterministic, no interpolation).
+
+    ``fraction`` is in [0, 1]; raises on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * len(ordered))) - 1))
+    if fraction == 0.0:
+        rank = 0
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Thread-safe counters/histograms for one :class:`InferenceServer`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.timed_out = 0
+        self.queue_depth = 0
+        self.queue_depth_max = 0
+        self.batch_histogram: Dict[int, int] = {}
+        self.flush_causes: Dict[str, int] = {}
+        self.fabric_dispatches = 0
+        self._latencies: List[float] = []
+        self._latency_stride = 1
+        self._latency_seen = 0
+        self._started_at: Optional[float] = None
+        self._first_completion: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # -- observations ------------------------------------------------------
+
+    def mark_started(self, now: float) -> None:
+        with self._lock:
+            self._started_at = now
+
+    def observe_admission(self, depth: int) -> None:
+        with self._lock:
+            self.accepted += 1
+            self.queue_depth = depth
+            self.queue_depth_max = max(self.queue_depth_max, depth)
+
+    def observe_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.queue_depth_max = max(self.queue_depth_max, depth)
+
+    def observe_batch(self, size: int, cause: str) -> None:
+        with self._lock:
+            self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+            self.flush_causes[cause] = self.flush_causes.get(cause, 0) + 1
+
+    def observe_completion(self, latency_s: float, now: float) -> None:
+        with self._lock:
+            self.completed += 1
+            if self._first_completion is None:
+                self._first_completion = now
+            self._last_completion = now
+            self._latency_seen += 1
+            if self._latency_seen % self._latency_stride == 0:
+                self._latencies.append(latency_s)
+            if len(self._latencies) >= MAX_LATENCY_SAMPLES:
+                # Decimate: keep every other sample, double the stride.
+                self._latencies = self._latencies[::2]
+                self._latency_stride *= 2
+
+    def observe_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def observe_cancellation(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def observe_timeout(self) -> None:
+        with self._lock:
+            self.timed_out += 1
+
+    def observe_fabric_dispatch(self) -> None:
+        with self._lock:
+            self.fabric_dispatches += 1
+
+    # -- export ------------------------------------------------------------
+
+    def latency_percentiles(self) -> Optional[Dict[str, float]]:
+        with self._lock:
+            samples = list(self._latencies)
+        if not samples:
+            return None
+        return {
+            "p50_ms": percentile(samples, 0.50) * 1e3,
+            "p95_ms": percentile(samples, 0.95) * 1e3,
+            "p99_ms": percentile(samples, 0.99) * 1e3,
+            "mean_ms": sum(samples) / len(samples) * 1e3,
+            "max_ms": max(samples) * 1e3,
+        }
+
+    def snapshot(self, now: Optional[float] = None) -> Dict:
+        """JSON-safe dict of every metric, for bench reports and logs."""
+        with self._lock:
+            end = now
+            if end is None:
+                end = self._last_completion
+            elapsed = None
+            if self._started_at is not None and end is not None:
+                elapsed = max(0.0, end - self._started_at)
+            throughput = None
+            if elapsed:
+                throughput = self.completed / elapsed
+            data = {
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "timed_out": self.timed_out,
+                "queue_depth": self.queue_depth,
+                "queue_depth_max": self.queue_depth_max,
+                "batch_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_histogram.items())
+                },
+                "flush_causes": dict(sorted(self.flush_causes.items())),
+                "fabric_dispatches": self.fabric_dispatches,
+                "elapsed_s": elapsed,
+                "throughput_rps": throughput,
+            }
+        data["latency"] = self.latency_percentiles()
+        return data
+
+
+__all__ = ["MetricsRegistry", "percentile", "MAX_LATENCY_SAMPLES"]

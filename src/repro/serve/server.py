@@ -1,0 +1,272 @@
+"""The inference server: queue → dynamic batcher → worker pool → futures.
+
+Request flow::
+
+    client.submit(frame) ──► BoundedRequestQueue (admission control, shed)
+                                   │ pop
+                             batcher thread ──► DynamicBatcher
+                                   │ flush (size | deadline | forced)
+                             HeterogeneousWorkerPool
+                               ├─ N CPU workers          (CPU-tagged jobs)
+                               └─ 1 fabric executor      (FABRIC-tagged jobs,
+                                  FabricGate-serialized offload execution)
+                                   │ Network.forward_batch
+                             RequestFuture.set_result ──► client
+
+Results are **bit-identical** to calling ``Network.forward_batch``
+directly on the same frames: the server only decides *which* frames share
+a batch, never *how* they are computed (and the batched layer paths are
+pinned to be batch-size invariant).  A synchronous client API
+(:meth:`InferenceServer.infer` / :meth:`infer_many`) wraps the futures
+for in-process callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tensor import FeatureMap
+from repro.pipeline.scheduler import CPU, FABRIC
+from repro.pipeline.workers import join_threads
+
+from repro.serve.batcher import DynamicBatcher, Flush, to_feature_batch
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.queue import (
+    BoundedRequestQueue,
+    Overloaded,
+    RequestFuture,
+    RequestTimeout,
+    ServerClosed,
+)
+from repro.serve.workers import BatchJob, FabricGate, HeterogeneousWorkerPool
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one :class:`InferenceServer` (see docs/SERVING.md)."""
+
+    #: Admission-control limit: requests beyond this depth are shed with
+    #: a typed :class:`Overloaded` error instead of queueing unboundedly.
+    max_queue_depth: int = 64
+    #: Size trigger: flush as soon as this many requests are pending.
+    max_batch: int = 8
+    #: Deadline trigger: flush a partial batch once its oldest request has
+    #: waited this long (bounds the latency cost of batching).
+    max_delay_s: float = 0.005
+    #: CPU workers next to the single fabric executor.
+    cpu_workers: int = 2
+    #: Run one single-frame forward pass at start() to populate the packed
+    #: weight/threshold caches before concurrent traffic arrives.
+    warmup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_batch > self.max_queue_depth:
+            raise ValueError("max_batch cannot exceed max_queue_depth")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        if self.cpu_workers < 1:
+            raise ValueError("cpu_workers must be positive")
+
+
+#: How long the batcher thread sleeps waiting for the first request of a
+#: batch; purely a wake-up granularity for stop(), not a latency source
+#: (new requests notify the queue condition immediately).
+_IDLE_WAIT_S = 0.05
+
+
+class InferenceServer:
+    """Request-driven serving over one :class:`~repro.nn.network.Network`."""
+
+    def __init__(
+        self,
+        network,
+        config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.network = network
+        self.config = config or ServeConfig()
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.fabric_gate = FabricGate()
+        self.resource = FABRIC if network.uses_fabric else CPU
+        self.queue = BoundedRequestQueue(self.config.max_queue_depth, clock=clock)
+        self.batcher = DynamicBatcher(self.config.max_batch, self.config.max_delay_s)
+        self.pool = HeterogeneousWorkerPool(
+            self._execute, cpu_workers=self.config.cpu_workers
+        )
+        self._stop_event = threading.Event()
+        self._drain_on_stop = True
+        self._batcher_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stop_event.is_set()
+
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if self.config.warmup:
+            zero = FeatureMap(
+                np.zeros(self.network.input_shape, dtype=np.float32)
+            )
+            self.network.forward(zero)
+        self.pool.start()
+        self._batcher_thread = threading.Thread(
+            target=self._batcher_loop, name="serve-batcher", daemon=True
+        )
+        self._batcher_thread.start()
+        self.metrics.mark_started(self.clock())
+        return self
+
+    def stop(self, timeout: Optional[float] = None, drain: bool = True) -> bool:
+        """Stop accepting requests and shut the threads down.
+
+        With ``drain=True`` (default) every already-accepted request is
+        still executed; with ``drain=False`` pending requests fail with
+        :class:`ServerClosed`.  Returns True iff all threads exited before
+        *timeout* seconds.
+        """
+        if not self._started:
+            return True
+        self._drain_on_stop = drain
+        self._stop_event.set()
+        self.queue.close()
+        ok = True
+        if self._batcher_thread is not None:
+            ok &= join_threads([self._batcher_thread], timeout)
+        ok &= self.pool.shutdown(timeout, drain=drain)
+        return ok
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- client API --------------------------------------------------------
+
+    def submit(
+        self, frame: FeatureMap, timeout_s: Optional[float] = None
+    ) -> RequestFuture:
+        """Admit one frame; returns its future or raises :class:`Overloaded`.
+
+        *timeout_s* is a per-request execution deadline: if the request is
+        still waiting (queue or batcher) when it expires, it fails with
+        :class:`RequestTimeout` instead of occupying a batch slot.
+        """
+        if not self.running:
+            raise ServerClosed("the server is not running")
+        try:
+            request = self.queue.submit(frame, timeout_s)
+        except Overloaded:
+            self.metrics.observe_shed()
+            raise
+        self.metrics.observe_admission(self.queue.depth)
+        return request.future
+
+    def infer(
+        self, frame: FeatureMap, timeout_s: Optional[float] = None
+    ) -> FeatureMap:
+        """Synchronous in-process client: submit one frame, wait, return."""
+        return self.submit(frame).result(timeout_s)
+
+    def infer_many(
+        self, frames: Sequence[FeatureMap], timeout_s: Optional[float] = None
+    ) -> List[FeatureMap]:
+        """Submit *frames* concurrently and return outputs in input order."""
+        futures = [self.submit(frame) for frame in frames]
+        return [future.result(timeout_s) for future in futures]
+
+    # -- internals ---------------------------------------------------------
+
+    def _batcher_loop(self) -> None:
+        while not self._stop_event.is_set():
+            deadline = self.batcher.next_deadline()
+            if deadline is None:
+                timeout = _IDLE_WAIT_S
+            else:
+                timeout = max(0.0, deadline - self.clock())
+            request = self.queue.pop(timeout=timeout)
+            now = self.clock()
+            if request is not None:
+                flush = self.batcher.add(request, now)
+            else:
+                flush = self.batcher.poll(now)
+            if flush is not None:
+                self._dispatch(flush)
+            self.metrics.observe_queue_depth(self.queue.depth)
+        # Shutdown: drain what was accepted (or fail it fast).
+        leftovers = self.queue.drain()
+        if self._drain_on_stop:
+            for request in leftovers:
+                flush = self.batcher.add(request, self.clock())
+                if flush is not None:
+                    self._dispatch(flush)
+            final = self.batcher.flush()
+            if final is not None:
+                self._dispatch(final)
+        else:
+            closed = ServerClosed("server stopped before execution")
+            for request in leftovers + [
+                r for f in [self.batcher.flush()] if f for r in f.requests
+            ]:
+                request.future.set_exception(closed)
+        self.metrics.observe_queue_depth(0)
+
+    def _dispatch(self, flush: Flush) -> None:
+        now = self.clock()
+        live = []
+        for request in flush.requests:
+            if request.expired(now):
+                request.future.set_exception(
+                    RequestTimeout(
+                        f"request #{request.id} expired after "
+                        f"{now - request.submitted_at:.4f}s in queue"
+                    )
+                )
+                self.metrics.observe_timeout()
+            elif not request.future.claim():
+                self.metrics.observe_cancellation()
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.metrics.observe_batch(len(live), flush.cause)
+        job = BatchJob(live, resource=self.resource, cause=flush.cause)
+        try:
+            self.pool.submit(job)
+        except ServerClosed as exc:
+            job.fail(exc)
+
+    def _execute(self, job: BatchJob) -> None:
+        fmb = to_feature_batch(job.requests)
+        guard = None
+        if self.resource == FABRIC:
+            guard = self.fabric_gate
+            self.metrics.observe_fabric_dispatch()
+        try:
+            out = self.network.forward_batch(fmb, offload_guard=guard)
+        except Exception:
+            for _ in job.requests:
+                self.metrics.observe_failure()
+            raise  # the pool routes the exception to the request futures
+        now = self.clock()
+        for request, frame in zip(job.requests, out.frames()):
+            request.future.set_result(frame)
+            self.metrics.observe_completion(now - request.submitted_at, now)
+
+
+__all__ = ["ServeConfig", "InferenceServer", "_IDLE_WAIT_S"]

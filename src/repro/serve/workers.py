@@ -1,0 +1,186 @@
+"""Heterogeneous batch-execution pool: N CPU workers + one fabric executor.
+
+The paper's platform has many interchangeable CPU/NEON cores but exactly
+*one* FINN dataflow engine on the programmable fabric — a serialized
+resource (§III-F tags its pipeline stage with the ``FABRIC`` resource so
+the scheduler never runs two offload jobs at once).  The serving pool
+models the same constraint with the same tags from
+:mod:`repro.pipeline.scheduler`: batch jobs are tagged ``CPU`` or
+``FABRIC``, CPU jobs fan out over N workers, and all FABRIC jobs funnel
+through the single fabric executor thread.
+
+Belt and suspenders, the :class:`FabricGate` context manager wraps the
+actual offload execution (via ``Network.forward_batch(offload_guard=...)``)
+and records the maximum observed concurrency, so the serialization
+invariant is asserted — not assumed — by the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.pipeline.scheduler import CPU, FABRIC
+from repro.pipeline.workers import join_threads
+
+from repro.serve.queue import InferenceRequest, ServerClosed
+
+
+class FabricGate:
+    """Serialized access to the single FINN fabric engine.
+
+    A context manager around each offload execution.  Beyond mutual
+    exclusion it keeps an auditable record: ``max_in_flight`` must never
+    exceed 1 (the acceptance invariant of the serving subsystem) and
+    ``acquisitions`` counts fabric dispatches for the metrics snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._engine = threading.Lock()
+        self._stats = threading.Lock()
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.acquisitions = 0
+
+    def __enter__(self) -> "FabricGate":
+        self._engine.acquire()
+        with self._stats:
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+            self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._stats:
+            self.in_flight -= 1
+        self._engine.release()
+
+
+class BatchJob:
+    """One flushed batch bound for a worker: requests + required resource."""
+
+    __slots__ = ("requests", "resource", "cause")
+
+    def __init__(
+        self,
+        requests: Sequence[InferenceRequest],
+        resource: str = CPU,
+        cause: str = "",
+    ) -> None:
+        if resource not in (CPU, FABRIC):
+            raise ValueError(f"unknown resource tag {resource!r}")
+        self.requests = list(requests)
+        self.resource = resource
+        self.cause = cause
+
+    def fail(self, exc: BaseException) -> None:
+        for request in self.requests:
+            request.future.set_exception(exc)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class HeterogeneousWorkerPool:
+    """Per-resource job queues drained by CPU workers and 1 fabric executor.
+
+    *execute* is called with each :class:`BatchJob` on a worker thread; any
+    exception it raises is routed to the job's request futures (one bad
+    batch never kills the pool).
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[BatchJob], None],
+        cpu_workers: int = 2,
+        name: str = "serve",
+    ) -> None:
+        if cpu_workers < 1:
+            raise ValueError("need at least one CPU worker")
+        self._execute = execute
+        self._name = name
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._queues: Dict[str, Deque[BatchJob]] = {CPU: deque(), FABRIC: deque()}
+        self._stopping = False
+        self._drain = True
+        self._threads: List[threading.Thread] = []
+        self._specs = [(CPU, i) for i in range(cpu_workers)] + [(FABRIC, 0)]
+        self.executed = 0
+
+    @property
+    def cpu_workers(self) -> int:
+        return sum(1 for resource, _ in self._specs if resource == CPU)
+
+    def start(self) -> None:
+        with self._lock:
+            if self._threads:
+                raise RuntimeError("worker pool already started")
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(resource,),
+                    name=f"{self._name}-{resource}-{index}",
+                    daemon=True,
+                )
+                for resource, index in self._specs
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, job: BatchJob) -> None:
+        with self._work_ready:
+            if self._stopping:
+                raise ServerClosed("worker pool is shutting down")
+            self._queues[job.resource].append(job)
+            self._work_ready.notify_all()
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
+
+    def _worker(self, resource: str) -> None:
+        queue = self._queues[resource]
+        while True:
+            with self._work_ready:
+                while not queue:
+                    if self._stopping:
+                        return
+                    self._work_ready.wait()
+                if self._stopping and not self._drain:
+                    return
+                job = queue.popleft()
+            try:
+                self._execute(job)
+            except Exception as exc:  # noqa: BLE001 — routed to the futures
+                job.fail(exc)
+            with self._lock:
+                self.executed += 1
+
+    def shutdown(self, timeout: Optional[float] = None, drain: bool = True) -> bool:
+        """Stop the workers; True iff all exited before *timeout*.
+
+        With ``drain=True`` (default) queued jobs are executed before the
+        workers exit; with ``drain=False`` they are failed with
+        :class:`ServerClosed` immediately.
+        """
+        failed: List[BatchJob] = []
+        with self._work_ready:
+            self._stopping = True
+            self._drain = drain
+            if not drain:
+                for queue in self._queues.values():
+                    failed.extend(queue)
+                    queue.clear()
+            self._work_ready.notify_all()
+        for job in failed:
+            job.fail(ServerClosed("worker pool shut down before execution"))
+        ok = join_threads(self._threads, timeout)
+        if ok:
+            self._threads = []
+        return ok
+
+
+__all__ = ["FabricGate", "BatchJob", "HeterogeneousWorkerPool"]

@@ -9,6 +9,7 @@ from repro.bench import (
     bench_acc16_kernel,
     bench_batches,
     bench_per_layer,
+    bench_serve,
     format_report,
     run_bench,
     write_report,
@@ -66,6 +67,76 @@ class TestBenchHarness:
         with pytest.raises(ValueError, match="unknown network"):
             run_bench(network_name="yolov8", skip_kernel=True)
 
+    def test_run_bench_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_bench(scenario="training")
+
+
+class TestServeScenario:
+    def test_bench_serve_completes_all_requests(self, mlp4):
+        # arrival_rate_hz=None: back-to-back submission, no sleeping —
+        # the scenario has no wall-clock dependence in this mode.
+        result = bench_serve(
+            mlp4, requests=10, max_batch=4, cpu_workers=2, seed=0
+        )
+        assert result["requests"] == 10
+        metrics = result["metrics"]
+        assert metrics["accepted"] + metrics["shed"] == 10
+        assert metrics["completed"] == metrics["accepted"]
+        assert metrics["failed"] == 0
+        assert result["wall_seconds"] > 0
+        total_batched = sum(
+            int(size) * count
+            for size, count in metrics["batch_histogram"].items()
+        )
+        assert total_batched == metrics["completed"]
+
+    def test_bench_serve_open_loop_arrivals(self, mlp4):
+        result = bench_serve(
+            mlp4, requests=6, arrival_rate_hz=5000.0, max_batch=2, seed=7
+        )
+        assert result["arrival_rate_hz"] == 5000.0
+        assert result["metrics"]["completed"] == result["metrics"]["accepted"]
+
+    def test_bench_serve_validation(self, mlp4):
+        with pytest.raises(ValueError, match="at least one request"):
+            bench_serve(mlp4, requests=0)
+        with pytest.raises(ValueError, match="arrival_rate_hz"):
+            bench_serve(mlp4, requests=1, arrival_rate_hz=-1.0)
+
+    def test_run_bench_serve_scenario_schema(self, tmp_path):
+        report = run_bench(
+            network_name="mlp4",
+            scenario="serve",
+            serve_requests=8,
+            serve_max_batch=4,
+        )
+        assert report["scenario"] == "serve"
+        assert report["network"] == "mlp4"
+        assert "batches" not in report  # inference sections stay out
+        assert "acc16_kernel" not in report
+        assert report["serve"]["metrics"]["completed"] == 8
+        path = tmp_path / "bench.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text())["serve"]["requests"] == 8
+        text = format_report(report)
+        assert "serving 8 requests" in text
+        assert "latency p50" in text
+
+    def test_run_bench_all_scenarios_share_schema(self):
+        report = run_bench(
+            network_name="mlp4",
+            batch_sizes=(1,),
+            repeats=1,
+            skip_kernel=True,
+            scenario="all",
+            serve_requests=6,
+        )
+        # One entry point, one schema: both sections side by side.
+        assert "batches" in report
+        assert "serve" in report
+        assert report["serve"]["metrics"]["completed"] == 6
+
 
 class TestBenchCli:
     def test_bench_writes_json(self, tmp_path, capsys):
@@ -92,3 +163,42 @@ class TestBenchCli:
         ])
         assert code == 0
         assert "acc16 GEMM" in capsys.readouterr().out
+
+    def test_bench_batch_sizes_alias(self, capsys):
+        code = main([
+            "bench", "--network", "mlp4", "--batch-sizes", "1,3",
+            "--repeats", "1", "--skip-kernel",
+        ])
+        assert code == 0
+        assert "batch   3" in capsys.readouterr().out
+
+    def test_bench_scenario_serve(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--network", "mlp4", "--scenario", "serve",
+            "--requests", "9", "--max-batch", "4", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["scenario"] == "serve"
+        assert report["serve"]["metrics"]["completed"] == 9
+        assert "serving 9 requests" in capsys.readouterr().out
+
+
+class TestServeBenchCli:
+    def test_serve_bench_writes_same_schema(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main([
+            "serve-bench", "--network", "mlp4", "--requests", "8",
+            "--max-batch", "4", "--queue-depth", "16", "--cpu-workers", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        # Same schema as `repro bench --scenario serve`.
+        assert report["scenario"] == "serve"
+        assert report["network"] == "mlp4"
+        serve = report["serve"]
+        assert serve["queue_depth_limit"] == 16
+        assert serve["metrics"]["completed"] == 8
+        assert "report written" in capsys.readouterr().out

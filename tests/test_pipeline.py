@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.pipeline.buffers import StageBuffer
 from repro.pipeline.scheduler import CPU, FABRIC, PipelineTopology, StageDescriptor
 from repro.pipeline.simulate import PipelineSimulator, sequential_time
-from repro.pipeline.workers import ThreadedPipeline
+from repro.pipeline.workers import ThreadedPipeline, join_threads
 
 
 class TestStageBuffer:
@@ -295,6 +295,19 @@ class TestThreadedPipelineErrorPropagation:
         box = self._process_with_watchdog(pipeline, [1, 2, 3])
         assert isinstance(box.get("error"), KeyError)
 
+    def test_clean_shutdown_after_error_reports_joined(self):
+        # After an in-flight error the workers exit on their own; a
+        # subsequent shutdown() must join them promptly and report success.
+        def boom(x):
+            raise RuntimeError("error then shutdown")
+
+        pipeline = ThreadedPipeline(
+            [StageDescriptor("boom", work=boom)], workers=4
+        )
+        box = self._process_with_watchdog(pipeline, [1, 2, 3])
+        assert isinstance(box.get("error"), RuntimeError)
+        assert pipeline.shutdown(timeout=5.0)
+
     def test_pool_survives_for_reuse_after_error(self):
         # process() builds fresh topology/threads per call: after an error
         # the same ThreadedPipeline object must work again.
@@ -312,3 +325,142 @@ class TestThreadedPipelineErrorPropagation:
         box = self._process_with_watchdog(pipeline, [10])
         assert isinstance(box.get("error"), RuntimeError)
         assert pipeline.process([10, 20]) == [11, 21]
+
+
+class TestThreadedPipelineShutdown:
+    """stop()/shutdown(timeout) drain in-flight frames without deadlock."""
+
+    def _slow_pipeline(self, processed, gate, workers=4):
+        import time
+
+        def slow(x):
+            gate.wait(5.0)  # frames park here until the test opens the gate
+            time.sleep(0.002)
+            processed.append(x)
+            return x
+
+        stages = [
+            StageDescriptor("pre", work=lambda x: x),
+            StageDescriptor("slow", work=slow),
+            StageDescriptor("post", work=lambda x: x),
+        ]
+        return ThreadedPipeline(stages, workers=workers)
+
+    def test_stop_drains_in_flight_and_returns_partial(self):
+        import threading
+
+        processed = []
+        gate = threading.Event()
+        pipeline = self._slow_pipeline(processed, gate)
+        box = {}
+
+        def run():
+            box["result"] = pipeline.process(range(100))
+
+        runner = threading.Thread(target=run, daemon=True)
+        runner.start()
+        # Wait until the pipeline is really in flight, then stop it.
+        deadline = 5.0
+        import time
+
+        start = time.monotonic()
+        while not pipeline._active and time.monotonic() - start < deadline:
+            time.sleep(0.001)
+        assert pipeline.stop()
+        gate.set()  # release the slow stage; in-flight frames must drain
+        runner.join(10.0)
+        assert not runner.is_alive(), "stop() left the pipeline deadlocked"
+        # Far fewer than 100 frames ran, and every output is an in-order
+        # prefix of the input (no frame overtook another on the way out).
+        assert len(box["result"]) < 100
+        assert box["result"] == list(range(len(box["result"])))
+
+    def test_shutdown_joins_with_timeout(self):
+        import threading
+
+        processed = []
+        gate = threading.Event()
+        gate.set()  # no stalling: frames flow freely
+        pipeline = self._slow_pipeline(processed, gate, workers=2)
+        box = {}
+
+        def run():
+            box["result"] = pipeline.process(range(50))
+
+        runner = threading.Thread(target=run, daemon=True)
+        runner.start()
+        assert pipeline.shutdown(timeout=10.0)
+        runner.join(10.0)
+        assert not runner.is_alive()
+        assert "result" in box
+
+    def test_stop_without_active_run_is_false(self):
+        pipeline = ThreadedPipeline(
+            [StageDescriptor("id", work=lambda x: x)], workers=1
+        )
+        assert not pipeline.stop()
+        assert pipeline.shutdown(timeout=0.1)  # trivially joined
+
+    def test_results_complete_normally_without_stop(self):
+        # The shutdown machinery must not disturb a normal full run.
+        stages = [StageDescriptor("inc", work=lambda x: x + 1)]
+        pipeline = ThreadedPipeline(stages, workers=3)
+        assert pipeline.process(range(10)) == list(range(1, 11))
+        assert pipeline.shutdown(timeout=1.0)
+
+    def test_concurrent_process_calls_rejected(self):
+        import threading
+        import time
+
+        gate = threading.Event()
+
+        def block(x):
+            gate.wait(5.0)
+            return x
+
+        pipeline = ThreadedPipeline(
+            [StageDescriptor("block", work=block)], workers=1
+        )
+        runner = threading.Thread(
+            target=lambda: pipeline.process([1]), daemon=True
+        )
+        runner.start()
+        start = time.monotonic()
+        while not pipeline._active and time.monotonic() - start < 5.0:
+            time.sleep(0.001)
+        try:
+            with pytest.raises(RuntimeError, match="already processing"):
+                pipeline.process([2])
+        finally:
+            gate.set()
+            runner.join(5.0)
+        assert not runner.is_alive()
+
+
+class TestJoinThreads:
+    def test_shared_deadline_across_threads(self):
+        import threading
+        import time
+
+        stop = threading.Event()
+        threads = [
+            threading.Thread(target=stop.wait, args=(10.0,), daemon=True)
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        start = time.monotonic()
+        assert not join_threads(threads, timeout=0.2)
+        # One shared deadline: nowhere near 4 * 0.2s.
+        assert time.monotonic() - start < 2.0
+        stop.set()
+        assert join_threads(threads, timeout=5.0)
+
+    def test_join_finished_threads_is_true(self):
+        import threading
+
+        thread = threading.Thread(target=lambda: None)
+        thread.start()
+        thread.join()
+        assert join_threads([thread], timeout=0.1)
+        assert join_threads([], timeout=None)

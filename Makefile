@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest serve-bench serve-smoke report demo quickstart lint-zoo clean
+.PHONY: install test bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ serve-bench:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serve_smoke.py -q
+
+plan-check:
+	PYTHONPATH=src $(PYTHON) -m repro plan-check
 
 report:
 	$(PYTHON) -m repro report --output reproduction-report.md

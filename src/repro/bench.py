@@ -78,25 +78,54 @@ def bench_per_layer(
     repeats: int = 2,
     rng: Optional[np.random.Generator] = None,
 ) -> List[Dict]:
-    """Single-frame per-layer milliseconds (minimum over repeats)."""
+    """Single-frame per-step milliseconds via the engine (min over repeats).
+
+    Runs a batch of 1 through the compiled plan's instrumented executor —
+    the same path production inference takes — and reports, per step, the
+    best wall time plus the plan's resource tag, per-frame op count, and
+    output-buffer bytes.
+    """
     rng = rng or np.random.default_rng(0)
     x = FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
-    best = [float("inf")] * len(network.layers)
+    fmb = FeatureMapBatch(x.data[np.newaxis, ...], x.scale)
+    executor = network.executor()
+    best: Optional[List[float]] = None
     for _ in range(max(1, repeats)):
-        fm = x
-        outputs: List[FeatureMap] = []
-        for index, layer in enumerate(network.layers):
-            start = time.perf_counter()
-            if getattr(layer, "needs_history", False):
-                fm = layer.forward(fm, history=outputs)
-            else:
-                fm = layer.forward(fm)
-            best[index] = min(best[index], time.perf_counter() - start)
-            outputs.append(fm)
+        executor.run(fmb)
+        report = executor.last_report
+        walls = [stats.wall_s for stats in report.steps]
+        best = walls if best is None else [min(a, b) for a, b in zip(best, walls)]
     return [
-        {"index": index, "type": layer.ltype, "ms": best[index] * 1e3}
-        for index, layer in enumerate(network.layers)
+        {
+            "index": stats.index,
+            "type": stats.ltype,
+            "resource": stats.resource,
+            "ms": best[position] * 1e3,
+            "ops": stats.ops,
+            "out_bytes": stats.out_bytes,
+        }
+        for position, stats in enumerate(report.steps)
     ]
+
+
+def bench_plan(network, per_layer_rows: Optional[List[Dict]] = None) -> Dict:
+    """The compiled plan's memory story for the bench JSON.
+
+    Reports the liveness-scheduled high-water versus the keep-everything
+    footprint the legacy walk loops used to hold, and embeds the per-step
+    rows (timings included when the caller already measured them).
+    """
+    plan = network.plan()
+    peak = plan.peak_live_bytes()
+    total = plan.total_buffer_bytes()
+    return {
+        "steps": len(plan),
+        "fabric_steps": len(plan.fabric_steps()),
+        "peak_live_bytes_per_frame": peak,
+        "total_buffer_bytes_per_frame": total,
+        "liveness_savings": 1.0 - peak / total,
+        "per_step": per_layer_rows if per_layer_rows is not None else [],
+    }
 
 
 def bench_acc16_kernel(
@@ -282,6 +311,7 @@ def run_bench(
             report["per_layer_ms"] = bench_per_layer(
                 network, repeats, rng=np.random.default_rng(seed)
             )
+            report["plan"] = bench_plan(network, report["per_layer_ms"])
         if not skip_kernel:
             report["acc16_kernel"] = bench_acc16_kernel(
                 batch=kernel_batch, repeats=repeats,
@@ -330,6 +360,15 @@ def format_report(report: Dict) -> str:
             lines.append(
                 f"    #{row['index']:2d} {row['type']:<14s} {row['ms']:8.2f} ms"
             )
+    if "plan" in report:
+        plan = report["plan"]
+        lines.append(
+            f"  plan: {plan['steps']} steps "
+            f"({plan['fabric_steps']} fabric), live high-water "
+            f"{plan['peak_live_bytes_per_frame'] / 1024:.0f} KiB/frame vs "
+            f"{plan['total_buffer_bytes_per_frame'] / 1024:.0f} KiB "
+            f"keep-everything ({plan['liveness_savings']:.0%} released early)"
+        )
     if "acc16_kernel" in report:
         kernel = report["acc16_kernel"]
         lines.append(
@@ -375,6 +414,7 @@ def format_report(report: Dict) -> str:
 __all__ = [
     "bench_batches",
     "bench_per_layer",
+    "bench_plan",
     "bench_acc16_kernel",
     "bench_serve",
     "SCENARIOS",

@@ -10,6 +10,7 @@ exposes the reproduction's equivalents:
 * ``python -m repro folding [--device ...]`` — FINN folding search
 * ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
 * ``python -m repro serve-bench [--output BENCH_serve.json]`` — serving bench
+* ``python -m repro plan-check`` — engine-vs-legacy bit-identity + liveness
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
 
@@ -273,6 +274,80 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan_check(args: argparse.Namespace) -> int:
+    """``repro plan-check`` — compile a zoo plan and verify the engine.
+
+    Runs random frames through the engine's batched execution path and
+    through the frozen legacy sequential oracle, asserts the outputs are
+    bit-identical, and prints the per-step plan table plus the buffer
+    liveness high-water (peak live bytes vs keep-everything).  CI runs
+    this via ``make plan-check``.
+    """
+    import numpy as np
+
+    from repro.core.tensor import FeatureMapBatch
+    from repro.engine import Executor, compile_plan, legacy_forward_all
+    from repro.nn import zoo
+    from repro.nn.network import Network
+
+    network = Network(getattr(zoo, _ZOO[args.network])())
+    network.initialize(np.random.default_rng(args.seed))
+    plan = compile_plan(network)
+
+    rows = [
+        (
+            step.index,
+            step.ltype,
+            step.resource,
+            "<-" + ",".join(
+                "in" if i < 0 else f"#{i}" for i in step.inputs
+            ),
+            f"{step.ops:,}",
+            "x".join(str(d) for d in step.out_shape),
+        )
+        for step in plan.steps
+    ]
+    print(
+        format_table(
+            ["#", "type", "resource", "inputs", "ops/frame", "out shape"],
+            rows,
+            title=f"Execution plan: {args.network} ({len(plan.steps)} steps)",
+        )
+    )
+
+    rng = np.random.default_rng(args.seed + 1)
+    frames = rng.uniform(
+        0.0, 1.0, size=(args.frames,) + tuple(plan.input_shape)
+    ).astype(np.float32)
+    fmb = FeatureMapBatch(frames)
+    executor = Executor(plan)
+    out = executor.run(fmb)
+    mismatches = 0
+    for index in range(fmb.batch):
+        legacy = legacy_forward_all(network, fmb.frame(index))[-1]
+        if not np.array_equal(out.frame(index).data, legacy.data):
+            mismatches += 1
+            print(
+                f"MISMATCH frame {index}: engine output differs from the "
+                "legacy sequential path",
+                file=sys.stderr,
+            )
+    peak = plan.peak_live_bytes()
+    total = plan.total_buffer_bytes()
+    report = executor.last_report
+    print(
+        f"engine vs legacy: {fmb.batch} frames, "
+        f"{'BIT-IDENTICAL' if mismatches == 0 else f'{mismatches} MISMATCHES'}"
+    )
+    print(
+        f"buffer liveness: peak {peak:,} B/frame of {total:,} B/frame "
+        f"keep-everything ({100.0 * (1 - peak / total):.1f}% saved); "
+        f"measured high-water {report.peak_live_bytes:,} B "
+        f"for batch {fmb.batch}"
+    )
+    return 1 if mismatches else 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """``repro serve-bench`` — the serving scenario on its own.
 
@@ -383,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_options(p_serve)
     p_serve.add_argument("--output", help="write the JSON report here")
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_plan = sub.add_parser(
+        "plan-check",
+        help="compile an execution plan and verify engine/legacy bit-identity",
+    )
+    p_plan.add_argument("--network", default="tincy", choices=sorted(_ZOO))
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--frames", type=int, default=2,
+                        help="random frames to cross-check (default 2)")
+    p_plan.set_defaults(func=cmd_plan_check)
 
     p_detect = sub.add_parser("detect", help="detect objects in a PPM image")
     p_detect.add_argument("--cfg", required=True)

@@ -1,0 +1,35 @@
+"""repro.engine — compile the network once, execute it everywhere.
+
+The execution engine is the compile-then-execute split (FINN-R's framing)
+for our Darknet-like substrate:
+
+* :func:`~repro.engine.plan.compile_plan` lowers a
+  :class:`~repro.nn.network.Network` into an
+  :class:`~repro.engine.plan.ExecutionPlan` — explicit per-step input
+  edges, :data:`~repro.core.resources.FABRIC`/CPU resource tags, and a
+  buffer liveness schedule with a compile-time memory high-water.
+* :class:`~repro.engine.executor.Executor` is the **single** batched
+  execution path behind ``Network.forward*``, the serving workers, the
+  pipelined demo mode, and ``repro bench`` — with per-step
+  instrumentation (:class:`~repro.engine.executor.StepStats`).
+* :mod:`repro.engine.reference` keeps the frozen pre-engine walk loops as
+  the bit-identity oracle (``make plan-check``).
+
+See ``docs/ENGINE.md`` for the full design.
+"""
+
+from repro.engine.executor import ExecutionReport, Executor, StepStats
+from repro.engine.plan import INPUT, ExecutionPlan, PlanStep, compile_plan
+from repro.engine.reference import legacy_forward_all, legacy_forward_batch_all
+
+__all__ = [
+    "INPUT",
+    "PlanStep",
+    "ExecutionPlan",
+    "compile_plan",
+    "Executor",
+    "ExecutionReport",
+    "StepStats",
+    "legacy_forward_all",
+    "legacy_forward_batch_all",
+]

@@ -1,0 +1,173 @@
+"""The one batched execution path: run an :class:`ExecutionPlan`.
+
+``Executor.run`` replaces the four near-duplicate walk-the-layer-list
+loops the spine used to carry (``forward`` / ``forward_all`` /
+``forward_batch`` / ``forward_batch_all``): single-frame inference is a
+batch of 1, keep-everything traversal is ``run_all``, and the FINN
+offload guard keys off the plan's FABRIC resource tags instead of
+``ltype`` string compares.  Buffers are released the moment their last
+consumer has run (the plan's liveness analysis), and every step is
+instrumented — wall time, operation count, output bytes, live bytes —
+feeding the serving :class:`~repro.serve.metrics.MetricsRegistry`, the
+pipeline trace, and the ``repro bench`` JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.resources import FABRIC
+from repro.core.tensor import FeatureMapBatch
+from repro.engine.plan import INPUT, ExecutionPlan
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Instrumentation record of one executed plan step."""
+
+    index: int
+    name: str
+    ltype: str
+    resource: str
+    #: Wall time of this step's batched execution (seconds).
+    wall_s: float
+    #: Operations executed: the step's per-frame count times the batch.
+    ops: int
+    #: Bytes of this step's output buffer.
+    out_bytes: int
+    #: Bytes of all live buffers right after this step produced its output
+    #: (before the liveness release) — the executor's memory high-water is
+    #: the maximum of these.
+    live_bytes: int
+
+
+@dataclass
+class ExecutionReport:
+    """Per-run instrumentation: one :class:`StepStats` per plan step."""
+
+    batch: int
+    steps: List[StepStats] = field(default_factory=list)
+    wall_s: float = 0.0
+    peak_live_bytes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Operations executed across all steps (batch included)."""
+        return sum(step.ops for step in self.steps)
+
+
+class Executor:
+    """Runs a compiled :class:`ExecutionPlan` over feature-map batches.
+
+    Re-entrant: concurrent ``run`` calls (the serving worker pool) each use
+    local buffer state.  *offload_guard*, when given (at construction or
+    per call), is a context manager entered around every FABRIC-tagged
+    step — the serving subsystem passes its fabric gate so the single
+    simulated FINN engine is never occupied twice.  *on_step* is called
+    with each :class:`StepStats` as it completes; ``last_report`` holds the
+    full report of the most recent run.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        offload_guard=None,
+        on_step: Optional[Callable[[StepStats], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.offload_guard = offload_guard
+        self.on_step = on_step
+        self.last_report: Optional[ExecutionReport] = None
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, fmb: FeatureMapBatch, offload_guard=None) -> FeatureMapBatch:
+        """Execute the plan on *fmb*; returns the final step's output.
+
+        Intermediates are released as soon as their last consumer has run.
+        Bit-identical per frame to the sequential pre-engine walk loops
+        (pinned by the equivalence tests and ``make plan-check``).
+        """
+        return self._execute(fmb, keep_all=False, offload_guard=offload_guard)
+
+    def run_all(
+        self, fmb: FeatureMapBatch, offload_guard=None
+    ) -> List[FeatureMapBatch]:
+        """Execute the plan keeping every step's output (liveness off).
+
+        The keep-everything traversal backs ``Network.forward_all`` /
+        ``forward_batch_all`` and the calibration passes that genuinely
+        need all intermediates.
+        """
+        return self._execute(fmb, keep_all=True, offload_guard=offload_guard)
+
+    # -- internals ---------------------------------------------------------
+
+    def _empty_outputs(self, keep_all: bool):
+        """Well-formed zero-frame results without touching any layer."""
+        empties = [
+            FeatureMapBatch(np.zeros((0,) + step.out_shape, dtype=np.float32))
+            for step in self.plan.steps
+        ]
+        self.last_report = ExecutionReport(batch=0)
+        return empties if keep_all else empties[-1]
+
+    def _execute(self, fmb: FeatureMapBatch, keep_all: bool, offload_guard):
+        plan = self.plan
+        if tuple(fmb.frame_shape) != tuple(plan.input_shape):
+            raise ValueError(
+                f"input frames {tuple(fmb.frame_shape)} do not match network "
+                f"input {tuple(plan.input_shape)} compiled into the plan"
+            )
+        if fmb.batch == 0:
+            return self._empty_outputs(keep_all)
+        guard = offload_guard if offload_guard is not None else self.offload_guard
+        report = ExecutionReport(batch=fmb.batch)
+        buffers: Dict[int, FeatureMapBatch] = {INPUT: fmb}
+        live_bytes = fmb.data.nbytes
+        report.peak_live_bytes = live_bytes
+        outputs: List[FeatureMapBatch] = []
+        run_start = time.perf_counter()
+        for step in plan.steps:
+            inputs = [buffers[buffer_id] for buffer_id in step.inputs]
+            start = time.perf_counter()
+            if guard is not None and step.resource == FABRIC:
+                with guard:
+                    out = step.layer.run_batch(inputs)
+            else:
+                out = step.layer.run_batch(inputs)
+            wall = time.perf_counter() - start
+            buffers[step.index] = out
+            live_bytes += out.data.nbytes
+            produced_live = live_bytes
+            report.peak_live_bytes = max(report.peak_live_bytes, produced_live)
+            if keep_all:
+                outputs.append(out)
+            else:
+                for victim in plan.release_after.get(step.index, ()):
+                    dead = buffers.pop(victim, None)
+                    if dead is not None:
+                        live_bytes -= dead.data.nbytes
+            stats = StepStats(
+                index=step.index,
+                name=step.name,
+                ltype=step.ltype,
+                resource=step.resource,
+                wall_s=wall,
+                ops=step.ops * fmb.batch,
+                out_bytes=out.data.nbytes,
+                live_bytes=produced_live,
+            )
+            report.steps.append(stats)
+            if self.on_step is not None:
+                self.on_step(stats)
+        report.wall_s = time.perf_counter() - run_start
+        self.last_report = report
+        return outputs if keep_all else buffers[plan.steps[-1].index]
+
+
+__all__ = ["StepStats", "ExecutionReport", "Executor"]

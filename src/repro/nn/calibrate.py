@@ -69,13 +69,16 @@ def calibrate_activation_scales(
     for image in inputs:
         count += 1
         fm = FeatureMap(np.asarray(image, dtype=np.float32))
-        for index, layer in enumerate(network.layers):
-            if index in observed:
-                values = _pre_quant_activation(layer, fm)
-                observed[index].append(
-                    float(np.percentile(values, percentile))
-                )
-            fm = layer.forward(fm)
+        # The engine's keep-everything traversal supplies every layer's
+        # quantized input map; each observed layer's pre-quantization
+        # activation is then recomputed from its own input.
+        outputs = network.forward_all(fm)
+        for index in observed:
+            layer_input = fm if index == 0 else outputs[index - 1]
+            values = _pre_quant_activation(network.layers[index], layer_input)
+            observed[index].append(
+                float(np.percentile(values, percentile))
+            )
     if count == 0:
         raise ValueError("calibration needs at least one input")
 

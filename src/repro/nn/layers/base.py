@@ -10,12 +10,13 @@ backed by the simulated FPGA fabric — plugs into the network identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from typing import List
 
+from repro.core.resources import CPU
 from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 
@@ -29,6 +30,50 @@ class LayerWorkload:
     note: str = ""
 
 
+def slice_frame_history(
+    history: Sequence[Optional[FeatureMapBatch]], index: int
+) -> List[Optional[FeatureMap]]:
+    """Frame *index* of every batch in *history*.
+
+    The history may be sparse (the execution engine materializes only the
+    entries a layer actually declared as dependencies); ``None`` slots stay
+    ``None``.
+    """
+    return [item.frame(index) if item is not None else None for item in history]
+
+
+def forward_frame_loop(
+    layer: "Layer",
+    fmb: FeatureMapBatch,
+    history: Optional[Sequence[Optional[FeatureMapBatch]]] = None,
+) -> FeatureMapBatch:
+    """The shared always-correct batched fallback: loop ``layer.forward``.
+
+    One frame at a time, slicing per-frame histories for backward-looking
+    layers — used by :meth:`Layer.forward_batch` (the default when a layer
+    has no vectorized batch kernel), by the execution engine, and by the
+    ``Network.forward*`` compatibility wrappers.  A zero-frame batch
+    short-circuits to a well-formed empty output of the layer's geometry.
+    """
+    layer._require_initialized()
+    layer._check_history(history)
+    if fmb.batch == 0:
+        return FeatureMapBatch(
+            np.zeros((0,) + tuple(layer.out_shape), dtype=np.float32)
+        )
+    outputs = []
+    for index in range(fmb.batch):
+        if layer.needs_history:
+            outputs.append(
+                layer.forward(
+                    fmb.frame(index), history=slice_frame_history(history, index)
+                )
+            )
+        else:
+            outputs.append(layer.forward(fmb.frame(index)))
+    return FeatureMapBatch.from_maps(outputs)
+
+
 class Layer:
     """Base layer implementing the Fig. 3 life cycle.
 
@@ -40,6 +85,16 @@ class Layer:
     """
 
     ltype: str = "layer"
+    #: Execution resource this layer occupies while it runs.  The engine's
+    #: plan compiler tags each step with it: :data:`~repro.core.resources.
+    #: FABRIC` layers (the FINN offload, or any registered fabric-backed
+    #: subclass) funnel through the single serialized fabric engine and get
+    #: wrapped in the offload guard; CPU layers fan out freely.
+    resource: str = CPU
+    #: True for backward-looking layers (``[route]``) that read earlier
+    #: layer outputs; such layers must also implement
+    #: :meth:`history_dependencies`.
+    needs_history: bool = False
 
     def __init__(self, section: Section) -> None:
         self.section = section
@@ -75,18 +130,60 @@ class Layer:
         never fast.  Layers with vectorized batched kernels override this;
         every override must stay bit-identical per frame to the sequential
         path (the batched-equivalence tests enforce it).
+
+        Passing a *history* to a layer that does not declare
+        ``needs_history`` is a caller bug and raises :class:`TypeError`;
+        omitting it for a layer that does is a :class:`ValueError`.
+        """
+        return forward_frame_loop(self, fmb, history)
+
+    def run_batch(
+        self, inputs: Sequence[FeatureMapBatch]
+    ) -> FeatureMapBatch:
+        """Execute this layer on explicit dataflow *inputs* (engine entry).
+
+        The execution engine resolves dependencies at plan-compile time and
+        hands every step exactly the buffers it consumes: ``inputs[0]`` is
+        always the chain predecessor's output, and backward-looking layers
+        additionally receive one buffer per :meth:`history_dependencies`
+        entry, in declaration order.  The default adapts those explicit
+        edges back onto :meth:`forward_batch` (reconstructing a sparse
+        history for ``needs_history`` layers), so existing layer kinds work
+        unchanged; layers may override for a direct multi-input kernel.
         """
         self._require_initialized()
-        outputs = []
-        for index in range(fmb.batch):
-            if getattr(self, "needs_history", False):
-                if history is None:
-                    raise ValueError(f"[{self.ltype}] needs the layer history")
-                frame_history = [item.frame(index) for item in history]
-                outputs.append(self.forward(fmb.frame(index), history=frame_history))
-            else:
-                outputs.append(self.forward(fmb.frame(index)))
-        return FeatureMapBatch.from_maps(outputs)
+        if not self.needs_history:
+            if len(inputs) != 1:
+                raise ValueError(
+                    f"[{self.ltype}] consumes exactly one input, got {len(inputs)}"
+                )
+            return self.forward_batch(inputs[0])
+        dependencies = self.history_dependencies()
+        if len(inputs) != 1 + len(dependencies):
+            raise ValueError(
+                f"[{self.ltype}] consumes {1 + len(dependencies)} inputs "
+                f"(chain + {len(dependencies)} history), got {len(inputs)}"
+            )
+        history: List[Optional[FeatureMapBatch]] = (
+            [None] * (max(dependencies) + 1) if dependencies else []
+        )
+        for slot, fmb in zip(dependencies, inputs[1:]):
+            history[slot] = fmb
+        return self.forward_batch(inputs[0], history=history)
+
+    def history_dependencies(self) -> Tuple[int, ...]:
+        """Absolute indices of earlier layers this layer reads, in order.
+
+        Non-empty only for ``needs_history`` layers; the plan compiler turns
+        these into explicit dataflow edges so the executor keeps alive
+        exactly the buffers that are still needed.
+        """
+        if self.needs_history:
+            raise NotImplementedError(
+                f"[{self.ltype}] declares needs_history but does not expose "
+                f"history_dependencies()"
+            )
+        return ()
 
     def destroy(self) -> None:
         """Release resources (buffers, backend handles)."""
@@ -106,6 +203,22 @@ class Layer:
     def _require_initialized(self) -> None:
         if not self._initialized:
             raise RuntimeError(f"{self.ltype} layer used before init()")
+
+    def _check_history(self, history) -> None:
+        """Enforce the history contract at the batch-call boundary.
+
+        A history handed to a layer that never looks backwards is a wiring
+        bug upstream — fail loudly (``TypeError``) instead of silently
+        ignoring it; a backward-looking layer invoked without one is an
+        incomplete call (``ValueError``).
+        """
+        if self.needs_history:
+            if history is None:
+                raise ValueError(f"[{self.ltype}] needs the layer history")
+        elif history is not None:
+            raise TypeError(
+                f"[{self.ltype}] does not consume a layer history"
+            )
 
     def __repr__(self) -> str:
         return (
@@ -175,4 +288,6 @@ __all__ = [
     "WeightSink",
     "ArraySource",
     "ArraySink",
+    "forward_frame_loop",
+    "slice_frame_history",
 ]

@@ -119,6 +119,7 @@ class ConnectedLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         weights = self.effective_weights()
         x = fmb.values().reshape(fmb.batch, -1)
         # BLAS gemv (one frame) and gemm (stacked frames) round float32

@@ -180,6 +180,7 @@ class ConvolutionalLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         out_c, out_h, out_w = self.out_shape
         frame_bytes = out_c * out_h * out_w * 4
         chunk = _CONV_BATCH_FRAME_BUDGET // max(1, frame_bytes)

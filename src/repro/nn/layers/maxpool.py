@@ -39,6 +39,7 @@ class MaxpoolLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         pooled = maxpool2d_batch(fmb.data, self.size, self.stride, self.padding)
         return FeatureMapBatch(pooled, scale=fmb.scale)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.core.resources import FABRIC
 from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload, WeightSource
@@ -34,6 +35,10 @@ class OffloadLayer(Layer):
     """The Fig. 3/4 ``[offload]`` layer: redirects into a backend library."""
 
     ltype = "offload"
+    #: Offloads occupy the single serialized fabric engine; the plan
+    #: compiler keys the FABRIC step tag (and the offload guard) off this,
+    #: so fabric-backed subclasses inherit the serialization for free.
+    resource = FABRIC
 
     def __init__(self, section: Section) -> None:
         super().__init__(section)
@@ -78,6 +83,7 @@ class OffloadLayer(Layer):
         backends fall back to a per-frame loop.
         """
         self._require_initialized()
+        self._check_history(history)
         if hasattr(self.backend, "forward_batch"):
             out = self.backend.forward_batch(fmb)
         else:

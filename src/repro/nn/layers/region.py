@@ -67,6 +67,7 @@ class RegionLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         x = fmb.values().astype(np.float64)
         n, c, h, w = x.shape
         per_anchor = self.coords + 1 + self.classes

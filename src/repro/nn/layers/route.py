@@ -68,6 +68,12 @@ class RouteLayer(Layer):
         channels = sum(s[0] for s in self._source_shapes)
         return (channels, self._source_shapes[0][1], self._source_shapes[0][2])
 
+    def history_dependencies(self) -> Tuple[int, ...]:
+        """The resolved absolute source indices (the plan's input edges)."""
+        if not self._resolved:
+            raise RuntimeError("[route] used before resolve()")
+        return tuple(self._resolved)
+
     def forward(self, fm: FeatureMap, history: List[FeatureMap] = None) -> FeatureMap:
         self._require_initialized()
         if history is None:
@@ -85,8 +91,7 @@ class RouteLayer(Layer):
         self, fmb: FeatureMapBatch, history: List[FeatureMapBatch] = None
     ) -> FeatureMapBatch:
         self._require_initialized()
-        if history is None:
-            raise ValueError("[route] needs the network's layer history")
+        self._check_history(history)
         sources = [history[i] for i in self._resolved]
         scales = {s.scale for s in sources}
         if len(scales) != 1:
@@ -137,6 +142,7 @@ class ReorgLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         data = np.asarray(fmb.data)
         n, c, h, w = data.shape
         s = self.stride

@@ -27,6 +27,7 @@ class SoftmaxLayer(Layer):
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
+        self._check_history(history)
         flat = fmb.values().reshape(fmb.batch, -1)
         probs = softmax(flat, axis=1).reshape(fmb.shape)
         return FeatureMapBatch(probs.astype(np.float32))

@@ -2,10 +2,15 @@
 
 A :class:`Network` is built from a parsed :class:`~repro.nn.config.NetworkConfig`;
 layer sections instantiate through a type registry so user extensions (and
-the tests) can add layer kinds without touching this module.  The forward
-pass runs layers strictly in sequence — exactly the execution model the
-pipelined demo mode later *disintegrates* to gain access to the individual
-layer invocations (§III-F).
+the tests) can add layer kinds without touching this module.
+
+Inference is *compiled, then executed*: the layer stack lowers once into
+an :class:`~repro.engine.plan.ExecutionPlan` (explicit dataflow edges,
+resource tags, buffer liveness) and every ``forward*`` method below is a
+thin compatibility wrapper over the single batched
+:class:`~repro.engine.executor.Executor` path — single-frame inference is
+a batch of 1, bit-identical to the historical sequential walk (pinned by
+the equivalence tests and ``make plan-check``).
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
 import numpy as np
 
+from repro.core.resources import CPU, FABRIC
 from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.nn.config import NetworkConfig, parse_config
 from repro.nn.layers.base import ArraySink, ArraySource, Layer, LayerWorkload
@@ -59,6 +65,8 @@ class Network:
             shapes.append(shape)
             self.layers.append(layer)
         self.output_shape = shape
+        self._plan = None
+        self._executor = None
 
     # -- construction ----------------------------------------------------------
 
@@ -73,32 +81,60 @@ class Network:
                 layer.initialize(rng)
 
     # -- inference --------------------------------------------------------------
+    #
+    # All four historical forward paths are thin compatibility wrappers over
+    # the execution engine's single batched path (repro.engine.Executor).
+
+    def plan(self):
+        """The compiled :class:`~repro.engine.plan.ExecutionPlan` (cached).
+
+        The layer stack is fixed at construction, so compilation happens at
+        most once per network; only weights may change afterwards, and the
+        plan carries none.
+        """
+        if self._plan is None:
+            from repro.engine import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
+
+    def executor(self):
+        """The cached :class:`~repro.engine.executor.Executor` on :meth:`plan`."""
+        if self._executor is None:
+            from repro.engine import Executor
+
+            self._executor = Executor(self.plan())
+        return self._executor
 
     def forward(self, x: FeatureMap) -> FeatureMap:
-        """Run all layers in sequence and return the final feature map."""
+        """Run all layers in sequence and return the final feature map.
+
+        Compatibility wrapper: a batch of 1 through the engine, bit-identical
+        to the historical sequential walk.
+        """
         if tuple(x.shape) != tuple(self.input_shape):
             raise ValueError(
                 f"input shape {tuple(x.shape)} does not match network input "
                 f"{tuple(self.input_shape)}"
             )
-        return self.forward_all(x)[-1]
+        fmb = FeatureMapBatch(x.data[np.newaxis, ...], x.scale)
+        return self.executor().run(fmb).frame(0)
 
     def forward_all(self, x: FeatureMap) -> List[FeatureMap]:
         """Run the network keeping every intermediate map.
 
-        The history serves two masters: the pipelined demo mode (which
-        disintegrates the forward pass) and backward-looking layers like
-        ``[route]``, which declare ``needs_history``.
+        Compatibility wrapper over the engine's keep-everything traversal
+        (liveness off) for the callers that genuinely need all
+        intermediates: quantization calibration and backward-looking
+        layer tests.
         """
-        fm = x
-        outputs: List[FeatureMap] = []
-        for layer in self.layers:
-            if getattr(layer, "needs_history", False):
-                fm = layer.forward(fm, history=outputs)
-            else:
-                fm = layer.forward(fm)
-            outputs.append(fm)
-        return outputs
+        if tuple(x.shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"input shape {tuple(x.shape)} does not match network input "
+                f"{tuple(self.input_shape)}"
+            )
+        fmb = FeatureMapBatch(x.data[np.newaxis, ...], x.scale)
+        return [out.frame(0) for out in self.executor().run_all(fmb)]
 
     def forward_batch(
         self, x: FeatureMapBatch, offload_guard=None
@@ -106,37 +142,34 @@ class Network:
         """Run a batch of frames (batch axis 0) through all layers.
 
         Per-frame outputs are bit-identical to sequential :meth:`forward`
-        calls — batching changes throughput, never results.
+        calls — batching changes throughput, never results.  A zero-frame
+        batch returns a well-formed empty output.
 
         *offload_guard*, when given, is a context manager entered around
-        every ``[offload]`` layer execution.  The serving subsystem passes
-        its fabric gate here: the FINN engine is a single serialized
-        resource, so concurrent batch executions must queue on it rather
-        than overlap (the guard asserts and accounts for exactly that).
+        every FABRIC-tagged step (the plan's resource tag — any
+        offload-style layer, registered subclasses included).  The serving
+        subsystem passes its fabric gate here: the FINN engine is a single
+        serialized resource, so concurrent batch executions must queue on
+        it rather than overlap (the guard asserts and accounts for exactly
+        that).
         """
         if tuple(x.frame_shape) != tuple(self.input_shape):
             raise ValueError(
                 f"input frames {tuple(x.frame_shape)} do not match network "
                 f"input {tuple(self.input_shape)}"
             )
-        return self.forward_batch_all(x, offload_guard=offload_guard)[-1]
+        return self.executor().run(x, offload_guard=offload_guard)
 
     def forward_batch_all(
         self, x: FeatureMapBatch, offload_guard=None
     ) -> List[FeatureMapBatch]:
         """Batched :meth:`forward_all`: every intermediate batch is kept."""
-        fmb = x
-        outputs: List[FeatureMapBatch] = []
-        for layer in self.layers:
-            if offload_guard is not None and layer.ltype == "offload":
-                with offload_guard:
-                    fmb = layer.forward_batch(fmb)
-            elif getattr(layer, "needs_history", False):
-                fmb = layer.forward_batch(fmb, history=outputs)
-            else:
-                fmb = layer.forward_batch(fmb)
-            outputs.append(fmb)
-        return outputs
+        if tuple(x.frame_shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"input frames {tuple(x.frame_shape)} do not match network "
+                f"input {tuple(self.input_shape)}"
+            )
+        return self.executor().run_all(x, offload_guard=offload_guard)
 
     # -- weights ------------------------------------------------------------------
 
@@ -171,13 +204,17 @@ class Network:
 
     @property
     def uses_fabric(self) -> bool:
-        """True when any layer offloads to the FINN fabric engine.
+        """True when any layer occupies the FINN fabric engine.
 
-        Such a network occupies the platform's single serialized fabric
+        Such a network holds the platform's single serialized fabric
         resource while it runs — the pipeline scheduler and the serving
-        worker pool both key their FABRIC-vs-CPU routing off this.
+        worker pool both key their FABRIC-vs-CPU routing off this.  Keyed
+        off the layers' ``resource`` tag (the same tag the plan compiler
+        uses), so registered offload-style layer kinds count too.
         """
-        return any(layer.ltype == "offload" for layer in self.layers)
+        return any(
+            getattr(layer, "resource", CPU) == FABRIC for layer in self.layers
+        )
 
     def destroy(self) -> None:
         for layer in self.layers:

@@ -95,6 +95,19 @@ def network_memory(network: Network, regime: str = "quantized") -> MemoryReport:
     return MemoryReport(layers=layers)
 
 
+def activation_high_water(network: Network, bytes_per_element: int = 4) -> int:
+    """Peak simultaneously-live activation bytes per frame.
+
+    Reconciles this module's keep-everything activation pricing with the
+    execution engine's buffer liveness: the compiled plan releases every
+    intermediate feature map after its last consumer, so the true working
+    set is the *high-water mark* of the schedule, not the sum over layers.
+    Always ``<= network_memory(...).activation_bytes``-style totals (for
+    matching element widths).
+    """
+    return network.plan().peak_live_bytes(bytes_per_element=bytes_per_element)
+
+
 def compression_factor(network: Network) -> float:
     """Weight-storage compression of the topology's regime vs float32."""
     full = network_memory(network, "float32").weight_bytes
@@ -102,4 +115,10 @@ def compression_factor(network: Network) -> float:
     return full / quant
 
 
-__all__ = ["LayerMemory", "MemoryReport", "network_memory", "compression_factor"]
+__all__ = [
+    "LayerMemory",
+    "MemoryReport",
+    "network_memory",
+    "activation_high_water",
+    "compression_factor",
+]

@@ -5,11 +5,12 @@ re-implementation of Darknet's demo mode ...  even the network inference
 (forward) pass had to be disintegrated to gain access to the invocations of
 the individual layers."
 
-:func:`build_demo_stages` performs that disintegration: the network's
-forward pass becomes one pipeline stage per layer (offload layers are
-tagged with the fabric resource so the scheduler serializes them), wrapped
-by the four extra stages of Fig. 5 — frame reading, letter boxing, object
-boxing and frame drawing.
+:func:`build_demo_stages` performs that disintegration by *partitioning
+the compiled execution plan*: every :class:`~repro.engine.plan.PlanStep`
+becomes one pipeline stage, carrying the plan's resource tag (FABRIC
+steps — the offload layer, or any registered fabric-backed layer kind —
+are serialized by the scheduler), wrapped by the four extra stages of
+Fig. 5 — frame reading, letter boxing, object boxing and frame drawing.
 """
 
 from __future__ import annotations
@@ -53,7 +54,8 @@ def build_demo_stages(
     region = network.layers[-1]
     if not isinstance(region, RegionLayer):
         raise ValueError("the demo pipeline expects a region detection head")
-    if any(getattr(layer, "needs_history", False) for layer in network.layers):
+    plan = network.plan()
+    if any(len(step.inputs) != 1 for step in plan.steps):
         raise ValueError(
             "the per-layer demo pipeline cannot disintegrate networks with "
             "backward-looking layers ([route]); Tiny/Tincy YOLO have none"
@@ -68,14 +70,15 @@ def build_demo_stages(
         payload.geometry = geometry
         return payload
 
-    def make_layer_stage(layer):
+    def make_layer_stage(step):
+        # One stage per plan step: the plan already resolved the resource
+        # tag (FABRIC for offload-style layers), so no ltype compares here.
         def run_layer(payload: DemoPayload) -> DemoPayload:
-            payload.fm = layer.forward(payload.fm)
+            payload.fm = step.layer.forward(payload.fm)
             return payload
 
-        resource = FABRIC if layer.ltype == "offload" else CPU
         return StageDescriptor(
-            name=f"L[{layer.ltype}]", work=run_layer, resource=resource
+            name=f"L[{step.ltype}]", work=run_layer, resource=step.resource
         )
 
     def object_boxing(payload: DemoPayload) -> DemoPayload:
@@ -104,7 +107,7 @@ def build_demo_stages(
         StageDescriptor(name="#0 read-frame", work=read_frame),
         StageDescriptor(name="#1 letter-boxing", work=letter_boxing),
     ]
-    stages.extend(make_layer_stage(layer) for layer in network.layers)
+    stages.extend(make_layer_stage(step) for step in plan.steps)
     stages.append(StageDescriptor(name="object-boxing", work=object_boxing))
     stages.append(StageDescriptor(name="frame-drawing", work=frame_drawing))
     return stages

@@ -15,12 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set
 
+from repro.core.resources import CPU, FABRIC
 from repro.pipeline.buffers import StageBuffer
-
-#: Resource tag for stages that need the (single) fabric accelerator.
-FABRIC = "fabric"
-#: Resource tag for plain CPU stages (only a worker thread is needed).
-CPU = "cpu"
 
 
 @dataclass

@@ -55,6 +55,8 @@ class MetricsRegistry:
         self.batch_histogram: Dict[int, int] = {}
         self.flush_causes: Dict[str, int] = {}
         self.fabric_dispatches = 0
+        self.plan_step_seconds: Dict[str, float] = {}
+        self.plan_step_counts: Dict[str, int] = {}
         self._latencies: List[float] = []
         self._latency_stride = 1
         self._latency_seen = 0
@@ -118,6 +120,14 @@ class MetricsRegistry:
         with self._lock:
             self.fabric_dispatches += 1
 
+    def observe_plan_step(self, name: str, seconds: float) -> None:
+        """Accumulate one executed plan step (the engine's per-step hook)."""
+        with self._lock:
+            self.plan_step_seconds[name] = (
+                self.plan_step_seconds.get(name, 0.0) + seconds
+            )
+            self.plan_step_counts[name] = self.plan_step_counts.get(name, 0) + 1
+
     # -- export ------------------------------------------------------------
 
     def latency_percentiles(self) -> Optional[Dict[str, float]]:
@@ -160,6 +170,13 @@ class MetricsRegistry:
                 },
                 "flush_causes": dict(sorted(self.flush_causes.items())),
                 "fabric_dispatches": self.fabric_dispatches,
+                "plan_steps": {
+                    name: {
+                        "count": self.plan_step_counts[name],
+                        "total_ms": self.plan_step_seconds[name] * 1e3,
+                    }
+                    for name in sorted(self.plan_step_seconds)
+                },
                 "elapsed_s": elapsed,
                 "throughput_rps": throughput,
             }

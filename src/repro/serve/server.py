@@ -16,9 +16,13 @@ Request flow::
 Results are **bit-identical** to calling ``Network.forward_batch``
 directly on the same frames: the server only decides *which* frames share
 a batch, never *how* they are computed (and the batched layer paths are
-pinned to be batch-size invariant).  A synchronous client API
-(:meth:`InferenceServer.infer` / :meth:`infer_many`) wraps the futures
-for in-process callers.
+pinned to be batch-size invariant).  Execution goes through the engine
+(:class:`repro.engine.Executor` on the network's compiled plan) — the
+same single batched path as every other consumer — with the engine's
+per-step instrumentation feeding this server's
+:class:`~repro.serve.metrics.MetricsRegistry` (``plan_steps`` in the
+snapshot).  A synchronous client API (:meth:`InferenceServer.infer` /
+:meth:`infer_many`) wraps the futures for in-process callers.
 """
 
 from __future__ import annotations
@@ -97,7 +101,17 @@ class InferenceServer:
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.fabric_gate = FabricGate()
-        self.resource = FABRIC if network.uses_fabric else CPU
+        from repro.engine import Executor
+
+        # The server owns its executor so the engine's per-step stats land
+        # in *this* server's metrics registry (the plan itself is shared).
+        self.executor = Executor(
+            network.plan(),
+            on_step=lambda stats: self.metrics.observe_plan_step(
+                stats.name, stats.wall_s
+            ),
+        )
+        self.resource = FABRIC if self.executor.plan.uses_fabric else CPU
         self.queue = BoundedRequestQueue(self.config.max_queue_depth, clock=clock)
         self.batcher = DynamicBatcher(self.config.max_batch, self.config.max_delay_s)
         self.pool = HeterogeneousWorkerPool(
@@ -258,7 +272,7 @@ class InferenceServer:
             guard = self.fabric_gate
             self.metrics.observe_fabric_dispatch()
         try:
-            out = self.network.forward_batch(fmb, offload_guard=guard)
+            out = self.executor.run(fmb, offload_guard=guard)
         except Exception:
             for _ in job.requests:
                 self.metrics.observe_failure()

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.nn",
     "repro.nn.layers",
+    "repro.engine",
     "repro.finn",
     "repro.neon",
     "repro.perf",

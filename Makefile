@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart lint-zoo clean
+.PHONY: install test bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,11 +34,12 @@ quickstart:
 demo:
 	$(PYTHON) examples/live_demo.py
 
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze
+	PYTHONPATH=src $(PYTHON) -m repro analyze --self
+
 lint-zoo:
-	$(PYTHON) -m repro lint tiny
-	$(PYTHON) -m repro lint tincy
-	$(PYTHON) -m repro lint mlp4
-	$(PYTHON) -m repro lint cnv6
+	PYTHONPATH=src $(PYTHON) -m repro analyze --cfg-only
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .hypothesis

@@ -21,7 +21,7 @@ from repro.finn.accelerator import (
     balanced_dataflow_foldings,
     compile_stages,
 )
-from repro.finn.device import KNOWN_FABRICS, XC7Z020, XCZU3EG, XCZU9EG
+from repro.finn.device import XC7Z020, XCZU3EG, XCZU9EG
 from repro.finn.mvtu import Folding, MVTUGeometry
 from repro.finn.resources import (
     mvtu_compute_resources,

@@ -7,7 +7,6 @@ claim that makes the whole §III-A architecture possible: the binarized
 hidden-layer weights fit the XCZU3EG's on-chip block RAM.
 """
 
-import pytest
 
 from repro.finn.device import XCZU3EG
 from repro.nn.network import Network

@@ -12,7 +12,6 @@ Run:  python examples/live_demo.py [output-dir]
 import sys
 import time
 
-import numpy as np
 
 from repro.data.shapes import CLASS_NAMES, ShapesDetectionDataset
 from repro.eval.boxes import nms

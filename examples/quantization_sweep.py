@@ -13,10 +13,9 @@ Run:  python examples/quantization_sweep.py [steps]
 import sys
 import time
 
-import numpy as np
 
 from repro.data.shapes import ShapesDetectionDataset
-from repro.train.layers import ActQuant, QConv2d
+from repro.train.layers import ActQuant
 from repro.train.models import mini_yolo
 from repro.train.trainer import TrainConfig, train_detector
 from repro.util.tables import format_table

@@ -1,0 +1,243 @@
+"""Hot-path AST lint over the quantized kernels in ``core/`` and ``neon/``.
+
+The integer kernels are the reproduction's arithmetic contract: they
+must stay integer (a silently promoted float makes the fabric numbers
+*wrong*, not slow — §III-D) and they must stay vectorized (a per-pixel
+Python loop melts the §III-C NEON speedups back into the generic
+baseline).  Three rules:
+
+* ``AST-FLOAT-LIT`` — a bare float literal participating in arithmetic
+  inside an integer-kernel function (name mentions ``i8``/``u8``/
+  ``acc16``/``acc32``/``popcount``/``bitserial``).  Floats wrapped in an
+  explicit dtype constructor (``np.float32(...)``, ``fdt(...)``,
+  ``float(...)``) are deliberate and exempt.
+* ``AST-PROMOTE`` — ``.astype(float)`` / ``.astype(int)`` / ``dtype=float``
+  with the Python *builtins*: their width is platform-dependent, which is
+  exactly the non-reproducibility the pinned ``np.float32``/``np.int32``
+  spellings avoid.
+* ``AST-NESTED-LOOP`` — ``for`` nesting three levels or deeper in one
+  function: the per-pixel-Python shape.  The instruction-level fidelity
+  models (:mod:`repro.neon.gemmlowp`) document their loops with
+  ``# analyze: allow(AST-NESTED-LOOP)``.
+
+Suppression: a finding is dropped when its own line, the line above it,
+or the enclosing ``def`` line carries ``# analyze: allow(RULE-ID)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import List, Optional, Sequence
+
+from repro.analyze.findings import WARNING, Finding
+
+#: Packages holding the hot-path kernels this pass audits by default.
+DEFAULT_MODULES = ("core", "neon")
+
+#: Function names treated as integer kernels for AST-FLOAT-LIT.
+_INT_KERNEL_RE = re.compile(r"i8|u8|acc16|acc32|popcount|bitserial|int8")
+
+#: Calls that make a float literal an explicit, deliberate conversion.
+_DTYPE_CALL_RE = re.compile(r"float|int|fdt|wdt|sdt|dtype|np\.")
+
+_ALLOW_RE = re.compile(r"#\s*analyze:\s*allow\(([A-Z0-9_,\s-]+)\)")
+
+
+def relative_to_package(path: str) -> str:
+    """Render *path* relative to the repro package root when possible."""
+    try:
+        import repro
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        rel = os.path.relpath(os.path.abspath(path), root)
+        if not rel.startswith(".."):
+            return rel
+    except Exception:  # pragma: no cover - degraded rendering only
+        pass
+    return path
+
+
+def is_suppressed(lines: List[str], lineno: int, rule: str) -> bool:
+    """True when an ``# analyze: allow(RULE)`` comment covers *lineno*."""
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines):
+            match = _ALLOW_RE.search(lines[candidate - 1])
+            if match and rule in {
+                part.strip() for part in match.group(1).split(",")
+            }:
+                return True
+    return False
+
+
+def _def_suppressed(lines: List[str], func, rule: str) -> bool:
+    return is_suppressed(lines, func.lineno, rule) or is_suppressed(
+        lines, func.lineno + 1, rule
+    )
+
+
+def default_paths() -> List[str]:
+    import repro
+
+    root = os.path.dirname(repro.__file__)
+    paths: List[str] = []
+    for module in DEFAULT_MODULES:
+        directory = os.path.join(root, module)
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".py"):
+                paths.append(os.path.join(directory, name))
+    return paths
+
+
+def lint_hot_paths(paths: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the hot-path rules over *paths* (default: core + neon)."""
+    findings: List[Finding] = []
+    for path in paths if paths is not None else default_paths():
+        with open(path) as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename=path))
+    return findings
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    label = relative_to_package(filename)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_lint_function(node, label, lines))
+    return findings
+
+
+def _lint_function(func, label: str, lines: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    depth = _max_for_depth(func)
+    if depth >= 3 and not _def_suppressed(lines, func, "AST-NESTED-LOOP"):
+        findings.append(
+            Finding(
+                WARNING,
+                "AST-NESTED-LOOP",
+                f"{label}:{func.lineno}",
+                f"{func.name} nests {depth} Python for-loops; per-pixel "
+                f"Python iteration undoes the vectorized hot path",
+                hint="vectorize with numpy, or mark an intentional "
+                "fidelity model with # analyze: allow(AST-NESTED-LOOP)",
+            )
+        )
+    if _INT_KERNEL_RE.search(func.name) and not _def_suppressed(
+        lines, func, "AST-FLOAT-LIT"
+    ):
+        findings.extend(_lint_float_literals(func, label, lines))
+    findings.extend(_lint_promotions(func, label, lines))
+    return findings
+
+
+def _max_for_depth(func) -> int:
+    def depth_of(node: ast.AST, current: int) -> int:
+        deepest = current
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are linted on their own
+            bump = 1 if isinstance(child, ast.For) else 0
+            deepest = max(deepest, depth_of(child, current + bump))
+        return deepest
+
+    return depth_of(func, 0)
+
+
+def _lint_float_literals(func, label: str, lines: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    wrapped: set = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and _is_dtype_call(node):
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Constant) and isinstance(
+                    inner.value, float
+                ):
+                    wrapped.add(id(inner))
+    for node in ast.walk(func):
+        if not isinstance(node, ast.BinOp):
+            continue
+        for operand in (node.left, node.right):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                and id(operand) not in wrapped
+                and not is_suppressed(lines, operand.lineno, "AST-FLOAT-LIT")
+            ):
+                findings.append(
+                    Finding(
+                        WARNING,
+                        "AST-FLOAT-LIT",
+                        f"{label}:{operand.lineno}",
+                        f"float literal {operand.value!r} in integer kernel "
+                        f"{func.name}; implicit promotion changes the "
+                        f"arithmetic contract",
+                        hint="wrap in an explicit dtype constructor "
+                        "(np.float32(...)) if the float is deliberate",
+                    )
+                )
+    return findings
+
+
+def _is_dtype_call(call: ast.Call) -> bool:
+    name = ""
+    if isinstance(call.func, ast.Name):
+        name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        prefix = ""
+        if isinstance(call.func.value, ast.Name):
+            prefix = call.func.value.id + "."
+        name = prefix + call.func.attr
+    return bool(_DTYPE_CALL_RE.search(name))
+
+
+def _lint_promotions(func, label: str, lines: List[str]) -> List[Finding]:
+    """Flag width-ambiguous ``astype(float)`` / ``dtype=int`` spellings."""
+    findings: List[Finding] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        builtin = None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in ("float", "int")
+        ):
+            builtin = node.args[0].id
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "dtype"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in ("float", "int")
+            ):
+                builtin = keyword.value.id
+        if builtin and not is_suppressed(lines, node.lineno, "AST-PROMOTE"):
+            findings.append(
+                Finding(
+                    WARNING,
+                    "AST-PROMOTE",
+                    f"{label}:{node.lineno}",
+                    f"{func.name} converts through the platform-width "
+                    f"builtin '{builtin}'",
+                    hint="pin the width: np.float64/np.int64 (or the "
+                    "narrow dtype the kernel contract names)",
+                )
+            )
+    return findings
+
+
+__all__ = [
+    "lint_hot_paths",
+    "lint_source",
+    "default_paths",
+    "is_suppressed",
+    "relative_to_package",
+    "DEFAULT_MODULES",
+]

@@ -1,0 +1,114 @@
+"""The shared structured finding model of every analysis pass.
+
+One model for all three passes (plan dataflow, overflow proving, AST
+lint) *and* the cfg-text linter of :mod:`repro.nn.lint`: a finding has a
+severity, a stable rule id, a location string, a human message and an
+optional fix hint.  The passes never print or exit themselves — they
+return findings, and the CLI renders and exit-codes them identically
+regardless of which pass produced them.
+
+Severity semantics:
+
+* ``error`` — the artifact is wrong (broken quantization contract,
+  provable int32 overflow, lock-discipline violation); ``repro analyze``
+  exits non-zero.
+* ``warning`` — suspicious but not provably wrong (worst-case acc16
+  saturation is *possible*, unusual regime combinations).
+* ``info`` — advisory (the activation range tops out the quantizer on
+  randomly initialized weights, mixed route scales forcing a float
+  concat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+#: Rank order used for sorting (most severe first) and max_severity().
+_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: Schema version of the ``--json`` rendering; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis result: severity, rule id, location, message, hint."""
+
+    severity: str
+    rule: str
+    where: str
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _RANK:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {sorted(_RANK)}"
+            )
+
+    def __str__(self) -> str:
+        text = f"[{self.severity}] {self.where}: {self.message} [{self.rule}]"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "severity": self.severity,
+            "rule": self.rule,
+            "where": self.where,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Most severe first, then by location (stable render order)."""
+    return sorted(findings, key=lambda f: (_RANK[f.severity], f.where, f.rule))
+
+
+def max_severity(findings: Iterable[Finding]) -> Optional[str]:
+    """The worst severity present, or ``None`` for an empty list."""
+    worst = None
+    for finding in findings:
+        if worst is None or _RANK[finding.severity] < _RANK[worst]:
+            worst = finding.severity
+    return worst
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    """True iff at least one error-severity finding is present."""
+    return any(f.severity == ERROR for f in findings)
+
+
+def exit_code(findings: Iterable[Finding]) -> int:
+    """The CLI convention: non-zero iff an error-severity finding exists."""
+    return 1 if has_errors(findings) else 0
+
+
+def findings_to_json(findings: Iterable[Finding]) -> Dict:
+    """Schema-stable JSON document (pinned by the CLI tests)."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+    }
+
+
+__all__ = [
+    "Finding",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "JSON_SCHEMA_VERSION",
+    "sort_findings",
+    "max_severity",
+    "has_errors",
+    "exit_code",
+    "findings_to_json",
+]

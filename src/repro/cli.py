@@ -11,6 +11,7 @@ exposes the reproduction's equivalents:
 * ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
 * ``python -m repro serve-bench [--output BENCH_serve.json]`` — serving bench
 * ``python -m repro plan-check`` — engine-vs-legacy bit-identity + liveness
+* ``python -m repro analyze [--self] [--json]`` — static analysis passes
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
 
@@ -55,23 +56,97 @@ def cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
+def _load_config(name: str):
     from repro.nn import zoo
     from repro.nn.config import parse_config
-    from repro.nn.lint import ERROR, lint_config
 
-    if args.network in _ZOO:
-        config = getattr(zoo, _ZOO[args.network])()
-    else:
-        with open(args.network) as handle:
-            config = parse_config(handle.read())
-    findings = lint_config(config)
+    if name in _ZOO:
+        return getattr(zoo, _ZOO[name])()
+    with open(name) as handle:
+        return parse_config(handle.read())
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Deprecated alias of ``repro analyze --cfg-only`` (same findings)."""
+    from repro.analyze import exit_code
+    from repro.nn.lint import lint_config
+
+    print(
+        "note: 'repro lint' is deprecated; use 'repro analyze --cfg-only'",
+        file=sys.stderr,
+    )
+    findings = lint_config(_load_config(args.network))
     if not findings:
         print("no findings — configuration looks consistent")
         return 0
     for finding in findings:
         print(finding)
-    return 1 if any(f.severity == ERROR for f in findings) else 0
+    return exit_code(findings)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze`` — the static-analysis passes over plans and source.
+
+    Positional targets are zoo names or cfg files; with none given the
+    whole zoo is analyzed (every network gets the cfg lint, the plan
+    dataflow verifier and the overflow prover).  ``--self`` runs the
+    concurrency and hot-path AST rules over the repro source instead
+    (CI's lint gate); combining both in one invocation also works.
+    Exit code 1 iff any error-severity finding exists.
+    """
+    import json
+
+    import numpy as np
+
+    from repro import analyze
+    from repro.analyze.findings import JSON_SCHEMA_VERSION, sort_findings
+    from repro.nn.lint import lint_config
+    from repro.nn.network import Network
+
+    networks = list(args.networks)
+    if not networks and not args.self_lint:
+        networks = sorted(_ZOO)
+    tagged = []  # (target, finding) pairs in analysis order
+    for name in networks:
+        config = _load_config(name)
+        if args.cfg_only:
+            findings = sort_findings(lint_config(config))
+        else:
+            network = Network(config)
+            network.initialize(np.random.default_rng(args.seed))
+            findings = analyze.analyze_network(network, config)
+        tagged.extend((name, finding) for finding in findings)
+    if args.self_lint:
+        tagged.extend(("self", finding) for finding in analyze.analyze_self())
+
+    if args.json:
+        document = {
+            "version": JSON_SCHEMA_VERSION,
+            "findings": [
+                dict(finding.to_dict(), target=target)
+                for target, finding in tagged
+            ],
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        targets = networks + (["self"] if args.self_lint else [])
+        for target in targets:
+            own = [finding for tag, finding in tagged if tag == target]
+            print(f"== {target} ==")
+            if not own:
+                print("no findings — looks consistent")
+            else:
+                for finding in own:
+                    print(finding)
+        errors = sum(1 for _, f in tagged if f.severity == "error")
+        warnings = sum(1 for _, f in tagged if f.severity == "warning")
+        infos = sum(1 for _, f in tagged if f.severity == "info")
+        print(
+            f"summary: {len(tagged)} finding(s) across {len(targets)} "
+            f"target(s) — {errors} error(s), {warnings} warning(s), "
+            f"{infos} info"
+        )
+    return analyze.exit_code(finding for _, finding in tagged)
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
@@ -387,10 +462,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_summary.set_defaults(func=cmd_summary)
 
     p_lint = sub.add_parser(
-        "lint", help="check a cfg (zoo name or file) for quantization mistakes"
+        "lint",
+        help="deprecated alias of 'analyze --cfg-only' (cfg-text checks)",
     )
     p_lint.add_argument("network")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: cfg lint, plan dataflow, overflow proofs, "
+        "AST lint (--self)",
+    )
+    p_analyze.add_argument(
+        "networks", nargs="*",
+        help="zoo names or cfg files (default: the whole zoo)",
+    )
+    p_analyze.add_argument(
+        "--self", dest="self_lint", action="store_true",
+        help="lint the repro source itself (concurrency + hot-path rules)",
+    )
+    p_analyze.add_argument(
+        "--cfg-only", action="store_true",
+        help="only run the cfg-text lint (what 'repro lint' used to do)",
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the findings as a schema-stable JSON document",
+    )
+    p_analyze.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the random initialization of analyzed networks",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_workload = sub.add_parser("workload", help="Tables I and II")
     p_workload.set_defaults(func=cmd_workload)

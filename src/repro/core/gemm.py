@@ -168,6 +168,38 @@ def gemm_i8_acc16_reference(
     return acc.astype(np.int16), overflow
 
 
+def acc16_worst_case_bound(
+    b_codes: np.ndarray, a_max: int = 255, pre_shift: int = 4
+) -> int:
+    """Worst-case |accumulator| of :func:`gemm_i8_acc16` over any uint8 input.
+
+    For weight codes ``b_codes`` (``(K,)`` one output column or ``(K, N)``
+    the whole operand) and activations bounded by ``a_max``, every shifted
+    product satisfies ``|rounding_rshift(a*b, s)| <= (|b|*a_max + r) >> s``
+    with ``r = 1 << (s-1)``, so the per-output accumulator magnitude is
+    bounded by the column sum of those per-tap bounds.  The static overflow
+    prover compares the worst column against the int16 ceiling: a bound
+    within the ceiling *proves* the saturating accumulator never clips.
+    """
+    if pre_shift < 0:
+        raise ValueError("pre_shift must be non-negative")
+    codes = np.atleast_2d(np.asarray(b_codes, dtype=np.int64))
+    if codes.shape[0] == 1 and np.asarray(b_codes).ndim == 1:
+        codes = codes.T  # one column: (K,) -> (K, 1)
+    rounding = (1 << (pre_shift - 1)) if pre_shift > 0 else 0
+    taps = (np.abs(codes) * int(a_max) + rounding) >> pre_shift
+    return int(taps.sum(axis=0).max())
+
+
+def acc32_worst_case_bound(k: int, a_max: int, b_max: int) -> int:
+    """Worst-case |accumulator| of :func:`gemm_i8_acc32`: ``K * a_max * b_max``.
+
+    The acc32 path has no saturation — it *raises* on an int32 breach — so
+    the prover flags a bound past ``2**31 - 1`` as an error, not a warning.
+    """
+    return int(k) * abs(int(a_max)) * abs(int(b_max))
+
+
 #: Column-block width of the low-bits correction pass; sized so the
 #: transient ``(M, K, block)`` byte tensor stays cache-resident.
 ACC16_COL_BLOCK = 4096
@@ -392,5 +424,7 @@ __all__ = [
     "gemm_i8_acc32",
     "gemm_i8_acc16",
     "gemm_i8_acc16_reference",
+    "acc16_worst_case_bound",
+    "acc32_worst_case_bound",
     "ACC16_COL_BLOCK",
 ]

@@ -14,7 +14,7 @@ bit-identical per-frame results to the sequential single-frame paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np

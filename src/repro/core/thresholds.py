@@ -114,6 +114,34 @@ class ThresholdActivation:
         return plan
 
 
+def monotone_violations(
+    thresholds: np.ndarray, signs: np.ndarray
+) -> np.ndarray:
+    """Channel indices whose thresholds are non-monotone for their direction.
+
+    This is the public form of the :meth:`ThresholdActivation._sorted_plan`
+    admission test: a ``+1`` channel needs ascending thresholds, a ``-1``
+    channel descending ones (ascending after reversal).  A violating
+    channel still *executes* correctly — ``apply`` falls back to the
+    generic hit-counting path — but it cannot have come out of a faithful
+    BN+ReLU+requantize folding, so the static dataflow verifier treats it
+    as a corrupted threshold table.
+    """
+    thresholds = np.asarray(thresholds)
+    signs = np.asarray(signs)
+    bad = []
+    for ch in range(thresholds.shape[0]):
+        ascending = thresholds[ch] if int(signs[ch]) > 0 else thresholds[ch][::-1]
+        if np.any(np.diff(ascending) < 0):
+            bad.append(ch)
+    return np.asarray(bad, dtype=np.int64)
+
+
+def is_monotone(activation: ThresholdActivation) -> bool:
+    """True when every channel's threshold table is monotone (fast path ok)."""
+    return monotone_violations(activation.thresholds, activation.signs).size == 0
+
+
 def derive_thresholds(
     gamma: np.ndarray,
     beta: np.ndarray,
@@ -197,4 +225,6 @@ __all__ = [
     "ThresholdActivation",
     "derive_thresholds",
     "float_reference_activation",
+    "monotone_violations",
+    "is_monotone",
 ]

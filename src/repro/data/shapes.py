@@ -11,7 +11,6 @@ mAP and retraining measurably recovers it (the Table IV phenomenon).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np

@@ -87,6 +87,33 @@ class ExecutionPlan:
         """The steps that must funnel through the single fabric engine."""
         return [step for step in self.steps if step.resource == FABRIC]
 
+    # -- read-only metadata (the static analyzer's view) ---------------------
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All dataflow edges as ``(producer, consumer)`` buffer-id pairs.
+
+        ``INPUT`` (= -1) appears as the producer of the network input's
+        edges.  The order is the consumption order: step by step, each
+        step's ``inputs`` tuple in declaration order.
+        """
+        return [
+            (producer, step.index)
+            for step in self.steps
+            for producer in step.inputs
+        ]
+
+    def consumers(self, buffer_id: int) -> Tuple[int, ...]:
+        """Step indices that read *buffer_id* (``INPUT`` for the net input)."""
+        return tuple(
+            step.index for step in self.steps if buffer_id in step.inputs
+        )
+
+    def buffer_shape(self, buffer_id: int) -> Tuple[int, int, int]:
+        """Frame shape of a buffer: the input shape or a step's out shape."""
+        if buffer_id == INPUT:
+            return tuple(self.input_shape)
+        return tuple(self.steps[buffer_id].out_shape)
+
     # -- memory accounting -------------------------------------------------
 
     def _buffer_elements(self, buffer_id: int) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.finn.device import FPGAFabric
 from repro.finn.mvtu import Folding, MVTUGeometry

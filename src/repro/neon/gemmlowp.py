@@ -32,6 +32,7 @@ from repro.neon.simd import (
 )
 
 
+# analyze: allow(AST-NESTED-LOOP) — instruction-level fidelity model, not a hot path
 def gemm_u8_neon(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """uint8 x uint8 -> int32 GEMM through emulated NEON instructions.
 

@@ -29,7 +29,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc32, rounding_rshift, saturate
+from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc32
 from repro.core.im2col import im2col, im2col_batch, sliced_im2col
 from repro.core.quantize import AffineQuantizer
 from repro.core.tensor import conv_output_size

@@ -1,4 +1,4 @@
-"""Network-configuration linting.
+"""Network-configuration linting (the cfg-text pass of ``repro analyze``).
 
 Misconfigured quantization chains fail silently in float emulation (the
 numbers are merely wrong); the linter catches the classes of mistakes that
@@ -11,29 +11,26 @@ bit us while building the reproduction:
 * a region head whose channel count does not match anchors/classes;
 * offloadable runs interrupted by un-binarized layers.
 
-``lint_config`` returns structured findings; the CLI renders them.
+``lint_config`` returns findings on the shared
+:class:`repro.analyze.findings.Finding` model, so the CLI renders and
+exit-codes them exactly like the plan/AST passes.  This pass sees only
+the cfg *text* — the weight-aware checks live in
+:mod:`repro.analyze.dataflow`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List
 
+from repro.analyze.findings import ERROR, WARNING, Finding
 from repro.nn.config import NetworkConfig
 
-WARNING = "warning"
-ERROR = "error"
 
-
-@dataclass(frozen=True)
-class Finding:
-    severity: str
-    layer_index: int       # -1 for network-level findings
-    message: str
-
-    def __str__(self) -> str:
-        where = "net" if self.layer_index < 0 else f"layer {self.layer_index}"
-        return f"[{self.severity}] {where}: {self.message}"
+def _finding(
+    severity: str, index: int, message: str, rule: str, hint: str = ""
+) -> Finding:
+    where = "net" if index < 0 else f"layer {index}"
+    return Finding(severity, rule, where, message, hint)
 
 
 def lint_config(config: NetworkConfig) -> List[Finding]:
@@ -45,9 +42,13 @@ def lint_config(config: NetworkConfig) -> List[Finding]:
     try:
         channels, height, width = config.input_shape()
         if height <= 0 or width <= 0 or channels <= 0:
-            findings.append(Finding(ERROR, -1, "non-positive input geometry"))
+            findings.append(
+                _finding(ERROR, -1, "non-positive input geometry", "CFG-GEOMETRY")
+            )
     except KeyError:
-        findings.append(Finding(ERROR, -1, "[net] lacks width/height"))
+        findings.append(
+            _finding(ERROR, -1, "[net] lacks width/height", "CFG-GEOMETRY")
+        )
         return findings
 
     producing_bits = None  # activation bits of the upstream layer (None=float)
@@ -58,25 +59,30 @@ def lint_config(config: NetworkConfig) -> List[Finding]:
             bits = int(section.options.get("activation_bits", "0") or 0)
             if binary and ternary:
                 findings.append(
-                    Finding(ERROR, index, "binary=1 and ternary=1 together")
+                    _finding(
+                        ERROR, index, "binary=1 and ternary=1 together",
+                        "CFG-REGIME-CLASH",
+                    )
                 )
             if binary and producing_bits is None and index > 0:
                 findings.append(
-                    Finding(
+                    _finding(
                         WARNING,
                         index,
                         "binarized convolution consumes an unquantized feature "
                         "map; the fabric streams level codes (set "
                         "activation_bits on the producer)",
+                        "CFG-UNQUANT-BINARY",
                     )
                 )
             if binary and producing_bits is not None and producing_bits > 4:
                 findings.append(
-                    Finding(
+                    _finding(
                         WARNING,
                         index,
                         f"{producing_bits}-bit activations into a binary-weight "
                         "layer is unusually wide for an MVTU",
+                        "CFG-WIDE-ACTIVATION",
                     )
                 )
             if bits and not section.options.get("activation") in (
@@ -94,22 +100,24 @@ def lint_config(config: NetworkConfig) -> List[Finding]:
             producer = _previous_filter_count(layers, index)
             if producer is not None and producer != expected:
                 findings.append(
-                    Finding(
+                    _finding(
                         ERROR,
                         index,
                         f"region expects {expected} input channels "
                         f"({num}x({coords}+1+{classes})) but the previous "
                         f"convolution produces {producer}",
+                        "CFG-REGION-CHANNELS",
                     )
                 )
             if producing_bits is not None:
                 findings.append(
-                    Finding(
+                    _finding(
                         WARNING,
                         index,
                         "region head consumes quantized activations; the "
                         "paper keeps the output layer in float/int8 "
                         "(quantization sensitive, §III-A)",
+                        "CFG-QUANT-HEAD",
                     )
                 )
         elif section.name == "offload":
@@ -119,7 +127,10 @@ def lint_config(config: NetworkConfig) -> List[Finding]:
                 producing_bits = None
         else:
             findings.append(
-                Finding(WARNING, index, f"unknown section [{section.name}]")
+                _finding(
+                    WARNING, index, f"unknown section [{section.name}]",
+                    "CFG-UNKNOWN-SECTION",
+                )
             )
     return findings
 

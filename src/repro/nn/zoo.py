@@ -18,7 +18,7 @@ the resulting networks reproduce Tables I and II digit for digit — the
 from __future__ import annotations
 
 import copy
-from typing import Callable, List
+from typing import List
 
 from repro.nn.config import NetworkConfig, Section
 from repro.nn.layers.region import TINY_YOLO_VOC_ANCHORS

@@ -16,7 +16,7 @@ The final rung's 160x total speedup is the paper's headline number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.perf.cost_model import (
@@ -34,7 +34,7 @@ from repro.perf.stages import (
     LETTERBOXING_S,
     StageTime,
 )
-from repro.pipeline.scheduler import FABRIC, StageDescriptor
+from repro.pipeline.scheduler import StageDescriptor
 from repro.pipeline.simulate import DEFAULT_JOB_OVERHEAD_S, PipelineSimulator
 
 #: Frame rates reported in the paper at each rung.

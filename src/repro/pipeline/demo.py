@@ -21,10 +21,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.tensor import FeatureMap
-from repro.eval.boxes import Box, Detection, nms
+from repro.eval.boxes import Detection, nms
 from repro.nn.layers.region import RegionLayer
 from repro.nn.network import Network
-from repro.pipeline.scheduler import CPU, FABRIC, StageDescriptor
+from repro.pipeline.scheduler import StageDescriptor
 from repro.pipeline.workers import ThreadedPipeline
 from repro.video.draw import draw_detections
 from repro.video.letterbox import LetterboxGeometry, letterbox

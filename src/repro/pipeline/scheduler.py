@@ -12,7 +12,7 @@ next given the buffer states and resource occupancy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.resources import CPU, FABRIC

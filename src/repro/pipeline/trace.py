@@ -9,7 +9,7 @@ empty input buffers, the no-overtake discipline — visible in plain text.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.pipeline.scheduler import CPU, PipelineTopology, StageDescriptor

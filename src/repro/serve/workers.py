@@ -179,7 +179,10 @@ class HeterogeneousWorkerPool:
             job.fail(ServerClosed("worker pool shut down before execution"))
         ok = join_threads(self._threads, timeout)
         if ok:
-            self._threads = []
+            # start() assigns the thread list under the lock; reset it under
+            # the same lock so a concurrent start() never races the clear.
+            with self._lock:
+                self._threads = []
         return ok
 
 

@@ -21,7 +21,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.eval.boxes import Detection, GroundTruth
+from repro.eval.boxes import Detection
 from repro.eval.metrics import ImageEval, MAPResult, evaluate_map
 from repro.train.layers import (
     Activation,
@@ -33,7 +33,7 @@ from repro.train.layers import (
     QConv2d,
     Sequential,
 )
-from repro.train.loss import DetectionLoss, decode_grid_predictions
+from repro.train.loss import decode_grid_predictions
 
 VARIANTS = ("mini-tiny", "mini-tiny+a", "mini-tiny+abc", "mini-tincy")
 

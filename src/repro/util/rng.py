@@ -8,7 +8,7 @@ initialization, the synthetic camera) takes an explicit seed or
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -4,6 +4,21 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def strict_float_errors():
+    """Escalate silent numpy float anomalies to errors for every test.
+
+    Overflow, invalid operations and divide-by-zero in the emulation are
+    bugs, not noise — the quantized kernels are supposed to stay inside
+    their integer ranges by construction.  Note ``np.errstate`` is
+    thread-local: worker threads spawned by serve/pipeline tests run with
+    numpy defaults, which is fine — their results flow back to the
+    asserting (main) thread.
+    """
+    with np.errstate(over="raise", invalid="raise", divide="raise"):
+        yield
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

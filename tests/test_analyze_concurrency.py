@@ -1,0 +1,216 @@
+"""Concurrency + hot-path AST lint: seeded fixture modules per rule.
+
+Each rule gets a minimal source fixture exhibiting the violation, a
+clean counterpart that must NOT fire (the rules must not cry wolf over
+the repo's own disciplined code), and a suppressed variant proving the
+``# analyze: allow(...)`` escape hatch works.
+"""
+
+import textwrap
+
+from repro.analyze import analyze_self
+from repro.analyze.astlint import lint_source as lint_ast
+from repro.analyze.concurrency import lint_concurrency
+from repro.analyze.concurrency import lint_source as lint_cc
+from repro.analyze.findings import ERROR, WARNING
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+BAD_LOCK = textwrap.dedent(
+    """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._jobs = []
+
+        def add(self, job):
+            with self._lock:
+                self._jobs = self._jobs + [job]
+
+        def reset(self):
+            self._jobs = []
+    """
+)
+
+
+class TestLockDiscipline:
+    def test_mixed_guarded_and_unguarded_write_is_error(self):
+        findings = lint_cc(BAD_LOCK)
+        hits = [f for f in findings if f.rule == "CC-LOCK-DISCIPLINE"]
+        assert hits and hits[0].severity == ERROR
+        assert "_jobs" in hits[0].message and "_lock" in hits[0].message
+
+    def test_init_writes_are_exempt(self):
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = []
+
+                def add(self, job):
+                    with self._lock:
+                        self._jobs = self._jobs + [job]
+            """
+        )
+        assert lint_cc(source) == []
+
+    def test_allow_comment_suppresses(self):
+        source = BAD_LOCK.replace(
+            "self._jobs = []\n",
+            "self._jobs = []  # analyze: allow(CC-LOCK-DISCIPLINE)\n",
+        )
+        # Only replace the occurrence inside reset(), not __init__.
+        assert source.count("allow(CC-LOCK-DISCIPLINE)") == 2
+        assert lint_cc(source) == []
+
+
+class TestThreadStartOrder:
+    def test_assignment_after_start_is_flagged(self):
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Runner:
+                def go(self):
+                    worker = threading.Thread(target=self._run)
+                    worker.start()
+                    self.ready = True
+            """
+        )
+        findings = lint_cc(source)
+        hits = [f for f in findings if f.rule == "CC-THREAD-BEFORE-INIT"]
+        assert hits and hits[0].severity == WARNING
+
+    def test_lock_guarded_assignment_after_join_is_not_flagged(self):
+        # The serve/pipeline shutdown shape: threads joined, then state
+        # cleared under the lock — properly synchronized, not a race.
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Runner:
+                def go(self):
+                    worker = threading.Thread(target=self._run)
+                    worker.start()
+                    worker.join()
+                    with self._control:
+                        self.active = None
+            """
+        )
+        assert _rules(lint_cc(source)) == []
+
+    def test_assignment_before_start_is_fine(self):
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Runner:
+                def go(self):
+                    self.ready = False
+                    worker = threading.Thread(target=self._run)
+                    worker.start()
+            """
+        )
+        assert lint_cc(source) == []
+
+
+class TestGateInvariant:
+    def test_unlocked_counter_updates_are_errors(self):
+        source = textwrap.dedent(
+            """
+            class Gate:
+                def __enter__(self):
+                    self.in_flight += 1
+                    return self
+
+                def __exit__(self, *exc_info):
+                    self.in_flight -= 1
+            """
+        )
+        findings = lint_cc(source)
+        assert _rules(findings) == ["CC-GATE-INVARIANT", "CC-GATE-INVARIANT"]
+        assert all(f.severity == ERROR for f in findings)
+
+    def test_locked_counters_are_clean(self):
+        source = textwrap.dedent(
+            """
+            class Gate:
+                def __enter__(self):
+                    with self._stats:
+                        self.in_flight += 1
+                    return self
+
+                def __exit__(self, *exc_info):
+                    with self._stats:
+                        self.in_flight -= 1
+            """
+        )
+        assert lint_cc(source) == []
+
+
+class TestHotPathRules:
+    def test_three_nested_loops_are_flagged(self):
+        source = textwrap.dedent(
+            """
+            def conv_pixels(image, kernel, out):
+                for row in range(4):
+                    for col in range(4):
+                        for tap in range(9):
+                            out[row, col] += image[row, col, tap] * kernel[tap]
+            """
+        )
+        findings = lint_ast(source)
+        assert _rules(findings) == ["AST-NESTED-LOOP"]
+
+    def test_def_line_allow_comment_suppresses_nested_loop(self):
+        source = textwrap.dedent(
+            """
+            # analyze: allow(AST-NESTED-LOOP)
+            def conv_pixels(image, kernel, out):
+                for row in range(4):
+                    for col in range(4):
+                        for tap in range(9):
+                            out[row, col] += image[row, col, tap] * kernel[tap]
+            """
+        )
+        assert lint_ast(source) == []
+
+    def test_float_literal_in_integer_kernel(self):
+        findings = lint_ast("def scale_i8(x):\n    return x * 1.5\n")
+        assert _rules(findings) == ["AST-FLOAT-LIT"]
+
+    def test_float_literal_outside_kernel_is_fine(self):
+        assert lint_ast("def scale(x):\n    return x * 1.5\n") == []
+
+    def test_wrapped_float_is_deliberate(self):
+        source = (
+            "import numpy as np\n"
+            "def scale_i8(x):\n    return x * np.float32(1.5)\n"
+        )
+        assert lint_ast(source) == []
+
+    def test_platform_width_builtins_are_flagged(self):
+        findings = lint_ast("def pack(x):\n    return x.astype(float)\n")
+        assert _rules(findings) == ["AST-PROMOTE"]
+        findings = lint_ast(
+            "import numpy as np\n"
+            "def pack(n):\n    return np.zeros(n, dtype=int)\n"
+        )
+        assert _rules(findings) == ["AST-PROMOTE"]
+
+
+class TestRepoIsClean:
+    def test_self_lint_passes_on_the_repo_source(self):
+        # The CI gate: repro analyze --self must stay clean.
+        assert analyze_self() == []
+
+    def test_concurrency_pass_alone_is_clean(self):
+        assert lint_concurrency() == []

@@ -7,11 +7,10 @@ frame's ground truth.  This exercises every coordinate transform in the
 chain; a sign error anywhere would crater the score.
 """
 
-import numpy as np
 import pytest
 
 from repro.data.shapes import ShapesDetectionDataset
-from repro.eval.boxes import Detection, nms
+from repro.eval.boxes import Detection
 from repro.eval.metrics import ImageEval, evaluate_map
 from repro.train.models import mini_yolo
 from repro.train.trainer import TrainConfig, train_detector

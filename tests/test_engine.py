@@ -126,6 +126,17 @@ class TestPlanStructure:
             assert step.resource == CPU
             assert step.inputs == ((index - 1,) if index else (INPUT,))
 
+    def test_metadata_accessors(self):
+        plan = compile_plan(Network(zoo.tincy_yolo_config()))
+        edges = plan.edges()
+        assert (INPUT, 0) in edges
+        assert all(producer < consumer for producer, consumer in edges)
+        assert plan.consumers(INPUT) == (0,)
+        assert plan.consumers(0) == (1,)
+        assert plan.consumers(len(plan) - 1) == ()  # the plan output
+        assert plan.buffer_shape(INPUT) == plan.input_shape
+        assert plan.buffer_shape(len(plan) - 1) == plan.output_shape
+
     def test_tincy_chain_liveness_releases_each_buffer_once(self):
         plan = compile_plan(Network(zoo.tincy_yolo_config()))
         released = [b for victims in plan.release_after.values() for b in victims]

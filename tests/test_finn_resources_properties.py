@@ -1,7 +1,5 @@
 """Property tests on the fabric resource model (sanity of the cost space)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Folding-space search tests."""
 
-import numpy as np
 import pytest
 
 from repro.finn.device import XCZU3EG, XCZU9EG, FPGAFabric

@@ -14,7 +14,7 @@ import pytest
 import repro.finn  # noqa: F401
 from repro.core.tensor import FeatureMap
 from repro.finn.offload_backend import export_offload
-from repro.nn.config import Section, serialize_config
+from repro.nn.config import Section
 from repro.nn.network import Network
 from repro.nn.zoo import tincy_yolo_config
 

@@ -11,7 +11,6 @@ from repro.neon.kernels import (
     conv_generic_float,
 )
 from repro.neon.timing import (
-    PATH_EFFICIENCY,
     conv_time_generic,
     conv_time_neon,
     generic_efficiency,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.tensor import FeatureMap
-from repro.nn.config import Section, parse_config
 from repro.nn.network import Network
 from repro.nn.registry import register_backend, unregister_backend
 from repro.nn.weights import load_weights, save_weights

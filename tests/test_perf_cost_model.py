@@ -13,8 +13,6 @@ from repro.perf.cost_model import (
     table3_total,
 )
 from repro.perf.ladder import (
-    PAPER_LADDER_FPS,
-    PAPER_TOTAL_SPEEDUP,
     ladder_steps,
     total_speedup,
 )

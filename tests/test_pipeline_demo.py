@@ -5,7 +5,6 @@ import pytest
 
 from repro.nn.network import Network
 from repro.pipeline.demo import build_demo_stages, run_demo
-from repro.pipeline.scheduler import FABRIC
 from repro.video.sink import CollectingSink
 from repro.video.source import SyntheticCamera
 

@@ -1,6 +1,5 @@
 """Network summary and pipeline-trace tests."""
 
-import numpy as np
 import pytest
 
 from repro.nn.network import Network

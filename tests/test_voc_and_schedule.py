@@ -1,6 +1,5 @@
 """VOC XML interchange and LR-schedule tests."""
 
-import numpy as np
 import pytest
 
 from repro.data.voc import (

@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# The unit tier only: wall-clock free, guarded by the conftest sleep budget
+# (docs/TESTING.md).  The inner loop while developing.
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow and not integration"
+
+# Coverage gate (CI runs this; needs pytest-cov: pip install pytest-cov).
+COV_FAIL_UNDER ?= 75
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ --cov=repro \
+		--cov-report=term-missing --cov-fail-under=$(COV_FAIL_UNDER)
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_inference.json

@@ -20,6 +20,13 @@ source AST:
   mutates counters outside any ``with`` block; the gate's
   ``max_in_flight`` audit trail is only trustworthy if every counter
   update is serialized.
+* ``CC-CIRCUIT-STATE`` — a state-machine class (``__init__`` binds both a
+  lock and a ``*state*`` attribute, the
+  :class:`~repro.serve.resilience.CircuitBreaker` shape) writes its state
+  attribute outside ``with self.<lock>:``.  Stricter than
+  ``CC-LOCK-DISCIPLINE``: it fires even when *no* write is guarded,
+  because an unserialized state transition can tear the breaker's
+  closed → open → half-open trajectory.
 
 Findings can be suppressed per line with ``# analyze: allow(RULE-ID)``.
 """
@@ -115,6 +122,75 @@ def _lint_class(
             )
     if _is_context_manager(cls):
         findings.extend(_lint_gate(cls, label, lines))
+    findings.extend(_lint_circuit_state(cls, label, lines))
+    return findings
+
+
+def _lint_circuit_state(
+    cls: ast.ClassDef, label: str, lines: List[str]
+) -> List[Finding]:
+    """State-machine classes must serialize every state-attribute write.
+
+    Applies to classes whose ``__init__`` binds both a threading
+    lock/condition and an attribute whose name contains ``state``.  Unlike
+    ``CC-LOCK-DISCIPLINE`` this does not require a guarded write elsewhere
+    to establish the convention — holding the class's own lock is the
+    convention, and any bare write is an error.
+    """
+    init = next(
+        (
+            n
+            for n in cls.body
+            if isinstance(n, _FUNC_TYPES) and n.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return []
+    lock_attrs: Set[str] = set()
+    state_attrs: Set[str] = set()
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if _creates_lock(node.value):
+                lock_attrs.add(target.attr)
+            if "state" in target.attr.lower():
+                state_attrs.add(target.attr)
+    if not lock_attrs or not state_attrs:
+        return []
+    findings: List[Finding] = []
+    for method in (n for n in cls.body if isinstance(n, _FUNC_TYPES)):
+        if method.name == "__init__":
+            continue
+        for attr, lock, line in _attribute_writes(method):
+            if attr not in state_attrs:
+                continue
+            if lock in lock_attrs:
+                continue
+            if is_suppressed(lines, line, "CC-CIRCUIT-STATE"):
+                continue
+            locks = "/".join(sorted(lock_attrs))
+            findings.append(
+                Finding(
+                    ERROR,
+                    "CC-CIRCUIT-STATE",
+                    f"{label}:{line}",
+                    f"state machine {cls.name}.{method.name} writes "
+                    f"self.{attr} outside 'with self.{locks}:'; an "
+                    f"unserialized transition can tear the state "
+                    f"trajectory",
+                    hint=f"transition under 'with self.{locks}:' (or, for "
+                    "helpers whose callers hold the lock, document with "
+                    "# analyze: allow(CC-CIRCUIT-STATE))",
+                )
+            )
     return findings
 
 
@@ -298,6 +374,19 @@ def _is_thread_start(call: ast.Call, func) -> bool:
         return True
     if isinstance(owner, ast.Attribute) and "thread" in owner.attr.lower():
         return True
+    return False
+
+
+def _creates_lock(value: ast.AST) -> bool:
+    """Does *value* construct a threading Lock / RLock / Condition?"""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                func, "id", ""
+            )
+            if name in ("Lock", "RLock", "Condition"):
+                return True
     return False
 
 

@@ -181,6 +181,8 @@ def bench_serve(
     cpu_workers: int = 2,
     seed: int = 0,
     result_timeout_s: float = 120.0,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> Dict:
     """Serving scenario: drive an :class:`InferenceServer` open loop.
 
@@ -191,7 +193,17 @@ def bench_serve(
     dependence).  Arrivals never wait for completions, so overload is
     possible by design: shed requests are counted, accepted ones are
     awaited, and the server's full metrics snapshot lands in the report.
+
+    *faults*, when given, is a :meth:`repro.faults.FaultPlan.parse` spec
+    (e.g. ``"fabric-raise@0,3;fabric-corrupt%0.1"``) installed for the
+    duration of the run; the report then carries a ``faults`` section with
+    the plan and the deterministic transcript of fired events — the
+    resilience metrics under ``metrics.resilience`` show how serving
+    absorbed them.
     """
+    from contextlib import ExitStack
+
+    from repro import faults as faults_mod
     from repro.serve import InferenceServer, Overloaded, ServeConfig
     from repro.util.rng import new_rng
 
@@ -216,7 +228,13 @@ def bench_serve(
         cpu_workers=cpu_workers,
     )
     futures = []
-    with InferenceServer(network, config) as server:
+    plan = None
+    injector = None
+    with ExitStack() as stack:
+        if faults:
+            plan = faults_mod.FaultPlan.parse(faults, seed=fault_seed)
+            injector = stack.enter_context(faults_mod.install(plan))
+        server = stack.enter_context(InferenceServer(network, config))
         start = time.perf_counter()
         for index in range(requests):
             if gaps is not None and gaps[index] > 0:
@@ -229,7 +247,7 @@ def bench_serve(
             future.result(result_timeout_s)
         wall = time.perf_counter() - start
         snapshot = server.metrics.snapshot()
-    return {
+    report = {
         "requests": int(requests),
         "arrival_rate_hz": arrival_rate_hz,
         "max_batch": int(max_batch),
@@ -240,6 +258,14 @@ def bench_serve(
         "wall_seconds": wall,
         "metrics": snapshot,
     }
+    if injector is not None:
+        report["faults"] = {
+            "spec": faults,
+            "seed": int(fault_seed),
+            "plan": plan.describe(),
+            "events": [list(event) for event in injector.events()],
+        }
+    return report
 
 
 #: Valid values of ``run_bench(scenario=...)`` / ``repro bench --scenario``.
@@ -281,6 +307,8 @@ def run_bench(
     serve_max_delay_s: float = 0.002,
     serve_queue_depth: int = 32,
     serve_cpu_workers: int = 2,
+    serve_faults: Optional[str] = None,
+    serve_fault_seed: int = 0,
 ) -> Dict:
     """Full harness: inference scenario, serving scenario, or both.
 
@@ -327,6 +355,8 @@ def run_bench(
             queue_depth=serve_queue_depth,
             cpu_workers=serve_cpu_workers,
             seed=seed,
+            faults=serve_faults,
+            fault_seed=serve_fault_seed,
         )
     return report
 
@@ -408,6 +438,23 @@ def format_report(report: Dict) -> str:
             for size, count in metrics["batch_histogram"].items()
         )
         lines.append(f"  flushes: {causes or 'none'}; batch sizes: {sizes or 'none'}")
+        if "faults" in serve:
+            resilience = metrics["resilience"]
+            failures = ", ".join(
+                f"{kind}={count}"
+                for kind, count in resilience["fabric_failures"].items()
+            )
+            lines.append(
+                f"  faults: {len(serve['faults']['events'])} injected "
+                f"({serve['faults']['spec']}); failures: {failures or 'none'}"
+            )
+            lines.append(
+                f"  resilience: retries {resilience['fabric_retries']}, "
+                f"breaker trips {resilience['breaker_trips']} "
+                f"(state {resilience['breaker_state']}), degraded "
+                f"{resilience['degraded_inferences']} inference(s), "
+                f"worker deaths {resilience['worker_deaths']}"
+            )
     return "\n".join(lines)
 
 

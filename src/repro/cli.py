@@ -316,6 +316,8 @@ def _serve_kwargs(args: argparse.Namespace) -> dict:
         "serve_max_delay_s": args.max_delay_ms / 1e3,
         "serve_queue_depth": args.queue_depth,
         "serve_cpu_workers": args.cpu_workers,
+        "serve_faults": args.faults,
+        "serve_fault_seed": args.fault_seed,
     }
 
 
@@ -529,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="admission-control queue limit (default 32)")
         parser.add_argument("--cpu-workers", type=int, default=2,
                             help="CPU workers next to the fabric executor")
+        parser.add_argument("--faults", default=None, metavar="PLAN",
+                            help="fault-injection plan, e.g. "
+                                 "'fabric-raise@0,3;fabric-corrupt%%0.1' "
+                                 "(see repro.faults.FaultPlan.parse)")
+        parser.add_argument("--fault-seed", type=int, default=0,
+                            help="seed of the fault plan's rate draws "
+                                 "(default 0)")
 
     p_bench = sub.add_parser(
         "bench", help="inference micro-benchmarks (BENCH_inference.json)"

@@ -20,9 +20,18 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.core.resources import FABRIC
 from repro.core.tensor import FeatureMapBatch
 from repro.engine.plan import INPUT, ExecutionPlan
+
+#: FABRIC-step routing policies of :meth:`Executor.run`:
+#: ``fabric`` (default) runs fabric steps on the fabric engine; ``reference``
+#: runs them on the bit-identical CPU reference path (degraded mode, no
+#: offload guard needed); ``scrub`` runs the fabric *and* the reference and
+#: raises :class:`~repro.faults.FabricCorruption` on any mismatch — runtime
+#: co-simulation, the serving watchdog's silent-corruption detector.
+FABRIC_MODES = ("fabric", "reference", "scrub")
 
 
 @dataclass(frozen=True)
@@ -85,14 +94,25 @@ class Executor:
 
     # -- public API --------------------------------------------------------
 
-    def run(self, fmb: FeatureMapBatch, offload_guard=None) -> FeatureMapBatch:
+    def run(
+        self,
+        fmb: FeatureMapBatch,
+        offload_guard=None,
+        fabric_mode: str = "fabric",
+    ) -> FeatureMapBatch:
         """Execute the plan on *fmb*; returns the final step's output.
 
         Intermediates are released as soon as their last consumer has run.
         Bit-identical per frame to the sequential pre-engine walk loops
         (pinned by the equivalence tests and ``make plan-check``).
+        *fabric_mode* picks the FABRIC-step routing (:data:`FABRIC_MODES`):
+        the serving layer runs ``reference`` while its circuit breaker is
+        open and ``scrub`` when fabric outputs must be cross-checked.
         """
-        return self._execute(fmb, keep_all=False, offload_guard=offload_guard)
+        return self._execute(
+            fmb, keep_all=False, offload_guard=offload_guard,
+            fabric_mode=fabric_mode,
+        )
 
     def run_all(
         self, fmb: FeatureMapBatch, offload_guard=None
@@ -103,7 +123,10 @@ class Executor:
         ``forward_batch_all`` and the calibration passes that genuinely
         need all intermediates.
         """
-        return self._execute(fmb, keep_all=True, offload_guard=offload_guard)
+        return self._execute(
+            fmb, keep_all=True, offload_guard=offload_guard,
+            fabric_mode="fabric",
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -116,7 +139,42 @@ class Executor:
         self.last_report = ExecutionReport(batch=0)
         return empties if keep_all else empties[-1]
 
-    def _execute(self, fmb: FeatureMapBatch, keep_all: bool, offload_guard):
+    def _run_fabric_step(self, step, inputs, guard, fabric_mode):
+        """Execute one FABRIC-tagged step according to *fabric_mode*."""
+        if fabric_mode == "reference":
+            return step.layer.run_batch_reference(inputs)
+        if guard is not None:
+            with guard:
+                out = faults.call(
+                    faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
+                )
+        else:
+            out = faults.call(
+                faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
+            )
+        if fabric_mode == "scrub":
+            expected = step.layer.run_batch_reference(inputs)
+            if (
+                not np.array_equal(out.data, expected.data)
+                or out.scale != expected.scale
+            ):
+                raise faults.FabricCorruption(
+                    f"fabric output of step '{step.name}' diverged from the "
+                    f"CPU reference path (scrub mode)"
+                )
+        return out
+
+    def _execute(
+        self,
+        fmb: FeatureMapBatch,
+        keep_all: bool,
+        offload_guard,
+        fabric_mode: str,
+    ):
+        if fabric_mode not in FABRIC_MODES:
+            raise ValueError(
+                f"fabric_mode must be one of {FABRIC_MODES}, got {fabric_mode!r}"
+            )
         plan = self.plan
         if tuple(fmb.frame_shape) != tuple(plan.input_shape):
             raise ValueError(
@@ -135,9 +193,8 @@ class Executor:
         for step in plan.steps:
             inputs = [buffers[buffer_id] for buffer_id in step.inputs]
             start = time.perf_counter()
-            if guard is not None and step.resource == FABRIC:
-                with guard:
-                    out = step.layer.run_batch(inputs)
+            if step.resource == FABRIC:
+                out = self._run_fabric_step(step, inputs, guard, fabric_mode)
             else:
                 out = step.layer.run_batch(inputs)
             wall = time.perf_counter() - start
@@ -170,4 +227,4 @@ class Executor:
         return outputs if keep_all else buffers[plan.steps[-1].index]
 
 
-__all__ = ["StepStats", "ExecutionReport", "Executor"]
+__all__ = ["FABRIC_MODES", "StepStats", "ExecutionReport", "Executor"]

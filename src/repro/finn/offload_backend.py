@@ -20,6 +20,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.tensor import FeatureMap, FeatureMapBatch
 from repro.core.thresholds import ThresholdActivation
 from repro.finn.accelerator import (
@@ -168,35 +169,64 @@ class FabricBackend:
         if self.accelerator is None:
             raise RuntimeError("load_weights before init")
 
-    def forward(self, fm: FeatureMap) -> FeatureMap:
+    def _validate_input(self, fm_or_batch, caller: str) -> np.ndarray:
+        """Common scale/dtype validation; returns the level array."""
         if self.accelerator is None:
-            raise RuntimeError("forward before init")
+            raise RuntimeError(f"{caller} before init")
         expected = self._meta["input_scale"]
-        if not np.isclose(fm.scale, expected, rtol=1e-6):
+        if not np.isclose(fm_or_batch.scale, expected, rtol=1e-6):
             raise ValueError(
-                f"offload input scale {fm.scale} does not match the exported "
-                f"bundle's {expected}"
+                f"offload input scale {fm_or_batch.scale} does not match the "
+                f"exported bundle's {expected}"
             )
-        levels = np.asarray(fm.data)
+        levels = np.asarray(fm_or_batch.data)
         if not np.issubdtype(levels.dtype, np.integer):
             raise ValueError("fabric offload consumes integer level codes")
-        return self.accelerator.forward(FeatureMap(levels, scale=fm.scale))
+        return levels
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        levels = self._validate_input(fm, "forward")
+        return faults.call(
+            faults.FABRIC_BACKEND,
+            lambda: self.accelerator.forward(FeatureMap(levels, scale=fm.scale)),
+        )
 
     def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
         """Batched offload: the accelerator stacks all frames' GEMM columns."""
-        if self.accelerator is None:
-            raise RuntimeError("forward_batch before init")
-        expected = self._meta["input_scale"]
-        if not np.isclose(fmb.scale, expected, rtol=1e-6):
-            raise ValueError(
-                f"offload input scale {fmb.scale} does not match the exported "
-                f"bundle's {expected}"
+        levels = self._validate_input(fmb, "forward_batch")
+        return faults.call(
+            faults.FABRIC_BACKEND,
+            lambda: self.accelerator.forward_batch(
+                FeatureMapBatch(levels, scale=fmb.scale)
+            ),
+        )
+
+    def reference_forward(self, fm: FeatureMap) -> FeatureMap:
+        """Run the bundle's stages on the CPU reference walk (no fault seam).
+
+        The iterated accelerator's per-frame stage walk *is* the CPU
+        reference for the exported sub-network — batch-vs-single pinning
+        already proves it bit-identical to :meth:`forward_batch` — so the
+        degraded serving path reuses it directly, bypassing the
+        :data:`repro.faults.FABRIC_BACKEND` seam that models the physical
+        engine.
+        """
+        levels = self._validate_input(fm, "reference_forward")
+        return self.accelerator.forward(FeatureMap(levels, scale=fm.scale))
+
+    def reference_forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Batched CPU reference path: per-frame stage walks, restacked."""
+        levels = self._validate_input(fmb, "reference_forward_batch")
+        batch = FeatureMapBatch(levels, scale=fmb.scale)
+        if batch.batch == 0:
+            return FeatureMapBatch(
+                np.zeros(
+                    (0,) + tuple(self.accelerator.out_shape), dtype=np.int64
+                ),
+                scale=self.accelerator.stages[-1].conv.out_scale,
             )
-        levels = np.asarray(fmb.data)
-        if not np.issubdtype(levels.dtype, np.integer):
-            raise ValueError("fabric offload consumes integer level codes")
-        return self.accelerator.forward_batch(
-            FeatureMapBatch(levels, scale=fmb.scale)
+        return FeatureMapBatch.from_maps(
+            [self.accelerator.forward(frame) for frame in batch.frames()]
         )
 
     def destroy(self) -> None:

@@ -171,6 +171,26 @@ class Layer:
             history[slot] = fmb
         return self.forward_batch(inputs[0], history=history)
 
+    def forward_reference(self, fm: FeatureMap) -> FeatureMap:
+        """Single-frame forward on the CPU reference path.
+
+        For CPU layers this *is* :meth:`forward`; offload layers override it
+        to bypass the fabric backend so degraded-mode serving never touches
+        a tripped (or fault-injected) fabric engine.
+        """
+        return self.forward(fm)
+
+    def run_batch_reference(
+        self, inputs: Sequence[FeatureMapBatch]
+    ) -> FeatureMapBatch:
+        """Engine entry for the CPU reference path (degraded mode).
+
+        Identical to :meth:`run_batch` for CPU layers; offload layers
+        override it to route around the fabric backend while staying
+        bit-identical to the fabric output (the repo's core invariant).
+        """
+        return self.run_batch(inputs)
+
     def history_dependencies(self) -> Tuple[int, ...]:
         """Absolute indices of earlier layers this layer reads, in order.
 

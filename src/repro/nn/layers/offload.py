@@ -97,6 +97,52 @@ class OffloadLayer(Layer):
             )
         return out
 
+    def forward_reference(self, fm: FeatureMap) -> FeatureMap:
+        """Single-frame CPU reference path: bypass the fabric engine.
+
+        Backends exposing ``reference_forward`` (the FINN fabric does) run
+        the exported stages on the bit-identical CPU kernels; legacy
+        backends without one fall through to the normal fabric call.
+        """
+        self._require_initialized()
+        if hasattr(self.backend, "reference_forward"):
+            out = self.backend.reference_forward(fm)
+        else:
+            out = self.backend.forward(fm)
+        if tuple(out.shape) != tuple(self.out_shape):
+            raise ValueError(
+                f"offload reference path returned {tuple(out.shape)}, "
+                f"declared {tuple(self.out_shape)}"
+            )
+        return out
+
+    def forward_batch_reference(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Batched CPU reference path (degraded serving mode)."""
+        self._require_initialized()
+        if hasattr(self.backend, "reference_forward_batch"):
+            out = self.backend.reference_forward_batch(fmb)
+        elif hasattr(self.backend, "reference_forward"):
+            out = FeatureMapBatch.from_maps(
+                [self.backend.reference_forward(frame) for frame in fmb.frames()]
+            )
+        else:
+            return self.forward_batch(fmb)
+        if tuple(out.frame_shape) != tuple(self.out_shape):
+            raise ValueError(
+                f"offload reference path returned frames "
+                f"{tuple(out.frame_shape)}, declared {tuple(self.out_shape)}"
+            )
+        return out
+
+    def run_batch_reference(self, inputs) -> FeatureMapBatch:
+        """Engine entry for the reference path; offloads take one input."""
+        self._require_initialized()
+        if len(inputs) != 1:
+            raise ValueError(
+                f"[{self.ltype}] consumes exactly one input, got {len(inputs)}"
+            )
+        return self.forward_batch_reference(inputs[0])
+
     def destroy(self) -> None:
         if self.backend is not None:
             self.backend.destroy()

@@ -22,11 +22,12 @@ import numpy as np
 
 from repro.core.tensor import FeatureMap
 from repro.eval.boxes import Detection, nms
+from repro.faults import FabricError
 from repro.nn.layers.region import RegionLayer
 from repro.nn.network import Network
-from repro.pipeline.scheduler import StageDescriptor
+from repro.pipeline.scheduler import FABRIC, StageDescriptor
 from repro.pipeline.workers import ThreadedPipeline
-from repro.video.draw import draw_detections
+from repro.video.draw import draw_degraded_banner, draw_detections
 from repro.video.letterbox import LetterboxGeometry, letterbox
 from repro.video.source import Frame
 
@@ -40,6 +41,9 @@ class DemoPayload:
     geometry: Optional[LetterboxGeometry] = None
     detections: List[Detection] = field(default_factory=list)
     annotated: Optional[np.ndarray] = None
+    #: True when any fabric stage of this frame fell back to the CPU
+    #: reference path (the frame is annotated with a degraded-mode marker).
+    degraded: bool = False
 
 
 def build_demo_stages(
@@ -73,9 +77,23 @@ def build_demo_stages(
     def make_layer_stage(step):
         # One stage per plan step: the plan already resolved the resource
         # tag (FABRIC for offload-style layers), so no ltype compares here.
-        def run_layer(payload: DemoPayload) -> DemoPayload:
-            payload.fm = step.layer.forward(payload.fm)
-            return payload
+        # FABRIC stages degrade to the bit-identical CPU reference path on
+        # any fabric failure — a demo frame is never lost to the fabric.
+        if step.resource == FABRIC:
+
+            def run_layer(payload: DemoPayload) -> DemoPayload:
+                try:
+                    payload.fm = step.layer.forward(payload.fm)
+                except FabricError:
+                    payload.fm = step.layer.forward_reference(payload.fm)
+                    payload.degraded = True
+                return payload
+
+        else:
+
+            def run_layer(payload: DemoPayload) -> DemoPayload:
+                payload.fm = step.layer.forward(payload.fm)
+                return payload
 
         return StageDescriptor(
             name=f"L[{step.ltype}]", work=run_layer, resource=step.resource
@@ -100,6 +118,8 @@ def build_demo_stages(
         payload.annotated = draw_detections(
             payload.frame.image, payload.detections, n_classes=region.classes
         )
+        if payload.degraded:
+            draw_degraded_banner(payload.annotated)
         sink.emit(payload.annotated)
         return payload
 

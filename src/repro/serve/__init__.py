@@ -7,6 +7,11 @@ dynamic batcher that coalesces requests into ``FeatureMapBatch`` flushes
 modeling the paper's single serialized FINN fabric engine next to N CPU
 workers, and a metrics registry exported as JSON through ``repro
 serve-bench``.
+
+PR 5 adds fault tolerance: a :class:`CircuitBreaker` + :class:`FabricWatchdog`
+pair owned by the worker pool, bounded-backoff fabric retries in the
+server, and a bit-identical degraded CPU-reference mode — all driven by
+the deterministic fault-injection seams of :mod:`repro.faults`.
 """
 
 from repro.serve.batcher import (
@@ -27,10 +32,28 @@ from repro.serve.queue import (
     RequestTimeout,
     ServerClosed,
 )
+from repro.serve.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    USE_FABRIC,
+    USE_PROBE,
+    USE_REFERENCE,
+    CircuitBreaker,
+    FabricWatchdog,
+)
 from repro.serve.server import InferenceServer, ServeConfig
 from repro.serve.workers import BatchJob, FabricGate, HeterogeneousWorkerPool
 
 __all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "USE_FABRIC",
+    "USE_PROBE",
+    "USE_REFERENCE",
+    "CircuitBreaker",
+    "FabricWatchdog",
     "InferenceServer",
     "ServeConfig",
     "BoundedRequestQueue",

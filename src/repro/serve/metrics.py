@@ -55,6 +55,14 @@ class MetricsRegistry:
         self.batch_histogram: Dict[int, int] = {}
         self.flush_causes: Dict[str, int] = {}
         self.fabric_dispatches = 0
+        self.fabric_retries = 0
+        self.fabric_failures: Dict[str, int] = {}
+        self.breaker_trips = 0
+        self.breaker_probes = 0
+        self.breaker_state = "closed"
+        self.breaker_transitions: List[Dict] = []
+        self.degraded_inferences = 0
+        self.worker_deaths = 0
         self.plan_step_seconds: Dict[str, float] = {}
         self.plan_step_counts: Dict[str, int] = {}
         self._latencies: List[float] = []
@@ -120,6 +128,40 @@ class MetricsRegistry:
         with self._lock:
             self.fabric_dispatches += 1
 
+    def observe_retry(self) -> None:
+        """One fabric batch attempt is being retried after a fabric failure."""
+        with self._lock:
+            self.fabric_retries += 1
+
+    def observe_fabric_failure(self, kind: str) -> None:
+        """One fabric execution failed; *kind* is the exception class name."""
+        with self._lock:
+            self.fabric_failures[kind] = self.fabric_failures.get(kind, 0) + 1
+
+    def observe_degraded(self, batch: int) -> None:
+        """*batch* inferences were served on the degraded CPU reference path."""
+        with self._lock:
+            self.degraded_inferences += batch
+
+    def observe_worker_death(self) -> None:
+        """A pool worker died (injected) and was respawned."""
+        with self._lock:
+            self.worker_deaths += 1
+
+    def observe_breaker_transition(
+        self, old: str, new: str, reason: str, now: float
+    ) -> None:
+        """The fabric circuit breaker moved *old* → *new* (hooked callback)."""
+        with self._lock:
+            self.breaker_state = new
+            if new == "open" and old == "closed":
+                self.breaker_trips += 1
+            if new == "half-open":
+                self.breaker_probes += 1
+            self.breaker_transitions.append(
+                {"at": now, "from": old, "to": new, "reason": reason}
+            )
+
     def observe_plan_step(self, name: str, seconds: float) -> None:
         """Accumulate one executed plan step (the engine's per-step hook)."""
         with self._lock:
@@ -170,6 +212,16 @@ class MetricsRegistry:
                 },
                 "flush_causes": dict(sorted(self.flush_causes.items())),
                 "fabric_dispatches": self.fabric_dispatches,
+                "resilience": {
+                    "fabric_retries": self.fabric_retries,
+                    "fabric_failures": dict(sorted(self.fabric_failures.items())),
+                    "breaker_state": self.breaker_state,
+                    "breaker_trips": self.breaker_trips,
+                    "breaker_probes": self.breaker_probes,
+                    "breaker_transitions": list(self.breaker_transitions),
+                    "degraded_inferences": self.degraded_inferences,
+                    "worker_deaths": self.worker_deaths,
+                },
                 "plan_steps": {
                     name: {
                         "count": self.plan_step_counts[name],

@@ -21,6 +21,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
+from repro import faults
 from repro.core.tensor import FeatureMap
 
 
@@ -195,6 +196,9 @@ class BoundedRequestQueue:
 
         Returns None immediately when the queue is closed and drained.
         """
+        if faults.stall(faults.QUEUE_POP):
+            # An injected stalled tick: behave exactly like a timed-out wait.
+            return None
         with self._not_empty:
             if not self._items:
                 if self._closed:

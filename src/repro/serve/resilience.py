@@ -1,0 +1,228 @@
+"""Fabric fault tolerance: circuit breaker + watchdog for the serving pool.
+
+The heterogeneous split gives the serving stack a luxury most systems lack:
+the FABRIC steps of a compiled plan have a **bit-identical CPU reference
+path** (the same quantized layers the offload bundle was exported from),
+so degrading out of a misbehaving fabric changes *where* a request is
+computed, never *what* it returns.  This module holds the two policy
+pieces the :class:`~repro.serve.workers.HeterogeneousWorkerPool` owns:
+
+* :class:`CircuitBreaker` — the classic three-state machine.  ``closed``
+  routes fabric steps to the fabric; after ``threshold`` consecutive
+  fabric failures it trips ``open`` (every batch runs the CPU reference
+  path — visible "degraded" mode); after ``probe_after_s`` on the
+  injected clock it goes ``half-open`` and lets exactly one probe batch
+  try the fabric again — success closes the breaker, failure re-opens it.
+* :class:`FabricWatchdog` — wraps each fabric execution: converts an
+  injected :class:`~repro.faults.FabricHang` into a
+  :class:`~repro.faults.FabricTimeout` (a real wedged engine never
+  returns; in-process the hang manifests at this seam) and records
+  completed-but-over-budget calls as overruns without discarding their
+  bit-identical results.
+
+Every state transition happens under one lock (the ``CC-CIRCUIT-STATE``
+analyze rule checks this statically) and is appended to a transcript, so
+fault-matrix tests can assert the exact closed → open → half-open →
+closed trajectory, deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults import FabricHang, FabricTimeout
+
+#: Breaker states (also what ``MetricsRegistry`` snapshots report).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Fabric routing decisions handed to the execution callback.
+USE_FABRIC = "fabric"
+USE_PROBE = "probe"
+USE_REFERENCE = "reference"
+
+
+class CircuitBreaker:
+    """Trip to the CPU reference path after K consecutive fabric failures.
+
+    ``acquire()`` returns the routing decision for one batch; the caller
+    reports the outcome with ``record_success`` / ``record_failure``
+    (passing ``probe=True`` for a batch that ``acquire`` marked as the
+    half-open probe).  *on_transition* is called outside the lock with
+    ``(old_state, new_state, reason, now)`` — the serving metrics registry
+    hooks it to count trips and expose the live state.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        probe_after_s: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str, float], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if probe_after_s < 0:
+            raise ValueError("probe_after_s must be non-negative")
+        self.threshold = threshold
+        self.probe_after_s = probe_after_s
+        self.clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.trips = 0
+        self.probes = 0
+        #: ``(now, old_state, new_state, reason)`` rows, in order.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    @property
+    def state(self) -> str:
+        """The current state: ``closed``, ``open`` or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def acquire(self) -> str:
+        """Route one batch: ``fabric``, ``probe`` or ``reference``.
+
+        ``open`` transitions to ``half-open`` by itself once the probe
+        delay has elapsed on the clock; in ``half-open`` exactly one
+        caller at a time gets the ``probe`` decision, everyone else stays
+        on the reference path until the probe's verdict is in.
+        """
+        notify = None
+        with self._lock:
+            now = self.clock()
+            if self._state == OPEN:
+                if (
+                    self._opened_at is not None
+                    and now - self._opened_at >= self.probe_after_s
+                ):
+                    notify = self._transition(HALF_OPEN, "probe delay elapsed", now)
+                else:
+                    decision = USE_REFERENCE
+            if self._state == CLOSED:
+                decision = USE_FABRIC
+            elif self._state == HALF_OPEN:
+                if self._probe_in_flight:
+                    decision = USE_REFERENCE
+                else:
+                    self._probe_in_flight = True
+                    self.probes += 1
+                    decision = USE_PROBE
+        self._emit(notify)
+        return decision
+
+    def record_success(self, probe: bool = False) -> None:
+        """A fabric execution completed cleanly; a probe success closes."""
+        notify = None
+        with self._lock:
+            self._consecutive_failures = 0
+            if probe:
+                self._probe_in_flight = False
+            if self._state == HALF_OPEN and probe:
+                notify = self._transition(
+                    CLOSED, "probe succeeded", self.clock()
+                )
+        self._emit(notify)
+
+    def record_failure(self, probe: bool = False) -> None:
+        """A fabric execution failed; K in a row trips, a probe re-opens."""
+        notify = None
+        with self._lock:
+            now = self.clock()
+            if probe:
+                self._probe_in_flight = False
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN and probe:
+                self._opened_at = now
+                notify = self._transition(OPEN, "probe failed", now)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._opened_at = now
+                self.trips += 1
+                notify = self._transition(
+                    OPEN,
+                    f"{self._consecutive_failures} consecutive fabric failures",
+                    now,
+                )
+        self._emit(notify)
+
+    # -- internals ---------------------------------------------------------
+
+    def _transition(self, new_state: str, reason: str, now: float):
+        """Record a state change (caller holds the lock); returns the row."""
+        old = self._state
+        # analyze: allow(CC-CIRCUIT-STATE) — every caller holds self._lock
+        self._state = new_state
+        # analyze: allow(CC-LOCK-DISCIPLINE) — every caller holds self._lock
+        self._consecutive_failures = 0
+        self.transitions.append((now, old, new_state, reason))
+        return (old, new_state, reason, now)
+
+    def _emit(self, notify) -> None:
+        """Fire the transition callback outside the lock (no re-entrancy)."""
+        if notify is not None and self.on_transition is not None:
+            self.on_transition(*notify)
+
+
+class FabricWatchdog:
+    """Budgeted supervision of each fabric execution.
+
+    ``call(fn)`` runs one fabric execution: an injected
+    :class:`~repro.faults.FabricHang` becomes a
+    :class:`~repro.faults.FabricTimeout` (counting against the breaker);
+    a call that *completes* but took longer than ``timeout_s`` on the
+    clock is recorded as an overrun — its result is still returned,
+    because discarding a bit-identical output over a soft deadline would
+    trade correctness for nothing.
+    """
+
+    def __init__(
+        self,
+        timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self.timeouts = 0
+        self.overruns = 0
+
+    def call(self, fn: Callable):
+        """Run *fn* under the watchdog; raises :class:`FabricTimeout` on hang."""
+        start = self.clock()
+        try:
+            result = fn()
+        except FabricHang as hang:
+            with self._lock:
+                self.timeouts += 1
+            raise FabricTimeout(
+                f"fabric exceeded its {self.timeout_s:g}s watchdog budget "
+                f"(stalled {hang.hang_s:g}s)"
+            ) from hang
+        if self.clock() - start > self.timeout_s:
+            with self._lock:
+                self.overruns += 1
+        return result
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "USE_FABRIC",
+    "USE_PROBE",
+    "USE_REFERENCE",
+    "CircuitBreaker",
+    "FabricWatchdog",
+]

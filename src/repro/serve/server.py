@@ -35,11 +35,18 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.tensor import FeatureMap
+from repro.faults import FabricError
 from repro.pipeline.scheduler import CPU, FABRIC
 from repro.pipeline.workers import join_threads
 
 from repro.serve.batcher import DynamicBatcher, Flush, to_feature_batch
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import (
+    USE_PROBE,
+    USE_REFERENCE,
+    CircuitBreaker,
+    FabricWatchdog,
+)
 from repro.serve.queue import (
     BoundedRequestQueue,
     Overloaded,
@@ -67,6 +74,24 @@ class ServeConfig:
     #: Run one single-frame forward pass at start() to populate the packed
     #: weight/threshold caches before concurrent traffic arrives.
     warmup: bool = True
+    #: Fabric retry budget per batch: after this many retries the batch is
+    #: served on the degraded CPU reference path instead of failing.
+    max_retries: int = 2
+    #: Base of the bounded exponential backoff between fabric retries.
+    retry_backoff_s: float = 0.001
+    #: Backoff ceiling (the "bounded" in bounded exponential backoff).
+    retry_backoff_max_s: float = 0.05
+    #: Watchdog budget for one fabric execution; a hang becomes a
+    #: :class:`~repro.faults.FabricTimeout` counted against the breaker.
+    fabric_timeout_s: float = 1.0
+    #: Consecutive fabric failures before the circuit breaker trips open.
+    breaker_threshold: int = 3
+    #: How long the breaker stays open before half-open probing.
+    breaker_probe_after_s: float = 0.05
+    #: Cross-check every fabric output against the CPU reference path and
+    #: raise :class:`~repro.faults.FabricCorruption` on mismatch (runtime
+    #: co-simulation; catches silently corrupted fabric output at ~2x cost).
+    scrub_fabric: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -79,6 +104,18 @@ class ServeConfig:
             raise ValueError("max_delay_s must be non-negative")
         if self.cpu_workers < 1:
             raise ValueError("cpu_workers must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_s < 0 or self.retry_backoff_max_s < 0:
+            raise ValueError("retry backoff must be non-negative")
+        if self.retry_backoff_max_s < self.retry_backoff_s:
+            raise ValueError("retry_backoff_max_s must be >= retry_backoff_s")
+        if self.fabric_timeout_s <= 0:
+            raise ValueError("fabric_timeout_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_probe_after_s < 0:
+            raise ValueError("breaker_probe_after_s must be non-negative")
 
 
 #: How long the batcher thread sleeps waiting for the first request of a
@@ -95,10 +132,17 @@ class InferenceServer:
         network,
         config: Optional[ServeConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.network = network
         self.config = config or ServeConfig()
         self.clock = clock
+        # Retry backoff pauses through *sleep*; a VirtualClock passed as
+        # *clock* supplies its own wall-time-free sleep.
+        if sleep is not None:
+            self.sleep = sleep
+        else:
+            self.sleep = getattr(clock, "sleep", time.sleep)
         self.metrics = MetricsRegistry()
         self.fabric_gate = FabricGate()
         from repro.engine import Executor
@@ -114,8 +158,24 @@ class InferenceServer:
         self.resource = FABRIC if self.executor.plan.uses_fabric else CPU
         self.queue = BoundedRequestQueue(self.config.max_queue_depth, clock=clock)
         self.batcher = DynamicBatcher(self.config.max_batch, self.config.max_delay_s)
+        breaker = None
+        watchdog = None
+        if self.resource == FABRIC:
+            breaker = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                probe_after_s=self.config.breaker_probe_after_s,
+                clock=clock,
+                on_transition=self.metrics.observe_breaker_transition,
+            )
+            watchdog = FabricWatchdog(
+                timeout_s=self.config.fabric_timeout_s, clock=clock
+            )
         self.pool = HeterogeneousWorkerPool(
-            self._execute, cpu_workers=self.config.cpu_workers
+            self._execute,
+            cpu_workers=self.config.cpu_workers,
+            breaker=breaker,
+            watchdog=watchdog,
+            on_worker_death=lambda resource: self.metrics.observe_worker_death(),
         )
         self._stop_event = threading.Event()
         self._drain_on_stop = True
@@ -267,12 +327,11 @@ class InferenceServer:
 
     def _execute(self, job: BatchJob) -> None:
         fmb = to_feature_batch(job.requests)
-        guard = None
-        if self.resource == FABRIC:
-            guard = self.fabric_gate
-            self.metrics.observe_fabric_dispatch()
         try:
-            out = self.executor.run(fmb, offload_guard=guard)
+            if self.resource == FABRIC:
+                out = self._run_resilient(fmb)
+            else:
+                out = self.executor.run(fmb)
         except Exception:
             for _ in job.requests:
                 self.metrics.observe_failure()
@@ -281,6 +340,56 @@ class InferenceServer:
         for request, frame in zip(job.requests, out.frames()):
             request.future.set_result(frame)
             self.metrics.observe_completion(now - request.submitted_at, now)
+
+    def _run_resilient(self, fmb):
+        """Execute one fabric batch under retry + breaker + watchdog.
+
+        Fabric failures (:class:`~repro.faults.FabricError` only — anything
+        else is a programming error and propagates) are retried with
+        bounded exponential backoff; once the retry budget is spent, or
+        whenever the breaker routes away from the fabric, the batch runs on
+        the bit-identical CPU reference path in visible degraded mode.  The
+        batch therefore *always* returns the ``forward_batch`` answer; the
+        only question is which silicon computed it.
+        """
+        breaker = self.pool.breaker
+        watchdog = self.pool.watchdog
+        fabric_mode = "scrub" if self.config.scrub_fabric else "fabric"
+        attempts = 0
+        while True:
+            decision = breaker.acquire()
+            probe = decision == USE_PROBE
+            if decision == USE_REFERENCE:
+                out = self.executor.run(fmb, fabric_mode="reference")
+                self.metrics.observe_degraded(fmb.batch)
+                return out
+            self.metrics.observe_fabric_dispatch()
+            try:
+                out = watchdog.call(
+                    lambda: self.executor.run(
+                        fmb,
+                        offload_guard=self.fabric_gate,
+                        fabric_mode=fabric_mode,
+                    )
+                )
+            except FabricError as exc:
+                breaker.record_failure(probe=probe)
+                self.metrics.observe_fabric_failure(type(exc).__name__)
+                attempts += 1
+                if attempts > self.config.max_retries:
+                    out = self.executor.run(fmb, fabric_mode="reference")
+                    self.metrics.observe_degraded(fmb.batch)
+                    return out
+                self.metrics.observe_retry()
+                self.sleep(
+                    min(
+                        self.config.retry_backoff_s * (2 ** (attempts - 1)),
+                        self.config.retry_backoff_max_s,
+                    )
+                )
+            else:
+                breaker.record_success(probe=probe)
+                return out
 
 
 __all__ = ["ServeConfig", "InferenceServer", "_IDLE_WAIT_S"]

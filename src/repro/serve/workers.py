@@ -21,6 +21,7 @@ import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.pipeline.scheduler import CPU, FABRIC
 from repro.pipeline.workers import join_threads
 
@@ -95,6 +96,9 @@ class HeterogeneousWorkerPool:
         execute: Callable[[BatchJob], None],
         cpu_workers: int = 2,
         name: str = "serve",
+        breaker=None,
+        watchdog=None,
+        on_worker_death: Optional[Callable[[str], None]] = None,
     ) -> None:
         if cpu_workers < 1:
             raise ValueError("need at least one CPU worker")
@@ -108,6 +112,13 @@ class HeterogeneousWorkerPool:
         self._threads: List[threading.Thread] = []
         self._specs = [(CPU, i) for i in range(cpu_workers)] + [(FABRIC, 0)]
         self.executed = 0
+        #: Fabric resilience policy, owned by the pool (the serving layer
+        #: consults these when executing FABRIC jobs); None = no policy.
+        self.breaker = breaker
+        self.watchdog = watchdog
+        #: Called with the dead worker's resource tag after each respawn.
+        self.on_worker_death = on_worker_death
+        self.worker_deaths = 0
 
     @property
     def cpu_workers(self) -> int:
@@ -153,11 +164,49 @@ class HeterogeneousWorkerPool:
                     return
                 job = queue.popleft()
             try:
+                faults.fire(faults.WORKER)
+            except faults.WorkerDeath:
+                if self._die(resource, job):
+                    return
+                # Dying during shutdown would strand the drain; the injected
+                # death is recorded in the transcript but this thread lives.
+            try:
                 self._execute(job)
             except Exception as exc:  # noqa: BLE001 — routed to the futures
                 job.fail(exc)
             with self._lock:
                 self.executed += 1
+
+    def _die(self, resource: str, job: BatchJob) -> bool:
+        """Injected worker death: requeue the job, respawn a replacement.
+
+        Returns True when the calling thread must exit.  The job goes back
+        to the *front* of its queue (no request is ever dropped or
+        reordered) and the replacement thread is tracked in ``_threads``
+        before it starts, so a concurrent ``shutdown`` always joins it.
+        During shutdown the death is a no-op — exiting mid-drain would
+        strand queued jobs forever.
+        """
+        with self._work_ready:
+            if self._stopping:
+                return False
+            self._queues[resource].appendleft(job)
+            self.worker_deaths += 1
+            replacement = threading.Thread(
+                target=self._worker,
+                args=(resource,),
+                name=f"{self._name}-{resource}-respawn-{self.worker_deaths}",
+                daemon=True,
+            )
+            self._threads.append(replacement)
+            # Start while still holding the lock: a concurrent shutdown()
+            # then either sees a started, joinable replacement or none at
+            # all — never a tracked-but-unstarted thread.
+            replacement.start()
+            self._work_ready.notify_all()
+        if self.on_worker_death is not None:
+            self.on_worker_death(resource)
+        return True
 
     def shutdown(self, timeout: Optional[float] = None, drain: bool = True) -> bool:
         """Stop the workers; True iff all exited before *timeout*.

@@ -1,0 +1,49 @@
+"""Injectable clocks: virtual time for deterministic serving tests.
+
+Everything time-dependent in the serving stack (request deadlines, batcher
+flush deadlines, retry backoff, circuit-breaker probe delays, watchdog
+budgets) takes a ``clock`` callable — by default ``time.monotonic`` — and,
+where it must pause, a ``sleep`` callable.  :class:`VirtualClock` provides
+both over a manually advanced counter, so unit tests exercise every
+timing path without a single real ``time.sleep`` (the tier guard in
+``tests/conftest.py`` enforces exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class VirtualClock:
+    """A deterministic, manually advanced monotonic clock.
+
+    Calling the instance returns the current virtual time; ``advance``
+    moves it forward; ``sleep`` advances by the requested duration and
+    returns immediately (virtual sleeping costs no wall time).  All
+    operations are thread-safe: worker threads and the test body may share
+    one instance.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* (>= 0); returns the new now."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Virtual sleep: advance the clock, return immediately."""
+        if seconds > 0:
+            self.advance(seconds)
+
+
+__all__ = ["VirtualClock"]

@@ -63,4 +63,28 @@ def draw_detections(
     return annotated
 
 
-__all__ = ["class_color", "draw_box", "draw_detections"]
+#: Row height of the degraded-mode banner, as a fraction of frame height.
+DEGRADED_BANNER_FRACTION = 0.04
+
+
+def draw_degraded_banner(image: np.ndarray) -> None:
+    """Paint the degraded-mode marker onto a ``(3, H, W)`` image in place.
+
+    A solid red stripe across the top of the frame: unambiguous to a human
+    watching the demo output, trivially checkable by tests (row 0 is pure
+    red), and cheap enough for the per-frame drawing stage.
+    """
+    _, height, _ = image.shape
+    rows = max(1, int(height * DEGRADED_BANNER_FRACTION))
+    image[0, :rows, :] = 1.0
+    image[1, :rows, :] = 0.0
+    image[2, :rows, :] = 0.0
+
+
+__all__ = [
+    "class_color",
+    "draw_box",
+    "draw_detections",
+    "draw_degraded_banner",
+    "DEGRADED_BANNER_FRACTION",
+]

@@ -1,7 +1,32 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the test-tier harness (docs/TESTING.md).
+
+Three tiers: ``unit`` (fast, wall-clock free — the default, auto-applied
+to every test without an explicit tier), ``integration`` (multi-component
+paths that may touch real time) and ``slow`` (full-scale smoke runs).
+``make test-fast`` runs the unit tier only.
+
+The unit tier is kept honest by the sleep guard below: any single
+``time.sleep`` call above :data:`UNIT_SLEEP_BUDGET_S` fails the test at
+teardown.  Timing-dependent code takes an injectable clock
+(:class:`repro.util.clock.VirtualClock`) instead of really sleeping.
+"""
+
+import time
 
 import numpy as np
 import pytest
+
+#: The unit tier's per-call sleep budget (seconds); see docs/TESTING.md.
+UNIT_SLEEP_BUDGET_S = 0.05
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every test without an explicit tier marker is a unit test."""
+    for item in items:
+        if not any(
+            item.get_closest_marker(name) for name in ("integration", "slow")
+        ):
+            item.add_marker(pytest.mark.unit)
 
 
 @pytest.fixture(autouse=True)
@@ -19,7 +44,55 @@ def strict_float_errors():
         yield
 
 
+@pytest.fixture(autouse=True)
+def unit_sleep_guard(request):
+    """Fail any unit-tier test that really sleeps past the budget.
+
+    ``time.sleep`` is wrapped for the duration of the test; a call above
+    :data:`UNIT_SLEEP_BUDGET_S` is recorded (and skipped, so one bad call
+    cannot stall the fast tier) and the test fails at teardown listing the
+    offending durations.  Violations are recorded rather than raised
+    because worker threads may sleep too — an exception on a worker
+    thread would vanish instead of failing the test.  Integration/slow
+    tests are exempt.
+    """
+    if request.node.get_closest_marker("unit") is None:
+        yield
+        return
+    violations = []
+    real_sleep = time.sleep
+
+    def guarded_sleep(seconds):
+        if seconds > UNIT_SLEEP_BUDGET_S:
+            violations.append(float(seconds))
+            return  # skipped: the fast tier never pays for the mistake
+        real_sleep(seconds)
+
+    time.sleep = guarded_sleep
+    try:
+        yield
+    finally:
+        time.sleep = real_sleep
+    if violations:
+        listed = ", ".join(f"{s:g}s" for s in violations)
+        pytest.fail(
+            f"unit-tier test called time.sleep beyond the "
+            f"{UNIT_SLEEP_BUDGET_S:g}s budget: {listed} — inject a "
+            f"VirtualClock (repro.util.clock) or mark the test "
+            f"integration/slow",
+            pytrace=False,
+        )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
     return np.random.default_rng(20180621)  # arXiv submission date of the paper
+
+
+@pytest.fixture
+def virtual_clock():
+    """A fresh :class:`~repro.util.clock.VirtualClock` starting at 0."""
+    from repro.util.clock import VirtualClock
+
+    return VirtualClock()

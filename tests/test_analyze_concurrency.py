@@ -156,6 +156,73 @@ class TestGateInvariant:
         assert lint_cc(source) == []
 
 
+BAD_BREAKER = textwrap.dedent(
+    """
+    import threading
+
+    class Breaker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._state = "closed"
+
+        def trip(self):
+            self._state = "open"
+    """
+)
+
+
+class TestCircuitState:
+    def test_bare_state_write_is_error(self):
+        findings = lint_cc(BAD_BREAKER)
+        hits = [f for f in findings if f.rule == "CC-CIRCUIT-STATE"]
+        assert hits and hits[0].severity == ERROR
+        assert "_state" in hits[0].message and "_lock" in hits[0].message
+
+    def test_fires_even_when_no_write_is_guarded(self):
+        # The distinction from CC-LOCK-DISCIPLINE: one bare write with NO
+        # guarded sibling anywhere is still an error for state machines.
+        assert "with self._lock" not in BAD_BREAKER
+        assert "CC-CIRCUIT-STATE" in _rules(lint_cc(BAD_BREAKER))
+
+    def test_guarded_state_write_is_clean(self):
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = "closed"
+
+                def trip(self):
+                    with self._lock:
+                        self._state = "open"
+            """
+        )
+        assert _rules(lint_cc(source)) == []
+
+    def test_non_state_machine_classes_are_exempt(self):
+        # No lock in __init__ -> not the breaker shape, rule stays quiet.
+        source = textwrap.dedent(
+            """
+            class Plain:
+                def __init__(self):
+                    self._state = "closed"
+
+                def trip(self):
+                    self._state = "open"
+            """
+        )
+        assert _rules(lint_cc(source)) == []
+
+    def test_allow_comment_suppresses(self):
+        source = BAD_BREAKER.replace(
+            'self._state = "open"',
+            'self._state = "open"  # analyze: allow(CC-CIRCUIT-STATE)',
+        )
+        assert _rules(lint_cc(source)) == []
+
+
 class TestHotPathRules:
     def test_three_nested_loops_are_flagged(self):
         source = textwrap.dedent(

@@ -1,0 +1,203 @@
+"""Unit tests for ``repro.faults``: plans, parsing, determinism, seams."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.tensor import FeatureMapBatch
+from repro.util.clock import VirtualClock
+
+
+class TestFaultSpec:
+    def test_default_site_per_kind(self):
+        assert faults.FaultSpec(faults.FABRIC_RAISE).site == faults.FABRIC_STEP
+        assert faults.FaultSpec(faults.QUEUE_STALL).site == faults.QUEUE_POP
+        assert faults.FaultSpec(faults.WORKER_DEATH).site == faults.WORKER
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSpec("fabric-meltdown")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.FaultSpec(faults.FABRIC_RAISE, site="serve.nowhere")
+
+    def test_non_fabric_kind_cannot_target_fabric_site(self):
+        with pytest.raises(ValueError, match="cannot target"):
+            faults.FaultSpec(faults.WORKER_DEATH, site=faults.FABRIC_STEP)
+
+    def test_at_and_rate_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            faults.FaultSpec(faults.FABRIC_RAISE, at=(0,), rate=0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            faults.FaultSpec(faults.FABRIC_RAISE, rate=1.5)
+
+
+class TestParse:
+    def test_explicit_indices(self):
+        plan = faults.FaultPlan.parse("fabric-raise@0,2,5")
+        assert plan.specs[0].at == (0, 2, 5)
+        assert plan.specs[0].site == faults.FABRIC_STEP
+
+    def test_rate(self):
+        plan = faults.FaultPlan.parse("fabric-corrupt%0.25", seed=7)
+        assert plan.specs[0].rate == 0.25
+        assert plan.seed == 7
+
+    def test_bare_kind_fires_once(self):
+        plan = faults.FaultPlan.parse("fabric-hang")
+        assert plan.specs[0].at == (0,)
+
+    def test_site_override(self):
+        plan = faults.FaultPlan.parse("fabric-raise/fabric.backend@0")
+        assert plan.specs[0].site == faults.FABRIC_BACKEND
+
+    def test_multiple_specs(self):
+        plan = faults.FaultPlan.parse("fabric-raise@0;worker-death@1")
+        assert [s.kind for s in plan.specs] == [
+            faults.FABRIC_RAISE,
+            faults.WORKER_DEATH,
+        ]
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ValueError, match="indices"):
+            faults.FaultPlan.parse("fabric-raise@a,b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no fault rules"):
+            faults.FaultPlan.parse(" ; ")
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        plan = faults.FaultPlan.parse("fabric-raise@0;fabric-corrupt%0.5")
+        assert json.loads(json.dumps(plan.describe())) == plan.describe()
+
+
+class TestSeams:
+    def test_noop_without_installed_plan(self):
+        assert faults.active() is None
+        assert faults.call(faults.FABRIC_STEP, lambda: 42) == 42
+        assert faults.stall(faults.QUEUE_POP) is False
+        faults.fire(faults.WORKER)  # must not raise
+
+    def test_raise_at_selected_invocations(self):
+        plan = faults.FaultPlan.parse("fabric-raise@1")
+        with faults.install(plan) as injector:
+            assert faults.call(faults.FABRIC_STEP, lambda: "ok") == "ok"
+            with pytest.raises(faults.FabricFault):
+                faults.call(faults.FABRIC_STEP, lambda: "ok")
+            assert faults.call(faults.FABRIC_STEP, lambda: "ok") == "ok"
+            assert injector.events() == [
+                (faults.FABRIC_STEP, faults.FABRIC_RAISE, 1, "")
+            ]
+
+    def test_hang_advances_injected_clock(self):
+        clock = VirtualClock()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(faults.FABRIC_HANG, at=(0,), hang_s=2.5)]
+        )
+        with faults.install(plan, clock=clock):
+            with pytest.raises(faults.FabricHang) as excinfo:
+                faults.call(faults.FABRIC_STEP, lambda: "ok")
+        assert excinfo.value.hang_s == 2.5
+        assert clock() == 2.5
+
+    def test_corrupt_changes_exactly_one_element(self):
+        plan = faults.FaultPlan.parse("fabric-corrupt@0", seed=3)
+        clean = FeatureMapBatch(
+            np.zeros((2, 3, 4, 4), dtype=np.int64), scale=0.5
+        )
+        with faults.install(plan):
+            dirty = faults.call(faults.FABRIC_STEP, lambda: clean)
+        assert dirty.scale == clean.scale
+        assert np.count_nonzero(dirty.data != clean.data) == 1
+        # The original result object is never mutated in place.
+        assert np.count_nonzero(clean.data) == 0
+
+    def test_corruption_position_is_seeded(self):
+        outs = []
+        for _ in range(2):
+            plan = faults.FaultPlan.parse("fabric-corrupt@0", seed=11)
+            clean = FeatureMapBatch(np.zeros((1, 2, 3, 3), dtype=np.int64))
+            with faults.install(plan):
+                outs.append(faults.call(faults.FABRIC_STEP, lambda: clean))
+        assert np.array_equal(outs[0].data, outs[1].data)
+
+    def test_stall_and_worker_death(self):
+        plan = faults.FaultPlan.parse("queue-stall@0;worker-death@0")
+        with faults.install(plan):
+            assert faults.stall(faults.QUEUE_POP) is True
+            assert faults.stall(faults.QUEUE_POP) is False
+            with pytest.raises(faults.WorkerDeath):
+                faults.fire(faults.WORKER)
+            faults.fire(faults.WORKER)  # invocation 1: no fault
+
+    def test_rate_draws_are_deterministic(self):
+        def run():
+            plan = faults.FaultPlan.parse("fabric-raise%0.5", seed=99)
+            fired = []
+            with faults.install(plan) as injector:
+                for _ in range(32):
+                    try:
+                        faults.call(faults.FABRIC_STEP, lambda: None)
+                    except faults.FabricFault:
+                        pass
+                fired = injector.events()
+            return fired
+
+        first, second = run(), run()
+        assert first == second
+        assert 0 < len(first) < 32  # the coin really has two sides
+
+    def test_limit_caps_rate_fires(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(faults.FABRIC_RAISE, rate=1.0, limit=2)]
+        )
+        with faults.install(plan) as injector:
+            for _ in range(5):
+                try:
+                    faults.call(faults.FABRIC_STEP, lambda: None)
+                except faults.FabricFault:
+                    pass
+            assert len(injector.events()) == 2
+
+    def test_nested_install_refused(self):
+        plan = faults.FaultPlan.parse("fabric-raise@0")
+        with faults.install(plan):
+            with pytest.raises(RuntimeError, match="already installed"):
+                with faults.install(plan):
+                    pass
+        assert faults.active() is None
+
+    def test_counters_are_race_free(self):
+        plan = faults.FaultPlan.parse("fabric-raise@100000")  # never fires
+        with faults.install(plan) as injector:
+            threads = [
+                threading.Thread(
+                    target=lambda: [
+                        faults.call(faults.FABRIC_STEP, lambda: None)
+                        for _ in range(200)
+                    ]
+                )
+                for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert injector.invocations(faults.FABRIC_STEP) == 1600
+
+    def test_fabric_exceptions_form_one_family(self):
+        for exc in (
+            faults.FabricFault,
+            faults.FabricHang,
+            faults.FabricTimeout,
+            faults.FabricCorruption,
+        ):
+            assert issubclass(exc, faults.FabricError)
+        assert not issubclass(faults.WorkerDeath, faults.FabricError)

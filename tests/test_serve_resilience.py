@@ -1,0 +1,162 @@
+"""Unit tests for the circuit breaker + fabric watchdog (virtual time only)."""
+
+import pytest
+
+from repro.faults import FabricHang, FabricTimeout
+from repro.serve.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    USE_FABRIC,
+    USE_PROBE,
+    USE_REFERENCE,
+    CircuitBreaker,
+    FabricWatchdog,
+)
+from repro.util.clock import VirtualClock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_routes_fabric(self, virtual_clock):
+        breaker = CircuitBreaker(clock=virtual_clock)
+        assert breaker.state == CLOSED
+        assert breaker.acquire() == USE_FABRIC
+
+    def test_trips_after_threshold_consecutive_failures(self, virtual_clock):
+        breaker = CircuitBreaker(threshold=3, clock=virtual_clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert breaker.acquire() == USE_REFERENCE
+
+    def test_success_resets_the_consecutive_count(self, virtual_clock):
+        breaker = CircuitBreaker(threshold=2, clock=virtual_clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two in a row
+
+    def test_half_open_after_probe_delay(self, virtual_clock):
+        breaker = CircuitBreaker(
+            threshold=1, probe_after_s=5.0, clock=virtual_clock
+        )
+        breaker.record_failure()
+        assert breaker.acquire() == USE_REFERENCE
+        virtual_clock.advance(5.0)
+        assert breaker.acquire() == USE_PROBE
+        assert breaker.state == HALF_OPEN
+
+    def test_only_one_probe_in_flight(self, virtual_clock):
+        breaker = CircuitBreaker(
+            threshold=1, probe_after_s=0.0, clock=virtual_clock
+        )
+        breaker.record_failure()
+        assert breaker.acquire() == USE_PROBE
+        assert breaker.acquire() == USE_REFERENCE  # the probe is out already
+        assert breaker.probes == 1
+
+    def test_probe_success_closes(self, virtual_clock):
+        breaker = CircuitBreaker(
+            threshold=1, probe_after_s=0.0, clock=virtual_clock
+        )
+        breaker.record_failure()
+        assert breaker.acquire() == USE_PROBE
+        breaker.record_success(probe=True)
+        assert breaker.state == CLOSED
+        assert breaker.acquire() == USE_FABRIC
+
+    def test_probe_failure_reopens_and_rearms(self, virtual_clock):
+        breaker = CircuitBreaker(
+            threshold=1, probe_after_s=2.0, clock=virtual_clock
+        )
+        breaker.record_failure()
+        virtual_clock.advance(2.0)
+        assert breaker.acquire() == USE_PROBE
+        breaker.record_failure(probe=True)
+        assert breaker.state == OPEN
+        # The probe timer restarts from the failed probe, not the old trip.
+        assert breaker.acquire() == USE_REFERENCE
+        virtual_clock.advance(2.0)
+        assert breaker.acquire() == USE_PROBE
+
+    def test_transition_transcript(self, virtual_clock):
+        breaker = CircuitBreaker(
+            threshold=1, probe_after_s=1.0, clock=virtual_clock
+        )
+        breaker.record_failure()
+        virtual_clock.advance(1.0)
+        breaker.acquire()
+        breaker.record_success(probe=True)
+        assert [(old, new) for _, old, new, _ in breaker.transitions] == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_on_transition_callback(self, virtual_clock):
+        seen = []
+        breaker = CircuitBreaker(
+            threshold=1,
+            clock=virtual_clock,
+            on_transition=lambda old, new, reason, now: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        assert seen == [(CLOSED, OPEN)]
+
+    def test_validation(self, virtual_clock):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0, clock=virtual_clock)
+        with pytest.raises(ValueError, match="probe_after_s"):
+            CircuitBreaker(probe_after_s=-1.0, clock=virtual_clock)
+
+
+class TestFabricWatchdog:
+    def test_passes_results_through(self, virtual_clock):
+        watchdog = FabricWatchdog(timeout_s=1.0, clock=virtual_clock)
+        assert watchdog.call(lambda: 7) == 7
+        assert watchdog.timeouts == 0 and watchdog.overruns == 0
+
+    def test_converts_hang_to_timeout(self, virtual_clock):
+        watchdog = FabricWatchdog(timeout_s=1.0, clock=virtual_clock)
+
+        def hung():
+            virtual_clock.advance(10.0)
+            raise FabricHang("injected", hang_s=10.0)
+
+        with pytest.raises(FabricTimeout) as excinfo:
+            watchdog.call(hung)
+        assert isinstance(excinfo.value.__cause__, FabricHang)
+        assert watchdog.timeouts == 1
+
+    def test_slow_but_completed_call_is_an_overrun_not_a_failure(
+        self, virtual_clock
+    ):
+        watchdog = FabricWatchdog(timeout_s=1.0, clock=virtual_clock)
+
+        def slow():
+            virtual_clock.advance(3.0)
+            return "late but right"
+
+        assert watchdog.call(slow) == "late but right"
+        assert watchdog.overruns == 1
+        assert watchdog.timeouts == 0
+
+    def test_validation(self, virtual_clock):
+        with pytest.raises(ValueError, match="timeout_s"):
+            FabricWatchdog(timeout_s=0.0, clock=virtual_clock)
+
+
+class TestVirtualClock:
+    def test_advance_and_sleep(self):
+        clock = VirtualClock(start=1.0)
+        assert clock() == 1.0
+        clock.advance(0.5)
+        clock.sleep(0.25)
+        assert clock() == 1.75
+
+    def test_time_only_moves_forward(self):
+        with pytest.raises(ValueError, match="forward"):
+            VirtualClock().advance(-0.1)

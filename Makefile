@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,7 +22,14 @@ coverage:
 		--cov-report=term-missing --cov-fail-under=$(COV_FAIL_UNDER)
 
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_inference.json
+	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_inference.json --check
+
+# Tiny-shape pass through the whole bench machinery (cnv6, two batch sizes,
+# one repeat, no kernel oracle loop) — exercises the harness in CI without
+# wall-clock assertions, which would flake on shared runners.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --network cnv6 --batches 1,2 \
+		--repeats 1 --skip-kernel
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -322,7 +322,12 @@ def _serve_kwargs(args: argparse.Namespace) -> dict:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_report, run_bench, write_report
+    from repro.bench import (
+        check_inference_regressions,
+        format_report,
+        run_bench,
+        write_report,
+    )
 
     try:
         batch_sizes = [int(v) for v in args.batches.split(",") if v.strip()]
@@ -348,6 +353,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         write_report(report, args.output)
         print(f"report written to {args.output}")
+    if getattr(args, "check", False):
+        violations = check_inference_regressions(report)
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print("regression checks passed (maxpool < conv, batching pays)")
     return 0
 
 
@@ -559,6 +571,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which bench scenario(s) to run")
     add_serve_options(p_bench)
     p_bench.add_argument("--output", help="write the JSON report here")
+    p_bench.add_argument("--check", action="store_true",
+                         help="fail (exit 1) on throughput regressions: "
+                              "maxpool step out-costing its conv, or the "
+                              "largest batch under 1.3x batch-1 frames/s")
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(

@@ -19,6 +19,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from repro.core import workspace
 from repro.core.tensor import conv_output_size
 
 
@@ -30,12 +31,17 @@ def im2col(
     Row order is channel-major, then kernel row, then kernel column — the
     order Darknet's ``im2col_cpu`` produces, so weight matrices linearized
     the Darknet way multiply directly.
+
+    The lowering preserves ``x.dtype`` end to end — integer level codes come
+    out as integer columns (padding included), never promoted to float — and
+    gathers with a single strided copy into a workspace-managed buffer.
     """
     c, h, w = x.shape
     out_h = conv_output_size(h, ksize, stride, pad)
     out_w = conv_output_size(w, ksize, stride, pad)
     if pad > 0:
-        padded = np.full((c, h + 2 * pad, w + 2 * pad), fill, dtype=x.dtype)
+        padded = workspace.empty((c, h + 2 * pad, w + 2 * pad), x.dtype)
+        padded.fill(fill)
         padded[:, pad : pad + h, pad : pad + w] = x
     else:
         padded = x
@@ -47,7 +53,11 @@ def im2col(
         strides=(s0, s1, s2, s1 * stride, s2 * stride),
         writeable=False,
     )
-    return windows.reshape(c * ksize * ksize, out_h * out_w).copy()
+    cols = workspace.empty((c * ksize * ksize, out_h * out_w), x.dtype)
+    np.copyto(cols.reshape(c, ksize, ksize, out_h, out_w), windows)
+    if pad > 0:
+        workspace.release(padded)
+    return cols
 
 
 def im2col_batch(
@@ -65,7 +75,8 @@ def im2col_batch(
     out_h = conv_output_size(h, ksize, stride, pad)
     out_w = conv_output_size(w, ksize, stride, pad)
     if pad > 0:
-        padded = np.full((n, c, h + 2 * pad, w + 2 * pad), fill, dtype=x.dtype)
+        padded = workspace.empty((n, c, h + 2 * pad, w + 2 * pad), x.dtype)
+        padded.fill(fill)
         padded[:, :, pad : pad + h, pad : pad + w] = x
     else:
         padded = x
@@ -76,7 +87,11 @@ def im2col_batch(
         strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
         writeable=False,
     )
-    return windows.reshape(n, c * ksize * ksize, out_h * out_w).copy()
+    cols = workspace.empty((n, c * ksize * ksize, out_h * out_w), x.dtype)
+    np.copyto(cols.reshape(n, c, ksize, ksize, out_h, out_w), windows)
+    if pad > 0:
+        workspace.release(padded)
+    return cols
 
 
 def col2im(

@@ -4,6 +4,15 @@ These are the numpy counterparts of Darknet's straightforward C kernels —
 "clearly a valuable reference implementation" (§III-D) against which the
 quantized, bit-packed and SIMD-emulated paths are verified in the tests.
 All functions operate on channel-major ``(C, H, W)`` arrays.
+
+The forward kernels are *dtype-preserving*: max pooling is a selection
+operation, so it pools integer level codes as integers (no ``-inf``-filled
+float64 padded copy), and convolution can dequantize level codes through a
+caller-supplied lookup table straight into the GEMM compute dtype.  Both
+draw their large scratch/output buffers from :mod:`repro.core.workspace`,
+so an installed arena (see :class:`repro.engine.arena.Arena`) recycles them
+across steps.  The backprop helpers (`maxpool2d_argmax`/`_backward`,
+`col2im`) keep their float64 reference form — they are off the hot path.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import workspace
 from repro.core.im2col import im2col, im2col_batch
 from repro.core.tensor import conv_output_size, pool_output_size
 
@@ -20,10 +30,45 @@ from repro.core.tensor import conv_output_size, pool_output_size
 #: never materializes the full ``N * K**2``-inflated multiplicand at once.
 _CONV_BATCH_COL_BUDGET = 1 << 26
 
-#: Byte budget for one padded maxpool chunk (the ``-inf``-filled float64
-#: window array); bounding it keeps batched pooling as cache-friendly as the
-#: single-frame pass.
+#: Byte budget for one maxpool chunk's *input slice* (the kernel pools the
+#: input dtype in place — there is no padded float64 copy any more);
+#: bounding it keeps batched pooling as cache-friendly as the single-frame
+#: pass.
 _POOL_BATCH_BUDGET = 1 << 25
+
+
+def _dequantized_cols(cols_raw: np.ndarray, lut: np.ndarray) -> np.ndarray:
+    """Gather ``lut[cols_raw]`` into a fresh workspace buffer.
+
+    ``lut`` must already be in the GEMM compute dtype and cover every code in
+    ``cols_raw`` (callers validate the code range; ``mode="clip"`` makes the
+    gather branch-free).  ``cols_raw`` is released back to the workspace.
+    """
+    cols = workspace.empty(cols_raw.shape, lut.dtype)
+    np.take(lut, cols_raw, out=cols, mode="clip")
+    workspace.release(cols_raw)
+    return cols
+
+
+def _lut_lowered_cols(x: np.ndarray, lut: np.ndarray, ksize, stride, pad):
+    """im2col of ``lut[x]`` — dequantize the *map*, then lower.
+
+    A K×K lowering replicates every map element up to K² times, so gathering
+    after im2col touches K² more elements than the map holds.  When
+    ``lut[0] == 0`` (the level-code contract: padding and code 0 are the same
+    value) the gather can run map-first and the zero-filled im2col padding is
+    bit-identical to gathering ``lut[0]`` per padded column entry.  Non-zero
+    ``lut[0]`` falls back to the cols-side gather.
+    """
+    if lut[0] != 0:
+        lower = im2col_batch if x.ndim == 4 else im2col
+        return _dequantized_cols(lower(x, ksize, stride, pad), lut)
+    values = workspace.empty(x.shape, lut.dtype)
+    np.take(lut, x, out=values, mode="clip")
+    lower = im2col_batch if x.ndim == 4 else im2col
+    cols = lower(values, ksize, stride, pad)
+    workspace.release(values)
+    return cols
 
 
 def conv2d(
@@ -32,10 +77,17 @@ def conv2d(
     bias: np.ndarray = None,
     stride: int = 1,
     pad: int = 0,
+    lut: np.ndarray = None,
 ) -> np.ndarray:
     """Convolution via explicit im2col + GEMM (Darknet's generic path).
 
     ``weights`` is ``(C_out, C_in, K, K)``; returns ``(C_out, OH, OW)``.
+
+    With ``lut`` given, ``x`` holds small non-negative integer codes and the
+    GEMM consumes ``lut[x]``: the lowering gathers narrow codes (cheap) and
+    dequantizes directly into the multiplicand buffer.  ``lut[0]`` must be
+    the pad value (``0.0`` for level codes, since level 0 dequantizes to
+    exactly ``+0.0``), so padding is bit-identical to the dense float path.
     """
     c_out, c_in, ksize, ksize2 = weights.shape
     if ksize != ksize2:
@@ -44,11 +96,29 @@ def conv2d(
         raise ValueError(f"input has {x.shape[0]} channels, weights expect {c_in}")
     out_h = conv_output_size(x.shape[1], ksize, stride, pad)
     out_w = conv_output_size(x.shape[2], ksize, stride, pad)
-    cols = im2col(x, ksize, stride, pad)
     flat_weights = weights.reshape(c_out, c_in * ksize * ksize)
-    out = flat_weights @ cols
+    dt = (
+        np.result_type(flat_weights, lut)
+        if lut is not None
+        else np.result_type(flat_weights, x)
+    )
+    gemm_weights = flat_weights.astype(dt, copy=False)
+    if lut is not None:
+        cols = _lut_lowered_cols(x, lut.astype(dt, copy=False), ksize, stride, pad)
+    else:
+        cols_raw = im2col(x, ksize, stride, pad)
+        cols = cols_raw.astype(dt, copy=False)
+        if cols is not cols_raw:
+            workspace.release(cols_raw)
+    out = workspace.empty((c_out, out_h * out_w), dt)
+    np.matmul(gemm_weights, cols, out=out)
+    workspace.release(cols)
     if bias is not None:
-        out = out + np.asarray(bias).reshape(c_out, 1)
+        b = np.asarray(bias).reshape(c_out, 1)
+        if np.result_type(out.dtype, b.dtype) == out.dtype:
+            out += b
+        else:
+            out = out + b
     return out.reshape(c_out, out_h, out_w)
 
 
@@ -58,6 +128,7 @@ def conv2d_batch(
     bias: np.ndarray = None,
     stride: int = 1,
     pad: int = 0,
+    lut: np.ndarray = None,
 ) -> np.ndarray:
     """Batched :func:`conv2d`: ``(N, C, H, W)`` in, ``(N, C_out, OH, OW)`` out.
 
@@ -66,6 +137,9 @@ def conv2d_batch(
     shapes of the single-frame path, so frame ``i`` of the result is
     bit-identical to ``conv2d(x[i], ...)`` (stacking columns *across* frames
     into one wider GEMM would not carry that guarantee for float32).
+
+    ``lut`` has the same meaning as in :func:`conv2d`: lower narrow integer
+    codes, dequantize into the GEMM dtype with a single gather.
     """
     if x.ndim != 4:
         raise ValueError(f"batched conv expects (N, C, H, W), got {x.shape}")
@@ -82,51 +156,140 @@ def conv2d_batch(
     # Operands must share the promoted dtype *before* matmul: a mixed-dtype
     # matmul (float32 weights against int32 level codes is the common hidden-
     # layer case) falls off the BLAS path into a buffered elementwise loop.
-    dt = np.result_type(flat_weights, x)
+    dt = (
+        np.result_type(flat_weights, lut)
+        if lut is not None
+        else np.result_type(flat_weights, x)
+    )
     gemm_weights = flat_weights.astype(dt, copy=False)
+    gemm_lut = lut.astype(dt, copy=False) if lut is not None else None
     cols_bytes = c_in * ksize * ksize * positions * np.dtype(dt).itemsize
     chunk = max(1, _CONV_BATCH_COL_BUDGET // max(1, cols_bytes))
-    out = np.empty((n, c_out, positions), dtype=dt)
+    out = workspace.empty((n, c_out, positions), dt)
     for start in range(0, n, chunk):
         stop = min(start + chunk, n)
-        cols = im2col_batch(x[start:stop], ksize, stride, pad).astype(
-            dt, copy=False
-        )
+        if gemm_lut is not None:
+            cols = _lut_lowered_cols(
+                x[start:stop], gemm_lut, ksize, stride, pad
+            )
+        else:
+            cols_raw = im2col_batch(x[start:stop], ksize, stride, pad)
+            cols = cols_raw.astype(dt, copy=False)
+            if cols is not cols_raw:
+                workspace.release(cols_raw)
         np.matmul(gemm_weights, cols, out=out[start:stop])
+        workspace.release(cols)
     if bias is not None:
-        out = out + np.asarray(bias).reshape(1, c_out, 1)
+        b = np.asarray(bias).reshape(1, c_out, 1)
+        if np.result_type(out.dtype, b.dtype) == out.dtype:
+            out += b  # in place: no second full-size output materialized
+        else:
+            out = out + b
     return out.reshape(n, c_out, out_h, out_w)
+
+
+def _pool_taps(h, w, out_h, out_w, ksize, stride, pad_before):
+    """Per-tap valid output ranges for Darknet pooling geometry.
+
+    For kernel tap ``(ky, kx)``, output position ``oy`` reads input row
+    ``oy*stride + ky - pad_before``; the returned inclusive ranges restrict
+    each tap to the outputs whose read lands inside the real input.  Reads
+    that would fall into the (bottom/right-biased) padding simply contribute
+    nothing — exactly what a ``-inf`` fill contributed in the old kernel.
+    """
+    taps = []
+    for ky in range(ksize):
+        oy_min = max(0, -((ky - pad_before) // stride))
+        oy_max = min(out_h - 1, (h - 1 + pad_before - ky) // stride)
+        if oy_min > oy_max:
+            continue
+        for kx in range(ksize):
+            ox_min = max(0, -((kx - pad_before) // stride))
+            ox_max = min(out_w - 1, (w - 1 + pad_before - kx) // stride)
+            if ox_min > ox_max:
+                continue
+            taps.append((ky, kx, oy_min, oy_max, ox_min, ox_max))
+    return taps
+
+
+def _tap_view(x, ky, kx, oy_min, oy_max, ox_min, ox_max, stride, pad_before):
+    """The strided input view a tap contributes over its valid output range."""
+    iy0 = oy_min * stride + ky - pad_before
+    ix0 = ox_min * stride + kx - pad_before
+    return x[
+        :,
+        iy0 : iy0 + (oy_max - oy_min) * stride + 1 : stride,
+        ix0 : ix0 + (ox_max - ox_min) * stride + 1 : stride,
+    ]
+
+
+def _dtype_min(dtype: np.dtype):
+    if np.issubdtype(dtype, np.floating):
+        return -np.inf
+    return np.iinfo(dtype).min
+
+
+def _maxpool2d_into(
+    x: np.ndarray, out: np.ndarray, ksize: int, stride: int, padding: int
+) -> None:
+    """Pool ``(M, H, W)`` into preallocated ``(M, OH, OW)``, input dtype.
+
+    Iterated ``np.maximum`` over shifted strided slices — one pass per
+    kernel tap, no padded copy, no dtype promotion.  Max is a selection
+    operation, so the result is bit-identical to the old float64-padded
+    kernel cast back to the input dtype.
+    """
+    _, h, w = x.shape
+    out_h, out_w = out.shape[1:]
+    pad_before = padding // 2
+    taps = _pool_taps(h, w, out_h, out_w, ksize, stride, pad_before)
+    seed = None
+    for tap in taps:
+        _, _, oy_min, oy_max, ox_min, ox_max = tap
+        if (oy_min, ox_min) == (0, 0) and (oy_max, ox_max) == (
+            out_h - 1,
+            out_w - 1,
+        ):
+            seed = tap
+            break
+    if seed is not None:
+        # A full-coverage tap (always present for Darknet's bottom/right
+        # padding <= ksize-1) seeds every output — no fill pass needed.
+        np.copyto(out, _tap_view(x, *seed[:2], *seed[2:], stride, pad_before))
+    else:
+        out.fill(_dtype_min(out.dtype))
+    for tap in taps:
+        if tap is seed:
+            continue
+        ky, kx, oy_min, oy_max, ox_min, ox_max = tap
+        target = out[:, oy_min : oy_max + 1, ox_min : ox_max + 1]
+        np.maximum(
+            target,
+            _tap_view(x, ky, kx, oy_min, oy_max, ox_min, ox_max, stride, pad_before),
+            out=target,
+        )
 
 
 def maxpool2d(
     x: np.ndarray, ksize: int, stride: int, padding: int = None
 ) -> np.ndarray:
-    """Darknet-style max pooling.
+    """Darknet-style max pooling, computed in the input dtype.
 
     ``padding`` is the total padding (default ``ksize - 1``), applied at the
-    bottom/right with ``-inf`` fill — this reproduces Darknet's behaviour of
+    bottom/right — this reproduces Darknet's behaviour of
     ``out = ceil(size/stride)`` including the stride-1 pool before the 13x13
-    layers of Tiny YOLO.
+    layers of Tiny YOLO.  Padding positions never win the max (the old
+    kernel filled them with ``-inf``; this one simply never reads them), and
+    integer level codes pool as integers — no float64 round trip.
     """
     if padding is None:
         padding = ksize - 1
     c, h, w = x.shape
     out_h = pool_output_size(h, ksize, stride, padding)
     out_w = pool_output_size(w, ksize, stride, padding)
-    pad_before = padding // 2
-    pad_after = padding - pad_before
-    padded = np.full(
-        (c, h + padding, w + padding), -np.inf, dtype=np.float64
-    )
-    padded[:, pad_before : pad_before + h, pad_before : pad_before + w] = x
-    s0, s1, s2 = padded.strides
-    windows = np.lib.stride_tricks.as_strided(
-        padded,
-        shape=(c, out_h, out_w, ksize, ksize),
-        strides=(s0, s1 * stride, s2 * stride, s1, s2),
-        writeable=False,
-    )
-    return windows.max(axis=(3, 4)).astype(x.dtype)
+    out = workspace.empty((c, out_h, out_w), x.dtype)
+    _maxpool2d_into(x, out, ksize, stride, padding)
+    return out
 
 
 def maxpool2d_batch(
@@ -135,24 +298,29 @@ def maxpool2d_batch(
     """Batched :func:`maxpool2d` over ``(N, C, H, W)``.
 
     Pooling is per-channel and per-frame independent, so the batch is
-    flattened into the channel axis and pooled in one strided pass; frame
-    ``i`` equals ``maxpool2d(x[i], ...)`` bit for bit.
+    flattened into the channel axis and pooled chunk-by-chunk straight into
+    one preallocated output (no parts list, no concatenate); frame ``i``
+    equals ``maxpool2d(x[i], ...)`` bit for bit.
     """
     if x.ndim != 4:
         raise ValueError(f"batched maxpool expects (N, C, H, W), got {x.shape}")
     n, c, h, w = x.shape
     pad_total = (ksize - 1) if padding is None else padding
-    frame_bytes = c * (h + pad_total) * (w + pad_total) * 8  # float64 padded
+    out_h = pool_output_size(h, ksize, stride, pad_total)
+    out_w = pool_output_size(w, ksize, stride, pad_total)
+    frame_bytes = c * h * w * x.itemsize
     chunk = max(1, _POOL_BATCH_BUDGET // max(1, frame_bytes))
-    parts = []
+    out = workspace.empty((n, c, out_h, out_w), x.dtype)
     for start in range(0, n, chunk):
         stop = min(start + chunk, n)
-        flat = x[start:stop].reshape((stop - start) * c, h, w)
-        pooled = maxpool2d(flat, ksize, stride, padding)
-        parts.append(
-            pooled.reshape(stop - start, c, pooled.shape[1], pooled.shape[2])
+        _maxpool2d_into(
+            np.ascontiguousarray(x[start:stop]).reshape((stop - start) * c, h, w),
+            out[start:stop].reshape((stop - start) * c, out_h, out_w),
+            ksize,
+            stride,
+            pad_total,
         )
-    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+    return out
 
 
 def maxpool2d_argmax(
@@ -227,6 +395,7 @@ def batchnorm_inference(
     var: np.ndarray,
     eps: float = 1e-6,
     channel_axis: int = 0,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Per-channel batch normalization with frozen statistics.
 
@@ -234,12 +403,25 @@ def batchnorm_inference(
     (0 for single ``(C, H, W)`` maps, 1 for ``(N, C, H, W)`` batches); the
     arithmetic is elementwise, so batched application is bit-identical to
     per-frame application.
+
+    With ``out`` given (it may alias ``x``), the epilogue runs in place in
+    ``out.dtype``; callers must ensure ``out.dtype`` equals the dtype the
+    out-of-place expression would produce (all-float32 in the conv layers),
+    which keeps the in-place form bit-identical — same elementwise ops, same
+    order, same dtype.
     """
     shape = [1] * x.ndim
     shape[channel_axis] = -1
     shape = tuple(shape)
     inv = gamma.reshape(shape) / np.sqrt(var.reshape(shape) + eps)
-    return inv * (x - mean.reshape(shape)) + beta.reshape(shape)
+    if out is None:
+        return inv * (x - mean.reshape(shape)) + beta.reshape(shape)
+    if out is not x:
+        np.copyto(out, x)
+    out -= mean.reshape(shape)
+    out *= inv
+    out += beta.reshape(shape)
+    return out
 
 
 def fully_connected(

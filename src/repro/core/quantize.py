@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import workspace
+
 
 class Quantizer:
     """Base interface: maps float values to quantized values and level codes."""
@@ -143,8 +145,21 @@ class UnsignedUniformQuantizer(Quantizer):
         return self.levels * self.scale
 
     def to_levels(self, x: np.ndarray) -> np.ndarray:
-        codes = round_half_up(np.asarray(x, dtype=np.float64) / self.scale)
-        return np.clip(codes, 0, self.levels).astype(np.int32)
+        # floor(x/scale + 0.5) clipped to [0, levels] — the round_half_up
+        # pipeline, run in-place through one float64 workspace buffer (same
+        # ops, same order, same dtypes as the out-of-place expression, so
+        # bit-identical) instead of four full-size temporaries.
+        x = np.asarray(x)
+        buf = workspace.empty(x.shape, np.float64)
+        np.copyto(buf, x)
+        buf /= self.scale
+        buf += 0.5
+        np.floor(buf, out=buf)
+        np.clip(buf, 0, self.levels, out=buf)
+        codes = workspace.empty(x.shape, np.int32)
+        np.copyto(codes, buf, casting="unsafe")
+        workspace.release(buf)
+        return codes
 
     def from_levels(self, levels: np.ndarray) -> np.ndarray:
         return (np.asarray(levels).astype(np.float64) * self.scale).astype(np.float32)

@@ -55,17 +55,34 @@ class ThresholdActivation:
     def channels(self) -> int:
         return int(self.thresholds.shape[0])
 
-    def apply(self, acc: np.ndarray) -> np.ndarray:
-        """Map integer accumulators ``(C, ...)`` to output levels ``0..2**bits-1``."""
+    def apply(self, acc: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Map integer accumulators ``(C, ...)`` to output levels ``0..2**bits-1``.
+
+        ``out`` (optional) receives the levels in place; it must be an
+        ``int32`` array of ``acc``'s shape.  This lets callers route the
+        result into workspace-managed storage instead of a fresh heap
+        allocation per call.
+        """
         if acc.shape[0] != self.channels:
             raise ValueError(
                 f"accumulator has {acc.shape[0]} channels, expected {self.channels}"
             )
+        if out is not None and (out.shape != acc.shape or out.dtype != np.int32):
+            raise ValueError("out must be an int32 array matching acc's shape")
+        if self.thresholds.shape[-1] <= 16:
+            fast = self._apply_compare(acc, out)
+            if fast is not None:
+                return fast
         plan = self._sorted_plan()
         if plan is None:
-            return self._apply_generic(acc)
+            generic = self._apply_generic(acc)
+            if out is None:
+                return generic
+            np.copyto(out, generic)
+            return out
         n_thresh = self.thresholds.shape[-1]
-        out = np.empty(acc.shape, dtype=np.int32)
+        if out is None:
+            out = np.empty(acc.shape, dtype=np.int32)
         for ch, (sign, ascending) in enumerate(plan):
             channel = np.asarray(acc[ch])
             flat = channel.reshape(-1)
@@ -77,6 +94,57 @@ class ThresholdActivation:
                 counts = n_thresh - np.searchsorted(ascending, flat, side="left")
             out[ch] = counts.reshape(channel.shape)
         return out
+
+    def _apply_compare(self, acc: np.ndarray, out: np.ndarray | None):
+        """Few-threshold fast path: one broadcast compare per threshold.
+
+        Hit counting is order-free, so this needs no monotonicity (it also
+        replaces the generic path) and folding the per-channel sign into
+        both operands (``s*acc >= s*T``) makes every comparison a ``>=``.
+        Comparisons run in a dtype representing both sides exactly — int64
+        for integer accumulators; for float ones the folded thresholds must
+        survive the cast losslessly or sit beyond the float's exact-integer
+        range (``+-2**62`` sentinels do), else we decline (return ``None``)
+        and the caller falls back to the searchsorted/generic path.
+        """
+        plan = self._compare_plan()
+        if np.issubdtype(acc.dtype, np.floating):
+            limit = 2.0 ** (np.finfo(acc.dtype).nmant + 1)
+            thr = plan["thr64"].astype(acc.dtype)
+            exact = np.abs(plan["thr64"]) <= limit
+            exact |= thr.astype(np.float64) == plan["thr64"]
+            if not exact.all():
+                return None
+        else:
+            thr = plan["thr_int"]
+        col = (slice(None),) + (None,) * (acc.ndim - 1)
+        signed = acc if plan["all_positive"] else acc * self.signs[col]
+        # n_thresh <= 16, so hit counts fit a uint8 accumulator; the int32
+        # widening happens once at the end instead of per compare.
+        hits = np.zeros(acc.shape, dtype=np.uint8)
+        cmp = np.empty(acc.shape, dtype=bool)
+        for k in range(thr.shape[-1]):
+            np.greater_equal(signed, thr[:, k][col], out=cmp)
+            hits += cmp
+        if out is None:
+            out = np.empty(acc.shape, dtype=np.int32)
+        np.copyto(out, hits, casting="unsafe")
+        return out
+
+    def _compare_plan(self):
+        """Cached sign-folded thresholds for :meth:`_apply_compare`."""
+        key = (id(self.thresholds), id(self.signs))
+        cached = getattr(self, "_cmp_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        folded = self.thresholds * self.signs[:, None].astype(np.int64)
+        plan = {
+            "thr_int": folded,
+            "thr64": folded.astype(np.float64),
+            "all_positive": bool(np.all(self.signs > 0)),
+        }
+        self._cmp_cache = (key, plan)
+        return plan
 
     def _apply_generic(self, acc: np.ndarray) -> np.ndarray:
         """Literal hit-counting over all thresholds (any threshold order)."""

@@ -1,0 +1,70 @@
+"""Allocation hook for the hot kernels — arena-aware ``np.empty``.
+
+The batched kernels (:mod:`repro.core.ops`, :mod:`repro.core.im2col`, the
+quantizers, the MVTU lowering) allocate large short-lived buffers: im2col
+multiplicands, padded maps, conv outputs, level-code scratch.  Outside the
+execution engine those are plain ``np.empty`` calls; inside an
+:class:`~repro.engine.arena.Arena`-backed run the same calls draw from a
+recycled buffer pool, so a batch-16 pass stops paying page-fault churn on
+every step.
+
+The hook is deliberately tiny and dependency-free (``core`` must not import
+``engine``): :func:`empty` and :func:`release` consult a thread-local slot
+that :func:`install` fills with any object exposing ``empty(shape, dtype)``
+and ``release(array)``.  With nothing installed, :func:`empty` is exactly
+``np.empty`` and :func:`release` is a no-op — kernel behaviour (and all
+bit-level results) never depend on the allocator.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+_tls = threading.local()
+
+
+def current():
+    """The allocator installed on this thread, or ``None``."""
+    return getattr(_tls, "active", None)
+
+
+@contextmanager
+def install(allocator):
+    """Route this thread's :func:`empty`/:func:`release` through *allocator*.
+
+    Nesting restores the previous allocator on exit; installation is
+    per-thread, so concurrent engine runs never share buffers by accident.
+    """
+    previous = getattr(_tls, "active", None)
+    _tls.active = allocator
+    try:
+        yield allocator
+    finally:
+        _tls.active = previous
+
+
+def empty(shape, dtype) -> np.ndarray:
+    """Uninitialized array from the installed allocator (or ``np.empty``)."""
+    allocator = current()
+    if allocator is None:
+        return np.empty(shape, dtype=dtype)
+    return allocator.empty(shape, dtype)
+
+
+def release(array) -> bool:
+    """Hand *array* back to the installed allocator.
+
+    Safe to call on any array: arrays that did not come from the allocator
+    (or when no allocator is installed) are ignored.  Returns True when a
+    buffer was actually recycled.
+    """
+    allocator = current()
+    if allocator is None or array is None:
+        return False
+    return bool(allocator.release(array))
+
+
+__all__ = ["current", "install", "empty", "release"]

@@ -18,6 +18,7 @@ for our Darknet-like substrate:
 See ``docs/ENGINE.md`` for the full design.
 """
 
+from repro.engine.arena import Arena
 from repro.engine.executor import ExecutionReport, Executor, StepStats
 from repro.engine.plan import INPUT, ExecutionPlan, PlanStep, compile_plan
 from repro.engine.reference import legacy_forward_all, legacy_forward_batch_all
@@ -27,6 +28,7 @@ __all__ = [
     "PlanStep",
     "ExecutionPlan",
     "compile_plan",
+    "Arena",
     "Executor",
     "ExecutionReport",
     "StepStats",

@@ -1,0 +1,131 @@
+"""Liveness-driven arena allocator for the batched execution path.
+
+``ExecutionPlan`` already knows buffer liveness: ``release_after`` names the
+step after which each intermediate dies, and ``peak_live_bytes`` bounds the
+simultaneously-live working set.  The :class:`Arena` turns that knowledge
+into buffer *reuse*: the :class:`~repro.engine.executor.Executor` installs
+the arena as the thread's :mod:`repro.core.workspace` allocator, so the hot
+kernels (im2col multiplicands, conv outputs, pool outputs, level-code
+scratch) draw from a recycled pool instead of hitting ``np.empty`` — and
+its page-fault churn — on every step of every run.
+
+Design notes:
+
+* Buffers are flat ``uint8`` arrays; ``empty(shape, dtype)`` hands out a
+  leading-slice **view** reshaped to the request.  Best-fit keeps slack low.
+* ``release(array, guard=...)`` walks the array's ``base`` chain back to
+  the owning buffer and recycles it — unless any *guard* array still shares
+  its memory.  The executor passes the currently-live feature maps as the
+  guard, so a buffer is only ever recycled once nothing downstream can see
+  it.  Releasing foreign (non-arena) arrays is a safe no-op.
+* ``begin_run()`` forgets in-use buffers without recycling them: a run's
+  escaped outputs own their memory from then on (ordinary GC applies), so
+  a recycled buffer can never alias a result a caller still holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def _owning_base(array: np.ndarray) -> np.ndarray:
+    """The root ndarray whose memory *array* is a view of."""
+    base = array
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    return base
+
+
+@dataclass
+class Arena:
+    """A pool of recyclable byte buffers behind ``workspace.empty``."""
+
+    #: never pool buffers smaller than this — tiny arrays are cheap and
+    #: pooling them just bloats the free-list scan.
+    min_bytes: int = 4096
+
+    _free: List[np.ndarray] = field(default_factory=list)
+    _in_use: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    # -- statistics -----------------------------------------------------
+    hits: int = 0
+    misses: int = 0
+    recycled: int = 0
+    allocated_bytes: int = 0
+    high_water_bytes: int = 0
+
+    def begin_run(self) -> None:
+        """Start a fresh run: outstanding buffers escape to their owners."""
+        self._in_use.clear()
+
+    def empty(self, shape, dtype) -> np.ndarray:
+        """An uninitialized array of *shape*/*dtype*, recycled if possible."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes < self.min_bytes:
+            return np.empty(shape, dtype=dtype)
+        best = -1
+        for i, buf in enumerate(self._free):
+            if buf.nbytes >= nbytes and (
+                best < 0 or buf.nbytes < self._free[best].nbytes
+            ):
+                best = i
+                if buf.nbytes == nbytes:
+                    break
+        if best >= 0:
+            buf = self._free.pop(best)
+            self.hits += 1
+        else:
+            buf = np.empty(nbytes, dtype=np.uint8)
+            self.misses += 1
+            self.allocated_bytes += nbytes
+        self._in_use[id(buf)] = buf
+        live = sum(b.nbytes for b in self._in_use.values())
+        if live > self.high_water_bytes:
+            self.high_water_bytes = live
+        return buf[:nbytes].view(dtype).reshape(shape)
+
+    def release(
+        self, array, guard: Optional[Sequence[np.ndarray]] = None
+    ) -> bool:
+        """Recycle the buffer backing *array* if it is arena-owned and safe.
+
+        *guard* arrays that share memory with the buffer veto the recycle
+        (the buffer stays checked out until a later release succeeds or the
+        next ``begin_run`` lets it escape).
+        """
+        if not isinstance(array, np.ndarray):
+            return False
+        base = _owning_base(array)
+        buf = self._in_use.get(id(base))
+        if buf is None:
+            return False
+        if guard is not None:
+            for held in guard:
+                if held is None:
+                    continue
+                held_base = _owning_base(held)
+                if held_base is buf or np.shares_memory(held_base, buf):
+                    return False
+        del self._in_use[id(base)]
+        self._free.append(buf)
+        self.recycled += 1
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """A plain-dict snapshot for reports and reconciliation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "recycled": self.recycled,
+            "allocated_bytes": self.allocated_bytes,
+            "high_water_bytes": self.high_water_bytes,
+            "free_buffers": len(self._free),
+            "free_bytes": sum(b.nbytes for b in self._free),
+        }
+
+
+__all__ = ["Arena"]

@@ -14,6 +14,7 @@ pipeline trace, and the ``repro bench`` JSON.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -21,9 +22,16 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import faults
+from repro.core import workspace
 from repro.core.resources import FABRIC
 from repro.core.tensor import FeatureMapBatch
+from repro.engine.arena import Arena
 from repro.engine.plan import INPUT, ExecutionPlan
+
+#: Arenas kept warm per Executor for reuse across runs (the serving worker
+#: pool runs a handful of concurrent inferences; beyond that fresh arenas
+#: are built on demand and the surplus is dropped on return).
+_ARENA_POOL_CAP = 4
 
 #: FABRIC-step routing policies of :meth:`Executor.run`:
 #: ``fabric`` (default) runs fabric steps on the fabric engine; ``reference``
@@ -62,6 +70,9 @@ class ExecutionReport:
     steps: List[StepStats] = field(default_factory=list)
     wall_s: float = 0.0
     peak_live_bytes: int = 0
+    #: Snapshot of the run's arena allocator (hits/misses/high-water); see
+    #: :meth:`repro.engine.arena.Arena.stats`.  ``None`` for zero-frame runs.
+    arena: Optional[Dict[str, int]] = None
 
     @property
     def total_ops(self) -> int:
@@ -91,6 +102,21 @@ class Executor:
         self.offload_guard = offload_guard
         self.on_step = on_step
         self.last_report: Optional[ExecutionReport] = None
+        self._arena_pool: List[Arena] = []
+        self._arena_lock = threading.Lock()
+
+    # -- arena pool --------------------------------------------------------
+
+    def _acquire_arena(self) -> Arena:
+        with self._arena_lock:
+            if self._arena_pool:
+                return self._arena_pool.pop()
+        return Arena()
+
+    def _return_arena(self, arena: Arena) -> None:
+        with self._arena_lock:
+            if len(self._arena_pool) < _ARENA_POOL_CAP:
+                self._arena_pool.append(arena)
 
     # -- public API --------------------------------------------------------
 
@@ -189,41 +215,56 @@ class Executor:
         live_bytes = fmb.data.nbytes
         report.peak_live_bytes = live_bytes
         outputs: List[FeatureMapBatch] = []
+        # The arena turns the plan's liveness analysis into buffer reuse:
+        # kernels allocate through repro.core.workspace, and a victim's
+        # backing buffer is recycled the moment no live feature map can see
+        # it (the guard check).  begin_run() lets a previous run's escaped
+        # outputs keep their memory — recycled buffers never alias results.
+        arena = self._acquire_arena()
+        arena.begin_run()
         run_start = time.perf_counter()
-        for step in plan.steps:
-            inputs = [buffers[buffer_id] for buffer_id in step.inputs]
-            start = time.perf_counter()
-            if step.resource == FABRIC:
-                out = self._run_fabric_step(step, inputs, guard, fabric_mode)
-            else:
-                out = step.layer.run_batch(inputs)
-            wall = time.perf_counter() - start
-            buffers[step.index] = out
-            live_bytes += out.data.nbytes
-            produced_live = live_bytes
-            report.peak_live_bytes = max(report.peak_live_bytes, produced_live)
-            if keep_all:
-                outputs.append(out)
-            else:
-                for victim in plan.release_after.get(step.index, ()):
-                    dead = buffers.pop(victim, None)
-                    if dead is not None:
-                        live_bytes -= dead.data.nbytes
-            stats = StepStats(
-                index=step.index,
-                name=step.name,
-                ltype=step.ltype,
-                resource=step.resource,
-                wall_s=wall,
-                ops=step.ops * fmb.batch,
-                out_bytes=out.data.nbytes,
-                live_bytes=produced_live,
-            )
-            report.steps.append(stats)
-            if self.on_step is not None:
-                self.on_step(stats)
+        with workspace.install(arena):
+            for step in plan.steps:
+                inputs = [buffers[buffer_id] for buffer_id in step.inputs]
+                start = time.perf_counter()
+                if step.resource == FABRIC:
+                    out = self._run_fabric_step(step, inputs, guard, fabric_mode)
+                else:
+                    out = step.layer.run_batch(inputs)
+                wall = time.perf_counter() - start
+                buffers[step.index] = out
+                live_bytes += out.data.nbytes
+                produced_live = live_bytes
+                report.peak_live_bytes = max(report.peak_live_bytes, produced_live)
+                if keep_all:
+                    outputs.append(out)
+                else:
+                    for victim in plan.release_after.get(step.index, ()):
+                        dead = buffers.pop(victim, None)
+                        if dead is not None:
+                            live_bytes -= dead.data.nbytes
+                            if victim != INPUT:
+                                arena.release(
+                                    dead.data,
+                                    guard=[b.data for b in buffers.values()],
+                                )
+                stats = StepStats(
+                    index=step.index,
+                    name=step.name,
+                    ltype=step.ltype,
+                    resource=step.resource,
+                    wall_s=wall,
+                    ops=step.ops * fmb.batch,
+                    out_bytes=out.data.nbytes,
+                    live_bytes=produced_live,
+                )
+                report.steps.append(stats)
+                if self.on_step is not None:
+                    self.on_step(stats)
         report.wall_s = time.perf_counter() - run_start
+        report.arena = arena.stats()
         self.last_report = report
+        self._return_arena(arena)
         return outputs if keep_all else buffers[plan.steps[-1].index]
 
 

@@ -142,6 +142,19 @@ class ExecutionPlan:
                 live.pop(victim, None)
         return peak * bytes_per_element
 
+    def arena_budget(self, batch: int, bytes_per_element: int = 4) -> int:
+        """Arena sizing hint for a batch-``batch`` run.
+
+        The executor's arena reuses buffers as the liveness analysis frees
+        them, so its steady-state footprint tracks the *live* working set —
+        :meth:`peak_live_bytes` scaled by the batch — not the
+        keep-everything total.  ``perf.memory.arena_reconciliation``
+        compares a measured arena high-water against this figure.
+        """
+        if batch < 0:
+            raise ValueError("batch must be non-negative")
+        return self.peak_live_bytes(bytes_per_element) * int(batch)
+
     def total_buffer_bytes(self, bytes_per_element: int = 4) -> int:
         """Keep-everything footprint per frame: input + every intermediate.
 

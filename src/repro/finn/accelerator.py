@@ -53,16 +53,14 @@ class PoolStage:
     padding: int
 
     def forward(self, fm: FeatureMap) -> FeatureMap:
-        pooled = maxpool2d(
-            fm.data.astype(np.float64), self.size, self.stride, self.padding
-        )
-        return FeatureMap(pooled.astype(fm.data.dtype), scale=fm.scale)
+        # maxpool2d pools in the input dtype (max is a selection op), so the
+        # old float64 round trip is gone — level codes pool as integers.
+        pooled = maxpool2d(fm.data, self.size, self.stride, self.padding)
+        return FeatureMap(pooled, scale=fm.scale)
 
     def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
-        pooled = maxpool2d_batch(
-            fmb.data.astype(np.float64), self.size, self.stride, self.padding
-        )
-        return FeatureMapBatch(pooled.astype(fmb.data.dtype), scale=fmb.scale)
+        pooled = maxpool2d_batch(fmb.data, self.size, self.stride, self.padding)
+        return FeatureMapBatch(pooled, scale=fmb.scale)
 
     def out_shape(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
         from repro.core.tensor import pool_output_size

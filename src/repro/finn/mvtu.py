@@ -26,15 +26,40 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import workspace
 from repro.core.bitpack import bitserial_dot, pack_bits, pack_levels
 from repro.core.im2col import im2col, im2col_batch
 from repro.core.tensor import FeatureMap, FeatureMapBatch, conv_output_size
 from repro.core.thresholds import ThresholdActivation
 
-#: Element budget for one batched im2col chunk (int64); frames are lowered
-#: and multiplied in chunks so huge batches never materialize the whole
-#: K**2-inflated multiplicand at once.
+#: Element budget for one batched im2col chunk; frames are lowered and
+#: multiplied in chunks so huge batches never materialize the whole
+#: K**2-inflated multiplicand at once (level codes lower as uint8, so the
+#: budget now bounds 1-byte elements instead of int64 ones).
 _BATCH_COL_BUDGET = 1 << 24
+
+
+def _narrow_codes(levels: np.ndarray) -> np.ndarray:
+    """Level codes as uint8 when they fit, else int64.
+
+    Activation levels are tiny non-negative codes (3-bit for W1A3), so the
+    sliding-window lowering can move 1 byte per element instead of the 8 an
+    int64 cast forced; the accumulators downstream are computed exactly
+    either way, so the narrowing is bit-invisible.
+    """
+    levels = np.asarray(levels)
+    if (
+        np.issubdtype(levels.dtype, np.integer)
+        and levels.size
+        and int(levels.min()) >= 0
+        and int(levels.max()) <= 255
+    ):
+        if levels.dtype == np.uint8:
+            return levels
+        codes = workspace.empty(levels.shape, np.uint8)
+        np.copyto(codes, levels, casting="unsafe")
+        return codes
+    return levels.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -105,6 +130,9 @@ class MVTU:
         #: is what large runs use.
         self.bitserial = bitserial
         self._weights_pm1 = weights_pm1.astype(np.int64)
+        # float32 copy for the exact single-precision GEMM path of matmat
+        # (+-1 entries are exact in any float width).
+        self._weights_f32 = weights_pm1.astype(np.float32)
         self._packed_weights, self._n = pack_bits(
             (weights_pm1 > 0).astype(np.uint8)
         )
@@ -138,6 +166,20 @@ class MVTU:
         level_columns = np.asarray(level_columns)
         if self.bitserial:
             acc = self.matmat_accumulate_bitserial(level_columns)
+        elif (
+            level_columns.dtype.itemsize == 1
+            and np.issubdtype(level_columns.dtype, np.integer)
+            and self.geometry.cols * 256 < (1 << 24)
+        ):
+            # Single-precision BLAS GEMM, still exact: with +-1 weights and
+            # 1-byte level codes every partial sum is an integer bounded by
+            # cols * 255 < 2**24, so each float32 add is exact regardless of
+            # accumulation order — bit-identical to the float64 path, at
+            # half the memory traffic.
+            cols_f = workspace.empty(level_columns.shape, np.float32)
+            np.copyto(cols_f, level_columns)
+            acc = (self._weights_f32 @ cols_f).astype(np.int64)
+            workspace.release(cols_f)
         else:
             # BLAS-backed float64 matmul: exact for these magnitudes
             # (|acc| <= cols * max_level << 2**53) and orders of magnitude
@@ -212,8 +254,12 @@ class MVTUConvLayer:
                 f"expected {self.in_channels} input channels, got {levels.shape[0]}"
             )
         out_c, out_h, out_w = self.out_shape(levels.shape)
-        cols = im2col(levels.astype(np.int64), self.ksize, self.stride, self.pad)
+        codes = _narrow_codes(levels)
+        cols = im2col(codes, self.ksize, self.stride, self.pad)
+        if codes is not levels:
+            workspace.release(codes)
         out_levels = self.mvtu.matmat(cols).reshape(out_c, out_h, out_w)
+        workspace.release(cols)
         return FeatureMap(out_levels.astype(np.int32), scale=self.out_scale)
 
     def forward_batch(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
@@ -235,21 +281,33 @@ class MVTUConvLayer:
         positions = out_h * out_w
         ckk = self.mvtu.geometry.cols
         chunk = max(1, _BATCH_COL_BUDGET // max(1, ckk * positions))
-        out = np.empty((n, out_c, positions), dtype=np.int32)
+        codes = _narrow_codes(levels)
+        out = workspace.empty((n, out_c, positions), np.int32)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
             cols = im2col_batch(
-                levels[start:stop].astype(np.int64),
+                codes[start:stop],
                 self.ksize,
                 self.stride,
                 self.pad,
             )
-            stacked = cols.transpose(1, 0, 2).reshape(ckk, -1)
+            # Stack frames side by side for one wide matmat; the transpose
+            # is gathered into a workspace buffer (a bare reshape would
+            # silently allocate an untracked copy).
+            stacked = workspace.empty((ckk, (stop - start) * positions), cols.dtype)
+            np.copyto(
+                stacked.reshape(ckk, stop - start, positions),
+                cols.transpose(1, 0, 2),
+            )
+            workspace.release(cols)
             out_levels = self.mvtu.matmat(stacked)
+            workspace.release(stacked)
             out[start:stop] = (
                 out_levels.reshape(out_c, stop - start, positions)
                 .transpose(1, 0, 2)
             )
+        if codes is not levels:
+            workspace.release(codes)
         return FeatureMapBatch(
             out.reshape(n, out_c, out_h, out_w), scale=self.out_scale
         )

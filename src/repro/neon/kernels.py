@@ -29,6 +29,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import workspace
 from repro.core.gemm import gemm_i8_acc16, gemm_i8_acc32
 from repro.core.im2col import im2col, im2col_batch, sliced_im2col
 from repro.core.quantize import AffineQuantizer
@@ -42,9 +43,11 @@ I8_LANES = 16
 #: The paper's pre-accumulation shift for the 16-bit accumulator variant.
 ACC16_PRESHIFT = 4
 
-#: Element budget (int64) for one batched im2col chunk: frames are lowered
-#: and multiplied in chunks so large batches never materialize the whole
-#: stacked multiplicand at once.
+#: Element budget for one batched im2col chunk: frames are lowered and
+#: multiplied in chunks so large batches never materialize the whole
+#: stacked multiplicand at once.  The GEMM operands stay in their narrow
+#: quantized dtypes (the blocked kernels widen internally), so one element
+#: is one byte, not the int64 the old pipeline inflated to.
 _NEON_BATCH_COL_BUDGET = 1 << 24
 
 
@@ -111,8 +114,12 @@ def conv_gemmlowp(
     w_q = AffineQuantizer.from_range(
         float(weights.min()), float(weights.max()), bits=8, signed=False
     )
-    cols_levels = x_q.to_levels(im2col(x, k, stride, pad)).astype(np.int64)
-    w_levels = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    raw_cols = im2col(x, k, stride, pad)
+    # Narrow u8 codes feed the GEMM directly — the blocked kernel widens
+    # internally, so dropping the old int64 inflation is bit-invisible.
+    cols_levels = x_q.to_levels(raw_cols)
+    workspace.release(raw_cols)
+    w_levels = w_q.to_levels(weights.reshape(c_out, -1))
     acc = gemm_i8_acc32(
         w_levels, cols_levels, a_offset=-w_q.zero_point, b_offset=-x_q.zero_point
     )
@@ -185,8 +192,10 @@ def conv_int8(
     w_q = AffineQuantizer.symmetric(
         max(abs(float(weights.min())), abs(float(weights.max()))), bits=8
     )
-    cols = x_q.to_levels(im2col(x, k, stride, pad)).astype(np.int64)
-    flat = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    raw_cols = im2col(x, k, stride, pad)
+    cols = x_q.to_levels(raw_cols)
+    workspace.release(raw_cols)
+    flat = w_q.to_levels(weights.reshape(c_out, -1))
     if accumulator_bits == 32:
         acc = gemm_i8_acc32(flat, cols)
         out = acc.astype(np.float64) * (w_q.scale * x_q.scale)
@@ -264,8 +273,10 @@ def conv_first_layer_custom(
     w_q = AffineQuantizer.symmetric(
         max(abs(float(weights.min())), abs(float(weights.max()))), bits=8
     )
-    cols = x_q.to_levels(im2col(x, k, stride, pad)).astype(np.int64)
-    flat = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    raw_cols = im2col(x, k, stride, pad)
+    cols = x_q.to_levels(raw_cols)
+    workspace.release(raw_cols)
+    flat = w_q.to_levels(weights.reshape(c_out, -1))
     if variant == "i8_acc32":
         acc = gemm_i8_acc32(flat, cols)
         out = acc.astype(np.float64) * (w_q.scale * x_q.scale)
@@ -334,9 +345,9 @@ def _stacked_int_gemm(
     peak = 0
     for start in range(0, n, chunk):
         stop = min(start + chunk, n)
-        cols = to_levels(
-            im2col_batch(x[start:stop], ksize, stride, pad)
-        ).astype(np.int64)
+        raw = im2col_batch(x[start:stop], ksize, stride, pad)
+        cols = to_levels(raw)
+        workspace.release(raw)
         stacked = cols.transpose(1, 0, 2).reshape(ckk, -1)
         peak = max(peak, stacked.size)
         if accumulator_bits == 16:
@@ -372,7 +383,7 @@ def conv_gemmlowp_batch(
     w_q = AffineQuantizer.from_range(
         float(weights.min()), float(weights.max()), bits=8, signed=False
     )
-    w_levels = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    w_levels = w_q.to_levels(weights.reshape(c_out, -1))
     acc, _, peak, (out_h, out_w) = _stacked_int_gemm(
         x, w_levels, x_q.to_levels, weights.shape[2], stride, pad,
         accumulator_bits=32,
@@ -416,7 +427,7 @@ def conv_int8_batch(
     w_q = AffineQuantizer.symmetric(
         max(abs(float(weights.min())), abs(float(weights.max()))), bits=8
     )
-    flat = w_q.to_levels(weights.reshape(c_out, -1)).astype(np.int64)
+    flat = w_q.to_levels(weights.reshape(c_out, -1))
     acc, overflow, peak, (out_h, out_w) = _stacked_int_gemm(
         x, flat, x_q.to_levels, weights.shape[2], stride, pad,
         accumulator_bits=accumulator_bits,

@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import workspace
 from repro.core.ops import (
     batchnorm_inference,
     conv2d,
@@ -27,6 +28,7 @@ from repro.core.ops import (
     relu,
 )
 from repro.core.quantize import BinaryQuantizer, UnsignedUniformQuantizer
+from repro.core.thresholds import derive_thresholds
 from repro.core.tensor import FeatureMap, FeatureMapBatch, conv_output_size
 from repro.nn.config import Section
 from repro.nn.layers.base import Layer, LayerWorkload, WeightSink, WeightSource
@@ -35,12 +37,12 @@ BN_EPS = 1e-6  # darknet's .000001f
 
 #: Byte budget for one frame-chunk of the batched conv pipeline (the float32
 #: pre-activation tensor).  The conv/BN/activation/quantization passes are
-#: memory-bound; running them over the whole batch at once was measurably
-#: slower than sequential frames on large maps, so the batch is processed in
-#: chunks whose working set stays near the single-frame one.  When even a
-#: single frame exceeds the budget the layer falls back to the per-frame
-#: path outright (identical results, no batch-buffer inflation).
-_CONV_BATCH_FRAME_BUDGET = 1 << 21
+#: memory-bound, so the batch is processed in chunks whose working set stays
+#: cache-friendly; chunk results are written straight into one preallocated
+#: batch output (large maps simply get single-frame chunks through the same
+#: batched kernels — bit-identical by the `conv2d_batch` per-frame GEMM
+#: guarantee, with no separate per-frame code path).
+_CONV_BATCH_FRAME_BUDGET = 1 << 23
 
 _ACTIVATIONS = {
     "linear": lambda x: x,
@@ -49,6 +51,40 @@ _ACTIVATIONS = {
     # BinaryNet-style binary activation (the W1A1 regime of MLP-4 / CNV-6).
     "sign": lambda x: np.where(x >= 0, 1.0, -1.0),
 }
+
+
+def _narrow_codes(data: np.ndarray):
+    """``data`` as 1-byte level codes, or ``None`` if not narrowable.
+
+    Returns ``data`` itself when it is already ``uint8``; otherwise a
+    workspace-managed ``uint8`` copy (caller releases it).
+    """
+    if not np.issubdtype(data.dtype, np.integer) or data.size == 0:
+        return None
+    if int(data.min()) < 0 or int(data.max()) > 255:
+        return None
+    if data.dtype == np.uint8:
+        return data
+    codes = workspace.empty(data.shape, np.uint8)
+    np.copyto(codes, data, casting="unsafe")
+    return codes
+
+
+def _lut_conv_inputs(data: np.ndarray, scale: float):
+    """``(codes, lut)`` when integer level codes can feed the GEMM via a LUT.
+
+    ``lut[c] = float32(float64(c) * scale)`` reproduces
+    ``FeatureMap.values()`` element for element (so the downstream float32
+    GEMM sees bit-identical operands), while the lowering gathers 1-byte
+    codes instead of a promoted float map.  ``lut[0]`` is exactly ``+0.0``,
+    matching the zero padding of the dense float path.  Returns ``None``
+    when the data is not LUT-addressable (float input layer, wide codes).
+    """
+    codes = _narrow_codes(data)
+    if codes is None:
+        return None
+    lut = (np.arange(256, dtype=np.float64) * float(scale)).astype(np.float32)
+    return codes, lut
 
 
 class ConvolutionalLayer(Layer):
@@ -86,6 +122,9 @@ class ConvolutionalLayer(Layer):
         # (weights-array, quantized-weights) pair; holding the source array
         # reference makes the identity check safe against id() reuse.
         self._effective_cache = None
+        # (in_scale, parameter arrays, ThresholdActivation) for the exact
+        # integer epilogue; same identity-keyed invalidation discipline.
+        self._threshold_cache = None
         # Parameters (allocated in init once the input depth is known).
         self.weights: np.ndarray = None
         self.biases: np.ndarray = None
@@ -161,65 +200,189 @@ class ConvolutionalLayer(Layer):
         self._effective_cache = (self.weights, effective)
         return effective
 
-    def forward(self, fm: FeatureMap) -> FeatureMap:
-        self._require_initialized()
-        x = fm.values()
-        z = conv2d(x, self.effective_weights(), None, self.stride, self.pad)
+    def _thresholds_for(self, in_scale: float):
+        """ThresholdActivation collapsing BN/bias + activation + to_levels.
+
+        Only for binary layers with a quantized output: there every
+        accumulator is an exact integer (±1 weights against integer level
+        codes), so :func:`derive_thresholds` replaces the multi-pass float
+        epilogue with one searchsorted pass.  ``leaky`` and ``linear`` are
+        admissible alongside ``relu`` because the unsigned output quantizer
+        clips negative pre-activations to level 0 either way.  Returns
+        ``None`` when the layer does not qualify.
+        """
+        if not self.binary or self.out_quant is None:
+            return None
+        if self.activation not in ("linear", "relu", "leaky"):
+            return None
+        # Exactness bound for the float32 accumulation: every partial sum
+        # stays an exact integer while |sum| < 2**24.
+        c_in = self.in_shape[0]
+        if c_in * self.size * self.size * 255 >= (1 << 24):
+            return None
+        params = (
+            self.biases, self.scales, self.rolling_mean, self.rolling_var
+        )
+        cached = self._threshold_cache
+        if (
+            cached is not None
+            and cached[0] == float(in_scale)
+            and all(a is b for a, b in zip(cached[1], params))
+        ):
+            return cached[2]
         if self.batch_normalize:
-            z = batchnorm_inference(
-                z, self.scales, self.biases, self.rolling_mean, self.rolling_var,
+            thr = derive_thresholds(
+                self.scales, self.biases, self.rolling_mean,
+                self.rolling_var, in_scale=float(in_scale),
+                out_scale=self.out_quant.scale, bits=self.out_quant.bits,
                 eps=BN_EPS,
             )
         else:
-            z = z + self.biases.reshape(-1, 1, 1)
-        z = _ACTIVATIONS[self.activation](z)
+            # Bias-only epilogue as identity-BN: gamma=1, mean=0, var=1.
+            ones = np.ones(self.filters, dtype=np.float32)
+            thr = derive_thresholds(
+                ones, self.biases, np.zeros(self.filters, dtype=np.float32),
+                ones, in_scale=float(in_scale),
+                out_scale=self.out_quant.scale, bits=self.out_quant.bits,
+                eps=0.0,
+            )
+        self._threshold_cache = (float(in_scale), params, thr)
+        return thr
+
+    def _integer_forward(self, data, scale, batched: bool):
+        """Exact integer path: uint8-code GEMM + one threshold pass.
+
+        The GEMM multiplies ±1 float32 weights against level codes cast to
+        float32 — every partial sum is an exact integer below 2**24, so
+        float32 accumulation is exact and order-independent (the batched
+        result is *provably* identical to the per-frame result, not just
+        pinned by the per-frame-GEMM convention).  Returns the int32 level
+        map, or ``None`` when the layer/input does not qualify.
+        """
+        thr = self._thresholds_for(scale)
+        if thr is None:
+            return None
+        codes = _narrow_codes(data)
+        if codes is None:
+            return None
+        conv = conv2d_batch if batched else conv2d
+        acc = conv(codes, self.effective_weights(), None, self.stride, self.pad)
+        if codes is not data:
+            workspace.release(codes)
+        levels = workspace.empty(acc.shape, np.int32)
+        if batched:
+            c = acc.shape[1]
+            for i in range(acc.shape[0]):
+                thr.apply(acc[i].reshape(c, -1), out=levels[i].reshape(c, -1))
+        else:
+            c = acc.shape[0]
+            thr.apply(acc.reshape(c, -1), out=levels.reshape(c, -1))
+        workspace.release(acc)
+        return levels
+
+    def _convolve(self, data, scale, batched: bool) -> np.ndarray:
+        """The GEMM: LUT-dequantized level codes when possible, else values.
+
+        Both routes produce bit-identical float32 operands (the LUT
+        reproduces ``values()`` per element), so the result never depends on
+        which one ran.
+        """
+        conv = conv2d_batch if batched else conv2d
+        weights = self.effective_weights()
+        lut_in = _lut_conv_inputs(data, scale)
+        if lut_in is not None:
+            codes, lut = lut_in
+            z = conv(codes, weights, None, self.stride, self.pad, lut=lut)
+            if codes is not data:
+                workspace.release(codes)
+            return z
+        fm = FeatureMapBatch(data, scale) if batched else FeatureMap(data, scale)
+        return conv(fm.values(), weights, None, self.stride, self.pad)
+
+    def _epilogue(self, z: np.ndarray, channel_axis: int) -> np.ndarray:
+        """BN (or bias) + activation, in place when dtypes allow.
+
+        The in-place forms run the same elementwise ops in the same order
+        and dtype as the out-of-place expressions, so they are
+        bit-identical; mixed dtypes fall back to the allocating form.
+        """
+        if self.batch_normalize:
+            if z.dtype == np.float32:  # all BN parameters are float32
+                batchnorm_inference(
+                    z, self.scales, self.biases, self.rolling_mean,
+                    self.rolling_var, eps=BN_EPS, channel_axis=channel_axis,
+                    out=z,
+                )
+            else:
+                z = batchnorm_inference(
+                    z, self.scales, self.biases, self.rolling_mean,
+                    self.rolling_var, eps=BN_EPS, channel_axis=channel_axis,
+                )
+        else:
+            shape = [1] * z.ndim
+            shape[channel_axis] = -1
+            b = self.biases.reshape(shape)
+            if np.result_type(z.dtype, b.dtype) == z.dtype:
+                z += b
+            else:
+                z = z + b
+        if self.activation == "relu":
+            np.maximum(z, 0, out=z)
+        elif self.activation != "linear":
+            pre = z
+            z = _ACTIVATIONS[self.activation](z)
+            workspace.release(pre)
+        return z
+
+    def forward(self, fm: FeatureMap) -> FeatureMap:
+        self._require_initialized()
+        levels = self._integer_forward(fm.data, fm.scale, batched=False)
+        if levels is not None:
+            return FeatureMap(levels, scale=self.out_quant.scale)
+        z = self._convolve(fm.data, fm.scale, batched=False)
+        z = self._epilogue(z, channel_axis=0)
         if self.out_quant is not None:
             levels = self.out_quant.to_levels(z)
+            workspace.release(z)
             return FeatureMap(levels, scale=self.out_quant.scale)
-        return FeatureMap(z.astype(np.float32))
+        return FeatureMap(z if z.dtype == np.float32 else z.astype(np.float32))
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:
         self._require_initialized()
         self._check_history(history)
         out_c, out_h, out_w = self.out_shape
         frame_bytes = out_c * out_h * out_w * 4
-        chunk = _CONV_BATCH_FRAME_BUDGET // max(1, frame_bytes)
-        if chunk <= 1:
-            # Maps too large for cache-friendly batching — the per-frame path
-            # is strictly faster here and bit-identical by construction.
-            maps = [
-                self.forward(FeatureMap(fmb.data[i], fmb.scale))
-                for i in range(fmb.batch)
-            ]
-            return FeatureMapBatch.from_maps(maps)
-        if chunk < fmb.batch:
-            parts = [
-                self._forward_batch_chunk(
-                    FeatureMapBatch(fmb.data[start : start + chunk], fmb.scale)
-                )
-                for start in range(0, fmb.batch, chunk)
-            ]
-            return FeatureMapBatch(
-                np.concatenate([part.data for part in parts], axis=0),
-                scale=parts[0].scale,
+        chunk = max(1, _CONV_BATCH_FRAME_BUDGET // max(1, frame_bytes))
+        if chunk >= fmb.batch:
+            return self._forward_batch_chunk(fmb)
+        first = self._forward_batch_chunk(
+            FeatureMapBatch(fmb.data[:chunk], fmb.scale)
+        )
+        out = workspace.empty(
+            (fmb.batch,) + first.data.shape[1:], first.data.dtype
+        )
+        out[:chunk] = first.data
+        workspace.release(first.data)
+        for start in range(chunk, fmb.batch, chunk):
+            stop = min(start + chunk, fmb.batch)
+            part = self._forward_batch_chunk(
+                FeatureMapBatch(fmb.data[start:stop], fmb.scale)
             )
-        return self._forward_batch_chunk(fmb)
+            out[start:stop] = part.data
+            workspace.release(part.data)
+        return FeatureMapBatch(out, scale=first.scale)
 
     def _forward_batch_chunk(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
-        x = fmb.values()
-        z = conv2d_batch(x, self.effective_weights(), None, self.stride, self.pad)
-        if self.batch_normalize:
-            z = batchnorm_inference(
-                z, self.scales, self.biases, self.rolling_mean, self.rolling_var,
-                eps=BN_EPS, channel_axis=1,
-            )
-        else:
-            z = z + self.biases.reshape(1, -1, 1, 1)
-        z = _ACTIVATIONS[self.activation](z)
+        levels = self._integer_forward(fmb.data, fmb.scale, batched=True)
+        if levels is not None:
+            return FeatureMapBatch(levels, scale=self.out_quant.scale)
+        z = self._convolve(fmb.data, fmb.scale, batched=True)
+        z = self._epilogue(z, channel_axis=1)
         if self.out_quant is not None:
             levels = self.out_quant.to_levels(z)
+            workspace.release(z)
             return FeatureMapBatch(levels, scale=self.out_quant.scale)
-        return FeatureMapBatch(z.astype(np.float32))
+        return FeatureMapBatch(z if z.dtype == np.float32 else z.astype(np.float32))
 
     # -- accounting -------------------------------------------------------------
 

@@ -34,7 +34,9 @@ class MaxpoolLayer(Layer):
         self._require_initialized()
         pooled = maxpool2d(fm.data, self.size, self.stride, self.padding)
         # Max over levels == max over values: pooling commutes with the
-        # (monotone) quantization scale, so levels pass through unchanged.
+        # (monotone) quantization scale, so levels pass through unchanged —
+        # and the kernel pools them in their integer dtype directly (no
+        # float64 padded copy; §III-D treats pooling as K*K comparisons).
         return FeatureMap(pooled, scale=fm.scale)
 
     def forward_batch(self, fmb: FeatureMapBatch, history=None) -> FeatureMapBatch:

@@ -108,6 +108,35 @@ def activation_high_water(network: Network, bytes_per_element: int = 4) -> int:
     return network.plan().peak_live_bytes(bytes_per_element=bytes_per_element)
 
 
+def arena_reconciliation(network: Network, report) -> dict:
+    """Reconcile a run's measured arena high-water with the plan accounting.
+
+    *report* is the :class:`~repro.engine.executor.ExecutionReport` of a
+    batched run (its ``arena`` field holds the allocator snapshot).  The
+    plan side of the ledger is :meth:`ExecutionPlan.arena_budget` — peak
+    live activation bytes per frame times the batch.  The arena additionally
+    holds transient kernel scratch (im2col multiplicands, padded maps,
+    level-code buffers), so its high-water normally *exceeds* the plan
+    figure; ``scratch_bytes`` is that excess and ``ratio`` the relative
+    overshoot.  A ratio far above the im2col inflation of the heaviest
+    layer indicates buffers are escaping reuse.
+    """
+    if report.arena is None:
+        raise ValueError("report carries no arena snapshot (zero-frame run?)")
+    plan_bytes = network.plan().arena_budget(report.batch)
+    measured = int(report.arena["high_water_bytes"])
+    return {
+        "batch": report.batch,
+        "plan_bytes": plan_bytes,
+        "arena_high_water_bytes": measured,
+        "scratch_bytes": max(0, measured - plan_bytes),
+        "ratio": (measured / plan_bytes) if plan_bytes else float("inf"),
+        "hits": int(report.arena["hits"]),
+        "misses": int(report.arena["misses"]),
+        "recycled": int(report.arena["recycled"]),
+    }
+
+
 def compression_factor(network: Network) -> float:
     """Weight-storage compression of the topology's regime vs float32."""
     full = network_memory(network, "float32").weight_bytes
@@ -120,5 +149,6 @@ __all__ = [
     "MemoryReport",
     "network_memory",
     "activation_high_water",
+    "arena_reconciliation",
     "compression_factor",
 ]

@@ -1,6 +1,7 @@
 """Smoke tests for the `repro bench` throughput harness."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.bench import (
     bench_batches,
     bench_per_layer,
     bench_serve,
+    check_inference_regressions,
     format_report,
     run_bench,
     write_report,
@@ -69,6 +71,87 @@ class TestBenchHarness:
     def test_run_bench_unknown_scenario(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             run_bench(scenario="training")
+
+
+class TestBenchRegression:
+    """The `--check` assertions, plus the committed report must satisfy them."""
+
+    def _report(self, pool_ms=1.0, conv_ms=2.0, fps=(4.0, 8.0)):
+        return {
+            "per_layer_ms": [
+                {"index": 0, "type": "convolutional", "ms": 3.0},
+                {"index": 1, "type": "convolutional", "ms": conv_ms},
+                {"index": 2, "type": "maxpool", "ms": pool_ms},
+            ],
+            "batches": [
+                {"batch": 1, "frames_per_second": fps[0]},
+                {"batch": 16, "frames_per_second": fps[1]},
+            ],
+        }
+
+    def test_clean_report_passes(self):
+        assert check_inference_regressions(self._report()) == []
+
+    def test_maxpool_out_costing_conv_is_flagged(self):
+        violations = check_inference_regressions(self._report(pool_ms=5.0))
+        assert len(violations) == 1
+        assert "maxpool" in violations[0]
+
+    def test_flat_batching_is_flagged(self):
+        violations = check_inference_regressions(self._report(fps=(4.0, 4.4)))
+        assert len(violations) == 1
+        assert "batch 16" in violations[0]
+
+    def test_comparison_is_against_nearest_preceding_conv(self):
+        # pool at 2.5ms beats conv #1 (2.0ms)? No — 2.5 > 2.0 flags; but it
+        # must compare against index 1, not the heavier conv at index 0.
+        violations = check_inference_regressions(self._report(pool_ms=2.5))
+        assert "step #1" in violations[0]
+
+    def test_empty_report_has_nothing_to_flag(self):
+        assert check_inference_regressions({}) == []
+
+    def _scaling(self, fps=(100.0, 160.0), pool_ms=0.5, conv_ms=1.0):
+        return {
+            "network": "cnv6",
+            "batches": [
+                {"batch": 1, "frames_per_second": fps[0]},
+                {"batch": 16, "frames_per_second": fps[1]},
+            ],
+            "per_layer_ms": [
+                {"index": 0, "type": "convolutional", "ms": conv_ms},
+                {"index": 1, "type": "maxpool", "ms": pool_ms},
+            ],
+        }
+
+    def test_scaling_entry_owns_the_speedup_assertion(self):
+        # Flat top-level batching (memory-bound 416x416 frames) passes as
+        # long as the small-frame scaling entry shows batching paying.
+        report = self._report(fps=(4.0, 4.0))
+        report["scaling"] = self._scaling()
+        assert check_inference_regressions(report) == []
+
+    def test_scaling_entry_flat_batching_is_flagged(self):
+        report = self._report()
+        report["scaling"] = self._scaling(fps=(100.0, 110.0))
+        violations = check_inference_regressions(report)
+        assert len(violations) == 1
+        assert "cnv6" in violations[0]
+
+    def test_scaling_pool_rows_are_checked_too(self):
+        report = self._report()
+        report["scaling"] = self._scaling(pool_ms=2.0)
+        violations = check_inference_regressions(report)
+        assert len(violations) == 1
+        assert "maxpool" in violations[0]
+        assert "cnv6" in violations[0]
+
+    def test_committed_bench_report_meets_the_bar(self):
+        # The repo-level acceptance: the committed BENCH_inference.json must
+        # show maxpool cheaper than its conv and batch-16 >= 1.3x batch-1.
+        path = Path(__file__).parent.parent / "BENCH_inference.json"
+        report = json.loads(path.read_text())
+        assert check_inference_regressions(report) == []
 
 
 class TestServeScenario:

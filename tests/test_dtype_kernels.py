@@ -1,0 +1,379 @@
+"""Dtype-preserving kernels + arena allocator: the hot-spot bugfix pins.
+
+The old ``maxpool2d`` padded every map into a float64 ``-inf`` canvas and
+the hidden-layer GEMMs promoted integer level codes to float64; both were
+pure waste — max is a *selection* (dtype-invariant) and the LUT/float32
+paths are proven exact.  These tests pin the rewritten kernels bit-identical
+to the old semantics across dtypes and batch sizes, and pin the
+liveness-driven :class:`~repro.engine.arena.Arena` semantics the executor
+relies on (recycling, guard veto, escape on ``begin_run``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import workspace
+from repro.core.im2col import im2col, im2col_batch
+from repro.core.ops import conv2d, conv2d_batch, maxpool2d, maxpool2d_batch
+from repro.core.quantize import UnsignedUniformQuantizer
+from repro.core.tensor import FeatureMap, FeatureMapBatch, pool_output_size
+from repro.engine import Arena, legacy_forward_batch_all
+from repro.nn import zoo
+from repro.nn.network import Network
+
+
+def _maxpool_oracle(x, ksize, stride, padding=None):
+    """The pre-fix kernel: pad into a float64 ``-inf`` canvas, pool, cast back."""
+    if padding is None:
+        padding = ksize - 1
+    c, h, w = x.shape
+    pad_before = padding // 2
+    out_h = pool_output_size(h, ksize, stride, padding)
+    out_w = pool_output_size(w, ksize, stride, padding)
+    padded = np.full((c, h + padding, w + padding), -np.inf, dtype=np.float64)
+    padded[:, pad_before:pad_before + h, pad_before:pad_before + w] = x
+    out = np.empty((c, out_h, out_w), dtype=np.float64)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = padded[
+                :, oy * stride:oy * stride + ksize, ox * stride:ox * stride + ksize
+            ]
+            out[:, oy, ox] = window.max(axis=(1, 2))
+    return out.astype(x.dtype)
+
+
+def _random_maps(rng, shape, dtype, count=1):
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        info = np.iinfo(dtype)
+        lo, hi = max(info.min, -1000), min(info.max, 1000)
+        data = rng.integers(lo, hi + 1, size=(count,) + shape)
+    else:
+        data = rng.normal(size=(count,) + shape) * 10
+    return data.astype(dtype)
+
+
+POOL_CONFIGS = [
+    # (shape, ksize, stride, padding) — padding None = Darknet default k-1
+    ((3, 13, 13), 2, 1, None),   # the stride-1 pool before Tincy's 13x13 layers
+    ((4, 8, 8), 2, 2, None),
+    ((2, 7, 9), 3, 2, None),
+    ((5, 6, 6), 2, 2, 0),        # no padding: every window fully covered
+    ((1, 5, 5), 3, 3, 2),
+]
+
+
+class TestMaxpoolDtypeParity:
+    """The new tap-iteration pool == the old float64-padded pool, bit for bit."""
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int32, np.float32])
+    @pytest.mark.parametrize("shape,ksize,stride,padding", POOL_CONFIGS)
+    def test_single_frame_matches_float64_oracle(
+        self, rng, dtype, shape, ksize, stride, padding
+    ):
+        x = _random_maps(rng, shape, dtype)[0]
+        got = maxpool2d(x, ksize, stride, padding)
+        assert got.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(got, _maxpool_oracle(x, ksize, stride, padding))
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int32, np.float32])
+    @pytest.mark.parametrize("batch", [1, 3, 16])
+    def test_batch_matches_per_frame(self, rng, dtype, batch):
+        x = _random_maps(rng, (3, 13, 13), dtype, count=batch)
+        got = maxpool2d_batch(x, 2, 1)
+        assert got.dtype == np.dtype(dtype)
+        assert got.shape[0] == batch
+        for i in range(batch):
+            np.testing.assert_array_equal(got[i], maxpool2d(x[i], 2, 1))
+
+    def test_all_negative_map_never_sees_padding(self, rng):
+        # Padding positions must never win the max even when every real
+        # value is far below zero (the old kernel guaranteed this via -inf).
+        x = np.full((2, 6, 6), -120, dtype=np.int8)
+        got = maxpool2d(x, 2, 2)
+        assert got.dtype == np.int8
+        assert (got == -120).all()
+
+
+class TestConvLutParity:
+    """LUT-gathered code GEMM == dense dequantized-values GEMM, bit for bit."""
+
+    def _codes_and_lut(self, rng, shape, scale=1.0 / 7.0):
+        codes = rng.integers(0, 8, size=shape).astype(np.uint8)
+        lut = (np.arange(256, dtype=np.float64) * scale).astype(np.float32)
+        return codes, lut
+
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0)])
+    def test_single_frame(self, rng, stride, pad):
+        codes, lut = self._codes_and_lut(rng, (4, 9, 9))
+        weights = rng.normal(size=(6, 4, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=6).astype(np.float32)
+        via_lut = conv2d(codes, weights, bias, stride=stride, pad=pad, lut=lut)
+        dense = conv2d(lut[codes], weights, bias, stride=stride, pad=pad)
+        assert via_lut.dtype == dense.dtype == np.float32
+        np.testing.assert_array_equal(via_lut, dense)
+
+    @pytest.mark.parametrize("batch", [1, 3, 16])
+    def test_batch_matches_single_frame(self, rng, batch):
+        codes, lut = self._codes_and_lut(rng, (batch, 3, 7, 7))
+        weights = rng.normal(size=(5, 3, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=5).astype(np.float32)
+        out = conv2d_batch(codes, weights, bias, stride=1, pad=1, lut=lut)
+        assert out.shape[0] == batch
+        for i in range(batch):
+            np.testing.assert_array_equal(
+                out[i], conv2d(codes[i], weights, bias, stride=1, pad=1, lut=lut)
+            )
+
+    def test_pad_dequantizes_to_exact_zero(self, rng):
+        # lut[0] must equal the dense path's zero padding exactly: level 0
+        # dequantizes to +0.0 for any scale.
+        codes, lut = self._codes_and_lut(rng, (2, 4, 4), scale=0.37)
+        weights = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            conv2d(codes, weights, stride=1, pad=2, lut=lut),
+            conv2d(lut[codes], weights, stride=1, pad=2),
+        )
+
+
+class TestIm2colDtypePreservation:
+    """The lowering must carry the input dtype — codes stay narrow."""
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int8, np.int32, np.float32])
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_single_frame_dtype(self, rng, dtype, pad):
+        x = _random_maps(rng, (3, 6, 6), dtype)[0]
+        cols = im2col(x, 3, 1, pad)
+        assert cols.dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int32, np.float32])
+    def test_batch_dtype_and_frame_identity(self, rng, dtype):
+        x = _random_maps(rng, (2, 5, 5), dtype, count=3)
+        cols = im2col_batch(x, 3, 2, 1)
+        assert cols.dtype == np.dtype(dtype)
+        for i in range(3):
+            np.testing.assert_array_equal(cols[i], im2col(x[i], 3, 2, 1))
+
+    def test_padding_fill_is_zero_in_input_dtype(self):
+        x = np.full((1, 2, 2), 7, dtype=np.uint8)
+        cols = im2col(x, 3, 1, 2)
+        assert cols.dtype == np.uint8
+        assert cols.min() == 0  # padding positions, not wrapped values
+
+
+class TestToLevelsInPlacePipeline:
+    """The buffered to_levels == the old four-temporary expression."""
+
+    @pytest.mark.parametrize("bits,scale", [(3, 1.0 / 7.0), (3, 0.11), (2, 0.5)])
+    def test_matches_expression_oracle(self, rng, bits, scale):
+        quant = UnsignedUniformQuantizer(bits=bits, scale=scale)
+        # Cover negatives (clip at 0), overflow (clip at top), exact ties.
+        x = np.concatenate([
+            rng.normal(size=500) * quant.max_value,
+            np.arange(0, quant.levels + 1) * scale,          # exact levels
+            (np.arange(0, quant.levels) + 0.5) * scale,      # halfway ties
+        ]).astype(np.float32)
+        oracle = np.clip(
+            np.floor(x.astype(np.float64) / scale + 0.5), 0, quant.levels
+        ).astype(np.int32)
+        got = quant.to_levels(x)
+        assert got.dtype == np.int32
+        np.testing.assert_array_equal(got, oracle)
+
+    def test_input_not_mutated(self, rng):
+        quant = UnsignedUniformQuantizer()
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        before = x.copy()
+        quant.to_levels(x)
+        np.testing.assert_array_equal(x, before)
+
+
+class TestMVTUFloat32ExactPath:
+    """1-byte codes take the float32 GEMM; it matches the float64 path exactly."""
+
+    def _mvtu(self, rng, rows=6, cols=20):
+        from repro.core.thresholds import ThresholdActivation
+        from repro.finn.mvtu import MVTU
+        from repro.finn.schedule import Folding
+
+        thresholds = ThresholdActivation(
+            np.sort(rng.integers(-30, 31, size=(rows, 7)), axis=1).astype(np.int64),
+            rng.choice([-1, 1], size=rows).astype(np.int8),
+            bits=3,
+        )
+        weights = rng.choice([-1, 1], size=(rows, cols))
+        return MVTU(weights, thresholds, Folding(1, 1))
+
+    def test_uint8_and_int64_columns_agree(self, rng):
+        mvtu = self._mvtu(rng)
+        codes = rng.integers(0, 8, size=(20, 57)).astype(np.uint8)
+        # uint8 columns satisfy the float32-exactness gate; int64 columns
+        # fall back to the float64 GEMM.  Same levels out, bit for bit.
+        np.testing.assert_array_equal(
+            mvtu.matmat(codes), mvtu.matmat(codes.astype(np.int64))
+        )
+
+    def test_matches_integer_oracle(self, rng):
+        mvtu = self._mvtu(rng)
+        codes = rng.integers(0, 8, size=(20, 31)).astype(np.uint8)
+        acc = mvtu.weights_pm1 @ codes.astype(np.int64)
+        np.testing.assert_array_equal(
+            mvtu.matmat(codes), mvtu.thresholds.apply(acc)
+        )
+
+
+class TestArena:
+    """Allocator semantics the executor's liveness release depends on."""
+
+    def test_release_then_reuse_is_a_hit(self):
+        arena = Arena()
+        a = arena.empty((8192,), np.uint8)
+        assert arena.misses == 1 and arena.hits == 0
+        assert arena.release(a)
+        b = arena.empty((2048,), np.float32)  # 8192 bytes: exact refit
+        assert arena.hits == 1 and arena.misses == 1
+        assert b.dtype == np.float32 and b.shape == (2048,)
+
+    def test_small_allocations_bypass_the_pool(self):
+        arena = Arena()
+        a = arena.empty((16,), np.uint8)
+        assert not arena.release(a)
+        assert arena.stats()["misses"] == 0
+
+    def test_guard_vetoes_recycling_shared_memory(self):
+        arena = Arena()
+        a = arena.empty((8192,), np.uint8)
+        view = a[100:200]
+        assert not arena.release(a, guard=[view])
+        assert arena.release(a, guard=[np.zeros(4)])  # unrelated guard: fine
+
+    def test_foreign_arrays_are_a_noop(self):
+        arena = Arena()
+        assert not arena.release(np.zeros(8192, dtype=np.uint8))
+        assert not arena.release(None)
+
+    def test_begin_run_lets_outstanding_buffers_escape(self):
+        arena = Arena()
+        a = arena.empty((8192,), np.uint8)
+        a[:] = 7
+        arena.begin_run()
+        assert not arena.release(a)          # no longer arena-owned
+        b = arena.empty((8192,), np.uint8)   # must NOT recycle a's memory
+        b[:] = 9
+        assert not np.shares_memory(a, b)
+        assert (a == 7).all()
+
+    def test_high_water_tracks_simultaneous_live_bytes(self):
+        arena = Arena()
+        a = arena.empty((8192,), np.uint8)
+        b = arena.empty((4096,), np.uint8)
+        assert arena.high_water_bytes == 8192 + 4096
+        arena.release(a)
+        arena.release(b)
+        arena.empty((4096,), np.uint8)
+        assert arena.high_water_bytes == 8192 + 4096  # monotone
+
+    def test_stats_snapshot_keys(self):
+        stats = Arena().stats()
+        for key in (
+            "hits", "misses", "recycled", "allocated_bytes",
+            "high_water_bytes", "free_buffers", "free_bytes",
+        ):
+            assert key in stats
+
+
+class TestWorkspaceHook:
+    """core kernels draw from whatever allocator the engine installs."""
+
+    def test_plain_numpy_without_installed_allocator(self):
+        assert workspace.current() is None
+        a = workspace.empty((4, 4), np.int8)
+        assert a.shape == (4, 4) and a.dtype == np.int8
+        assert not workspace.release(a)
+
+    def test_install_routes_to_arena_and_restores(self):
+        arena = Arena()
+        with workspace.install(arena):
+            assert workspace.current() is arena
+            a = workspace.empty((8192,), np.uint8)
+            assert arena.stats()["misses"] == 1
+            assert workspace.release(a)
+            assert arena.stats()["recycled"] == 1
+        assert workspace.current() is None
+
+    def test_install_restores_on_exception(self):
+        arena = Arena()
+        with pytest.raises(RuntimeError):
+            with workspace.install(arena):
+                raise RuntimeError("step blew up")
+        assert workspace.current() is None
+
+
+class TestExecutorArena:
+    """End-to-end: batched runs recycle buffers and stay bit-identical."""
+
+    def _network(self, rng):
+        network = Network(zoo.cnv6_config())
+        network.initialize(rng)
+        return network
+
+    def _fmb(self, rng, network, count):
+        return FeatureMapBatch.from_maps([
+            FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
+            for _ in range(count)
+        ])
+
+    def test_run_reports_arena_and_matches_legacy(self, rng):
+        network = self._network(rng)
+        fmb = self._fmb(rng, network, 3)
+        executor = network.executor()
+        out = executor.run(fmb)
+        report = executor.last_report
+        assert report.arena is not None
+        assert report.arena["recycled"] > 0      # liveness releases landed
+        legacy = legacy_forward_batch_all(network, fmb)[-1]
+        np.testing.assert_array_equal(out.data, legacy.data)
+
+    def test_warm_rerun_hits_the_pool_without_corrupting_results(self, rng):
+        network = self._network(rng)
+        fmb = self._fmb(rng, network, 2)
+        executor = network.executor()
+        first = executor.run(fmb)
+        first_copy = first.data.copy()
+        second = executor.run(fmb)
+        # Warm arena: the second run recycles the first run's buffers.
+        assert executor.last_report.arena["hits"] > 0
+        np.testing.assert_array_equal(second.data, first_copy)
+        # The first run's escaped output still owns its memory.
+        np.testing.assert_array_equal(first.data, first_copy)
+
+    def test_arena_budget_scales_with_batch(self, rng):
+        network = self._network(rng)
+        plan = network.plan()
+        per_frame = plan.peak_live_bytes()
+        assert plan.arena_budget(1) == per_frame
+        assert plan.arena_budget(16) == 16 * per_frame
+        assert plan.arena_budget(0) == 0
+        with pytest.raises(ValueError):
+            plan.arena_budget(-1)
+
+    def test_perf_reconciliation(self, rng):
+        from repro.perf.memory import arena_reconciliation
+
+        network = self._network(rng)
+        executor = network.executor()
+        executor.run(self._fmb(rng, network, 4))
+        ledger = arena_reconciliation(network, executor.last_report)
+        assert ledger["batch"] == 4
+        assert ledger["plan_bytes"] == network.plan().arena_budget(4)
+        assert ledger["arena_high_water_bytes"] == (
+            executor.last_report.arena["high_water_bytes"]
+        )
+        assert ledger["scratch_bytes"] >= 0
+        assert ledger["ratio"] > 0
+
+    def test_reconciliation_requires_arena_snapshot(self, rng):
+        from repro.engine.executor import ExecutionReport
+        from repro.perf.memory import arena_reconciliation
+
+        with pytest.raises(ValueError, match="arena"):
+            arena_reconciliation(self._network(rng), ExecutionReport(batch=0))

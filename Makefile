@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check isa-roundtrip report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -42,6 +42,14 @@ serve-smoke:
 
 plan-check:
 	PYTHONPATH=src $(PYTHON) -m repro plan-check
+
+# Full artifact round trip: lower + serialize the Tincy YOLO plan, verify
+# the encoded form decodes byte-identically and executes bit-identically
+# to the engine (--check), then disassemble + ISA-verify the artifact.
+isa-roundtrip:
+	PYTHONPATH=src $(PYTHON) -m repro compile --network tincy \
+		--out /tmp/repro-tincy-plan.rpb --check
+	PYTHONPATH=src $(PYTHON) -m repro disasm /tmp/repro-tincy-plan.rpb --verify
 
 report:
 	$(PYTHON) -m repro report --output reproduction-report.md

@@ -8,6 +8,10 @@ Three passes, one finding model (:mod:`repro.analyze.findings`):
   weights.
 * :mod:`repro.analyze.overflow` — worst-case accumulator bounds per
   step: *proved safe*, *saturation possible* or *error*.
+* :mod:`repro.analyze.isa` — verification of serialized plan artifacts:
+  slot liveness on the decoded instruction stream, content-hash and
+  format-version checks, and the lower→encode→decode round-trip run on
+  every analyzed network.
 * :mod:`repro.analyze.concurrency` / :mod:`repro.analyze.astlint` —
   AST rules over the threaded serve/pipeline code and the integer hot
   paths, run in CI as ``repro analyze --self``.
@@ -47,8 +51,10 @@ def analyze_network(
     it the cfg-text lint is skipped.
     """
     from repro.analyze.dataflow import verify_plan
+    from repro.analyze.isa import roundtrip_findings
     from repro.analyze.overflow import prove_plan, verdict_findings
     from repro.engine.plan import compile_plan
+    from repro.isa.ops import LoweringError
 
     findings: List[Finding] = []
     if config is not None:
@@ -58,6 +64,12 @@ def analyze_network(
     plan = compile_plan(network)
     findings.extend(verify_plan(plan, input_interval=input_interval))
     findings.extend(verdict_findings(prove_plan(plan)))
+    try:
+        findings.extend(roundtrip_findings(network, plan))
+    except LoweringError:
+        # A plan with layer types the ISA cannot express simply has no
+        # serialized form to verify; that is not a finding.
+        pass
     return sort_findings(findings)
 
 

@@ -1,4 +1,4 @@
-"""Hot-path AST lint over the quantized kernels in ``core/`` and ``neon/``.
+"""Hot-path AST lint over the kernels in ``core/``, ``neon/`` and ``isa/``.
 
 The integer kernels are the reproduction's arithmetic contract: they
 must stay integer (a silently promoted float makes the fabric numbers
@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence
 from repro.analyze.findings import WARNING, Finding
 
 #: Packages holding the hot-path kernels this pass audits by default.
-DEFAULT_MODULES = ("core", "neon")
+DEFAULT_MODULES = ("core", "neon", "isa")
 
 #: Function names treated as integer kernels for AST-FLOAT-LIT.
 _INT_KERNEL_RE = re.compile(r"i8|u8|acc16|acc32|popcount|bitserial|int8")

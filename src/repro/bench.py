@@ -175,6 +175,54 @@ def bench_acc16_kernel(
     }
 
 
+def bench_plan_cache(
+    network, name: str = "bench", repeats: int = 3
+) -> Dict:
+    """Cold-start economics of the content-addressed plan cache.
+
+    Times the three ways a process can come up with an executable
+    schedule: compile the plan in-process (what a cache miss pays on top
+    of storing the artifact), load + decode the cached ``.rpb`` artifact
+    (the warm path), and bind the decoded program back to the network's
+    layers (paid on both cache paths).  All figures are minima over
+    *repeats* (the usual noise floor); the artifact size rides along so
+    reports can track format growth.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro import isa
+
+    directory = tempfile.mkdtemp(prefix="repro-plan-cache-bench-")
+    try:
+        cache = isa.PlanCache(directory)
+        miss_s = _best_of(
+            lambda: isa.lower_network(network, name=name), max(1, repeats)
+        )
+        program, hit = cache.get_or_compile(network, name=name)
+        key = isa.plan_cache_key(
+            name, program.weights_sha256, program.cfg_sha256
+        )
+        artifact_bytes = os.path.getsize(cache.path_for(key))
+        hit_s = _best_of(
+            lambda: cache.get_or_compile(network, name=name), max(1, repeats)
+        )
+        bind_s = _best_of(
+            lambda: isa.PlanVM(program, network), max(1, repeats)
+        )
+        return {
+            "key": key,
+            "artifact_bytes": int(artifact_bytes),
+            "instructions": len(program),
+            "compile_ms": miss_s * 1e3,
+            "cache_hit_ms": hit_s * 1e3,
+            "vm_bind_ms": bind_s * 1e3,
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 def bench_serve(
     network,
     requests: int = 64,
@@ -187,6 +235,7 @@ def bench_serve(
     result_timeout_s: float = 120.0,
     faults: Optional[str] = None,
     fault_seed: int = 0,
+    plan_cache_dir: Optional[str] = None,
 ) -> Dict:
     """Serving scenario: drive an :class:`InferenceServer` open loop.
 
@@ -204,10 +253,19 @@ def bench_serve(
     the plan and the deterministic transcript of fired events — the
     resilience metrics under ``metrics.resilience`` show how serving
     absorbed them.
+
+    The server starts from a warmed content-addressed plan cache
+    (*plan_cache_dir*, or an ephemeral temp directory removed after the
+    run), so the report's ``metrics.plan_cache`` section shows the
+    warm-start story production restarts see: ``plan_cache_hit: true``
+    plus the measured ``cold_start_ms``.
     """
+    import shutil
+    import tempfile
     from contextlib import ExitStack
 
     from repro import faults as faults_mod
+    from repro.isa import PlanCache
     from repro.serve import InferenceServer, Overloaded, ServeConfig
     from repro.util.rng import new_rng
 
@@ -225,16 +283,27 @@ def bench_serve(
         if arrival_rate_hz <= 0:
             raise ValueError("arrival_rate_hz must be positive")
         gaps = rng.exponential(1.0 / arrival_rate_hz, size=requests)
+    cache_dir = plan_cache_dir
+    ephemeral = cache_dir is None
+    if ephemeral:
+        cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-cache-")
+    # Warm the cache before the measured server comes up, so the server's
+    # cold start is the warm-restart path (artifact load, not compile).
+    PlanCache(cache_dir).get_or_compile(network, name="serve-bench")
     config = ServeConfig(
         max_queue_depth=queue_depth,
         max_batch=max_batch,
         max_delay_s=max_delay_s,
         cpu_workers=cpu_workers,
+        plan_cache_dir=cache_dir,
+        plan_cache_name="serve-bench",
     )
     futures = []
     plan = None
     injector = None
     with ExitStack() as stack:
+        if ephemeral:
+            stack.callback(shutil.rmtree, cache_dir, ignore_errors=True)
         if faults:
             plan = faults_mod.FaultPlan.parse(faults, seed=fault_seed)
             injector = stack.enter_context(faults_mod.install(plan))
@@ -259,6 +328,7 @@ def bench_serve(
         "queue_depth_limit": int(queue_depth),
         "cpu_workers": int(cpu_workers),
         "seed": int(seed),
+        "plan_cache_dir": plan_cache_dir,
         "wall_seconds": wall,
         "metrics": snapshot,
     }
@@ -324,6 +394,7 @@ def run_bench(
     serve_cpu_workers: int = 2,
     serve_faults: Optional[str] = None,
     serve_fault_seed: int = 0,
+    serve_plan_cache_dir: Optional[str] = None,
 ) -> Dict:
     """Full harness: inference scenario, serving scenario, or both.
 
@@ -355,6 +426,9 @@ def run_bench(
                 network, repeats, rng=np.random.default_rng(seed)
             )
             report["plan"] = bench_plan(network, report["per_layer_ms"])
+            report["plan_cache"] = bench_plan_cache(
+                network, name=network_name, repeats=max(repeats, 3)
+            )
             if scaling_network and scaling_network != network_name:
                 small = _zoo_network(scaling_network, seed)
                 # Tiny frames, so extra repeats cost nothing and keep the
@@ -389,6 +463,7 @@ def run_bench(
             seed=seed,
             faults=serve_faults,
             fault_seed=serve_fault_seed,
+            plan_cache_dir=serve_plan_cache_dir,
         )
     return report
 
@@ -439,8 +514,33 @@ def _speedup_violations(
     ]
 
 
+def _floor_violations(
+    batches: List[Dict], min_batch_floor: float, label: str = ""
+) -> List[str]:
+    """No benched batch size may fall below *min_batch_floor* x batch-1."""
+    by_batch = {int(row["batch"]): row["frames_per_second"] for row in batches}
+    base = by_batch.get(1)
+    if not base:
+        return []
+    violations = []
+    for batch in sorted(by_batch):
+        if batch == 1:
+            continue
+        ratio = by_batch[batch] / base
+        if ratio < min_batch_floor:
+            violations.append(
+                f"batch {batch}{label} falls to {ratio:.2f}x the batch-1 "
+                f"throughput ({by_batch[batch]:.2f} vs {base:.2f} "
+                f"frames/s); batching overhead must not cost more than "
+                f"{1.0 - min_batch_floor:.0%} (floor {min_batch_floor:.2f}x)"
+            )
+    return violations
+
+
 def check_inference_regressions(
-    report: Dict, min_batch_speedup: float = 1.3
+    report: Dict,
+    min_batch_speedup: float = 1.3,
+    min_batch_floor: float = 0.8,
 ) -> List[str]:
     """Regression assertions over an inference bench report.
 
@@ -455,15 +555,22 @@ def check_inference_regressions(
       *min_batch_speedup* x the batch-1 figure on the small-frame
       ``scaling`` entry (falling back to the top-level ``batches`` rows
       when a report carries no scaling section).  The top-level Tincy
-      416x416 rows are reported but not asserted on — at that working set
+      416x416 rows are not held to the speedup bar — at that working set
       the host is memory-bound and flat scaling is physics, not a
-      regression.
+      regression — but they *are* held to a floor:
+    * no batch size may fall below *min_batch_floor* x the batch-1
+      throughput on the top-level rows.  Flat is physics; markedly
+      *slower* than unbatched means the batched path is paying avoidable
+      per-batch overhead (allocation, repacking) and is a regression.
 
     ``repro bench --check`` fails the run on any violation, and the test
     suite applies the same assertions to the committed bench JSON.
     """
     violations: List[str] = []
     violations += _pool_violations(report.get("per_layer_ms") or [])
+    violations += _floor_violations(
+        report.get("batches") or [], min_batch_floor
+    )
     scaling = report.get("scaling") or {}
     if scaling:
         label = f" [{scaling.get('network', 'scaling')}]"
@@ -538,6 +645,15 @@ def format_report(report: Dict) -> str:
             f"{plan['total_buffer_bytes_per_frame'] / 1024:.0f} KiB "
             f"keep-everything ({plan['liveness_savings']:.0%} released early)"
         )
+    if "plan_cache" in report:
+        cache = report["plan_cache"]
+        lines.append(
+            f"  plan cache: {cache['artifact_bytes']} B artifact "
+            f"({cache['instructions']} instructions), compile "
+            f"{cache['compile_ms']:.1f} ms vs cached load "
+            f"{cache['cache_hit_ms']:.1f} ms "
+            f"(+ {cache['vm_bind_ms']:.1f} ms VM bind)"
+        )
     if "acc16_kernel" in report:
         kernel = report["acc16_kernel"]
         lines.append(
@@ -558,6 +674,12 @@ def format_report(report: Dict) -> str:
             f"deadline {serve['max_delay_ms']:g} ms): "
             f"accepted {metrics['accepted']}, shed {metrics['shed']}"
         )
+        cold = metrics.get("plan_cache") or {}
+        if cold.get("cold_start_ms") is not None:
+            lines.append(
+                f"  cold start {cold['cold_start_ms']:7.2f} ms "
+                f"({cold['plan_source']})"
+            )
         throughput = metrics.get("throughput_rps")
         if throughput:
             lines.append(f"  throughput {throughput:8.2f} req/s")
@@ -602,6 +724,7 @@ __all__ = [
     "bench_per_layer",
     "bench_plan",
     "bench_acc16_kernel",
+    "bench_plan_cache",
     "bench_serve",
     "SCENARIOS",
     "run_bench",

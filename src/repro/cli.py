@@ -11,6 +11,8 @@ exposes the reproduction's equivalents:
 * ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
 * ``python -m repro serve-bench [--output BENCH_serve.json]`` — serving bench
 * ``python -m repro plan-check`` — engine-vs-legacy bit-identity + liveness
+* ``python -m repro compile --out plan.rpb`` — serialize a compiled plan
+* ``python -m repro disasm plan.rpb`` — disassemble a serialized plan
 * ``python -m repro analyze [--self] [--json]`` — static analysis passes
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
@@ -318,6 +320,7 @@ def _serve_kwargs(args: argparse.Namespace) -> dict:
         "serve_cpu_workers": args.cpu_workers,
         "serve_faults": args.faults,
         "serve_fault_seed": args.fault_seed,
+        "serve_plan_cache_dir": args.plan_cache,
     }
 
 
@@ -437,6 +440,95 @@ def cmd_plan_check(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile`` — lower a network's plan to a ``.rpb`` artifact.
+
+    Compiles the zoo network (or a cfg file), lowers the execution plan
+    to ISA bytecode, and writes the serialized artifact.  ``--check``
+    additionally decodes the written file back and runs random frames
+    through both the artifact's VM and the in-process engine, asserting
+    bit-identical outputs — the compile-side half of
+    ``make isa-roundtrip``.
+    """
+    import numpy as np
+
+    import repro.finn  # noqa: F401  (registers fabric.so for offload cfgs)
+    from repro import isa
+    from repro.nn.network import Network
+
+    network = Network(_load_config(args.network))
+    network.initialize(np.random.default_rng(args.seed))
+    program = isa.lower_network(network, name=args.network)
+    size = isa.write_program(program, args.out)
+    print(
+        f"{args.out}: {size} B, {len(program)} instructions "
+        f"(format v{program.version}, "
+        f"{'fabric' if program.uses_fabric else 'cpu-only'}), "
+        f"weights {program.weights_sha256[:12]}..."
+    )
+    if not args.check:
+        return 0
+
+    from repro.core.tensor import FeatureMapBatch
+    from repro.engine import Executor
+
+    decoded = isa.read_program(args.out)
+    if isa.encode(decoded) != isa.encode(program):
+        print("CHECK FAILED: re-encoded artifact differs", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed + 1)
+    frames = rng.uniform(
+        0.0, 1.0, size=(args.frames,) + tuple(network.input_shape)
+    ).astype(np.float32)
+    fmb = FeatureMapBatch(frames)
+    engine_out = Executor(network.plan()).run(fmb)
+    vm_out = isa.PlanVM(decoded, network).run(fmb)
+    if engine_out.data.tobytes() != vm_out.data.tobytes():
+        print(
+            "CHECK FAILED: VM output differs from the engine",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check: decode round-trip byte-identical; VM output bit-identical "
+        f"to the engine on {fmb.batch} random frames"
+    )
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """``repro disasm`` — decode and pretty-print a ``.rpb`` artifact.
+
+    ``--verify`` additionally runs the ISA verifier over the decoded
+    program (slot liveness, structural invariants) and exits 1 on any
+    error-severity finding.
+    """
+    from repro import isa
+    from repro.isa.ops import DecodeError
+
+    try:
+        program = isa.read_program(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except DecodeError as exc:
+        print(f"cannot decode {args.file}: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(isa.disassemble(program))
+    if not args.verify:
+        return 0
+    from repro.analyze import exit_code
+    from repro.analyze.isa import verify_program
+
+    findings = verify_program(program)
+    if not findings:
+        print("; verify: no findings — program is well-formed")
+        return 0
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    return exit_code(findings)
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """``repro serve-bench`` — the serving scenario on its own.
 
@@ -550,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--fault-seed", type=int, default=0,
                             help="seed of the fault plan's rate draws "
                                  "(default 0)")
+        parser.add_argument("--plan-cache", default=None, metavar="DIR",
+                            help="persistent plan-cache directory; default "
+                                 "is an ephemeral cache warmed for the run "
+                                 "(the report still shows the cache-hit "
+                                 "cold start)")
 
     p_bench = sub.add_parser(
         "bench", help="inference micro-benchmarks (BENCH_inference.json)"
@@ -596,6 +693,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--frames", type=int, default=2,
                         help="random frames to cross-check (default 2)")
     p_plan.set_defaults(func=cmd_plan_check)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="lower a network's execution plan to a serialized .rpb artifact",
+    )
+    p_compile.add_argument(
+        "--network", default="tincy",
+        help="zoo name or cfg file (default tincy)",
+    )
+    p_compile.add_argument("--out", required=True, metavar="PLAN.rpb",
+                           help="where to write the serialized plan")
+    p_compile.add_argument("--seed", type=int, default=0,
+                           help="seed for the network's random parameters")
+    p_compile.add_argument("--frames", type=int, default=2,
+                           help="random frames for --check (default 2)")
+    p_compile.add_argument("--check", action="store_true",
+                           help="decode the artifact back and assert the VM "
+                                "matches the engine bit-for-bit")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_disasm = sub.add_parser(
+        "disasm", help="disassemble a serialized .rpb plan artifact"
+    )
+    p_disasm.add_argument("file", help="the .rpb artifact to disassemble")
+    p_disasm.add_argument("--verify", action="store_true",
+                          help="run the ISA verifier on the decoded program")
+    p_disasm.set_defaults(func=cmd_disasm)
 
     p_detect = sub.add_parser("detect", help="detect objects in a PPM image")
     p_detect.add_argument("--cfg", required=True)

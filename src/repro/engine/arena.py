@@ -25,6 +25,7 @@ Design notes:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -128,4 +129,31 @@ class Arena:
         }
 
 
-__all__ = ["Arena"]
+class ArenaPool:
+    """A small thread-safe pool of warm :class:`Arena` instances.
+
+    Both plan runners (:class:`~repro.engine.executor.Executor` and the
+    bytecode :class:`~repro.isa.vm.PlanVM`) keep a handful of arenas warm
+    for reuse across runs: the serving worker pool executes a few
+    concurrent inferences, so beyond *cap* fresh arenas are built on
+    demand and the surplus is dropped on return.
+    """
+
+    def __init__(self, cap: int = 4) -> None:
+        self.cap = cap
+        self._arenas: List[Arena] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> Arena:
+        with self._lock:
+            if self._arenas:
+                return self._arenas.pop()
+        return Arena()
+
+    def release(self, arena: Arena) -> None:
+        with self._lock:
+            if len(self._arenas) < self.cap:
+                self._arenas.append(arena)
+
+
+__all__ = ["Arena", "ArenaPool"]

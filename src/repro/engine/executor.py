@@ -14,7 +14,6 @@ pipeline trace, and the ``repro bench`` JSON.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -25,7 +24,7 @@ from repro import faults
 from repro.core import workspace
 from repro.core.resources import FABRIC
 from repro.core.tensor import FeatureMapBatch
-from repro.engine.arena import Arena
+from repro.engine.arena import ArenaPool
 from repro.engine.plan import INPUT, ExecutionPlan
 
 #: Arenas kept warm per Executor for reuse across runs (the serving worker
@@ -80,6 +79,39 @@ class ExecutionReport:
         return sum(step.ops for step in self.steps)
 
 
+def run_fabric_step(step, inputs, guard, fabric_mode) -> FeatureMapBatch:
+    """Execute one FABRIC-tagged step according to *fabric_mode*.
+
+    *step* needs a ``layer`` and a ``name`` — both :class:`~repro.engine.
+    plan.PlanStep` and the bytecode VM's bound instructions qualify, so
+    the fault-injection seam (:data:`repro.faults.FABRIC_STEP`), the
+    offload guard, and the scrub co-simulation behave identically on
+    every execution path.
+    """
+    if fabric_mode == "reference":
+        return step.layer.run_batch_reference(inputs)
+    if guard is not None:
+        with guard:
+            out = faults.call(
+                faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
+            )
+    else:
+        out = faults.call(
+            faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
+        )
+    if fabric_mode == "scrub":
+        expected = step.layer.run_batch_reference(inputs)
+        if (
+            not np.array_equal(out.data, expected.data)
+            or out.scale != expected.scale
+        ):
+            raise faults.FabricCorruption(
+                f"fabric output of step '{step.name}' diverged from the "
+                f"CPU reference path (scrub mode)"
+            )
+    return out
+
+
 class Executor:
     """Runs a compiled :class:`ExecutionPlan` over feature-map batches.
 
@@ -102,23 +134,14 @@ class Executor:
         self.offload_guard = offload_guard
         self.on_step = on_step
         self.last_report: Optional[ExecutionReport] = None
-        self._arena_pool: List[Arena] = []
-        self._arena_lock = threading.Lock()
-
-    # -- arena pool --------------------------------------------------------
-
-    def _acquire_arena(self) -> Arena:
-        with self._arena_lock:
-            if self._arena_pool:
-                return self._arena_pool.pop()
-        return Arena()
-
-    def _return_arena(self, arena: Arena) -> None:
-        with self._arena_lock:
-            if len(self._arena_pool) < _ARENA_POOL_CAP:
-                self._arena_pool.append(arena)
+        self._arenas = ArenaPool(cap=_ARENA_POOL_CAP)
 
     # -- public API --------------------------------------------------------
+
+    @property
+    def uses_fabric(self) -> bool:
+        """True when any plan step occupies the serialized fabric engine."""
+        return self.plan.uses_fabric
 
     def run(
         self,
@@ -165,31 +188,6 @@ class Executor:
         self.last_report = ExecutionReport(batch=0)
         return empties if keep_all else empties[-1]
 
-    def _run_fabric_step(self, step, inputs, guard, fabric_mode):
-        """Execute one FABRIC-tagged step according to *fabric_mode*."""
-        if fabric_mode == "reference":
-            return step.layer.run_batch_reference(inputs)
-        if guard is not None:
-            with guard:
-                out = faults.call(
-                    faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
-                )
-        else:
-            out = faults.call(
-                faults.FABRIC_STEP, lambda: step.layer.run_batch(inputs)
-            )
-        if fabric_mode == "scrub":
-            expected = step.layer.run_batch_reference(inputs)
-            if (
-                not np.array_equal(out.data, expected.data)
-                or out.scale != expected.scale
-            ):
-                raise faults.FabricCorruption(
-                    f"fabric output of step '{step.name}' diverged from the "
-                    f"CPU reference path (scrub mode)"
-                )
-        return out
-
     def _execute(
         self,
         fmb: FeatureMapBatch,
@@ -220,7 +218,7 @@ class Executor:
         # backing buffer is recycled the moment no live feature map can see
         # it (the guard check).  begin_run() lets a previous run's escaped
         # outputs keep their memory — recycled buffers never alias results.
-        arena = self._acquire_arena()
+        arena = self._arenas.acquire()
         arena.begin_run()
         run_start = time.perf_counter()
         with workspace.install(arena):
@@ -228,7 +226,7 @@ class Executor:
                 inputs = [buffers[buffer_id] for buffer_id in step.inputs]
                 start = time.perf_counter()
                 if step.resource == FABRIC:
-                    out = self._run_fabric_step(step, inputs, guard, fabric_mode)
+                    out = run_fabric_step(step, inputs, guard, fabric_mode)
                 else:
                     out = step.layer.run_batch(inputs)
                 wall = time.perf_counter() - start
@@ -264,8 +262,14 @@ class Executor:
         report.wall_s = time.perf_counter() - run_start
         report.arena = arena.stats()
         self.last_report = report
-        self._return_arena(arena)
+        self._arenas.release(arena)
         return outputs if keep_all else buffers[plan.steps[-1].index]
 
 
-__all__ = ["FABRIC_MODES", "StepStats", "ExecutionReport", "Executor"]
+__all__ = [
+    "FABRIC_MODES",
+    "StepStats",
+    "ExecutionReport",
+    "Executor",
+    "run_fabric_step",
+]

@@ -1,0 +1,73 @@
+"""repro.isa — plans as deployable artifacts: bytecode, VM, plan cache.
+
+The compiled :class:`~repro.engine.plan.ExecutionPlan` used to exist
+only as in-memory Python objects rebuilt on every process start.  This
+subsystem makes it portable (FINN-R's lower-to-an-IR move, done at our
+plan level):
+
+* :mod:`repro.isa.ops` — the fixed op set (``LOAD_INPUT``/``PACK``/
+  ``GEMM``/``CONV``/``THRESHOLD``/``MAXPOOL``/``OFFLOAD``/``ROUTE``/
+  ``RELEASE``/``STORE_OUTPUT`` + the ``REGION``/``SOFTMAX`` head ops)
+  over numbered buffer slots, with resource tags and explicit liveness.
+* :mod:`repro.isa.lower` — plan -> program lowering, content digests,
+  program -> layer binding, and plan reconstruction for the analyzers.
+* :mod:`repro.isa.encode` — the versioned, CRC-guarded ``.rpb`` binary
+  round-trip (``repro compile``).
+* :mod:`repro.isa.disasm` — human-readable listings (``repro disasm``).
+* :mod:`repro.isa.vm` — :class:`~repro.isa.vm.PlanVM`, an interpreter
+  bit-identical to :class:`~repro.engine.executor.Executor` (pinned by
+  the equivalence tests and ``make isa-roundtrip``).
+* :mod:`repro.isa.cache` — the content-addressed plan cache behind
+  serving's instant warm cold-start.
+
+See ``docs/ISA.md`` for the format specification and a worked
+disassembly.
+"""
+
+from repro.isa.cache import PlanCache, plan_cache_key
+from repro.isa.disasm import disassemble
+from repro.isa.encode import decode, encode, read_program, write_program
+from repro.isa.lower import (
+    bind,
+    cfg_digest,
+    lower_network,
+    lower_plan,
+    plan_from_program,
+    weights_digest,
+)
+from repro.isa.ops import (
+    FORMAT_VERSION,
+    BindError,
+    DecodeError,
+    EncodeError,
+    Instruction,
+    IsaError,
+    LoweringError,
+    Program,
+)
+from repro.isa.vm import PlanVM
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Instruction",
+    "Program",
+    "IsaError",
+    "LoweringError",
+    "EncodeError",
+    "DecodeError",
+    "BindError",
+    "lower_plan",
+    "lower_network",
+    "bind",
+    "plan_from_program",
+    "weights_digest",
+    "cfg_digest",
+    "encode",
+    "decode",
+    "write_program",
+    "read_program",
+    "disassemble",
+    "PlanVM",
+    "PlanCache",
+    "plan_cache_key",
+]

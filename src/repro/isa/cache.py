@@ -1,0 +1,107 @@
+"""Content-addressed plan cache — instant warm cold-starts.
+
+Plans are deployable artifacts once they serialize; the cache makes them
+*reusable* artifacts: keyed by network name + format version + cfg hash
++ weights hash, a ``.rpb`` under the cache directory is exactly the
+program :func:`~repro.isa.lower.lower_network` would produce for that
+network, so a restarting server decodes and binds instead of
+recompiling.  Any change to the topology or the weights changes the key
+— stale artifacts are unreachable by construction, and the bind-time
+hash check backstops a key collision.
+
+A corrupt or cross-version cache entry is treated as a **miss** (and
+removed): the cache must never be able to take a server down — worst
+case it recompiles, which is the cold path it existed to avoid.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.isa.encode import decode, write_program
+from repro.isa.lower import cfg_digest, lower_network, weights_digest
+from repro.isa.ops import FORMAT_VERSION, DecodeError, Program
+
+
+def plan_cache_key(
+    network_name: str,
+    weights_sha256: str,
+    cfg_sha256: str,
+    version: int = FORMAT_VERSION,
+) -> str:
+    """The artifact's content address (also its cache file stem)."""
+    name = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-"
+        for ch in (network_name or "network")
+    )
+    return (
+        f"{name}-v{version}-{(cfg_sha256 or 'nocfg')[:12]}"
+        f"-{(weights_sha256 or 'noweights')[:12]}"
+    )
+
+
+class PlanCache:
+    """A directory of content-addressed ``.rpb`` plan artifacts."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".rpb")
+
+    def load(self, key: str) -> Optional[Program]:
+        """The cached program for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            return decode(data)
+        except DecodeError:
+            # A corrupt entry is a miss, and it must not stay around to
+            # be re-parsed on every start.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def store(self, program: Program) -> str:
+        """Write *program* under its content address; returns the path."""
+        key = plan_cache_key(
+            program.network_name,
+            program.weights_sha256,
+            program.cfg_sha256,
+            program.version,
+        )
+        path = self.path_for(key)
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        tmp = path + ".tmp"
+        write_program(program, tmp)
+        os.replace(tmp, path)
+        return path
+
+    def get_or_compile(
+        self, network, name: str = ""
+    ) -> Tuple[Program, bool]:
+        """The network's program, from cache when possible.
+
+        Returns ``(program, hit)``: on a miss the network is lowered,
+        the artifact is stored for the next start, and ``hit`` is False.
+        """
+        key = plan_cache_key(
+            name, weights_digest(network), cfg_digest(network)
+        )
+        program = self.load(key)
+        if program is not None:
+            return program, True
+        program = lower_network(network, name=name)
+        self.store(program)
+        return program, False
+
+
+__all__ = ["plan_cache_key", "PlanCache"]

@@ -1,0 +1,64 @@
+"""Human-readable disassembly of ISA programs — ``repro disasm``.
+
+The disassembler is the inspection half of the serialization pair
+(tinyML-style assembler/disassembler): artifacts become diffable text,
+so two plan versions can be compared with ordinary line tools and a
+worked listing can live in ``docs/ISA.md``.  Format: a comment header
+(name, format version, content hashes, shapes), then one line per
+instruction::
+
+    0001  CONV          %1 <- %0            ; #00 convolutional  cpu  (16x208x208)  145,916,928 ops
+    0002  RELEASE       %0
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.resources import CPU
+from repro.isa.ops import LOAD_INPUT, RELEASE, STORE_OUTPUT, Program
+
+
+def _shape(shape) -> str:
+    return "x".join(str(int(v)) for v in shape)
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as annotated assembly text."""
+    lines: List[str] = [
+        f"; program {program.network_name or '(unnamed)'} "
+        f"(format v{program.version}, {len(program)} instructions)",
+        f"; weights sha256 {program.weights_sha256 or '(none)'}",
+        f"; cfg     sha256 {program.cfg_sha256 or '(none)'}",
+        f"; input {_shape(program.input_shape)} -> "
+        f"output {_shape(program.output_shape)}",
+    ]
+    for position, instr in enumerate(program.instructions):
+        if instr.opcode == RELEASE:
+            operands = f"%{instr.dest}"
+        elif instr.opcode in (LOAD_INPUT, STORE_OUTPUT):
+            operands = f"%{instr.dest}"
+        else:
+            operands = (
+                f"%{instr.dest} <- "
+                + ", ".join(f"%{s}" for s in instr.srcs)
+            )
+        line = f"{position:04d}  {instr.mnemonic:<13s} {operands:<18s}"
+        notes = []
+        if instr.is_compute:
+            notes.append(instr.name or instr.ltype)
+            notes.append(
+                "cpu" if instr.resource == CPU else instr.resource.lower()
+            )
+            notes.append(f"({_shape(instr.shape)})")
+            if instr.ops:
+                notes.append(f"{instr.ops:,} ops")
+        elif instr.opcode in (LOAD_INPUT, STORE_OUTPUT):
+            notes.append(f"({_shape(instr.shape)})")
+        if notes:
+            line += " ; " + "  ".join(notes)
+        lines.append(line.rstrip())
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["disassemble"]

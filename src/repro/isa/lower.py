@@ -1,0 +1,250 @@
+"""Lower an :class:`~repro.engine.plan.ExecutionPlan` to ISA, and back.
+
+Three directions, one invariant — the instruction stream is exactly the
+schedule the executor walks:
+
+* :func:`lower_plan` / :func:`lower_network` — plan steps become compute
+  instructions (slot = step index + 1), the ``release_after`` liveness
+  becomes explicit ``RELEASE`` instructions, and the stream is framed by
+  ``LOAD_INPUT`` / ``STORE_OUTPUT``.
+* :func:`bind` — re-attach a (decoded) program to a live network's layer
+  objects, refusing on content-hash, ltype, opcode or geometry mismatch.
+  The weights themselves are *not* in the artifact (FINN-R's split: the
+  bitstream/weight export is its own artifact); the content hash is what
+  ties the two together.
+* :func:`plan_from_program` — reconstruct an ``ExecutionPlan`` from a
+  bound program so the static analyzers (:mod:`repro.analyze.dataflow`,
+  :mod:`repro.analyze.overflow`) re-prove the decoded form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from repro.core.resources import FABRIC
+from repro.engine.plan import ExecutionPlan, PlanStep
+from repro.isa.ops import (
+    INPUT_SLOT,
+    LOAD_INPUT,
+    LTYPE_TO_OPCODE,
+    OFFLOAD,
+    RELEASE,
+    STORE_OUTPUT,
+    BindError,
+    Instruction,
+    LoweringError,
+    Program,
+)
+
+
+def weights_digest(network) -> str:
+    """sha256 hex of the network's flat Darknet-order weight array.
+
+    Offload layers keep their parameters in the backend's own export
+    directory (Fig. 4), so this digest covers exactly the weights the
+    Darknet stream carries — the same set :meth:`Network.
+    load_weights_array` would reload.
+    """
+    return hashlib.sha256(
+        network.save_weights_array().tobytes()
+    ).hexdigest()
+
+
+def cfg_digest(network) -> str:
+    """sha256 hex of the network's serialized cfg text (the topology)."""
+    from repro.nn.config import serialize_config
+
+    return hashlib.sha256(
+        serialize_config(network.config).encode()
+    ).hexdigest()
+
+
+def _opcode_for(step: PlanStep) -> int:
+    opcode = LTYPE_TO_OPCODE.get(step.ltype)
+    if opcode is not None:
+        return opcode
+    if step.resource == FABRIC:
+        # Registered offload-style layer kinds are fabric calls by contract.
+        return OFFLOAD
+    raise LoweringError(
+        f"step '{step.name}' [{step.ltype}] has no opcode in the fixed "
+        f"op set (known: {sorted(LTYPE_TO_OPCODE)})"
+    )
+
+
+def lower_plan(
+    plan: ExecutionPlan,
+    network_name: str = "",
+    weights_sha256: str = "",
+    cfg_sha256: str = "",
+) -> Program:
+    """Lower *plan* into a :class:`~repro.isa.ops.Program`."""
+    instructions: List[Instruction] = [
+        Instruction(
+            opcode=LOAD_INPUT,
+            dest=INPUT_SLOT,
+            shape=tuple(plan.input_shape),
+            name="input",
+        )
+    ]
+    for step in plan.steps:
+        instructions.append(
+            Instruction(
+                opcode=_opcode_for(step),
+                dest=step.index + 1,
+                srcs=tuple(b + 1 for b in step.inputs),
+                resource=step.resource,
+                shape=tuple(step.out_shape),
+                ops=int(step.ops),
+                name=step.name,
+                ltype=step.ltype,
+            )
+        )
+        for victim in plan.release_after.get(step.index, ()):
+            instructions.append(
+                Instruction(opcode=RELEASE, dest=victim + 1)
+            )
+    output_slot = plan.steps[-1].index + 1
+    instructions.append(
+        Instruction(
+            opcode=STORE_OUTPUT,
+            dest=output_slot,
+            shape=tuple(plan.output_shape),
+        )
+    )
+    return Program(
+        network_name=network_name,
+        weights_sha256=weights_sha256,
+        cfg_sha256=cfg_sha256,
+        input_shape=tuple(plan.input_shape),
+        output_shape=tuple(plan.output_shape),
+        instructions=tuple(instructions),
+    )
+
+
+def lower_network(network, name: str = "") -> Program:
+    """Compile *network*'s plan and lower it, content-hashes included."""
+    return lower_plan(
+        network.plan(),
+        network_name=name,
+        weights_sha256=weights_digest(network),
+        cfg_sha256=cfg_digest(network),
+    )
+
+
+def bind(program: Program, network, check_hashes: bool = True) -> List:
+    """Layers aligned to *program*'s instruction stream (``None`` for
+    pseudo-ops); raises :class:`~repro.isa.ops.BindError` on mismatch.
+
+    With *check_hashes* (the default) the network's weights and cfg must
+    hash to the program's content digests — the cache-key contract that
+    keeps a stale artifact from silently executing wrong parameters.
+    Programs carrying empty digests (structural tests) skip the check.
+    """
+    if check_hashes and program.weights_sha256:
+        digest = weights_digest(network)
+        if digest != program.weights_sha256:
+            raise BindError(
+                f"weights hash mismatch: program was compiled for "
+                f"{program.weights_sha256[:12]}…, network holds "
+                f"{digest[:12]}…"
+            )
+    if check_hashes and program.cfg_sha256:
+        digest = cfg_digest(network)
+        if digest != program.cfg_sha256:
+            raise BindError(
+                f"cfg hash mismatch: program was compiled for "
+                f"{program.cfg_sha256[:12]}…, network serializes to "
+                f"{digest[:12]}…"
+            )
+    if tuple(network.input_shape) != tuple(program.input_shape):
+        raise BindError(
+            f"program expects input {tuple(program.input_shape)}, network "
+            f"takes {tuple(network.input_shape)}"
+        )
+    layers = list(network.layers)
+    bound: List = []
+    for instr in program.instructions:
+        if not instr.is_compute:
+            bound.append(None)
+            continue
+        index = instr.dest - 1
+        if not 0 <= index < len(layers):
+            raise BindError(
+                f"instruction '{instr.mnemonic}' writes slot {instr.dest} "
+                f"but the network has only {len(layers)} layers"
+            )
+        layer = layers[index]
+        expected = LTYPE_TO_OPCODE.get(
+            layer.ltype,
+            OFFLOAD if getattr(layer, "resource", None) == FABRIC else None,
+        )
+        if expected != instr.opcode:
+            raise BindError(
+                f"slot {instr.dest}: program says {instr.mnemonic} but "
+                f"layer {index} is [{layer.ltype}]"
+            )
+        if tuple(layer.out_shape) != tuple(instr.shape):
+            raise BindError(
+                f"slot {instr.dest}: program declares shape "
+                f"{tuple(instr.shape)} but layer {index} produces "
+                f"{tuple(layer.out_shape)}"
+            )
+        bound.append(layer)
+    return bound
+
+
+def plan_from_program(program: Program, network) -> ExecutionPlan:
+    """Reconstruct an :class:`ExecutionPlan` from a bound *program*.
+
+    The decoded-form twin of :func:`repro.engine.plan.compile_plan`: the
+    steps come from the instruction stream (not the layer stack), so the
+    static analyzers re-prove exactly what the artifact says — a
+    corrupted or hand-edited stream shows up as findings, not as silent
+    divergence at run time.
+    """
+    bound = bind(program, network)
+    steps: List[PlanStep] = []
+    release_after = {}
+    last_compute: Optional[int] = None
+    for instr, layer in zip(program.instructions, bound):
+        if instr.opcode == RELEASE and last_compute is not None:
+            release_after.setdefault(last_compute, []).append(
+                instr.dest - 1
+            )
+        if not instr.is_compute:
+            continue
+        index = instr.dest - 1
+        last_compute = index
+        steps.append(
+            PlanStep(
+                index=index,
+                ltype=instr.ltype,
+                name=instr.name,
+                resource=instr.resource,
+                inputs=tuple(s - 1 for s in instr.srcs),
+                out_shape=tuple(instr.shape),
+                ops=int(instr.ops),
+                layer=layer,
+            )
+        )
+    return ExecutionPlan(
+        input_shape=tuple(program.input_shape),
+        output_shape=tuple(program.output_shape),
+        steps=steps,
+        release_after={
+            consumer: tuple(sorted(buffers))
+            for consumer, buffers in release_after.items()
+        },
+    )
+
+
+__all__ = [
+    "weights_digest",
+    "cfg_digest",
+    "lower_plan",
+    "lower_network",
+    "bind",
+    "plan_from_program",
+]

@@ -1,0 +1,235 @@
+"""The plan ISA: a small fixed op set over buffer slots.
+
+An :class:`~repro.engine.plan.ExecutionPlan` only ever existed as
+in-memory Python objects rebuilt on every process start.  This module
+defines the portable form: a compiled network becomes a **program** — a
+flat, versioned stream of :class:`Instruction` records over numbered
+buffer *slots* — which can be serialized (:mod:`repro.isa.encode`),
+disassembled (:mod:`repro.isa.disasm`), statically verified
+(:mod:`repro.analyze.isa`) and executed (:mod:`repro.isa.vm`)
+bit-identically to :meth:`repro.engine.executor.Executor.run`.
+
+Slot numbering: slot ``0`` is the network input; slot ``k`` (k >= 1) is
+the output of the plan step with index ``k - 1``.  The stream is in
+execution order:
+
+* ``LOAD_INPUT`` binds the incoming feature-map batch to slot 0;
+* one compute instruction per plan step (``CONV`` / ``GEMM`` /
+  ``MAXPOOL`` / ``OFFLOAD`` / ``ROUTE`` / ``REGION`` / ``SOFTMAX``),
+  carrying the step's resource tag (CPU/FABRIC), dtype/shape metadata
+  and per-frame op count;
+* ``RELEASE`` makes the plan's ``release_after`` liveness explicit —
+  the VM recycles the slot's backing buffer through the
+  :class:`~repro.engine.arena.Arena` exactly where the executor would;
+* ``STORE_OUTPUT`` names the slot whose contents are the program result.
+
+``PACK`` and ``THRESHOLD`` are reserved for the fused-epilogue lowering
+of the plan-optimizing passes (bit-packing and threshold activations as
+standalone stream ops); the current lowering never emits them, but
+encoders, decoders and the disassembler handle them so version 1
+artifacts stay forward-compatible with that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.resources import CPU, FABRIC
+
+#: Serialization format version; :func:`repro.isa.encode.decode` refuses
+#: any other value (cross-version headers never half-load).
+FORMAT_VERSION = 1
+
+#: The network input's slot id (plan buffer ``INPUT`` maps here).
+INPUT_SLOT = 0
+
+# -- opcodes -----------------------------------------------------------------
+
+LOAD_INPUT = 0x01
+PACK = 0x02
+GEMM = 0x03
+CONV = 0x04
+THRESHOLD = 0x05
+MAXPOOL = 0x06
+OFFLOAD = 0x07
+ROUTE = 0x08
+RELEASE = 0x09
+STORE_OUTPUT = 0x0A
+REGION = 0x0B
+SOFTMAX = 0x0C
+
+#: Opcode -> mnemonic, the disassembler's vocabulary.
+OPCODE_NAMES: Dict[int, str] = {
+    LOAD_INPUT: "LOAD_INPUT",
+    PACK: "PACK",
+    GEMM: "GEMM",
+    CONV: "CONV",
+    THRESHOLD: "THRESHOLD",
+    MAXPOOL: "MAXPOOL",
+    OFFLOAD: "OFFLOAD",
+    ROUTE: "ROUTE",
+    RELEASE: "RELEASE",
+    STORE_OUTPUT: "STORE_OUTPUT",
+    REGION: "REGION",
+    SOFTMAX: "SOFTMAX",
+}
+
+#: Mnemonic -> opcode (assembler direction).
+NAME_TO_OPCODE: Dict[str, int] = {
+    name: code for code, name in OPCODE_NAMES.items()
+}
+
+#: Opcodes that execute a layer (everything except the three pseudo-ops).
+COMPUTE_OPCODES = frozenset(
+    OPCODE_NAMES
+) - {LOAD_INPUT, RELEASE, STORE_OUTPUT}
+
+#: Layer ``ltype`` -> compute opcode.  Unknown FABRIC-tagged layer kinds
+#: (registered offload-style subclasses) lower to ``OFFLOAD``; unknown
+#: CPU kinds are a lowering error — the fixed op set is the contract.
+LTYPE_TO_OPCODE: Dict[str, int] = {
+    "convolutional": CONV,
+    "conv": CONV,
+    "maxpool": MAXPOOL,
+    "connected": GEMM,
+    "offload": OFFLOAD,
+    "route": ROUTE,
+    "reorg": ROUTE,
+    "region": REGION,
+    "softmax": SOFTMAX,
+}
+
+#: Resource tag <-> instruction flag byte.
+RESOURCE_FLAGS: Dict[str, int] = {CPU: 0, FABRIC: 1}
+FLAG_RESOURCES: Dict[int, str] = {0: CPU, 1: FABRIC}
+
+
+class IsaError(Exception):
+    """Base of every ISA failure (lowering, encoding, binding)."""
+
+
+class LoweringError(IsaError):
+    """The plan cannot be expressed in the fixed op set."""
+
+
+class EncodeError(IsaError):
+    """The program cannot be serialized (field out of encodable range)."""
+
+
+class DecodeError(IsaError):
+    """The byte stream is not a readable program (truncated, corrupted,
+    wrong magic, or a format version this build does not speak)."""
+
+
+class BindError(IsaError):
+    """The program does not match the network it is being bound to."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ISA instruction.
+
+    ``dest`` is the slot written (compute ops, ``LOAD_INPUT``) or
+    operated on (``RELEASE`` frees it, ``STORE_OUTPUT`` publishes it);
+    ``srcs`` are the slots read, chain predecessor first.  ``shape`` is
+    the frame shape of ``dest``; ``ops`` the per-frame operation count
+    (Table I accounting); ``name``/``ltype`` echo the plan step so VM
+    instrumentation rows line up with the executor's.
+    """
+
+    opcode: int
+    dest: int
+    srcs: Tuple[int, ...] = ()
+    resource: str = CPU
+    shape: Tuple[int, int, int] = (0, 0, 0)
+    ops: int = 0
+    name: str = ""
+    ltype: str = ""
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODE_NAMES:
+            raise ValueError(f"unknown opcode 0x{self.opcode:02x}")
+        if self.resource not in RESOURCE_FLAGS:
+            raise ValueError(f"unknown resource {self.resource!r}")
+        if self.dest < 0 or any(s < 0 for s in self.srcs):
+            raise ValueError("slot ids are non-negative")
+
+    @property
+    def mnemonic(self) -> str:
+        return OPCODE_NAMES[self.opcode]
+
+    @property
+    def is_compute(self) -> bool:
+        return self.opcode in COMPUTE_OPCODES
+
+
+@dataclass(frozen=True)
+class Program:
+    """A lowered plan: header metadata plus the instruction stream.
+
+    ``weights_sha256``/``cfg_sha256`` content-address the artifact: a
+    program only binds to a network whose loaded weights and serialized
+    cfg hash to the same digests (empty digests skip the check — used by
+    structural tests that never execute).
+    """
+
+    network_name: str
+    weights_sha256: str
+    cfg_sha256: str
+    input_shape: Tuple[int, int, int]
+    output_shape: Tuple[int, int, int]
+    instructions: Tuple[Instruction, ...]
+    version: int = FORMAT_VERSION
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def uses_fabric(self) -> bool:
+        """True when any instruction occupies the serialized fabric engine."""
+        return any(
+            instr.resource == FABRIC for instr in self.instructions
+        )
+
+    def compute_instructions(self) -> Tuple[Instruction, ...]:
+        """The instructions that execute a layer, in stream order."""
+        return tuple(i for i in self.instructions if i.is_compute)
+
+    def output_slot(self) -> Optional[int]:
+        """The slot ``STORE_OUTPUT`` publishes, or ``None`` if absent."""
+        for instr in reversed(self.instructions):
+            if instr.opcode == STORE_OUTPUT:
+                return instr.dest
+        return None
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "INPUT_SLOT",
+    "LOAD_INPUT",
+    "PACK",
+    "GEMM",
+    "CONV",
+    "THRESHOLD",
+    "MAXPOOL",
+    "OFFLOAD",
+    "ROUTE",
+    "RELEASE",
+    "STORE_OUTPUT",
+    "REGION",
+    "SOFTMAX",
+    "OPCODE_NAMES",
+    "NAME_TO_OPCODE",
+    "COMPUTE_OPCODES",
+    "LTYPE_TO_OPCODE",
+    "RESOURCE_FLAGS",
+    "FLAG_RESOURCES",
+    "IsaError",
+    "LoweringError",
+    "EncodeError",
+    "DecodeError",
+    "BindError",
+    "Instruction",
+    "Program",
+]

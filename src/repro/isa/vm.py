@@ -1,0 +1,190 @@
+"""The plan VM: execute an ISA program bit-identically to the engine.
+
+:class:`PlanVM` interprets the instruction stream against a network's
+registered kernels and offload backend.  It is a drop-in for
+:class:`~repro.engine.executor.Executor` where serving needs one —
+same ``run(fmb, offload_guard=, fabric_mode=)`` signature, same
+:class:`~repro.engine.executor.StepStats` instrumentation (step names
+match, so ``plan_steps`` metrics are indistinguishable), same
+fault-injection seams (the shared
+:func:`~repro.engine.executor.run_fabric_step` drives fabric/reference/
+scrub routing), and the same liveness-driven
+:class:`~repro.engine.arena.Arena` recycling — except the schedule comes
+from the decoded artifact, not from an in-memory plan.  Bit-identity to
+``Executor.run`` and the frozen :mod:`repro.engine.reference` oracle is
+pinned by the equivalence tests and ``make isa-roundtrip``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core import workspace
+from repro.core.resources import FABRIC
+from repro.core.tensor import FeatureMapBatch
+from repro.engine.arena import ArenaPool
+from repro.engine.executor import (
+    FABRIC_MODES,
+    ExecutionReport,
+    StepStats,
+    run_fabric_step,
+)
+from repro.isa.ops import (
+    LOAD_INPUT,
+    RELEASE,
+    STORE_OUTPUT,
+    BindError,
+    Program,
+)
+from repro.isa.lower import bind
+
+
+class _BoundStep:
+    """Adapter handing a bound instruction to :func:`run_fabric_step`."""
+
+    __slots__ = ("layer", "name")
+
+    def __init__(self, layer, name: str) -> None:
+        self.layer = layer
+        self.name = name
+
+
+class PlanVM:
+    """Interprets a :class:`~repro.isa.ops.Program` over feature batches.
+
+    Binding happens at construction: every compute instruction is
+    attached to its layer object (content hashes checked unless
+    *check_hashes* is off), so ``run`` itself never inspects the
+    network again.  Re-entrant like the executor — concurrent runs each
+    use local slot state and a pooled arena.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        network,
+        offload_guard=None,
+        on_step: Optional[Callable[[StepStats], None]] = None,
+        check_hashes: bool = True,
+    ) -> None:
+        self.program = program
+        self.offload_guard = offload_guard
+        self.on_step = on_step
+        self.last_report: Optional[ExecutionReport] = None
+        self._layers = bind(program, network, check_hashes=check_hashes)
+        self._arenas = ArenaPool()
+        if program.output_slot() is None:
+            raise BindError("program has no STORE_OUTPUT instruction")
+
+    @property
+    def uses_fabric(self) -> bool:
+        """True when any instruction occupies the serialized fabric engine."""
+        return self.program.uses_fabric
+
+    def run(
+        self,
+        fmb: FeatureMapBatch,
+        offload_guard=None,
+        fabric_mode: str = "fabric",
+    ) -> FeatureMapBatch:
+        """Execute the program on *fmb*; returns the stored output slot.
+
+        Mirrors :meth:`Executor.run` exactly: shape validation, empty
+        batches short-circuiting to well-formed zero-frame outputs,
+        FABRIC routing per *fabric_mode*, release-driven arena
+        recycling, and per-instruction :class:`StepStats`.
+        """
+        if fabric_mode not in FABRIC_MODES:
+            raise ValueError(
+                f"fabric_mode must be one of {FABRIC_MODES}, "
+                f"got {fabric_mode!r}"
+            )
+        program = self.program
+        if tuple(fmb.frame_shape) != tuple(program.input_shape):
+            raise ValueError(
+                f"input frames {tuple(fmb.frame_shape)} do not match "
+                f"network input {tuple(program.input_shape)} compiled "
+                f"into the program"
+            )
+        if fmb.batch == 0:
+            self.last_report = ExecutionReport(batch=0)
+            return FeatureMapBatch(
+                np.zeros(
+                    (0,) + tuple(program.output_shape), dtype=np.float32
+                )
+            )
+        guard = (
+            offload_guard if offload_guard is not None else self.offload_guard
+        )
+        report = ExecutionReport(batch=fmb.batch)
+        slots: Dict[int, FeatureMapBatch] = {}
+        live_bytes = 0
+        result: Optional[FeatureMapBatch] = None
+        arena = self._arenas.acquire()
+        arena.begin_run()
+        run_start = time.perf_counter()
+        with workspace.install(arena):
+            for instr, layer in zip(program.instructions, self._layers):
+                if instr.opcode == LOAD_INPUT:
+                    slots[instr.dest] = fmb
+                    live_bytes += fmb.data.nbytes
+                    report.peak_live_bytes = max(
+                        report.peak_live_bytes, live_bytes
+                    )
+                    continue
+                if instr.opcode == RELEASE:
+                    dead = slots.pop(instr.dest, None)
+                    if dead is not None:
+                        live_bytes -= dead.data.nbytes
+                        if instr.dest != 0:
+                            arena.release(
+                                dead.data,
+                                guard=[b.data for b in slots.values()],
+                            )
+                    continue
+                if instr.opcode == STORE_OUTPUT:
+                    result = slots[instr.dest]
+                    continue
+                inputs = [slots[src] for src in instr.srcs]
+                start = time.perf_counter()
+                if instr.resource == FABRIC:
+                    out = run_fabric_step(
+                        _BoundStep(layer, instr.name),
+                        inputs,
+                        guard,
+                        fabric_mode,
+                    )
+                else:
+                    out = layer.run_batch(inputs)
+                wall = time.perf_counter() - start
+                slots[instr.dest] = out
+                live_bytes += out.data.nbytes
+                report.peak_live_bytes = max(
+                    report.peak_live_bytes, live_bytes
+                )
+                stats = StepStats(
+                    index=instr.dest - 1,
+                    name=instr.name,
+                    ltype=instr.ltype,
+                    resource=instr.resource,
+                    wall_s=wall,
+                    ops=instr.ops * fmb.batch,
+                    out_bytes=out.data.nbytes,
+                    live_bytes=live_bytes,
+                )
+                report.steps.append(stats)
+                if self.on_step is not None:
+                    self.on_step(stats)
+        report.wall_s = time.perf_counter() - run_start
+        report.arena = arena.stats()
+        self.last_report = report
+        self._arenas.release(arena)
+        if result is None:  # unreachable: constructor requires STORE_OUTPUT
+            raise RuntimeError("program finished without STORE_OUTPUT")
+        return result
+
+
+__all__ = ["PlanVM"]

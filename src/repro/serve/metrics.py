@@ -63,6 +63,9 @@ class MetricsRegistry:
         self.breaker_transitions: List[Dict] = []
         self.degraded_inferences = 0
         self.worker_deaths = 0
+        self.cold_start_ms: Optional[float] = None
+        self.plan_cache_hit: Optional[bool] = None
+        self.plan_source = "compiled"
         self.plan_step_seconds: Dict[str, float] = {}
         self.plan_step_counts: Dict[str, int] = {}
         self._latencies: List[float] = []
@@ -162,6 +165,25 @@ class MetricsRegistry:
                 {"at": now, "from": old, "to": new, "reason": reason}
             )
 
+    def observe_cold_start(
+        self, cold_start_ms: float, plan_cache_hit: Optional[bool]
+    ) -> None:
+        """How long engine construction took at server init.
+
+        *plan_cache_hit* is True/False when the server loads its plan
+        through a :class:`~repro.isa.cache.PlanCache`, and None when it
+        compiles in-process without one.
+        """
+        with self._lock:
+            self.cold_start_ms = cold_start_ms
+            self.plan_cache_hit = plan_cache_hit
+            if plan_cache_hit is None:
+                self.plan_source = "compiled"
+            elif plan_cache_hit:
+                self.plan_source = "cache-hit"
+            else:
+                self.plan_source = "cache-miss"
+
     def observe_plan_step(self, name: str, seconds: float) -> None:
         """Accumulate one executed plan step (the engine's per-step hook)."""
         with self._lock:
@@ -221,6 +243,11 @@ class MetricsRegistry:
                     "breaker_transitions": list(self.breaker_transitions),
                     "degraded_inferences": self.degraded_inferences,
                     "worker_deaths": self.worker_deaths,
+                },
+                "plan_cache": {
+                    "cold_start_ms": self.cold_start_ms,
+                    "plan_cache_hit": self.plan_cache_hit,
+                    "plan_source": self.plan_source,
                 },
                 "plan_steps": {
                     name: {

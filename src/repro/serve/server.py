@@ -17,8 +17,10 @@ Results are **bit-identical** to calling ``Network.forward_batch``
 directly on the same frames: the server only decides *which* frames share
 a batch, never *how* they are computed (and the batched layer paths are
 pinned to be batch-size invariant).  Execution goes through the engine
-(:class:`repro.engine.Executor` on the network's compiled plan) — the
-same single batched path as every other consumer — with the engine's
+(:class:`repro.engine.Executor` on the network's compiled plan, or the
+bit-identical :class:`repro.isa.vm.PlanVM` on a cached ``.rpb`` artifact
+when ``plan_cache_dir`` is set) — the same single batched path as every
+other consumer — with the engine's
 per-step instrumentation feeding this server's
 :class:`~repro.serve.metrics.MetricsRegistry` (``plan_steps`` in the
 snapshot).  A synchronous client API (:meth:`InferenceServer.infer` /
@@ -92,6 +94,16 @@ class ServeConfig:
     #: raise :class:`~repro.faults.FabricCorruption` on mismatch (runtime
     #: co-simulation; catches silently corrupted fabric output at ~2x cost).
     scrub_fabric: bool = False
+    #: Directory of a content-addressed plan cache (see docs/ISA.md).  When
+    #: set, the server loads its execution schedule from the cached ``.rpb``
+    #: artifact (compiling and storing it on first start) and executes it
+    #: with :class:`~repro.isa.vm.PlanVM` — bit-identical to the in-process
+    #: compile, but skipping plan construction on every warm start.  The
+    #: hit/miss and timing land in the ``plan_cache`` metrics section.
+    plan_cache_dir: Optional[str] = None
+    #: Name under which the network's plan is cached (part of the cache
+    #: key next to the cfg and weights hashes).
+    plan_cache_name: str = "network"
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -145,17 +157,31 @@ class InferenceServer:
             self.sleep = getattr(clock, "sleep", time.sleep)
         self.metrics = MetricsRegistry()
         self.fabric_gate = FabricGate()
-        from repro.engine import Executor
-
-        # The server owns its executor so the engine's per-step stats land
-        # in *this* server's metrics registry (the plan itself is shared).
-        self.executor = Executor(
-            network.plan(),
-            on_step=lambda stats: self.metrics.observe_plan_step(
-                stats.name, stats.wall_s
-            ),
+        # The server owns its engine so the per-step stats land in *this*
+        # server's metrics registry.  With a plan cache configured the
+        # schedule comes from the content-addressed .rpb artifact and runs
+        # on the (bit-identical) PlanVM; otherwise the plan is compiled
+        # in-process and runs on the Executor.
+        on_step = lambda stats: self.metrics.observe_plan_step(  # noqa: E731
+            stats.name, stats.wall_s
         )
-        self.resource = FABRIC if self.executor.plan.uses_fabric else CPU
+        cold_start = time.perf_counter()
+        if self.config.plan_cache_dir is not None:
+            from repro.isa import PlanCache, PlanVM
+
+            cache = PlanCache(self.config.plan_cache_dir)
+            program, cache_hit = cache.get_or_compile(
+                network, name=self.config.plan_cache_name
+            )
+            self.executor = PlanVM(program, network, on_step=on_step)
+        else:
+            from repro.engine import Executor
+
+            cache_hit = None
+            self.executor = Executor(network.plan(), on_step=on_step)
+        cold_start_ms = (time.perf_counter() - cold_start) * 1e3
+        self.metrics.observe_cold_start(cold_start_ms, cache_hit)
+        self.resource = FABRIC if self.executor.uses_fabric else CPU
         self.queue = BoundedRequestQueue(self.config.max_queue_depth, clock=clock)
         self.batcher = DynamicBatcher(self.config.max_batch, self.config.max_delay_s)
         breaker = None

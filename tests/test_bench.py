@@ -9,6 +9,7 @@ from repro.bench import (
     bench_acc16_kernel,
     bench_batches,
     bench_per_layer,
+    bench_plan_cache,
     bench_serve,
     check_inference_regressions,
     format_report,
@@ -64,6 +65,22 @@ class TestBenchHarness:
         assert "mlp4" in text
         assert "batch   1" in text
 
+    def test_bench_plan_cache_section(self, mlp4):
+        result = bench_plan_cache(mlp4, name="mlp4", repeats=1)
+        assert result["instructions"] > 0
+        assert result["artifact_bytes"] > 0
+        assert result["key"].startswith("mlp4-v")
+        for field in ("compile_ms", "cache_hit_ms", "vm_bind_ms"):
+            assert result[field] >= 0.0
+
+    def test_run_bench_report_carries_plan_cache(self, rng):
+        report = run_bench(
+            network_name="mlp4", batch_sizes=(1,), repeats=1, skip_kernel=True
+        )
+        assert report["plan_cache"]["instructions"] > 0
+        text = format_report(report)
+        assert "plan cache" in text
+
     def test_run_bench_unknown_network(self):
         with pytest.raises(ValueError, match="unknown network"):
             run_bench(network_name="yolov8", skip_kernel=True)
@@ -101,6 +118,26 @@ class TestBenchRegression:
         violations = check_inference_regressions(self._report(fps=(4.0, 4.4)))
         assert len(violations) == 1
         assert "batch 16" in violations[0]
+
+    def test_batch_floor_violation_is_flagged(self):
+        # Batching must never *lose* throughput: a batch-16 run at half
+        # the batch-1 rate breaches the 0.8x floor even when a scaling
+        # section owns the speedup assertion.
+        report = self._report(fps=(4.0, 2.0))
+        report["scaling"] = self._scaling()
+        violations = check_inference_regressions(report)
+        assert len(violations) == 1
+        assert "floor" in violations[0]
+        assert "batch 16" in violations[0]
+
+    def test_batch_floor_is_tunable(self):
+        report = self._report(fps=(4.0, 3.9))
+        assert check_inference_regressions(report, min_batch_speedup=0.9) == []
+        violations = check_inference_regressions(
+            report, min_batch_speedup=0.9, min_batch_floor=1.0
+        )
+        assert len(violations) == 1
+        assert "floor" in violations[0]
 
     def test_comparison_is_against_nearest_preceding_conv(self):
         # pool at 2.5ms beats conv #1 (2.0ms)? No — 2.5 > 2.0 flags; but it
@@ -172,6 +209,19 @@ class TestServeScenario:
             for size, count in metrics["batch_histogram"].items()
         )
         assert total_batched == metrics["completed"]
+
+    def test_bench_serve_cold_start_is_a_cache_hit(self, mlp4):
+        # bench_serve warms the plan cache before the measured server
+        # comes up, so the reported cold start is the warm-restart story.
+        result = bench_serve(mlp4, requests=4, max_batch=2, seed=0)
+        cold = result["metrics"]["plan_cache"]
+        assert cold["plan_cache_hit"] is True
+        assert cold["plan_source"] == "cache-hit"
+        assert cold["cold_start_ms"] > 0.0
+        text = format_report(
+            {"scenario": "serve", "network": "mlp4", "serve": result}
+        )
+        assert "cold start" in text
 
     def test_bench_serve_open_loop_arrivals(self, mlp4):
         result = bench_serve(

@@ -1,15 +1,17 @@
 """Golden end-to-end regression: Tincy YOLO detections, pinned by checksum.
 
 One seeded 416x416 frame runs through the full hybrid (CPU -> fabric ->
-CPU) Tincy YOLO network along the three execution paths the serving
-stack offers:
+CPU) Tincy YOLO network along the four execution paths the stack
+offers:
 
 1. the engine directly (``Executor.run`` on the compiled plan),
 2. the serving path (``InferenceServer.infer``, fabric mode),
 3. the degraded CPU-fallback path (an injected fabric fault with a zero
-   retry budget forces the breaker's reference route).
+   retry budget forces the breaker's reference route),
+4. the serialized-artifact path (the plan lowered to ISA bytecode,
+   encoded, decoded and executed by ``PlanVM``).
 
-All three outputs must be **byte-equal** to each other, and the decoded
+All four outputs must be **byte-equal** to each other, and the decoded
 detections (class ids, scores, box coordinates) must hash to the pinned
 golden checksum.  The checksum is computed over values rounded to 1e-3,
 so it survives the sub-1e-6 float noise of differing BLAS builds while
@@ -152,8 +154,16 @@ class TestGoldenDetections:
                 resilience = server.metrics.snapshot()["resilience"]
         assert resilience["degraded_inferences"] == 1  # path 3 really degraded
 
-        # One fixture, three paths, byte-equal.
-        for other in (served_out, degraded_out):
+        # Path 4: the serialized artifact — lower, encode, decode, run in
+        # the VM.  The bytecode form must not perturb a single bit.
+        from repro.isa import PlanVM, decode, encode, lower_network
+
+        program = decode(encode(lower_network(tincy_hybrid, name="tincy")))
+        assert program.uses_fabric
+        vm_out = list(PlanVM(program, tincy_hybrid).run(batch).frames())[0]
+
+        # One fixture, four paths, byte-equal.
+        for other in (served_out, degraded_out, vm_out):
             assert other.scale == engine_out.scale
             assert np.array_equal(other.data, engine_out.data)
 

@@ -1,0 +1,143 @@
+"""Content-addressed plan cache + the server's warm cold-start path."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import FeatureMap
+from repro.isa import (
+    FORMAT_VERSION,
+    PlanCache,
+    encode,
+    lower_network,
+    plan_cache_key,
+    weights_digest,
+)
+from repro.nn import zoo
+from repro.nn.network import Network
+
+
+@pytest.fixture()
+def mlp4(rng):
+    network = Network(zoo.mlp4_config())
+    network.initialize(rng)
+    return network
+
+
+class TestCacheKey:
+    def test_key_carries_name_version_and_both_digests(self):
+        key = plan_cache_key("mlp4", "ab" * 32, "cd" * 32)
+        assert key.startswith(f"mlp4-v{FORMAT_VERSION}-")
+        assert ("cd" * 6) in key
+        assert ("ab" * 6) in key
+
+    def test_hostile_names_are_sanitized(self):
+        key = plan_cache_key("../../etc/passwd", "ab" * 32, "cd" * 32)
+        assert "/" not in key and ".." not in key
+
+    def test_key_changes_with_weights(self):
+        assert plan_cache_key("n", "ab" * 32, "cd" * 32) != plan_cache_key(
+            "n", "ba" * 32, "cd" * 32
+        )
+
+
+class TestPlanCache:
+    def test_miss_compiles_and_stores_then_hits(self, tmp_path, mlp4):
+        cache = PlanCache(str(tmp_path / "plans"))
+        first, hit1 = cache.get_or_compile(mlp4, name="mlp4")
+        second, hit2 = cache.get_or_compile(mlp4, name="mlp4")
+        assert (hit1, hit2) == (False, True)
+        assert first == second
+        assert encode(first) == encode(lower_network(mlp4, name="mlp4"))
+
+    def test_weight_change_changes_the_address(self, tmp_path, mlp4):
+        cache = PlanCache(str(tmp_path))
+        cache.get_or_compile(mlp4, name="mlp4")
+        mlp4.layers[0].weights[0, 0] += 1.0
+        program, hit = cache.get_or_compile(mlp4, name="mlp4")
+        # New content, new address: a stale artifact is unreachable, so
+        # the recompile is a miss — and binds to the *new* weights.
+        assert not hit
+        assert program.weights_sha256 == weights_digest(mlp4)
+
+    def test_corrupt_entry_is_a_miss_and_is_removed(self, tmp_path, mlp4):
+        cache = PlanCache(str(tmp_path))
+        program, _ = cache.get_or_compile(mlp4, name="mlp4")
+        key = plan_cache_key(
+            "mlp4", program.weights_sha256, program.cfg_sha256
+        )
+        path = cache.path_for(key)
+        with open(path, "r+b") as handle:
+            handle.seek(20)
+            handle.write(b"\xff\xff\xff")
+        assert cache.load(key) is None
+        import os
+
+        assert not os.path.exists(path)
+        # ...and the next get_or_compile recompiles cleanly.
+        again, hit = cache.get_or_compile(mlp4, name="mlp4")
+        assert not hit and again == program
+
+    def test_absent_entry_is_a_plain_miss(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        assert cache.load("nothing-here") is None
+
+
+class TestServerColdStart:
+    def test_server_records_miss_then_hit(self, tmp_path, mlp4, rng):
+        from repro.serve import InferenceServer, ServeConfig
+
+        frame = FeatureMap(
+            rng.normal(size=mlp4.input_shape).astype(np.float32)
+        )
+        expected = mlp4.forward(frame)
+        observed = []
+        for _ in range(2):
+            config = ServeConfig(
+                warmup=False,
+                plan_cache_dir=str(tmp_path / "plans"),
+                plan_cache_name="mlp4",
+            )
+            with InferenceServer(mlp4, config) as server:
+                out = server.infer(frame, timeout_s=30)
+                snapshot = server.metrics.snapshot()
+            assert np.array_equal(out.data, expected.data)
+            observed.append(snapshot["plan_cache"])
+        assert observed[0]["plan_cache_hit"] is False
+        assert observed[0]["plan_source"] == "cache-miss"
+        assert observed[1]["plan_cache_hit"] is True
+        assert observed[1]["plan_source"] == "cache-hit"
+        for entry in observed:
+            assert entry["cold_start_ms"] > 0.0
+
+    def test_server_without_cache_reports_compiled(self, mlp4, rng):
+        from repro.serve import InferenceServer, ServeConfig
+
+        with InferenceServer(mlp4, ServeConfig(warmup=False)) as server:
+            server.infer(
+                FeatureMap(
+                    rng.normal(size=mlp4.input_shape).astype(np.float32)
+                ),
+                timeout_s=30,
+            )
+            snapshot = server.metrics.snapshot()
+        entry = snapshot["plan_cache"]
+        assert entry["plan_cache_hit"] is None
+        assert entry["plan_source"] == "compiled"
+        assert entry["cold_start_ms"] >= 0.0
+
+    def test_cached_serving_is_bit_identical_to_direct(
+        self, tmp_path, mlp4, rng
+    ):
+        from repro.serve import InferenceServer, ServeConfig
+
+        frames = [
+            FeatureMap(rng.normal(size=mlp4.input_shape).astype(np.float32))
+            for _ in range(5)
+        ]
+        config = ServeConfig(
+            warmup=False, plan_cache_dir=str(tmp_path), plan_cache_name="m"
+        )
+        with InferenceServer(mlp4, config) as server:
+            served = server.infer_many(frames, timeout_s=30)
+        for frame, got in zip(frames, served):
+            assert np.array_equal(got.data, mlp4.forward(frame).data)

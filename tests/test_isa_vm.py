@@ -1,0 +1,225 @@
+"""PlanVM equivalence: the decoded artifact executes bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import FeatureMap, FeatureMapBatch
+from repro.engine import Executor
+from repro.isa import (
+    BindError,
+    PlanVM,
+    decode,
+    encode,
+    lower_network,
+)
+from repro.isa.ops import Program
+from repro.nn import zoo
+from repro.nn.network import Network
+
+
+def _initialized(config, rng):
+    network = Network(config)
+    network.initialize(rng)
+    return network
+
+
+def _frames(rng, shape, count):
+    return [
+        FeatureMap(rng.normal(size=shape).astype(np.float32))
+        for _ in range(count)
+    ]
+
+
+def _vm_for(network, name="net"):
+    return PlanVM(decode(encode(lower_network(network, name=name))), network)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("config_name", ["mlp4", "cnv6"])
+    def test_vm_matches_executor_through_serialization(
+        self, config_name, rng
+    ):
+        network = _initialized(getattr(zoo, f"{config_name}_config")(), rng)
+        fmb = FeatureMapBatch.from_maps(
+            _frames(rng, network.input_shape, 3)
+        )
+        engine_out = Executor(network.plan()).run(fmb)
+        vm_out = _vm_for(network).run(fmb)
+        assert vm_out.data.tobytes() == engine_out.data.tobytes()
+        assert vm_out.scale == engine_out.scale
+
+    def test_singleton_batch(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, network.input_shape, 1))
+        assert np.array_equal(
+            _vm_for(network).run(fmb).data,
+            Executor(network.plan()).run(fmb).data,
+        )
+
+    def test_empty_batch_short_circuits(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        vm = _vm_for(network)
+        out = vm.run(
+            FeatureMapBatch(
+                np.zeros((0,) + tuple(network.input_shape), dtype=np.float32)
+            )
+        )
+        assert out.batch == 0
+        assert out.data.shape[1:] == tuple(
+            vm.program.output_shape
+        )
+        assert vm.last_report.batch == 0
+
+    def test_vm_is_repeatable(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        vm = _vm_for(network)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, network.input_shape, 2))
+        first = vm.run(fmb)
+        second = vm.run(fmb)
+        assert np.array_equal(first.data, second.data)
+
+
+class TestInstrumentationParity:
+    def test_step_stats_mirror_the_executor(self, rng):
+        network = _initialized(zoo.cnv6_config(), rng)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, network.input_shape, 2))
+        executor = Executor(network.plan())
+        executor.run(fmb)
+        vm = _vm_for(network)
+        vm.run(fmb)
+        engine, artifact = executor.last_report, vm.last_report
+        assert [s.name for s in artifact.steps] == [
+            s.name for s in engine.steps
+        ]
+        assert [s.index for s in artifact.steps] == [
+            s.index for s in engine.steps
+        ]
+        assert [s.ops for s in artifact.steps] == [s.ops for s in engine.steps]
+        assert artifact.peak_live_bytes == engine.peak_live_bytes
+        assert artifact.arena is not None
+
+    def test_on_step_hook_fires_in_plan_order(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        seen = []
+        program = decode(encode(lower_network(network)))
+        vm = PlanVM(program, network, on_step=lambda s: seen.append(s.name))
+        vm.run(FeatureMapBatch.from_maps(_frames(rng, network.input_shape, 1)))
+        assert seen == [step.name for step in network.plan().steps]
+
+
+class TestValidation:
+    def test_wrong_frame_shape_is_rejected(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        vm = _vm_for(network)
+        bad = FeatureMapBatch(np.zeros((1, 2, 3, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="do not match"):
+            vm.run(bad)
+
+    def test_unknown_fabric_mode_is_rejected(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        vm = _vm_for(network)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, network.input_shape, 1))
+        with pytest.raises(ValueError, match="fabric_mode"):
+            vm.run(fmb, fabric_mode="turbo")
+
+    def test_weights_mutation_breaks_the_bind(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        program = lower_network(network)
+        network.layers[0].weights[0, 0] += 1.0
+        with pytest.raises(BindError, match="weights hash mismatch"):
+            PlanVM(program, network)
+        # Opting out of verification still binds (structural checks only).
+        PlanVM(program, network, check_hashes=False)
+
+    def test_cross_network_bind_is_refused(self, rng):
+        mlp = _initialized(zoo.mlp4_config(), rng)
+        cnv = _initialized(zoo.cnv6_config(), rng)
+        with pytest.raises(BindError):
+            PlanVM(lower_network(mlp), cnv)
+
+    def test_program_without_output_is_refused(self, rng):
+        network = _initialized(zoo.mlp4_config(), rng)
+        program = lower_network(network)
+        headless = Program(
+            network_name=program.network_name,
+            weights_sha256=program.weights_sha256,
+            cfg_sha256=program.cfg_sha256,
+            input_shape=program.input_shape,
+            output_shape=program.output_shape,
+            instructions=tuple(
+                i for i in program.instructions if i.mnemonic != "STORE_OUTPUT"
+            ),
+        )
+        with pytest.raises(BindError, match="STORE_OUTPUT"):
+            PlanVM(headless, network)
+
+    def test_shape_mismatch_breaks_the_bind(self, rng):
+        from dataclasses import replace
+
+        network = _initialized(zoo.mlp4_config(), rng)
+        program = lower_network(network)
+        doctored = list(program.instructions)
+        first_compute = next(
+            i for i, instr in enumerate(doctored) if instr.is_compute
+        )
+        doctored[first_compute] = replace(
+            doctored[first_compute], shape=(9, 9, 9)
+        )
+        bad = replace(program, instructions=tuple(doctored))
+        with pytest.raises(BindError, match="shape"):
+            PlanVM(bad, network)
+
+
+@pytest.mark.integration
+class TestFabricPrograms:
+    """The serialized form of a hybrid CPU->fabric->CPU network."""
+
+    @pytest.fixture()
+    def hybrid(self, rng, tmp_path):
+        from tests.test_serve_server import _hybrid_offload_network
+
+        return _hybrid_offload_network(rng, tmp_path)
+
+    def test_offload_lowering_and_bit_identity(self, hybrid, rng):
+        program = decode(encode(lower_network(hybrid, name="mini-hybrid")))
+        assert program.uses_fabric
+        mnemonics = [i.mnemonic for i in program.compute_instructions()]
+        assert "OFFLOAD" in mnemonics
+        fmb = FeatureMapBatch.from_maps(_frames(rng, hybrid.input_shape, 2))
+        engine_out = Executor(hybrid.plan()).run(fmb)
+        vm_out = PlanVM(program, hybrid).run(fmb)
+        assert vm_out.data.tobytes() == engine_out.data.tobytes()
+
+    def test_reference_mode_matches_fabric_mode(self, hybrid, rng):
+        vm = PlanVM(decode(encode(lower_network(hybrid))), hybrid)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, hybrid.input_shape, 2))
+        fabric = vm.run(fmb, fabric_mode="fabric")
+        reference = vm.run(fmb, fabric_mode="reference")
+        # The export contract: the fabric backend and the CPU reference
+        # path are bit-identical, so the VM's mode routing must be too.
+        assert np.array_equal(fabric.data, reference.data)
+
+    def test_fault_seam_is_shared_with_the_executor(self, hybrid, rng):
+        from repro import faults
+
+        vm = PlanVM(decode(encode(lower_network(hybrid))), hybrid)
+        fmb = FeatureMapBatch.from_maps(_frames(rng, hybrid.input_shape, 1))
+        plan = faults.FaultPlan.parse("fabric-raise@0")
+        with faults.install(plan):
+            with pytest.raises(faults.FabricError):
+                vm.run(fmb)
+            # The next attempt (occurrence 1) is past the plan: it works.
+            out = vm.run(fmb)
+        assert out.batch == 1
+
+    def test_fabric_steps_respect_the_offload_guard(self, hybrid, rng):
+        from repro.serve.workers import FabricGate
+
+        gate = FabricGate()
+        vm = PlanVM(
+            decode(encode(lower_network(hybrid))), hybrid, offload_guard=gate
+        )
+        fmb = FeatureMapBatch.from_maps(_frames(rng, hybrid.input_shape, 1))
+        vm.run(fmb)
+        assert gate.acquisitions == 1
+        assert gate.in_flight == 0

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check isa-roundtrip report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check opt-check isa-roundtrip report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -42,6 +42,12 @@ serve-smoke:
 
 plan-check:
 	PYTHONPATH=src $(PYTHON) -m repro plan-check
+
+# The optimizer's gate: every zoo network at every -O level must stay
+# bit-identical to the frozen legacy reference, and -O2 must strictly beat
+# -O0 on compute instructions and peak buffer liveness.
+opt-check:
+	PYTHONPATH=src $(PYTHON) -m repro opt-check
 
 # Full artifact round trip: lower + serialize the Tincy YOLO plan, verify
 # the encoded form decodes byte-identically and executes bit-identically

@@ -12,6 +12,9 @@ Three passes, one finding model (:mod:`repro.analyze.findings`):
   slot liveness on the decoded instruction stream, content-hash and
   format-version checks, and the lower→encode→decode round-trip run on
   every analyzed network.
+* :mod:`repro.analyze.passes` — PASS-* rules re-running the optimizer's
+  full ``-O2`` pipeline and re-verifying slot liveness and dataflow
+  conservation after every pass.
 * :mod:`repro.analyze.concurrency` / :mod:`repro.analyze.astlint` —
   AST rules over the threaded serve/pipeline code and the integer hot
   paths, run in CI as ``repro analyze --self``.
@@ -53,6 +56,7 @@ def analyze_network(
     from repro.analyze.dataflow import verify_plan
     from repro.analyze.isa import roundtrip_findings
     from repro.analyze.overflow import prove_plan, verdict_findings
+    from repro.analyze.passes import pass_findings
     from repro.engine.plan import compile_plan
     from repro.isa.ops import LoweringError
 
@@ -66,6 +70,7 @@ def analyze_network(
     findings.extend(verdict_findings(prove_plan(plan)))
     try:
         findings.extend(roundtrip_findings(network, plan))
+        findings.extend(pass_findings(network))
     except LoweringError:
         # A plan with layer types the ISA cannot express simply has no
         # serialized form to verify; that is not a finding.

@@ -169,6 +169,31 @@ def verify_program(
                 )
             )
         live.add(instr.dest)
+        # Embedded release points (the liveness pass's slot death
+        # schedule) follow the same discipline as standalone RELEASEs;
+        # they take effect after this instruction's def.
+        for victim in instr.releases:
+            if victim in released:
+                findings.append(
+                    Finding(
+                        ERROR,
+                        "ISA-RELEASED",
+                        where,
+                        f"slot %{victim} released twice",
+                    )
+                )
+            elif victim not in live:
+                findings.append(
+                    Finding(
+                        ERROR,
+                        "ISA-UNDEF",
+                        where,
+                        f"release of slot %{victim}, which was never "
+                        f"defined",
+                    )
+                )
+            live.discard(victim)
+            released.add(victim)
 
     if not saw_input:
         findings.append(

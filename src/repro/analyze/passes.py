@@ -1,0 +1,154 @@
+"""PASS-* rules: re-verify the optimizer's work after every pass.
+
+``repro analyze`` trusts no rewrite: the full ``-O2`` pipeline is
+re-run pass by pass on each analyzed network, and after *each* pass the
+intermediate program must still satisfy:
+
+* **PASS-LIVE** — the slot-liveness discipline of
+  :func:`repro.analyze.isa.verify_program` (no use-after-release, no
+  undefined slots, embedded release points included);
+* **PASS-DATAFLOW** — structural dataflow conservation: every network
+  layer is executed exactly once (whole, inside a ``FUSED`` chain, or
+  as a matched split compute+``THRESHOLD`` pair), the program output
+  shape still matches the network, and the FABRIC instruction count is
+  unchanged from the frontend (the offload schedule is part of the
+  program's observable contract — no pass may add or drop fabric
+  work).
+
+A pass that raises is itself a finding, not a crash: the analyzer
+reports it and keeps verifying with the last good program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.analyze.findings import ERROR, Finding, sort_findings
+from repro.core.resources import FABRIC
+from repro.isa.ops import PART_WHOLE, THRESHOLD, Program
+
+
+def _fabric_count(program: Program) -> int:
+    return sum(
+        1
+        for instr in program.compute_instructions()
+        if instr.resource == FABRIC
+    )
+
+
+def _dataflow_findings(
+    program: Program, network, header: str, pass_name: str,
+    frontend_fabric: int,
+) -> List[Finding]:
+    where = f"{header}:{pass_name}"
+    findings: List[Finding] = []
+    whole: Counter = Counter()
+    halves: Counter = Counter()
+    thresholds: Counter = Counter()
+    for instr in program.compute_instructions():
+        if instr.fused_layers:
+            whole.update(instr.fused_layers)
+        elif instr.opcode == THRESHOLD:
+            thresholds[instr.layer] += 1
+        elif instr.part != PART_WHOLE:
+            halves[instr.layer] += 1
+        elif instr.layer >= 0:
+            whole[instr.layer] += 1
+        else:
+            whole[instr.dest - 1] += 1
+    for index in range(len(network.layers)):
+        w, h, t = whole[index], halves[index], thresholds[index]
+        covered = (w == 1 and h == 0 and t == 0) or (
+            w == 0 and h == 1 and t == 1
+        )
+        if not covered:
+            findings.append(
+                Finding(
+                    ERROR,
+                    "PASS-DATAFLOW",
+                    where,
+                    f"layer {index} executes {w} whole / {h} split-half "
+                    f"/ {t} threshold time(s); expected exactly one "
+                    f"whole execution or one matched split pair",
+                    hint="a pass dropped or duplicated a layer; the "
+                    "stream no longer computes the network",
+                )
+            )
+    expected_shape = tuple(network.layers[-1].out_shape)
+    if tuple(program.output_shape) != expected_shape:
+        findings.append(
+            Finding(
+                ERROR,
+                "PASS-DATAFLOW",
+                where,
+                f"program output shape {tuple(program.output_shape)} "
+                f"no longer matches the network's {expected_shape}",
+            )
+        )
+    fabric = _fabric_count(program)
+    if fabric != frontend_fabric:
+        findings.append(
+            Finding(
+                ERROR,
+                "PASS-DATAFLOW",
+                where,
+                f"FABRIC instruction count changed from "
+                f"{frontend_fabric} to {fabric}",
+                hint="passes must not create or eliminate offload work",
+            )
+        )
+    return findings
+
+
+def pass_findings(network, name: str = "") -> List[Finding]:
+    """Run the full -O2 pipeline, verifying after every pass."""
+    from repro.analyze.isa import verify_program
+    from repro.isa.compiler import frontend
+    from repro.isa.passes import PIPELINES, PassError, default_manager
+
+    header = name or "program"
+    findings: List[Finding] = []
+    program = frontend(network, name=name)
+    frontend_fabric = _fabric_count(program)
+    findings.extend(
+        _dataflow_findings(
+            program, network, header, "frontend", frontend_fabric
+        )
+    )
+    manager = default_manager()
+    for pass_name in PIPELINES[max(PIPELINES)]:
+        try:
+            program, _stats = manager.run_one(
+                program, pass_name, network=network, verify=False
+            )
+        except PassError as exc:
+            findings.append(
+                Finding(
+                    ERROR,
+                    "PASS-LIVE",
+                    f"{header}:{pass_name}",
+                    f"pass raised: {exc}",
+                )
+            )
+            continue
+        for finding in verify_program(program):
+            if finding.severity == ERROR:
+                findings.append(
+                    Finding(
+                        ERROR,
+                        "PASS-LIVE",
+                        f"{header}:{pass_name}",
+                        f"{finding.rule}: {finding.message}",
+                        hint=finding.hint,
+                    )
+                )
+        findings.extend(
+            _dataflow_findings(
+                program, network, header, pass_name, frontend_fabric
+            )
+        )
+    return sort_findings(findings)
+
+
+__all__ = ["pass_findings"]

@@ -202,7 +202,10 @@ def bench_plan_cache(
         )
         program, hit = cache.get_or_compile(network, name=name)
         key = isa.plan_cache_key(
-            name, program.weights_sha256, program.cfg_sha256
+            name,
+            program.weights_sha256,
+            program.cfg_sha256,
+            opt_level=program.opt_level,
         )
         artifact_bytes = os.path.getsize(cache.path_for(key))
         hit_s = _best_of(
@@ -221,6 +224,74 @@ def bench_plan_cache(
         }
     finally:
         shutil.rmtree(directory, ignore_errors=True)
+
+
+def bench_passes(
+    network,
+    name: str = "bench",
+    repeats: int = 2,
+    frames: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict:
+    """The optimizer's payoff, per ``-O`` level, for the bench JSON.
+
+    For each level: compile time (min over repeats), instruction and
+    compute-instruction counts, the peak-live-element high-water of the
+    instruction stream, pre-pack constant count, the applied pass list,
+    and measured PlanVM throughput on a small random batch.  The summary
+    fields quantify the ``-O2`` vs ``-O0`` contract the regression check
+    asserts on: strictly fewer compute instructions, strictly lower peak
+    liveness, and at least parity throughput.
+    """
+    from repro import isa
+
+    rng = rng or np.random.default_rng(0)
+    batch = rng.uniform(
+        0.0, 1.0, size=(max(1, frames),) + tuple(network.input_shape)
+    ).astype(np.float32)
+    levels: List[Dict] = []
+    by_level: Dict[int, Dict] = {}
+    for level in sorted(isa.PIPELINES):
+        compile_s = _best_of(
+            lambda: isa.compile_network(network, name=name, level=level),
+            max(1, repeats),
+        )
+        program, stats = isa.compile_network(network, name=name, level=level)
+        vm = isa.PlanVM(program, network)
+        vm.run(FeatureMapBatch(batch.copy()))  # warm caches off the clock
+        seconds = _best_of(
+            lambda: vm.run(FeatureMapBatch(batch.copy())), max(1, repeats)
+        )
+        entry = {
+            "level": int(level),
+            "passes": list(program.passes),
+            "compile_ms": compile_s * 1e3,
+            "instructions": len(program),
+            "compute_instructions": sum(
+                1 for _ in program.compute_instructions()
+            ),
+            "peak_live_elements": int(isa.peak_live_elements(program)),
+            "constants": len(program.constants),
+            "frames_per_second": batch.shape[0] / seconds,
+            "pass_stats": [s.summary() for s in stats],
+        }
+        levels.append(entry)
+        by_level[level] = entry
+    o0 = by_level[min(by_level)]
+    o2 = by_level[max(by_level)]
+    return {
+        "frames": int(batch.shape[0]),
+        "levels": levels,
+        "o0_fps": o0["frames_per_second"],
+        "o2_fps": o2["frames_per_second"],
+        "instructions_eliminated": o0["instructions"] - o2["instructions"],
+        "compute_instructions_eliminated": (
+            o0["compute_instructions"] - o2["compute_instructions"]
+        ),
+        "peak_live_elements_saved": (
+            o0["peak_live_elements"] - o2["peak_live_elements"]
+        ),
+    }
 
 
 def bench_serve(
@@ -429,6 +500,10 @@ def run_bench(
             report["plan_cache"] = bench_plan_cache(
                 network, name=network_name, repeats=max(repeats, 3)
             )
+            report["bench_passes"] = bench_passes(
+                network, name=network_name, repeats=repeats,
+                rng=np.random.default_rng(seed),
+            )
             if scaling_network and scaling_network != network_name:
                 small = _zoo_network(scaling_network, seed)
                 # Tiny frames, so extra repeats cost nothing and keep the
@@ -541,6 +616,7 @@ def check_inference_regressions(
     report: Dict,
     min_batch_speedup: float = 1.3,
     min_batch_floor: float = 0.8,
+    min_o2_fps_ratio: float = 1.0,
 ) -> List[str]:
     """Regression assertions over an inference bench report.
 
@@ -561,12 +637,19 @@ def check_inference_regressions(
     * no batch size may fall below *min_batch_floor* x the batch-1
       throughput on the top-level rows.  Flat is physics; markedly
       *slower* than unbatched means the batched path is paying avoidable
-      per-batch overhead (allocation, repacking) and is a regression.
+      per-batch overhead (allocation, repacking) and is a regression;
+    * the ``bench_passes`` section must show ``-O2`` strictly
+      eliminating compute instructions and peak-live buffer elements
+      versus ``-O0``, at no less than *min_o2_fps_ratio* x the ``-O0``
+      throughput — the optimizer has to pay for itself.
 
     ``repro bench --check`` fails the run on any violation, and the test
     suite applies the same assertions to the committed bench JSON.
     """
     violations: List[str] = []
+    violations += _pass_violations(
+        report.get("bench_passes") or {}, min_o2_fps_ratio
+    )
     violations += _pool_violations(report.get("per_layer_ms") or [])
     violations += _floor_violations(
         report.get("batches") or [], min_batch_floor
@@ -583,6 +666,39 @@ def check_inference_regressions(
     else:
         violations += _speedup_violations(
             report.get("batches") or [], min_batch_speedup
+        )
+    return violations
+
+
+def _pass_violations(section: Dict, min_o2_fps_ratio: float) -> List[str]:
+    """The optimizer's payoff contract over a ``bench_passes`` section.
+
+    ``-O2`` must execute strictly fewer compute instructions and hold a
+    strictly lower peak-live-element high-water than ``-O0``, and its
+    measured throughput must not fall below *min_o2_fps_ratio* x the
+    ``-O0`` figure (fusion and liveness must never make inference
+    slower).
+    """
+    if not section:
+        return []
+    violations = []
+    if section.get("compute_instructions_eliminated", 0) <= 0:
+        violations.append(
+            "-O2 does not execute strictly fewer compute instructions "
+            "than -O0 (the fuse/fold passes eliminated nothing)"
+        )
+    if section.get("peak_live_elements_saved", 0) <= 0:
+        violations.append(
+            "-O2 does not allocate fewer peak-live buffer elements than "
+            "-O0 (the liveness pass saved nothing)"
+        )
+    o0_fps = section.get("o0_fps")
+    o2_fps = section.get("o2_fps")
+    if o0_fps and o2_fps and o2_fps < min_o2_fps_ratio * o0_fps:
+        violations.append(
+            f"-O2 throughput {o2_fps:.2f} frames/s falls below "
+            f"{min_o2_fps_ratio:.2f}x the -O0 figure ({o0_fps:.2f} "
+            f"frames/s) — the pass pipeline must not cost throughput"
         )
     return violations
 
@@ -653,6 +769,25 @@ def format_report(report: Dict) -> str:
             f"{cache['compile_ms']:.1f} ms vs cached load "
             f"{cache['cache_hit_ms']:.1f} ms "
             f"(+ {cache['vm_bind_ms']:.1f} ms VM bind)"
+        )
+    if "bench_passes" in report:
+        passes = report["bench_passes"]
+        lines.append("  optimizer levels (PlanVM, "
+                     f"{passes['frames']} frames):")
+        for entry in passes["levels"]:
+            lines.append(
+                f"    -O{entry['level']}: "
+                f"{entry['compute_instructions']:3d} compute instrs, "
+                f"peak {entry['peak_live_elements']:>10,} elems, "
+                f"compile {entry['compile_ms']:6.1f} ms, "
+                f"{entry['frames_per_second']:8.2f} frames/s"
+            )
+        lines.append(
+            f"    -O2 vs -O0: "
+            f"{passes['compute_instructions_eliminated']} compute "
+            f"instr(s) eliminated, "
+            f"{passes['peak_live_elements_saved']:,} peak-live elems "
+            f"saved, {passes['o2_fps'] / passes['o0_fps']:.2f}x throughput"
         )
     if "acc16_kernel" in report:
         kernel = report["acc16_kernel"]
@@ -725,6 +860,7 @@ __all__ = [
     "bench_plan",
     "bench_acc16_kernel",
     "bench_plan_cache",
+    "bench_passes",
     "bench_serve",
     "SCENARIOS",
     "run_bench",

@@ -11,8 +11,9 @@ exposes the reproduction's equivalents:
 * ``python -m repro bench [--output BENCH_inference.json]`` — throughput bench
 * ``python -m repro serve-bench [--output BENCH_serve.json]`` — serving bench
 * ``python -m repro plan-check`` — engine-vs-legacy bit-identity + liveness
-* ``python -m repro compile --out plan.rpb`` — serialize a compiled plan
-* ``python -m repro disasm plan.rpb`` — disassemble a serialized plan
+* ``python -m repro opt-check`` — O0-vs-O2 bit-identity + strict-improvement gate
+* ``python -m repro compile -O2 --out plan.rpb`` — compile + optimize a plan
+* ``python -m repro disasm plan.rpb [--diff other.rpb]`` — disassemble artifacts
 * ``python -m repro analyze [--self] [--json]`` — static analysis passes
 * ``python -m repro detect --cfg F --weights F --image F.ppm`` — run one image
 """
@@ -362,7 +363,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             for violation in violations:
                 print(f"REGRESSION: {violation}", file=sys.stderr)
             return 1
-        print("regression checks passed (maxpool < conv, batching pays)")
+        print("regression checks passed (maxpool < conv, batching pays, "
+              "-O2 pays)")
     return 0
 
 
@@ -440,14 +442,96 @@ def cmd_plan_check(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
-def cmd_compile(args: argparse.Namespace) -> int:
-    """``repro compile`` — lower a network's plan to a ``.rpb`` artifact.
+def cmd_opt_check(args: argparse.Namespace) -> int:
+    """``repro opt-check`` — the optimizer's bit-identity + payoff gate.
 
-    Compiles the zoo network (or a cfg file), lowers the execution plan
-    to ISA bytecode, and writes the serialized artifact.  ``--check``
-    additionally decodes the written file back and runs random frames
-    through both the artifact's VM and the in-process engine, asserting
-    bit-identical outputs — the compile-side half of
+    For every zoo network and every ``-O`` level: compile, round-trip
+    through the binary format, execute random frames on the VM, and
+    assert the output is bit-identical to the frozen legacy sequential
+    oracle.  Additionally require that ``-O2`` strictly *pays*: fewer
+    compute instructions and a lower peak-live-element high-water than
+    ``-O0`` on every network.  CI runs this via ``make opt-check``.
+    """
+    import numpy as np
+
+    import repro.finn  # noqa: F401  (registers fabric.so for offload cfgs)
+    from repro import isa
+    from repro.core.tensor import FeatureMapBatch
+    from repro.engine.reference import legacy_forward_batch_all
+    from repro.nn import zoo
+    from repro.nn.network import Network
+
+    failures = 0
+    rows = []
+    for name in sorted(_ZOO):
+        network = Network(getattr(zoo, _ZOO[name])())
+        network.initialize(np.random.default_rng(args.seed))
+        rng = np.random.default_rng(args.seed + 1)
+        frames = rng.uniform(
+            0.0, 1.0, size=(args.frames,) + tuple(network.input_shape)
+        ).astype(np.float32)
+        expected = legacy_forward_batch_all(
+            network, FeatureMapBatch(frames.copy())
+        )[-1]
+        by_level = {}
+        for level in sorted(isa.PIPELINES):
+            program, _stats = isa.compile_network(
+                network, name=name, level=level
+            )
+            program = isa.decode(isa.encode(program))
+            out = isa.PlanVM(program, network).run(
+                FeatureMapBatch(frames.copy())
+            )
+            identical = out.data.tobytes() == expected.data.tobytes()
+            compute = sum(1 for _ in program.compute_instructions())
+            peak = isa.peak_live_elements(program)
+            by_level[level] = (compute, peak)
+            rows.append(
+                (name, f"-O{level}", compute, f"{peak:,}",
+                 "ok" if identical else "MISMATCH")
+            )
+            if not identical:
+                failures += 1
+                print(
+                    f"FAIL {name} -O{level}: VM output differs from the "
+                    "legacy reference",
+                    file=sys.stderr,
+                )
+        o0_compute, o0_peak = by_level[0]
+        o2_compute, o2_peak = by_level[max(by_level)]
+        if not (o2_compute < o0_compute and o2_peak < o0_peak):
+            failures += 1
+            print(
+                f"FAIL {name}: -O2 must strictly improve on -O0 "
+                f"(compute {o0_compute} -> {o2_compute}, "
+                f"peak live {o0_peak} -> {o2_peak})",
+                file=sys.stderr,
+            )
+    print(format_table(
+        ["network", "level", "compute instrs", "peak live elems", "vs legacy"],
+        rows,
+        title=f"opt-check: {args.frames} random frames per network",
+    ))
+    if failures:
+        print(f"opt-check: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(
+        "opt-check: every level bit-identical to the legacy reference; "
+        "-O2 strictly fewer compute instructions and lower peak liveness "
+        "than -O0 on every network"
+    )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile`` — compile a network to an optimized ``.rpb``.
+
+    Runs the three-stage compiler (frontend, the ``-O{0,1,2}`` pass
+    pipeline, serialization) on the zoo network (or a cfg file), prints
+    each pass's before/after statistics, and writes the artifact.
+    ``--check`` additionally decodes the written file back and runs
+    random frames through both the artifact's VM and the in-process
+    engine, asserting bit-identical outputs — the compile-side half of
     ``make isa-roundtrip``.
     """
     import numpy as np
@@ -458,11 +542,15 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
     network = Network(_load_config(args.network))
     network.initialize(np.random.default_rng(args.seed))
-    program = isa.lower_network(network, name=args.network)
+    program, stats = isa.compile_network(
+        network, name=args.network, level=args.opt
+    )
+    for pass_stats in stats:
+        print(f"; {pass_stats.summary()}")
     size = isa.write_program(program, args.out)
     print(
         f"{args.out}: {size} B, {len(program)} instructions "
-        f"(format v{program.version}, "
+        f"(format v{program.version}, -O{program.opt_level}, "
         f"{'fabric' if program.uses_fabric else 'cpu-only'}), "
         f"weights {program.weights_sha256[:12]}..."
     )
@@ -499,6 +587,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_disasm(args: argparse.Namespace) -> int:
     """``repro disasm`` — decode and pretty-print a ``.rpb`` artifact.
 
+    ``--diff SECOND.rpb`` renders the two artifacts side by side instead
+    — fused or eliminated instructions show up as one-sided rows, which
+    is the quickest way to see what an ``-O`` level actually did.
     ``--verify`` additionally runs the ISA verifier over the decoded
     program (slot liveness, structural invariants) and exits 1 on any
     error-severity finding.
@@ -506,14 +597,25 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     from repro import isa
     from repro.isa.ops import DecodeError
 
-    try:
-        program = isa.read_program(args.file)
-    except OSError as exc:
-        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+    def _read(path: str):
+        try:
+            return isa.read_program(path)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return None
+        except DecodeError as exc:
+            print(f"cannot decode {path}: {exc}", file=sys.stderr)
+            return None
+
+    program = _read(args.file)
+    if program is None:
         return 2
-    except DecodeError as exc:
-        print(f"cannot decode {args.file}: {exc}", file=sys.stderr)
-        return 2
+    if args.diff:
+        second = _read(args.diff)
+        if second is None:
+            return 2
+        sys.stdout.write(isa.diff_disassembly(program, second))
+        return 0
     sys.stdout.write(isa.disassemble(program))
     if not args.verify:
         return 0
@@ -670,8 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", help="write the JSON report here")
     p_bench.add_argument("--check", action="store_true",
                          help="fail (exit 1) on throughput regressions: "
-                              "maxpool step out-costing its conv, or the "
-                              "largest batch under 1.3x batch-1 frames/s")
+                              "maxpool step out-costing its conv, the "
+                              "largest batch under 1.3x batch-1 frames/s, "
+                              "or -O2 not beating -O0")
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -694,13 +797,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="random frames to cross-check (default 2)")
     p_plan.set_defaults(func=cmd_plan_check)
 
+    p_opt = sub.add_parser(
+        "opt-check",
+        help="compile the zoo at every -O level and verify bit-identity "
+        "plus the -O2 strict-improvement contract",
+    )
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument("--frames", type=int, default=2,
+                       help="random frames to cross-check (default 2)")
+    p_opt.set_defaults(func=cmd_opt_check)
+
     p_compile = sub.add_parser(
         "compile",
-        help="lower a network's execution plan to a serialized .rpb artifact",
+        help="compile a network to an optimized, serialized .rpb artifact",
     )
     p_compile.add_argument(
         "--network", default="tincy",
         help="zoo name or cfg file (default tincy)",
+    )
+    p_compile.add_argument(
+        "-O", dest="opt", type=int, choices=[0, 1, 2], default=2,
+        help="optimization level for the pass pipeline (default 2)",
     )
     p_compile.add_argument("--out", required=True, metavar="PLAN.rpb",
                            help="where to write the serialized plan")
@@ -717,6 +834,9 @@ def build_parser() -> argparse.ArgumentParser:
         "disasm", help="disassemble a serialized .rpb plan artifact"
     )
     p_disasm.add_argument("file", help="the .rpb artifact to disassemble")
+    p_disasm.add_argument("--diff", metavar="SECOND.rpb",
+                          help="render this artifact side by side with a "
+                               "second one (shows fused/eliminated lines)")
     p_disasm.add_argument("--verify", action="store_true",
                           help="run the ISA verifier on the decoded program")
     p_disasm.set_defaults(func=cmd_disasm)

@@ -1,0 +1,69 @@
+"""Fused layer-chain kernels — one pass over chunk-resident data.
+
+The optimizer's ``fuse-chains`` pass (:mod:`repro.isa.passes.fuse`)
+collapses short producer/consumer layer chains whose intermediate buffer
+has exactly one reader into a single ``FUSED`` instruction.  The win is
+memory traffic, not arithmetic: the intermediate feature map lives only
+for the duration of one chunk and is recycled through the workspace
+allocator immediately, instead of being materialized for the whole batch
+and carried across two plan steps.
+
+Bit-identity is by construction: each stage *is* the layer's own batched
+forward (``conv.forward_batch`` / ``pool.forward_batch``), invoked on
+frame chunks.  Both kernels guarantee per-frame results independent of
+batch chunking (the per-frame-GEMM convention of :func:`repro.core.ops.
+conv2d_batch`; pooling is per-frame by definition), so the fused output
+equals the unfused two-step output element for element.
+
+The chunk budget deliberately equals the conv layer's own
+``_CONV_BATCH_FRAME_BUDGET`` so the inner ``forward_batch`` call never
+re-chunks — one chunking policy, owned here.
+"""
+
+from __future__ import annotations
+
+from repro.core import workspace
+from repro.core.tensor import FeatureMapBatch
+
+#: Byte budget for one frame-chunk's conv output (matches the conv
+#: layer's own batching budget so the inner call never re-chunks).
+_FUSED_CHUNK_BUDGET = 1 << 23
+
+
+def fused_conv_maxpool_batch(conv, pool, fmb: FeatureMapBatch) -> FeatureMapBatch:
+    """conv -> maxpool with the intermediate map recycled per chunk.
+
+    *conv* and *pool* are duck-typed layer objects exposing
+    ``forward_batch`` and ``out_shape``; the pooled batch is written into
+    one preallocated output so large batches never hold more than one
+    chunk's conv output live.
+    """
+    mid_c, mid_h, mid_w = conv.out_shape
+    frame_bytes = mid_c * mid_h * mid_w * 4
+    chunk = max(1, _FUSED_CHUNK_BUDGET // max(1, frame_bytes))
+    if chunk >= fmb.batch:
+        mid = conv.forward_batch(fmb)
+        pooled = pool.forward_batch(mid)
+        workspace.release(mid.data)
+        return pooled
+    first_mid = conv.forward_batch(FeatureMapBatch(fmb.data[:chunk], fmb.scale))
+    first = pool.forward_batch(first_mid)
+    workspace.release(first_mid.data)
+    out = workspace.empty(
+        (fmb.batch,) + first.data.shape[1:], first.data.dtype
+    )
+    out[:chunk] = first.data
+    workspace.release(first.data)
+    for start in range(chunk, fmb.batch, chunk):
+        stop = min(start + chunk, fmb.batch)
+        mid = conv.forward_batch(
+            FeatureMapBatch(fmb.data[start:stop], fmb.scale)
+        )
+        part = pool.forward_batch(mid)
+        workspace.release(mid.data)
+        out[start:stop] = part.data
+        workspace.release(part.data)
+    return FeatureMapBatch(out, scale=first.scale)
+
+
+__all__ = ["fused_conv_maxpool_batch"]

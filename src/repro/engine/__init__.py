@@ -20,6 +20,7 @@ See ``docs/ENGINE.md`` for the full design.
 
 from repro.engine.arena import Arena
 from repro.engine.executor import ExecutionReport, Executor, StepStats
+from repro.engine.fused import FusedChain
 from repro.engine.plan import INPUT, ExecutionPlan, PlanStep, compile_plan
 from repro.engine.reference import legacy_forward_all, legacy_forward_batch_all
 
@@ -32,6 +33,7 @@ __all__ = [
     "Executor",
     "ExecutionReport",
     "StepStats",
+    "FusedChain",
     "legacy_forward_all",
     "legacy_forward_batch_all",
 ]

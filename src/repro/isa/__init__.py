@@ -19,13 +19,24 @@ plan level):
   the equivalence tests and ``make isa-roundtrip``).
 * :mod:`repro.isa.cache` — the content-addressed plan cache behind
   serving's instant warm cold-start.
+* :mod:`repro.isa.compiler` / :mod:`repro.isa.passes` — the optimizing
+  three-stage compiler: frontend lowering, the ``-O{0,1,2}`` pass
+  pipelines (requant folding, chain fusion, offload overlap, liveness,
+  pre-packing) under a :class:`~repro.isa.passes.PassManager`, and the
+  bind/VM backend.
 
 See ``docs/ISA.md`` for the format specification and a worked
-disassembly.
+disassembly, and ``docs/COMPILER.md`` for the pass catalog.
 """
 
 from repro.isa.cache import PlanCache, plan_cache_key
-from repro.isa.disasm import disassemble
+from repro.isa.compiler import (
+    DEFAULT_OPT_LEVEL,
+    compile_network,
+    frontend,
+    optimize,
+)
+from repro.isa.disasm import diff_disassembly, disassemble
 from repro.isa.encode import decode, encode, read_program, write_program
 from repro.isa.lower import (
     bind,
@@ -45,10 +56,27 @@ from repro.isa.ops import (
     LoweringError,
     Program,
 )
+from repro.isa.passes import (
+    PIPELINES,
+    PassError,
+    PassManager,
+    PassStats,
+    peak_live_elements,
+)
 from repro.isa.vm import PlanVM
 
 __all__ = [
     "FORMAT_VERSION",
+    "DEFAULT_OPT_LEVEL",
+    "PIPELINES",
+    "PassError",
+    "PassManager",
+    "PassStats",
+    "compile_network",
+    "frontend",
+    "optimize",
+    "peak_live_elements",
+    "diff_disassembly",
     "Instruction",
     "Program",
     "IsaError",

@@ -1,17 +1,23 @@
 """Content-addressed plan cache — instant warm cold-starts.
 
 Plans are deployable artifacts once they serialize; the cache makes them
-*reusable* artifacts: keyed by network name + format version + cfg hash
-+ weights hash, a ``.rpb`` under the cache directory is exactly the
-program :func:`~repro.isa.lower.lower_network` would produce for that
-network, so a restarting server decodes and binds instead of
-recompiling.  Any change to the topology or the weights changes the key
-— stale artifacts are unreachable by construction, and the bind-time
-hash check backstops a key collision.
+*reusable* artifacts: keyed by network name + format version + **opt
+level** + cfg hash + weights hash, a ``.rpb`` under the cache directory
+is exactly the program :func:`~repro.isa.compiler.compile_network`
+would produce for that network at that ``-O`` level, so a restarting
+server decodes and binds instead of recompiling.  Any change to the
+topology, the weights, or the optimization level changes the key —
+``-O0`` and ``-O2`` artifacts never collide, stale artifacts are
+unreachable by construction, and the bind-time hash check backstops a
+key collision.
 
 A corrupt or cross-version cache entry is treated as a **miss** (and
 removed): the cache must never be able to take a server down — worst
-case it recompiles, which is the cold path it existed to avoid.
+case it recompiles, which is the cold path it existed to avoid.  On a
+miss, leftover artifacts of the same network written by an older format
+version are likewise evicted (their key shape makes them unreachable;
+removing them keeps the directory from accreting dead files across
+upgrades).
 """
 
 from __future__ import annotations
@@ -20,8 +26,15 @@ import os
 from typing import Optional, Tuple
 
 from repro.isa.encode import decode, write_program
-from repro.isa.lower import cfg_digest, lower_network, weights_digest
+from repro.isa.lower import cfg_digest, weights_digest
 from repro.isa.ops import FORMAT_VERSION, DecodeError, Program
+
+
+def _sanitize_name(network_name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else "-"
+        for ch in (network_name or "network")
+    )
 
 
 def plan_cache_key(
@@ -29,14 +42,12 @@ def plan_cache_key(
     weights_sha256: str,
     cfg_sha256: str,
     version: int = FORMAT_VERSION,
+    opt_level: int = 0,
 ) -> str:
     """The artifact's content address (also its cache file stem)."""
-    name = "".join(
-        ch if ch.isalnum() or ch in "-_" else "-"
-        for ch in (network_name or "network")
-    )
     return (
-        f"{name}-v{version}-{(cfg_sha256 or 'nocfg')[:12]}"
+        f"{_sanitize_name(network_name)}-v{version}-O{int(opt_level)}"
+        f"-{(cfg_sha256 or 'nocfg')[:12]}"
         f"-{(weights_sha256 or 'noweights')[:12]}"
     )
 
@@ -77,6 +88,7 @@ class PlanCache:
             program.weights_sha256,
             program.cfg_sha256,
             program.version,
+            program.opt_level,
         )
         path = self.path_for(key)
         # Write-then-rename so a concurrent reader never sees a torn file.
@@ -85,21 +97,59 @@ class PlanCache:
         os.replace(tmp, path)
         return path
 
+    def evict_stale(self, network_name: str) -> int:
+        """Remove this network's artifacts from other format versions.
+
+        Old-version entries can never load (the decoder refuses their
+        header) and — under older key shapes — can never even be
+        addressed; they are dead weight.  Current-version entries at
+        *any* opt level are kept.  Returns the number of files removed.
+        """
+        sanitized = _sanitize_name(network_name)
+        current = f"{sanitized}-v{FORMAT_VERSION}-O"
+        removed = 0
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for filename in entries:
+            if not filename.endswith(".rpb"):
+                continue
+            stem = filename[: -len(".rpb")]
+            if stem.startswith(f"{sanitized}-v") and not stem.startswith(
+                current
+            ):
+                try:
+                    os.remove(os.path.join(self.directory, filename))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def get_or_compile(
-        self, network, name: str = ""
+        self, network, name: str = "", opt_level: Optional[int] = None
     ) -> Tuple[Program, bool]:
         """The network's program, from cache when possible.
 
-        Returns ``(program, hit)``: on a miss the network is lowered,
-        the artifact is stored for the next start, and ``hit`` is False.
+        Returns ``(program, hit)``: on a miss the network is compiled at
+        *opt_level* (the compiler default when ``None``), stale
+        old-version artifacts are evicted, and the fresh artifact is
+        stored for the next start with ``hit`` False.
         """
+        from repro.isa.compiler import DEFAULT_OPT_LEVEL, compile_network
+
+        level = DEFAULT_OPT_LEVEL if opt_level is None else int(opt_level)
         key = plan_cache_key(
-            name, weights_digest(network), cfg_digest(network)
+            name,
+            weights_digest(network),
+            cfg_digest(network),
+            opt_level=level,
         )
         program = self.load(key)
         if program is not None:
             return program, True
-        program = lower_network(network, name=name)
+        self.evict_stale(name)
+        program, _stats = compile_network(network, name=name, level=level)
         self.store(program)
         return program, False
 

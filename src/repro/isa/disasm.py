@@ -4,23 +4,75 @@ The disassembler is the inspection half of the serialization pair
 (tinyML-style assembler/disassembler): artifacts become diffable text,
 so two plan versions can be compared with ordinary line tools and a
 worked listing can live in ``docs/ISA.md``.  Format: a comment header
-(name, format version, content hashes, shapes), then one line per
-instruction::
+(name, format version, opt level + applied passes, content hashes,
+shapes, pre-pack constants), then one line per instruction::
 
-    0001  CONV          %1 <- %0            ; #00 convolutional  cpu  (16x208x208)  145,916,928 ops
-    0002  RELEASE       %0
+    0001  CONV.pre      %1 <- %0            ; #00 convolutional  cpu  (16x208x208)  145,916,928 ops
+    0002  THRESHOLD.pre %2 <- %1            ; #00 threshold  cpu  (16x208x208)
+    0003  FUSED         %3 <- %2            ; #01 convolutional+maxpool  cpu  (32x104x104)  ...  rel %2
+
+``.acc``/``.pre`` suffixes mark split requantization epilogues, and a
+trailing ``rel %n`` lists the embedded release points of the liveness
+pass.  :func:`diff_disassembly` renders two programs side by side — the
+``repro disasm --diff`` view of what a pass pipeline fused or
+eliminated.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import List
 
 from repro.core.resources import CPU
-from repro.isa.ops import LOAD_INPUT, RELEASE, STORE_OUTPUT, Program
+from repro.isa.ops import (
+    LOAD_INPUT,
+    PART_ACC,
+    PART_PRE,
+    RELEASE,
+    STORE_OUTPUT,
+    Program,
+)
+
+_PART_SUFFIX = {PART_ACC: ".acc", PART_PRE: ".pre"}
 
 
 def _shape(shape) -> str:
     return "x".join(str(int(v)) for v in shape)
+
+
+def _instruction_line(position: int, instr) -> str:
+    if instr.opcode in (RELEASE, LOAD_INPUT, STORE_OUTPUT):
+        operands = f"%{instr.dest}"
+    else:
+        operands = (
+            f"%{instr.dest} <- "
+            + ", ".join(f"%{s}" for s in instr.srcs)
+        )
+    mnemonic = instr.mnemonic + _PART_SUFFIX.get(instr.part, "")
+    line = f"{position:04d}  {mnemonic:<13s} {operands:<18s}"
+    notes = []
+    if instr.is_compute:
+        notes.append(instr.name or instr.ltype)
+        notes.append(
+            "cpu" if instr.resource == CPU else instr.resource.lower()
+        )
+        notes.append(f"({_shape(instr.shape)})")
+        if instr.ops:
+            notes.append(f"{instr.ops:,} ops")
+        if instr.fused_layers:
+            notes.append(
+                "layers "
+                + "+".join(str(i) for i in instr.fused_layers)
+            )
+        if instr.releases:
+            notes.append(
+                "rel " + " ".join(f"%{s}" for s in instr.releases)
+            )
+    elif instr.opcode in (LOAD_INPUT, STORE_OUTPUT):
+        notes.append(f"({_shape(instr.shape)})")
+    if notes:
+        line += " ; " + "  ".join(notes)
+    return line.rstrip()
 
 
 def disassemble(program: Program) -> str:
@@ -28,37 +80,80 @@ def disassemble(program: Program) -> str:
     lines: List[str] = [
         f"; program {program.network_name or '(unnamed)'} "
         f"(format v{program.version}, {len(program)} instructions)",
+        f"; opt -O{program.opt_level}"
+        + (
+            f"  passes: {', '.join(program.passes)}"
+            if program.passes
+            else "  (unoptimized)"
+        ),
         f"; weights sha256 {program.weights_sha256 or '(none)'}",
         f"; cfg     sha256 {program.cfg_sha256 or '(none)'}",
         f"; input {_shape(program.input_shape)} -> "
         f"output {_shape(program.output_shape)}",
     ]
+    for kind, layer, param in program.constants:
+        lines.append(f"; const {kind} layer {layer} param {param:g}")
     for position, instr in enumerate(program.instructions):
-        if instr.opcode == RELEASE:
-            operands = f"%{instr.dest}"
-        elif instr.opcode in (LOAD_INPUT, STORE_OUTPUT):
-            operands = f"%{instr.dest}"
-        else:
-            operands = (
-                f"%{instr.dest} <- "
-                + ", ".join(f"%{s}" for s in instr.srcs)
-            )
-        line = f"{position:04d}  {instr.mnemonic:<13s} {operands:<18s}"
-        notes = []
-        if instr.is_compute:
-            notes.append(instr.name or instr.ltype)
-            notes.append(
-                "cpu" if instr.resource == CPU else instr.resource.lower()
-            )
-            notes.append(f"({_shape(instr.shape)})")
-            if instr.ops:
-                notes.append(f"{instr.ops:,} ops")
-        elif instr.opcode in (LOAD_INPUT, STORE_OUTPUT):
-            notes.append(f"({_shape(instr.shape)})")
-        if notes:
-            line += " ; " + "  ".join(notes)
-        lines.append(line.rstrip())
+        lines.append(_instruction_line(position, instr))
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["disassemble"]
+def diff_disassembly(first: Program, second: Program) -> str:
+    """Side-by-side listing of two programs (``repro disasm --diff``).
+
+    Instruction lines are aligned with a sequence matcher keyed on the
+    destination slot and mnemonic, so a fused or eliminated instruction
+    shows up as a one-sided row rather than shifting the whole listing.
+    Header columns carry each program's opt level.
+    """
+    left = [
+        _instruction_line(i, instr)
+        for i, instr in enumerate(first.instructions)
+    ]
+    right = [
+        _instruction_line(i, instr)
+        for i, instr in enumerate(second.instructions)
+    ]
+    width = max([len(line) for line in left] + [40])
+
+    def _key(line: str) -> str:
+        # "0004  CONV.pre  %5 <- %4 ; ..." -> "CONV.pre %5" — stable
+        # across renumbering-free rewrites, ignores annotations.
+        parts = line.split()
+        return " ".join(parts[1:3]) if len(parts) >= 3 else line
+
+    matcher = difflib.SequenceMatcher(
+        a=[_key(line) for line in left],
+        b=[_key(line) for line in right],
+        autojunk=False,
+    )
+    header_left = (
+        f"{first.network_name or '(unnamed)'} -O{first.opt_level} "
+        f"({len(first)} instrs)"
+    )
+    header_right = (
+        f"{second.network_name or '(unnamed)'} -O{second.opt_level} "
+        f"({len(second)} instrs)"
+    )
+    lines = [
+        f"{header_left:<{width}s}   | {header_right}",
+        "-" * width + "---+-" + "-" * width,
+    ]
+    for tag, a_lo, a_hi, b_lo, b_hi in matcher.get_opcodes():
+        if tag == "equal":
+            for offset in range(a_hi - a_lo):
+                a_line = left[a_lo + offset]
+                b_line = right[b_lo + offset]
+                marker = " | " if a_line == b_line else " ~ "
+                lines.append(f"{a_line:<{width}s}  {marker}{b_line}")
+            continue
+        span = max(a_hi - a_lo, b_hi - b_lo)
+        for offset in range(span):
+            a_line = left[a_lo + offset] if a_lo + offset < a_hi else ""
+            b_line = right[b_lo + offset] if b_lo + offset < b_hi else ""
+            marker = " < " if not b_line else (" > " if not a_line else " ~ ")
+            lines.append(f"{a_line:<{width}s}  {marker}{b_line}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["diff_disassembly", "disassemble"]

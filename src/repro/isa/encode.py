@@ -10,6 +10,10 @@ Layout (all integers little-endian, lengths in bytes)::
              cfg_hash     32  raw sha256 (zeros when absent)
              input_shape  3 x u32
              output_shape 3 x u32
+             opt_level    u8  (v2)
+             n_passes     u8  + n_passes x (u8 length + utf-8)  (v2)
+             n_constants  u16 + n_constants x constant  (v2)
+               constant:  kind (u8 length + utf-8), layer u32, param f64
              n_instr      u32
     body     n_instr instructions:
              opcode       u8
@@ -20,6 +24,10 @@ Layout (all integers little-endian, lengths in bytes)::
              ops          u64
              ltype        u8 length + utf-8 bytes
              name         u8 length + utf-8 bytes
+             layer        i32 (-1 = unbound)  (v2)
+             part         u8  (v2)
+             n_fused      u8  + n_fused x u32  (v2)
+             n_releases   u8  + n_releases x u32  (v2)
     footer   crc32        u32 of everything before it
 
 Encoding is a pure function of the :class:`~repro.isa.ops.Program`
@@ -40,6 +48,7 @@ from repro.isa.ops import (
     FLAG_RESOURCES,
     FORMAT_VERSION,
     OPCODE_NAMES,
+    PART_VALUES,
     RESOURCE_FLAGS,
     DecodeError,
     EncodeError,
@@ -52,6 +61,20 @@ MAGIC = b"RPB\x1a"
 _U8_MAX = 0xFF
 _U16_MAX = 0xFFFF
 _U32_MAX = 0xFFFFFFFF
+_I32_MIN = -(1 << 31)
+_I32_MAX = (1 << 31) - 1
+
+
+def _slot_list(slots, what: str) -> bytes:
+    """A u8-counted list of u32 slot/layer ids."""
+    if len(slots) > _U8_MAX:
+        raise EncodeError(f"{what}: too many entries ({len(slots)})")
+    out = struct.pack("<B", len(slots))
+    for slot in slots:
+        if not 0 <= slot <= _U32_MAX:
+            raise EncodeError(f"{what}: id {slot} out of u32 range")
+        out += struct.pack("<I", slot)
+    return out
 
 
 def _hash_bytes(hexdigest: str, what: str) -> bytes:
@@ -106,6 +129,22 @@ def encode(program: Program) -> bytes:
     out += _hash_bytes(program.cfg_sha256, "cfg_sha256")
     out += _shape3(program.input_shape, "input_shape")
     out += _shape3(program.output_shape, "output_shape")
+    if not 0 <= program.opt_level <= _U8_MAX:
+        raise EncodeError(f"opt_level {program.opt_level} out of u8 range")
+    out += struct.pack("<B", program.opt_level)
+    if len(program.passes) > _U8_MAX:
+        raise EncodeError("too many applied passes to encode")
+    out += struct.pack("<B", len(program.passes))
+    for pass_name in program.passes:
+        out += _short_str(pass_name, "pass name")
+    if len(program.constants) > _U16_MAX:
+        raise EncodeError("too many prepack constants to encode")
+    out += struct.pack("<H", len(program.constants))
+    for kind, layer, param in program.constants:
+        out += _short_str(kind, "constant kind")
+        if not 0 <= int(layer) <= _U32_MAX:
+            raise EncodeError(f"constant layer {layer} out of u32 range")
+        out += struct.pack("<Id", int(layer), float(param))
     if len(program.instructions) > _U32_MAX:
         raise EncodeError("too many instructions to encode")
     out += struct.pack("<I", len(program.instructions))
@@ -129,6 +168,11 @@ def encode(program: Program) -> bytes:
         out += struct.pack("<Q", instr.ops)
         out += _short_str(instr.ltype, f"{where} ltype")
         out += _short_str(instr.name, f"{where} name")
+        if not _I32_MIN <= instr.layer <= _I32_MAX:
+            raise EncodeError(f"{where}: layer index out of i32 range")
+        out += struct.pack("<iB", instr.layer, instr.part)
+        out += _slot_list(instr.fused_layers, f"{where} fused_layers")
+        out += _slot_list(instr.releases, f"{where} releases")
     out += struct.pack("<I", zlib.crc32(bytes(out)) & _U32_MAX)
     return bytes(out)
 
@@ -196,6 +240,17 @@ def decode(data: bytes) -> Program:
     cfg_hash = _hash_hex(reader.take(32, "cfg hash"))
     input_shape = reader.unpack("<3I", "input shape")
     output_shape = reader.unpack("<3I", "output shape")
+    (opt_level,) = reader.unpack("<B", "opt level")
+    (n_passes,) = reader.unpack("<B", "pass count")
+    passes = tuple(
+        reader.short_str(f"pass {i} name") for i in range(n_passes)
+    )
+    (n_constants,) = reader.unpack("<H", "constant count")
+    constants = []
+    for i in range(n_constants):
+        kind = reader.short_str(f"constant {i} kind")
+        layer, param = reader.unpack("<Id", f"constant {i}")
+        constants.append((kind, int(layer), float(param)))
     (n_instr,) = reader.unpack("<I", "instruction count")
     instructions: List[Instruction] = []
     for position in range(n_instr):
@@ -213,6 +268,21 @@ def decode(data: bytes) -> Program:
         (ops,) = reader.unpack("<Q", f"{what} ops")
         ltype = reader.short_str(f"{what} ltype")
         name = reader.short_str(f"{what} name")
+        layer, part = reader.unpack("<iB", f"{what} layer/part")
+        if layer < -1:
+            raise DecodeError(f"{what}: layer index {layer} out of range")
+        if part not in PART_VALUES:
+            raise DecodeError(f"{what}: unknown instruction part {part}")
+        (n_fused,) = reader.unpack("<B", f"{what} fused count")
+        fused_layers = tuple(
+            reader.unpack("<I", f"{what} fused layer")[0]
+            for _ in range(n_fused)
+        )
+        (n_releases,) = reader.unpack("<B", f"{what} release count")
+        releases = tuple(
+            reader.unpack("<I", f"{what} release slot")[0]
+            for _ in range(n_releases)
+        )
         instructions.append(
             Instruction(
                 opcode=opcode,
@@ -223,6 +293,10 @@ def decode(data: bytes) -> Program:
                 ops=ops,
                 name=name,
                 ltype=ltype,
+                layer=layer,
+                part=part,
+                fused_layers=fused_layers,
+                releases=releases,
             )
         )
     if reader.offset != len(body):
@@ -238,6 +312,9 @@ def decode(data: bytes) -> Program:
         output_shape=output_shape,
         instructions=tuple(instructions),
         version=version,
+        opt_level=opt_level,
+        passes=passes,
+        constants=tuple(constants),
     )
 
 

@@ -23,14 +23,17 @@ import hashlib
 from typing import List, Optional
 
 from repro.core.resources import FABRIC
-from repro.engine.plan import ExecutionPlan, PlanStep
+from repro.engine.plan import INPUT, ExecutionPlan, PlanStep
 from repro.isa.ops import (
+    FUSED,
     INPUT_SLOT,
     LOAD_INPUT,
     LTYPE_TO_OPCODE,
     OFFLOAD,
+    PART_WHOLE,
     RELEASE,
     STORE_OUTPUT,
+    THRESHOLD,
     BindError,
     Instruction,
     LoweringError,
@@ -99,6 +102,7 @@ def lower_plan(
                 ops=int(step.ops),
                 name=step.name,
                 ltype=step.ltype,
+                layer=step.index,
             )
         )
         for victim in plan.release_after.get(step.index, ()):
@@ -169,22 +173,44 @@ def bind(program: Program, network, check_hashes: bool = True) -> List:
         if not instr.is_compute:
             bound.append(None)
             continue
-        index = instr.dest - 1
+        if instr.opcode == FUSED:
+            bound.append(_bind_fused(instr, layers))
+            continue
+        # Binding goes through the layer field when the optimizer set it;
+        # legacy streams fall back to the slot = index + 1 convention.
+        index = instr.layer if instr.layer >= 0 else instr.dest - 1
         if not 0 <= index < len(layers):
             raise BindError(
-                f"instruction '{instr.mnemonic}' writes slot {instr.dest} "
+                f"instruction '{instr.mnemonic}' executes layer {index} "
                 f"but the network has only {len(layers)} layers"
             )
         layer = layers[index]
-        expected = LTYPE_TO_OPCODE.get(
-            layer.ltype,
-            OFFLOAD if getattr(layer, "resource", None) == FABRIC else None,
-        )
-        if expected != instr.opcode:
-            raise BindError(
-                f"slot {instr.dest}: program says {instr.mnemonic} but "
-                f"layer {index} is [{layer.ltype}]"
+        if instr.opcode == THRESHOLD:
+            # The requantization half of a split epilogue: the layer must
+            # actually carry a quantized output, and the instruction must
+            # name which half it applies.
+            if getattr(layer, "out_quant", None) is None:
+                raise BindError(
+                    f"slot {instr.dest}: THRESHOLD binds to layer {index} "
+                    f"[{layer.ltype}], which has no output quantizer"
+                )
+            if instr.part == PART_WHOLE:
+                raise BindError(
+                    f"slot {instr.dest}: THRESHOLD carries no epilogue "
+                    f"part"
+                )
+        else:
+            expected = LTYPE_TO_OPCODE.get(
+                layer.ltype,
+                OFFLOAD
+                if getattr(layer, "resource", None) == FABRIC
+                else None,
             )
+            if expected != instr.opcode:
+                raise BindError(
+                    f"slot {instr.dest}: program says {instr.mnemonic} but "
+                    f"layer {index} is [{layer.ltype}]"
+                )
         if tuple(layer.out_shape) != tuple(instr.shape):
             raise BindError(
                 f"slot {instr.dest}: program declares shape "
@@ -193,6 +219,38 @@ def bind(program: Program, network, check_hashes: bool = True) -> List:
             )
         bound.append(layer)
     return bound
+
+
+def _bind_fused(instr: Instruction, layers: List):
+    """A :class:`~repro.engine.fused.FusedChain` for a FUSED instruction."""
+    from repro.engine.fused import FusedChain
+
+    if len(instr.fused_layers) < 2:
+        raise BindError(
+            f"slot {instr.dest}: FUSED names {len(instr.fused_layers)} "
+            f"constituent layer(s); at least two required"
+        )
+    members = []
+    for index in instr.fused_layers:
+        if not 0 <= index < len(layers):
+            raise BindError(
+                f"slot {instr.dest}: FUSED references layer {index} but "
+                f"the network has only {len(layers)} layers"
+            )
+        members.append(layers[index])
+    chain = FusedChain(members)
+    if instr.ltype and chain.ltype != instr.ltype:
+        raise BindError(
+            f"slot {instr.dest}: FUSED declares [{instr.ltype}] but the "
+            f"named layers form [{chain.ltype}]"
+        )
+    if tuple(chain.out_shape) != tuple(instr.shape):
+        raise BindError(
+            f"slot {instr.dest}: program declares shape "
+            f"{tuple(instr.shape)} but the fused chain produces "
+            f"{tuple(chain.out_shape)}"
+        )
+    return chain
 
 
 def plan_from_program(program: Program, network) -> ExecutionPlan:
@@ -204,10 +262,31 @@ def plan_from_program(program: Program, network) -> ExecutionPlan:
     corrupted or hand-edited stream shows up as findings, not as silent
     divergence at run time.
     """
+    for instr in program.instructions:
+        if instr.releases or (
+            instr.is_compute
+            and (
+                instr.part != PART_WHOLE
+                or instr.opcode in (THRESHOLD, FUSED)
+            )
+        ):
+            raise LoweringError(
+                "optimized programs (split epilogues, FUSED chains, "
+                "embedded releases) have no ExecutionPlan form; execute "
+                "them with PlanVM"
+            )
     bound = bind(program, network)
     steps: List[PlanStep] = []
     release_after = {}
     last_compute: Optional[int] = None
+    # Map each producing slot to its plan buffer id (the layer index),
+    # so frontend-numbered slots reconstruct correct dataflow edges.
+    slot_buffer = {INPUT_SLOT: INPUT}
+    for instr in program.instructions:
+        if instr.is_compute:
+            slot_buffer[instr.dest] = (
+                instr.layer if instr.layer >= 0 else instr.dest - 1
+            )
     for instr, layer in zip(program.instructions, bound):
         if instr.opcode == RELEASE and last_compute is not None:
             release_after.setdefault(last_compute, []).append(
@@ -215,7 +294,7 @@ def plan_from_program(program: Program, network) -> ExecutionPlan:
             )
         if not instr.is_compute:
             continue
-        index = instr.dest - 1
+        index = instr.layer if instr.layer >= 0 else instr.dest - 1
         last_compute = index
         steps.append(
             PlanStep(
@@ -223,7 +302,7 @@ def plan_from_program(program: Program, network) -> ExecutionPlan:
                 ltype=instr.ltype,
                 name=instr.name,
                 resource=instr.resource,
-                inputs=tuple(s - 1 for s in instr.srcs),
+                inputs=tuple(slot_buffer[s] for s in instr.srcs),
                 out_shape=tuple(instr.shape),
                 ops=int(instr.ops),
                 layer=layer,

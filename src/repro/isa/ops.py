@@ -23,11 +23,21 @@ execution order:
   :class:`~repro.engine.arena.Arena` exactly where the executor would;
 * ``STORE_OUTPUT`` names the slot whose contents are the program result.
 
-``PACK`` and ``THRESHOLD`` are reserved for the fused-epilogue lowering
-of the plan-optimizing passes (bit-packing and threshold activations as
-standalone stream ops); the current lowering never emits them, but
-encoders, decoders and the disassembler handle them so version 1
-artifacts stay forward-compatible with that split.
+Format version 2 adds the optimizing compiler's vocabulary
+(:mod:`repro.isa.compiler` / :mod:`repro.isa.passes`):
+
+* ``THRESHOLD`` — the requantization half of a split layer epilogue,
+  emitted by the frontend and folded back by the ``fold-requant`` pass;
+* ``FUSED`` — a short CPU layer chain (conv→maxpool, gemm→softmax)
+  executed as one instruction by the fused kernel path;
+* per-instruction ``layer``/``part``/``fused_layers`` binding metadata
+  and embedded ``releases`` (the liveness pass's slot death points);
+* per-program ``opt_level``, applied ``passes`` and pre-packed
+  ``constants`` in the header.
+
+``PACK`` remains reserved (bit-packing as a standalone stream op); the
+encoders, decoders and the disassembler handle it so artifacts stay
+forward-compatible with that split.
 """
 
 from __future__ import annotations
@@ -38,8 +48,11 @@ from typing import Dict, Optional, Tuple
 from repro.core.resources import CPU, FABRIC
 
 #: Serialization format version; :func:`repro.isa.encode.decode` refuses
-#: any other value (cross-version headers never half-load).
-FORMAT_VERSION = 1
+#: any other value (cross-version headers never half-load).  Version 2
+#: added the optimizer metadata: instruction ``layer``/``part``/
+#: ``fused_layers``/``releases`` fields, the ``FUSED`` opcode, and the
+#: ``opt_level``/``passes``/``constants`` header records.
+FORMAT_VERSION = 2
 
 #: The network input's slot id (plan buffer ``INPUT`` maps here).
 INPUT_SLOT = 0
@@ -58,6 +71,7 @@ RELEASE = 0x09
 STORE_OUTPUT = 0x0A
 REGION = 0x0B
 SOFTMAX = 0x0C
+FUSED = 0x0D
 
 #: Opcode -> mnemonic, the disassembler's vocabulary.
 OPCODE_NAMES: Dict[int, str] = {
@@ -73,7 +87,28 @@ OPCODE_NAMES: Dict[int, str] = {
     STORE_OUTPUT: "STORE_OUTPUT",
     REGION: "REGION",
     SOFTMAX: "SOFTMAX",
+    FUSED: "FUSED",
 }
+
+# -- instruction parts (the requantization split) ----------------------------
+#
+# A layer with a quantized output can be split into a raw compute half and
+# a standalone requantization ``THRESHOLD`` instruction.  ``part`` names
+# which half an instruction executes; the split is only emitted where the
+# compiler can statically prove both halves compose bit-identically to the
+# whole layer (see :mod:`repro.isa.compiler`).
+
+#: The whole layer (the only part value of unsplit instructions).
+PART_WHOLE = 0
+#: Integer-accumulator half: the raw conv accumulator of the exact
+#: threshold epilogue (paired ``THRESHOLD`` applies the thresholds).
+PART_ACC = 1
+#: Float pre-quantization half: conv + BN/bias + activation (paired
+#: ``THRESHOLD`` applies the output quantizer's ``to_levels``).
+PART_PRE = 2
+
+#: All valid ``Instruction.part`` values.
+PART_VALUES = frozenset((PART_WHOLE, PART_ACC, PART_PRE))
 
 #: Mnemonic -> opcode (assembler direction).
 NAME_TO_OPCODE: Dict[str, int] = {
@@ -136,6 +171,22 @@ class Instruction:
     the frame shape of ``dest``; ``ops`` the per-frame operation count
     (Table I accounting); ``name``/``ltype`` echo the plan step so VM
     instrumentation rows line up with the executor's.
+
+    Optimizer metadata (format version 2):
+
+    * ``layer`` — index of the network layer this instruction executes
+      (``-1`` for pseudo-ops and for ``FUSED`` instructions, whose
+      constituents live in ``fused_layers``); slot numbering is free to
+      diverge from layer order once passes rewrite the stream, so
+      binding goes through this field, falling back to the legacy
+      ``dest - 1`` convention when unset.
+    * ``part`` — which half of a split requantization epilogue this
+      instruction runs (:data:`PART_WHOLE`/:data:`PART_ACC`/
+      :data:`PART_PRE`).
+    * ``fused_layers`` — the constituent layer indices of a ``FUSED``
+      chain, in execution order.
+    * ``releases`` — slots whose backing buffers die right after this
+      instruction (the liveness pass's embedded form of ``RELEASE``).
     """
 
     opcode: int
@@ -146,6 +197,10 @@ class Instruction:
     ops: int = 0
     name: str = ""
     ltype: str = ""
+    layer: int = -1
+    part: int = PART_WHOLE
+    fused_layers: Tuple[int, ...] = ()
+    releases: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.opcode not in OPCODE_NAMES:
@@ -154,6 +209,14 @@ class Instruction:
             raise ValueError(f"unknown resource {self.resource!r}")
         if self.dest < 0 or any(s < 0 for s in self.srcs):
             raise ValueError("slot ids are non-negative")
+        if self.layer < -1:
+            raise ValueError("layer index is -1 (unbound) or non-negative")
+        if self.part not in PART_VALUES:
+            raise ValueError(f"unknown instruction part {self.part}")
+        if any(l < 0 for l in self.fused_layers):
+            raise ValueError("fused layer indices are non-negative")
+        if any(s < 0 for s in self.releases):
+            raise ValueError("released slot ids are non-negative")
 
     @property
     def mnemonic(self) -> str:
@@ -172,6 +235,11 @@ class Program:
     program only binds to a network whose loaded weights and serialized
     cfg hash to the same digests (empty digests skip the check — used by
     structural tests that never execute).
+
+    ``opt_level`` and ``passes`` record how the optimizer produced the
+    stream (``-O0`` is the raw frontend output); ``constants`` are the
+    pre-pack records ``(kind, layer, param)`` the VM warms at bind time
+    so a cached artifact starts with hot weight/threshold caches.
     """
 
     network_name: str
@@ -181,6 +249,9 @@ class Program:
     output_shape: Tuple[int, int, int]
     instructions: Tuple[Instruction, ...]
     version: int = FORMAT_VERSION
+    opt_level: int = 0
+    passes: Tuple[str, ...] = ()
+    constants: Tuple[Tuple[str, int, float], ...] = ()
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -219,6 +290,11 @@ __all__ = [
     "STORE_OUTPUT",
     "REGION",
     "SOFTMAX",
+    "FUSED",
+    "PART_WHOLE",
+    "PART_ACC",
+    "PART_PRE",
+    "PART_VALUES",
     "OPCODE_NAMES",
     "NAME_TO_OPCODE",
     "COMPUTE_OPCODES",

@@ -1,0 +1,75 @@
+"""repro.isa.passes — the optimizer's pass catalog and PassManager.
+
+Five passes over :class:`~repro.isa.ops.Program` streams, registered on
+the shared default manager:
+
+* ``fold-requant`` — merge split requantization epilogues back into
+  their producing GEMM/CONV (:mod:`repro.isa.passes.requant`);
+* ``fuse-chains`` — collapse sole-consumer conv→maxpool / gemm→softmax
+  pairs into ``FUSED`` instructions (:mod:`repro.isa.passes.fuse`);
+* ``overlap`` — schedule independent CPU work into FABRIC offload
+  shadows (:mod:`repro.isa.passes.overlap`);
+* ``liveness`` — dead-code elimination plus embedded slot release
+  points (:mod:`repro.isa.passes.liveness`);
+* ``prepack`` — record weight/threshold cache warming constants
+  (:mod:`repro.isa.passes.prepack`).
+
+:data:`PIPELINES` maps the ``-O`` levels to ordered pass name tuples;
+the ordering is load-bearing: requantization folds restore whole-layer
+instructions so chains fuse; overlap reorders the release-free stream;
+liveness then recomputes death points for the final schedule; prepack
+records constants for exactly the layers the final stream references.
+
+See ``docs/COMPILER.md`` for the worked catalog.
+"""
+
+from __future__ import annotations
+
+from repro.isa.passes.fuse import FUSABLE, fuse_chains
+from repro.isa.passes.liveness import liveness
+from repro.isa.passes.manager import (
+    PassError,
+    PassFn,
+    PassManager,
+    PassStats,
+    peak_live_elements,
+)
+from repro.isa.passes.overlap import overlap
+from repro.isa.passes.prepack import prepack, static_quant_states
+from repro.isa.passes.requant import fold_requant
+
+#: Optimization level -> ordered pass names (the ``-O{0,1,2}`` contract).
+PIPELINES = {
+    0: (),
+    1: ("fold-requant", "liveness"),
+    2: ("fold-requant", "fuse-chains", "overlap", "liveness", "prepack"),
+}
+
+
+def default_manager() -> PassManager:
+    """A fresh manager with the full catalog registered, in pass order."""
+    manager = PassManager()
+    manager.register("fold-requant", fold_requant)
+    manager.register("fuse-chains", fuse_chains)
+    manager.register("overlap", overlap)
+    manager.register("liveness", liveness)
+    manager.register("prepack", prepack)
+    return manager
+
+
+__all__ = [
+    "FUSABLE",
+    "PIPELINES",
+    "PassError",
+    "PassFn",
+    "PassManager",
+    "PassStats",
+    "default_manager",
+    "fold_requant",
+    "fuse_chains",
+    "liveness",
+    "overlap",
+    "peak_live_elements",
+    "prepack",
+    "static_quant_states",
+]

@@ -1,0 +1,106 @@
+"""``fuse-chains`` — collapse sole-consumer CPU layer pairs into ``FUSED``.
+
+A producer whose output has exactly one reader and whose (opcode,
+consumer-opcode) pair is in :data:`FUSABLE` becomes one ``FUSED``
+instruction carrying both layer indices; at bind time the pair turns
+into a :class:`repro.engine.fused.FusedChain`, whose conv→maxpool form
+runs the chunk-resident fused kernel.  Legality is structural:
+
+* conv→maxpool — pooling commutes with the (monotone) quantization
+  scale, and the chain simply runs both layers' own batched kernels, so
+  the fused result is the unfused result element for element;
+* gemm→softmax / conv→softmax — the classifier heads of MLP-4/CNV-6;
+  softmax consumes the whole map, so fusing removes the only copy of the
+  logits from the slot schedule.
+
+Only ``PART_WHOLE`` instructions fuse (split epilogues must be folded
+first — the pipeline orders ``fold-requant`` before this pass), and
+``FUSED`` results never re-fuse into longer chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.resources import CPU
+from repro.isa.ops import (
+    CONV,
+    FUSED,
+    GEMM,
+    MAXPOOL,
+    PART_WHOLE,
+    SOFTMAX,
+    Instruction,
+    Program,
+)
+
+#: (producer opcode, consumer opcode) pairs eligible for fusion.
+FUSABLE = frozenset(
+    ((CONV, MAXPOOL), (GEMM, SOFTMAX), (CONV, SOFTMAX))
+)
+
+
+def fuse_chains(program: Program, network=None) -> Tuple[Program, str]:
+    instructions = list(program.instructions)
+    out_slot = program.output_slot()
+    consumers: Dict[int, List[int]] = {}
+    for position, instr in enumerate(instructions):
+        for src in instr.srcs:
+            consumers.setdefault(src, []).append(position)
+    fused = 0
+    skip = set()
+    result = []
+    for position, first in enumerate(instructions):
+        if position in skip:
+            continue
+        if (
+            first.is_compute
+            and first.resource == CPU
+            and first.part == PART_WHOLE
+            and first.layer >= 0
+            and first.dest != out_slot
+        ):
+            users = consumers.get(first.dest, [])
+            if len(users) == 1:
+                second = instructions[users[0]]
+                if (
+                    second.is_compute
+                    and second.resource == CPU
+                    and second.part == PART_WHOLE
+                    and second.layer >= 0
+                    and second.srcs == (first.dest,)
+                    and (first.opcode, second.opcode) in FUSABLE
+                ):
+                    releases = tuple(
+                        slot
+                        for slot in first.releases + second.releases
+                        if slot != first.dest
+                    )
+                    result.append(
+                        Instruction(
+                            opcode=FUSED,
+                            dest=second.dest,
+                            srcs=first.srcs,
+                            resource=CPU,
+                            shape=second.shape,
+                            ops=first.ops + second.ops,
+                            name=f"{first.name}+{second.ltype}",
+                            ltype=f"{first.ltype}+{second.ltype}",
+                            fused_layers=(first.layer, second.layer),
+                            releases=releases,
+                        )
+                    )
+                    skip.add(users[0])
+                    fused += 1
+                    continue
+        result.append(first)
+    if not fused:
+        return program, "no fusable chains"
+    return (
+        replace(program, instructions=tuple(result)),
+        f"fused {fused} layer pair(s)",
+    )
+
+
+__all__ = ["FUSABLE", "fuse_chains"]

@@ -1,0 +1,179 @@
+"""PassManager — registration, ordered pipelines, per-pass stats.
+
+A pass is a pure function ``(program, network) -> (program, detail)``:
+it never mutates its input (``Program``/``Instruction`` are frozen), and
+*network* may be ``None`` for passes that work on the stream alone.  The
+manager wraps every invocation with before/after accounting
+(:class:`PassStats`) and — unless verification is disabled — re-runs the
+slot-liveness verifier on each intermediate program, so a buggy rewrite
+dies at compile time as a :class:`PassError`, never as silent divergence
+at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.ops import (
+    LOAD_INPUT,
+    RELEASE,
+    IsaError,
+    Program,
+)
+
+#: A pass: ``(program, network_or_None) -> (new_program, detail_text)``.
+PassFn = Callable[[Program, Optional[object]], Tuple[Program, str]]
+
+
+class PassError(IsaError):
+    """A pass produced an invalid program (or an unknown pass was named)."""
+
+
+def _elements(shape) -> int:
+    n = 1
+    for v in shape:
+        n *= int(v)
+    return n
+
+
+def peak_live_elements(program: Program) -> int:
+    """High-water live slot elements per frame, embedded releases honored.
+
+    The Program-level twin of :meth:`repro.engine.plan.ExecutionPlan.
+    peak_live_bytes` (in elements, allocator-agnostic): walk the stream,
+    a slot goes live at its def and dies at its ``RELEASE`` instruction
+    or embedded release point.  This is the metric the optimizer's
+    liveness pass must strictly improve on every network.
+    """
+    live: Dict[int, int] = {}
+    peak = 0
+    for instr in program.instructions:
+        if instr.opcode == LOAD_INPUT:
+            live[instr.dest] = _elements(
+                instr.shape if any(instr.shape) else program.input_shape
+            )
+        elif instr.opcode == RELEASE:
+            live.pop(instr.dest, None)
+            continue
+        elif instr.is_compute:
+            live[instr.dest] = _elements(instr.shape)
+        else:  # STORE_OUTPUT
+            continue
+        peak = max(peak, sum(live.values()))
+        for victim in instr.releases:
+            live.pop(victim, None)
+    return peak
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """Before/after accounting of one pass invocation."""
+
+    name: str
+    before_instructions: int
+    after_instructions: int
+    before_peak_live_elements: int
+    after_peak_live_elements: int
+    changed: bool
+    detail: str = ""
+
+    def summary(self) -> str:
+        mark = "*" if self.changed else " "
+        text = (
+            f"{mark} {self.name:<14s} "
+            f"instrs {self.before_instructions:>3d} -> "
+            f"{self.after_instructions:<3d}  "
+            f"peak {self.before_peak_live_elements:>9d} -> "
+            f"{self.after_peak_live_elements:<9d}"
+        )
+        if self.detail:
+            text += f"  ({self.detail})"
+        return text
+
+
+class PassManager:
+    """Owns pass registration and ordered pipeline execution."""
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, PassFn] = {}
+
+    def register(self, name: str, fn: PassFn) -> None:
+        if name in self._registry:
+            raise ValueError(f"pass '{name}' is already registered")
+        self._registry[name] = fn
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._registry)
+
+    def run_one(
+        self,
+        program: Program,
+        name: str,
+        network=None,
+        verify: bool = True,
+    ) -> Tuple[Program, PassStats]:
+        """Run one registered pass; verify the result unless told not to."""
+        fn = self._registry.get(name)
+        if fn is None:
+            raise PassError(
+                f"unknown pass '{name}' (registered: {sorted(self._registry)})"
+            )
+        before_instructions = len(program)
+        before_peak = peak_live_elements(program)
+        result = fn(program, network)
+        if not (isinstance(result, tuple) and len(result) == 2):
+            raise PassError(
+                f"pass '{name}' must return (program, detail), got "
+                f"{type(result).__name__}"
+            )
+        out, detail = result
+        if verify:
+            self._verify(out, name)
+        stats = PassStats(
+            name=name,
+            before_instructions=before_instructions,
+            after_instructions=len(out),
+            before_peak_live_elements=before_peak,
+            after_peak_live_elements=peak_live_elements(out),
+            changed=out != program,
+            detail=str(detail),
+        )
+        return out, stats
+
+    def run(
+        self,
+        program: Program,
+        names: Sequence[str],
+        network=None,
+        verify: bool = True,
+    ) -> Tuple[Program, List[PassStats]]:
+        """Run *names* in order, accumulating per-pass stats."""
+        stats: List[PassStats] = []
+        for name in names:
+            program, one = self.run_one(
+                program, name, network=network, verify=verify
+            )
+            stats.append(one)
+        return program, stats
+
+    @staticmethod
+    def _verify(program: Program, name: str) -> None:
+        # Function-level import: repro.analyze depends on repro.isa.ops,
+        # so the passes package must not import it at module scope.
+        from repro.analyze.findings import ERROR
+        from repro.analyze.isa import verify_program
+
+        errors = [
+            f for f in verify_program(program) if f.severity == ERROR
+        ]
+        if errors:
+            listing = "; ".join(
+                f"{f.rule} {f.where}: {f.message}" for f in errors[:4]
+            )
+            raise PassError(
+                f"pass '{name}' produced an invalid program: {listing}"
+            )
+
+
+__all__ = ["PassError", "PassFn", "PassManager", "PassStats", "peak_live_elements"]

@@ -1,0 +1,108 @@
+"""``overlap`` — schedule CPU work into FABRIC offload shadows.
+
+The plan has exactly one fabric resource; while an ``OFFLOAD`` span
+occupies it, any CPU instruction whose operands are already available
+can run on the host.  This pass performs dependency-preserving list
+scheduling: issue each FABRIC instruction as early as its operands
+allow, then prefer ready CPU instructions that do **not** consume the
+pending offload's result — those overlap the offload span instead of
+blocking on it.  Ties break on original position, so the schedule is
+deterministic and a pure chain (every instruction feeding the next) is
+provably left untouched.
+
+The pass runs on a release-free stream (before ``liveness`` in the
+pipeline); a stream already carrying liveness is returned unchanged
+rather than risking a stale release schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.resources import FABRIC
+from repro.isa.ops import LOAD_INPUT, RELEASE, STORE_OUTPUT, Program
+
+
+def overlap(program: Program, network=None) -> Tuple[Program, str]:
+    instructions = list(program.instructions)
+    if any(
+        instr.opcode == RELEASE or instr.releases for instr in instructions
+    ):
+        return program, "skipped: stream already carries liveness"
+    count = len(instructions)
+    producer: Dict[int, int] = {}
+    for position, instr in enumerate(instructions):
+        if instr.opcode == LOAD_INPUT or instr.is_compute:
+            producer[instr.dest] = position
+
+    dependencies: List[Set[int]] = [set() for _ in range(count)]
+    previous_fabric = None
+    load_position = None
+    for position, instr in enumerate(instructions):
+        if instr.opcode == LOAD_INPUT:
+            load_position = position
+            continue
+        if load_position is not None:
+            dependencies[position].add(load_position)
+        if instr.opcode == STORE_OUTPUT:
+            # The terminator: everything issues before it.
+            dependencies[position].update(range(position))
+            continue
+        for src in instr.srcs:
+            dependencies[position].add(producer[src])
+        if instr.resource == FABRIC:
+            # One fabric engine: offload spans stay in program order.
+            if previous_fabric is not None:
+                dependencies[position].add(previous_fabric)
+            previous_fabric = position
+
+    issued: List[int] = []
+    done: Set[int] = set()
+    pending_fabric_dest = None
+    while len(issued) < count:
+        ready = [
+            position
+            for position in range(count)
+            if position not in done and dependencies[position] <= done
+        ]
+        fabric_ready = [
+            p for p in ready if instructions[p].resource == FABRIC
+        ]
+        if fabric_ready:
+            choice = min(fabric_ready)
+            pending_fabric_dest = instructions[choice].dest
+        else:
+            # Prefer CPU work that overlaps the pending offload span.
+            choice = min(
+                ready,
+                key=lambda p: (
+                    pending_fabric_dest is not None
+                    and pending_fabric_dest in instructions[p].srcs,
+                    p,
+                ),
+            )
+            if (
+                pending_fabric_dest is not None
+                and pending_fabric_dest in instructions[choice].srcs
+            ):
+                pending_fabric_dest = None
+        issued.append(choice)
+        done.add(choice)
+
+    moved = sum(
+        1 for slot, original in enumerate(issued) if slot != original
+    )
+    if not moved:
+        return program, "no reorderable work around offload spans"
+    from dataclasses import replace
+
+    return (
+        replace(
+            program,
+            instructions=tuple(instructions[p] for p in issued),
+        ),
+        f"moved {moved} instruction(s) to overlap offload spans",
+    )
+
+
+__all__ = ["overlap"]

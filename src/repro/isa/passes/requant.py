@@ -1,0 +1,77 @@
+"""``fold-requant`` — merge a split requantization back into its GEMM.
+
+The frontend splits eligible layers into a raw compute half plus a
+standalone ``THRESHOLD`` instruction (so the epilogue is independently
+schedulable and analyzable); this pass performs the inverse rewrite
+wherever the split buys nothing — the threshold is the accumulator's
+sole consumer — folding the requantization back into the producing
+``CONV``/``GEMM``'s epilogue.  The folded instruction executes the
+layer's whole fused forward path, which is bit-identical to the two-half
+composition by the split construction (see
+:mod:`repro.nn.layers.convolutional`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.isa.ops import PART_WHOLE, THRESHOLD, Program
+
+
+def fold_requant(program: Program, network=None) -> Tuple[Program, str]:
+    instructions = list(program.instructions)
+    out_slot = program.output_slot()
+    consumers: Dict[int, List[int]] = {}
+    for position, instr in enumerate(instructions):
+        for src in instr.srcs:
+            consumers.setdefault(src, []).append(position)
+    folded = 0
+    skip = set()
+    result = []
+    for position, instr in enumerate(instructions):
+        if position in skip:
+            continue
+        if (
+            instr.is_compute
+            and instr.opcode != THRESHOLD
+            and instr.part != PART_WHOLE
+            and instr.dest != out_slot
+        ):
+            users = consumers.get(instr.dest, [])
+            if len(users) == 1:
+                threshold = instructions[users[0]]
+                if (
+                    threshold.opcode == THRESHOLD
+                    and threshold.part == instr.part
+                    and threshold.layer == instr.layer
+                    and threshold.srcs == (instr.dest,)
+                ):
+                    releases = tuple(
+                        slot
+                        for slot in instr.releases + threshold.releases
+                        if slot != instr.dest
+                    )
+                    result.append(
+                        replace(
+                            instr,
+                            dest=threshold.dest,
+                            shape=threshold.shape,
+                            ops=instr.ops + threshold.ops,
+                            part=PART_WHOLE,
+                            releases=releases,
+                        )
+                    )
+                    skip.add(users[0])
+                    folded += 1
+                    continue
+        result.append(instr)
+    if not folded:
+        return program, "no split epilogues to fold"
+    return (
+        replace(program, instructions=tuple(result)),
+        f"folded {folded} requantization epilogue(s)",
+    )
+
+
+__all__ = ["fold_requant"]

@@ -34,8 +34,11 @@ from repro.engine.executor import (
 )
 from repro.isa.ops import (
     LOAD_INPUT,
+    PART_ACC,
+    PART_PRE,
     RELEASE,
     STORE_OUTPUT,
+    THRESHOLD,
     BindError,
     Program,
 )
@@ -75,9 +78,60 @@ class PlanVM:
         self.on_step = on_step
         self.last_report: Optional[ExecutionReport] = None
         self._layers = bind(program, network, check_hashes=check_hashes)
+        self._calls = [
+            self._executable(instr, layer)
+            for instr, layer in zip(program.instructions, self._layers)
+        ]
         self._arenas = ArenaPool()
         if program.output_slot() is None:
             raise BindError("program has no STORE_OUTPUT instruction")
+        self._warm_constants(network)
+
+    @staticmethod
+    def _executable(instr, layer):
+        """The CPU callable for a compute instruction (None otherwise).
+
+        Split-epilogue instructions dispatch to the layer's half entry
+        points; whole instructions (including bound ``FUSED`` chains)
+        run the standard ``run_batch``.  FABRIC instructions route
+        through :func:`run_fabric_step` in :meth:`run` instead.
+        """
+        if not instr.is_compute or instr.resource == FABRIC:
+            return None
+        if instr.opcode == THRESHOLD:
+            if instr.part == PART_ACC:
+                return lambda inputs: layer.forward_batch_thresholds(
+                    inputs[0]
+                )
+            return lambda inputs: layer.forward_batch_to_levels(inputs[0])
+        if instr.part == PART_ACC:
+            return lambda inputs: layer.forward_batch_acc(inputs[0])
+        if instr.part == PART_PRE:
+            return lambda inputs: layer.forward_batch_pre(inputs[0])
+        return layer.run_batch
+
+    def _warm_constants(self, network) -> None:
+        """Replay the artifact's pre-pack constants (hot caches at bind).
+
+        Unknown kinds are ignored for forward compatibility; a constant
+        naming a layer outside the network is a binding error.
+        """
+        if not self.program.constants:
+            return
+        layers = list(network.layers)
+        for kind, index, param in self.program.constants:
+            if not 0 <= index < len(layers):
+                raise BindError(
+                    f"constant ({kind!r}, {index}) references a layer the "
+                    f"network does not have ({len(layers)} layers)"
+                )
+            layer = layers[index]
+            if kind == "weights" and hasattr(layer, "effective_weights"):
+                layer.effective_weights()
+            elif kind == "thresholds" and hasattr(
+                layer, "_thresholds_for"
+            ):
+                layer._thresholds_for(param)
 
     @property
     def uses_fabric(self) -> bool:
@@ -127,7 +181,9 @@ class PlanVM:
         arena.begin_run()
         run_start = time.perf_counter()
         with workspace.install(arena):
-            for instr, layer in zip(program.instructions, self._layers):
+            for instr, layer, call in zip(
+                program.instructions, self._layers, self._calls
+            ):
                 if instr.opcode == LOAD_INPUT:
                     slots[instr.dest] = fmb
                     live_bytes += fmb.data.nbytes
@@ -158,15 +214,21 @@ class PlanVM:
                         fabric_mode,
                     )
                 else:
-                    out = layer.run_batch(inputs)
+                    out = call(inputs)
                 wall = time.perf_counter() - start
                 slots[instr.dest] = out
                 live_bytes += out.data.nbytes
                 report.peak_live_bytes = max(
                     report.peak_live_bytes, live_bytes
                 )
+                if instr.fused_layers:
+                    step_index = instr.fused_layers[-1]
+                elif instr.layer >= 0:
+                    step_index = instr.layer
+                else:
+                    step_index = instr.dest - 1
                 stats = StepStats(
-                    index=instr.dest - 1,
+                    index=step_index,
                     name=instr.name,
                     ltype=instr.ltype,
                     resource=instr.resource,
@@ -178,6 +240,17 @@ class PlanVM:
                 report.steps.append(stats)
                 if self.on_step is not None:
                     self.on_step(stats)
+                # Embedded release points: the liveness pass's slot death
+                # schedule, executed exactly like standalone RELEASEs.
+                for victim in instr.releases:
+                    dead = slots.pop(victim, None)
+                    if dead is not None:
+                        live_bytes -= dead.data.nbytes
+                        if victim != 0:
+                            arena.release(
+                                dead.data,
+                                guard=[b.data for b in slots.values()],
+                            )
         report.wall_s = time.perf_counter() - run_start
         report.arena = arena.stats()
         self.last_report = report

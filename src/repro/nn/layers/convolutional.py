@@ -249,6 +249,90 @@ class ConvolutionalLayer(Layer):
         self._threshold_cache = (float(in_scale), params, thr)
         return thr
 
+    def threshold_epilogue_eligible(self) -> bool:
+        """Static mirror of :meth:`_thresholds_for`'s admissibility checks.
+
+        True iff the layer's *configuration* guarantees the exact integer
+        threshold epilogue exists for any quantized input: binary weights,
+        a quantized output, an admissible activation, and accumulators
+        provably below the float32 exact-integer bound.  The compiler uses
+        this to decide whether the runtime will always take the integer
+        path (and hence whether the epilogue can be split off as a
+        standalone ``THRESHOLD`` instruction).
+        """
+        self._require_initialized()
+        if not self.binary or self.out_quant is None:
+            return False
+        if self.activation not in ("linear", "relu", "leaky"):
+            return False
+        c_in = self.in_shape[0]
+        return c_in * self.size * self.size * 255 < (1 << 24)
+
+    # -- split-epilogue entry points (the compiler's THRESHOLD lowering) ------
+    #
+    # Each pair below is the fused forward path cut at the accumulator /
+    # pre-quantization boundary: the first half runs exactly the code the
+    # fused path runs up to the cut, the second half exactly the code after
+    # it, so (second ∘ first) is bit-identical to the whole layer by
+    # construction.  The compiler only emits the ``acc`` pair where the
+    # fused path provably takes the integer route (statically-quantized
+    # input + ``threshold_epilogue_eligible``), and the ``pre`` pair where
+    # it provably cannot (config-ineligible thresholds), so the runtime
+    # path *choice* is preserved, not just each path's bits.
+
+    def forward_batch_acc(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Raw integer accumulator half of the exact threshold epilogue.
+
+        The returned batch carries the *input* scale so the paired
+        :meth:`forward_batch_thresholds` re-derives the identical
+        :class:`~repro.core.thresholds.ThresholdActivation`.
+        """
+        self._require_initialized()
+        codes = _narrow_codes(fmb.data)
+        if codes is None:
+            raise ValueError(
+                f"[{self.ltype}] split accumulator needs integer level "
+                f"codes; got dtype {fmb.data.dtype}"
+            )
+        acc = conv2d_batch(
+            codes, self.effective_weights(), None, self.stride, self.pad
+        )
+        if codes is not fmb.data:
+            workspace.release(codes)
+        return FeatureMapBatch(acc, scale=fmb.scale)
+
+    def forward_batch_thresholds(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Threshold half: accumulator -> int32 levels (same per-frame
+        ``thr.apply`` loop as :meth:`_integer_forward`)."""
+        self._require_initialized()
+        thr = self._thresholds_for(fmb.scale)
+        if thr is None:
+            raise ValueError(
+                f"[{self.ltype}] has no exact threshold epilogue for "
+                f"in_scale {fmb.scale}"
+            )
+        acc = fmb.data
+        levels = workspace.empty(acc.shape, np.int32)
+        c = acc.shape[1]
+        for i in range(acc.shape[0]):
+            thr.apply(acc[i].reshape(c, -1), out=levels[i].reshape(c, -1))
+        return FeatureMapBatch(levels, scale=self.out_quant.scale)
+
+    def forward_batch_pre(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Float pre-quantization half: conv + BN/bias + activation."""
+        self._require_initialized()
+        z = self._convolve(fmb.data, fmb.scale, batched=True)
+        z = self._epilogue(z, channel_axis=1)
+        return FeatureMapBatch(z)
+
+    def forward_batch_to_levels(self, fmb: FeatureMapBatch) -> FeatureMapBatch:
+        """Requantization half pairing :meth:`forward_batch_pre`."""
+        self._require_initialized()
+        if self.out_quant is None:
+            raise ValueError(f"[{self.ltype}] has no output quantizer")
+        levels = self.out_quant.to_levels(fmb.data)
+        return FeatureMapBatch(levels, scale=self.out_quant.scale)
+
     def _integer_forward(self, data, scale, batched: bool):
         """Exact integer path: uint8-code GEMM + one threshold pass.
 

@@ -104,6 +104,9 @@ class ServeConfig:
     #: Name under which the network's plan is cached (part of the cache
     #: key next to the cfg and weights hashes).
     plan_cache_name: str = "network"
+    #: ``-O`` level the plan cache compiles at on a miss (also part of the
+    #: cache key, so servers at different levels never share artifacts).
+    plan_opt_level: int = 2
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -128,6 +131,8 @@ class ServeConfig:
             raise ValueError("breaker_threshold must be positive")
         if self.breaker_probe_after_s < 0:
             raise ValueError("breaker_probe_after_s must be non-negative")
+        if self.plan_opt_level not in (0, 1, 2):
+            raise ValueError("plan_opt_level must be 0, 1 or 2")
 
 
 #: How long the batcher thread sleeps waiting for the first request of a
@@ -171,7 +176,9 @@ class InferenceServer:
 
             cache = PlanCache(self.config.plan_cache_dir)
             program, cache_hit = cache.get_or_compile(
-                network, name=self.config.plan_cache_name
+                network,
+                name=self.config.plan_cache_name,
+                opt_level=self.config.plan_opt_level,
             )
             self.executor = PlanVM(program, network, on_step=on_step)
         else:

@@ -1,0 +1,98 @@
+"""PASS-* analyzer rules: clean on the zoo, loud on broken rewrites."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analyze.findings import ERROR
+from repro.analyze.passes import _dataflow_findings, pass_findings
+from repro.isa import frontend
+from repro.isa.ops import STORE_OUTPUT
+from repro.nn import zoo
+from repro.nn.network import Network
+
+ZOO = {
+    "tiny": zoo.tiny_yolo_config,
+    "tincy": zoo.tincy_yolo_config,
+    "mlp4": zoo.mlp4_config,
+    "cnv6": zoo.cnv6_config,
+}
+
+
+def _network(name: str):
+    network = Network(ZOO[name]())
+    network.initialize(np.random.default_rng(0))
+    return network
+
+
+class TestZooIsClean:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_full_pipeline_verifies_on_every_network(self, name):
+        network = _network(name)
+        findings = pass_findings(network, name=name)
+        errors = [f for f in findings if f.severity == ERROR]
+        assert errors == [], [str(f) for f in errors]
+
+
+class TestBrokenProgramsAreCaught:
+    def test_dropped_layer_is_a_dataflow_error(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        instructions = tuple(
+            i
+            for i in program.instructions
+            if not (i.is_compute and i.layer == 1)
+        )
+        broken = replace(program, instructions=instructions)
+        findings = _dataflow_findings(
+            broken, network, "mlp4", "synthetic", frontend_fabric=0
+        )
+        assert any(
+            f.rule == "PASS-DATAFLOW" and "layer 1" in f.message
+            for f in findings
+        )
+
+    def test_duplicated_layer_is_a_dataflow_error(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        first_compute = next(
+            i for i in program.instructions if i.is_compute
+        )
+        broken = replace(
+            program,
+            instructions=program.instructions + (first_compute,),
+        )
+        findings = _dataflow_findings(
+            broken, network, "mlp4", "synthetic", frontend_fabric=0
+        )
+        assert any(f.rule == "PASS-DATAFLOW" for f in findings)
+
+    def test_wrong_output_shape_is_a_dataflow_error(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        broken = replace(program, output_shape=(999, 1, 1))
+        findings = _dataflow_findings(
+            broken, network, "mlp4", "synthetic", frontend_fabric=0
+        )
+        assert any(
+            "output shape" in f.message
+            for f in findings
+            if f.rule == "PASS-DATAFLOW"
+        )
+
+    def test_changed_fabric_count_is_a_dataflow_error(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        findings = _dataflow_findings(
+            program, network, "mlp4", "synthetic", frontend_fabric=3
+        )
+        assert any(
+            "FABRIC instruction count" in f.message for f in findings
+        )
+
+    def test_programs_still_store_an_output(self):
+        # Structural sanity of the helper fixture itself: the frontend
+        # stream the broken variants are derived from ends in a store.
+        program = frontend(_network("mlp4"), name="mlp4")
+        assert program.instructions[-1].opcode == STORE_OUTPUT

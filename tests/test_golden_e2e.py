@@ -162,8 +162,20 @@ class TestGoldenDetections:
         assert program.uses_fabric
         vm_out = list(PlanVM(program, tincy_hybrid).run(batch).frames())[0]
 
-        # One fixture, four paths, byte-equal.
-        for other in (served_out, degraded_out, vm_out):
+        # Path 5: the optimizing compiler at -O2 — fused chains, folded
+        # requantization, embedded liveness — encoded, decoded, and run
+        # in the VM.  Optimization must not perturb a single bit either.
+        from repro.isa.compiler import compile_network
+
+        optimized, _stats = compile_network(
+            tincy_hybrid, name="tincy", level=2
+        )
+        assert optimized.opt_level == 2 and optimized.passes
+        optimized = decode(encode(optimized))
+        o2_out = list(PlanVM(optimized, tincy_hybrid).run(batch).frames())[0]
+
+        # One fixture, five paths, byte-equal.
+        for other in (served_out, degraded_out, vm_out, o2_out):
             assert other.scale == engine_out.scale
             assert np.array_equal(other.data, engine_out.data)
 

@@ -8,7 +8,6 @@ from repro.isa import (
     FORMAT_VERSION,
     PlanCache,
     encode,
-    lower_network,
     plan_cache_key,
     weights_digest,
 )
@@ -42,12 +41,57 @@ class TestCacheKey:
 
 class TestPlanCache:
     def test_miss_compiles_and_stores_then_hits(self, tmp_path, mlp4):
+        from repro.isa import DEFAULT_OPT_LEVEL, compile_network
+
         cache = PlanCache(str(tmp_path / "plans"))
         first, hit1 = cache.get_or_compile(mlp4, name="mlp4")
         second, hit2 = cache.get_or_compile(mlp4, name="mlp4")
         assert (hit1, hit2) == (False, True)
         assert first == second
-        assert encode(first) == encode(lower_network(mlp4, name="mlp4"))
+        expected, _stats = compile_network(
+            mlp4, name="mlp4", level=DEFAULT_OPT_LEVEL
+        )
+        assert encode(first) == encode(expected)
+
+    def test_unoptimized_miss_matches_legacy_lowering(self, tmp_path, mlp4):
+        cache = PlanCache(str(tmp_path / "plans"))
+        program, hit = cache.get_or_compile(mlp4, name="mlp4", opt_level=0)
+        assert not hit
+        assert program.opt_level == 0 and program.passes == ()
+
+    def test_opt_levels_have_distinct_addresses(self, tmp_path, mlp4):
+        cache = PlanCache(str(tmp_path / "plans"))
+        o0, hit0 = cache.get_or_compile(mlp4, name="mlp4", opt_level=0)
+        o2, hit2 = cache.get_or_compile(mlp4, name="mlp4", opt_level=2)
+        # Different levels never collide: the second compile is a miss,
+        # and both artifacts stay loadable side by side afterwards.
+        assert (hit0, hit2) == (False, False)
+        assert o0.opt_level == 0 and o2.opt_level == 2
+        assert cache.get_or_compile(mlp4, name="mlp4", opt_level=0)[1]
+        assert cache.get_or_compile(mlp4, name="mlp4", opt_level=2)[1]
+
+    def test_key_changes_with_opt_level(self):
+        assert plan_cache_key(
+            "n", "ab" * 32, "cd" * 32, opt_level=0
+        ) != plan_cache_key("n", "ab" * 32, "cd" * 32, opt_level=2)
+
+    def test_stale_format_versions_are_evicted_on_miss(self, tmp_path, mlp4):
+        import os
+
+        cache = PlanCache(str(tmp_path))
+        stale = os.path.join(
+            str(tmp_path), f"mlp4-v{FORMAT_VERSION - 1}-deadbeef.rpb"
+        )
+        with open(stale, "wb") as handle:
+            handle.write(b"not a program")
+        other = os.path.join(str(tmp_path), "other-v1-deadbeef.rpb")
+        with open(other, "wb") as handle:
+            handle.write(b"someone else's network")
+        cache.get_or_compile(mlp4, name="mlp4")
+        # The same network's old-version artifact is gone; other
+        # networks' files are not ours to clean up.
+        assert not os.path.exists(stale)
+        assert os.path.exists(other)
 
     def test_weight_change_changes_the_address(self, tmp_path, mlp4):
         cache = PlanCache(str(tmp_path))
@@ -63,7 +107,10 @@ class TestPlanCache:
         cache = PlanCache(str(tmp_path))
         program, _ = cache.get_or_compile(mlp4, name="mlp4")
         key = plan_cache_key(
-            "mlp4", program.weights_sha256, program.cfg_sha256
+            "mlp4",
+            program.weights_sha256,
+            program.cfg_sha256,
+            opt_level=program.opt_level,
         )
         path = cache.path_for(key)
         with open(path, "r+b") as handle:

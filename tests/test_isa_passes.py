@@ -1,0 +1,250 @@
+"""The optimizing pass pipeline: bit-identity and per-pass behavior."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.core.resources import FABRIC
+from repro.core.tensor import FeatureMapBatch
+from repro.engine.reference import legacy_forward_batch_all
+from repro.isa import (
+    PIPELINES,
+    PassError,
+    PassManager,
+    PlanVM,
+    compile_network,
+    decode,
+    encode,
+    frontend,
+    peak_live_elements,
+)
+from repro.isa.ops import (
+    CONV,
+    FUSED,
+    LOAD_INPUT,
+    OFFLOAD,
+    PART_WHOLE,
+    RELEASE,
+    STORE_OUTPUT,
+    THRESHOLD,
+    Instruction,
+    Program,
+)
+from repro.isa.passes import (
+    fold_requant,
+    fuse_chains,
+    liveness,
+    overlap,
+    prepack,
+)
+from repro.nn import zoo
+from repro.nn.network import Network
+
+ZOO = {
+    "tiny": zoo.tiny_yolo_config,
+    "tincy": zoo.tincy_yolo_config,
+    "mlp4": zoo.mlp4_config,
+    "cnv6": zoo.cnv6_config,
+}
+
+
+def _network(name: str):
+    network = Network(ZOO[name]())
+    network.initialize(np.random.default_rng(0))
+    return network
+
+
+class TestEveryLevelIsBitIdentical:
+    """The acceptance gate: -O0/-O1/-O2 vs the frozen legacy reference."""
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_all_levels_match_reference(self, name):
+        network = _network(name)
+        rng = np.random.default_rng(7)
+        frames = rng.uniform(
+            0.0, 1.0, size=(1,) + tuple(network.input_shape)
+        ).astype(np.float32)
+        expected = legacy_forward_batch_all(
+            network, FeatureMapBatch(frames.copy())
+        )[-1]
+        by_level = {}
+        for level in sorted(PIPELINES):
+            program, stats = compile_network(network, name=name, level=level)
+            assert program.opt_level == level
+            assert program.passes == tuple(PIPELINES[level])
+            assert [s.name for s in stats] == list(PIPELINES[level])
+            # The artifact that ships is the decoded one.
+            program = decode(encode(program))
+            out = PlanVM(program, network).run(FeatureMapBatch(frames.copy()))
+            assert out.data.tobytes() == expected.data.tobytes(), (
+                f"{name} -O{level} diverged from engine.reference"
+            )
+            by_level[level] = program
+        # -O2 must strictly pay: fewer compute instructions, lower peak.
+        o0, o2 = by_level[0], by_level[max(by_level)]
+        assert len(o2.compute_instructions()) < len(
+            o0.compute_instructions()
+        )
+        assert peak_live_elements(o2) < peak_live_elements(o0)
+
+
+class TestFoldRequant:
+    def test_split_pairs_are_folded_back(self):
+        program = frontend(_network("tincy"), name="tincy")
+        thresholds = sum(
+            1 for i in program.instructions if i.opcode == THRESHOLD
+        )
+        assert thresholds > 0  # tincy's conv tower splits statically
+        folded, detail = fold_requant(program, None)
+        assert "folded" in detail
+        assert not any(
+            i.opcode == THRESHOLD for i in folded.instructions
+        )
+        # Every merged instruction is whole again and keeps its layer.
+        assert all(
+            i.part == PART_WHOLE for i in folded.compute_instructions()
+        )
+        assert len(folded) == len(program) - thresholds
+
+    def test_no_splits_means_no_change(self):
+        program = frontend(_network("cnv6"), name="cnv6")
+        folded, _detail = fold_requant(program, None)
+        assert folded == program
+
+
+class TestFuseChains:
+    def test_conv_maxpool_chains_become_fused_instructions(self):
+        program, _ = fold_requant(frontend(_network("tiny"), name="tiny"), None)
+        fused, detail = fuse_chains(program, None)
+        chains = [i for i in fused.instructions if i.opcode == FUSED]
+        assert chains and "fused" in detail
+        for instr in chains:
+            assert len(instr.fused_layers) == 2
+            assert "+" in instr.ltype
+
+    def test_fusion_never_crosses_the_output_slot(self):
+        program, _ = fold_requant(
+            frontend(_network("mlp4"), name="mlp4"), None
+        )
+        fused, _detail = fuse_chains(program, None)
+        out_slot = fused.output_slot()
+        for instr in fused.instructions:
+            if instr.opcode == FUSED:
+                assert instr.dest == out_slot or all(
+                    s != out_slot for s in instr.srcs
+                )
+
+
+class TestLiveness:
+    def test_releases_are_embedded_and_peak_drops(self):
+        program = frontend(_network("tincy"), name="tincy")
+        lively, _detail = liveness(program, None)
+        assert not any(
+            i.opcode == RELEASE for i in lively.instructions
+        )
+        assert any(i.releases for i in lively.instructions)
+        assert peak_live_elements(lively) < peak_live_elements(program)
+
+    def test_output_slot_is_never_released(self):
+        program = frontend(_network("mlp4"), name="mlp4")
+        lively, _detail = liveness(program, None)
+        out_slot = lively.output_slot()
+        for instr in lively.instructions:
+            assert out_slot not in instr.releases
+
+
+class TestOverlap:
+    def test_ready_fabric_work_is_issued_first(self):
+        # A CPU instruction and a FABRIC instruction both ready at the
+        # top: overlap hoists the offload so host compute runs under it.
+        program = Program(
+            network_name="synthetic",
+            weights_sha256="",
+            cfg_sha256="",
+            input_shape=(1, 2, 2),
+            output_shape=(1, 2, 2),
+            instructions=(
+                Instruction(LOAD_INPUT, 0, shape=(1, 2, 2)),
+                Instruction(
+                    CONV, 1, srcs=(0,), shape=(1, 2, 2),
+                    ltype="convolutional", layer=0,
+                ),
+                Instruction(
+                    OFFLOAD, 2, srcs=(0,), resource=FABRIC,
+                    shape=(1, 2, 2), ltype="offload", layer=1,
+                ),
+                Instruction(
+                    CONV, 3, srcs=(1, 2), shape=(1, 2, 2),
+                    ltype="convolutional", layer=2,
+                ),
+                Instruction(STORE_OUTPUT, 3, shape=(1, 2, 2)),
+            ),
+        )
+        moved, _detail = overlap(program, None)
+        order = [i.opcode for i in moved.instructions]
+        assert order.index(OFFLOAD) < order.index(CONV)
+
+    def test_release_carrying_streams_are_left_alone(self):
+        program = frontend(_network("mlp4"), name="mlp4")
+        lively, _ = liveness(program, None)
+        unmoved, detail = overlap(lively, None)
+        assert unmoved == lively
+        assert "liveness" in detail
+
+
+class TestPrepack:
+    def test_constants_cover_binary_layers(self):
+        network = _network("cnv6")
+        program = frontend(network, name="cnv6")
+        packed, detail = prepack(program, network)
+        assert packed.constants and "constant" in detail
+        kinds = {kind for kind, _layer, _param in packed.constants}
+        assert "weights" in kinds
+        for _kind, layer, _param in packed.constants:
+            assert 0 <= layer < len(network.layers)
+
+    def test_without_a_network_nothing_is_recorded(self):
+        program = frontend(_network("cnv6"), name="cnv6")
+        packed, _detail = prepack(program, None)
+        assert packed == program
+
+
+class TestPassManager:
+    def test_unknown_pass_is_a_pass_error(self):
+        manager = PassManager()
+        with pytest.raises(PassError, match="unknown pass"):
+            manager.run_one(
+                frontend(_network("mlp4")), "no-such-pass"
+            )
+
+    def test_verifier_catches_a_buggy_rewrite(self):
+        # A "pass" that releases a slot which is still consumed later
+        # must die at compile time, not diverge at run time.
+        def bogus(program, network):
+            instructions = list(program.instructions)
+            for position, instr in enumerate(instructions):
+                if instr.is_compute:
+                    instructions[position] = replace(
+                        instr, releases=(instr.dest,)
+                    )
+                    break
+            return (
+                replace(program, instructions=tuple(instructions)),
+                "sabotage",
+            )
+
+        manager = PassManager()
+        manager.register("bogus", bogus)
+        with pytest.raises(PassError):
+            manager.run_one(frontend(_network("mlp4")), "bogus")
+
+    def test_stats_track_eliminated_instructions(self):
+        network = _network("tincy")
+        program = frontend(network, name="tincy")
+        manager = PassManager()
+        manager.register("fold-requant", fold_requant)
+        folded, stats = manager.run_one(program, "fold-requant")
+        assert stats.changed
+        assert stats.after_instructions < stats.before_instructions
+        assert stats.name == "fold-requant"
+        assert "->" in stats.summary()

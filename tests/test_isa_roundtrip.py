@@ -23,13 +23,17 @@ from repro.isa import (
 from repro.isa.encode import MAGIC
 from repro.isa.ops import (
     CONV,
+    FUSED,
     GEMM,
     LOAD_INPUT,
     MAXPOOL,
     OFFLOAD,
     OPCODE_NAMES,
+    PART_ACC,
+    PART_VALUES,
     RELEASE,
     STORE_OUTPUT,
+    THRESHOLD,
 )
 
 HEX = "0123456789abcdef"
@@ -87,6 +91,15 @@ _instructions = st.builds(
     ops=st.integers(0, 2**64 - 1),
     name=_names,
     ltype=_names,
+    layer=st.integers(-1, 2**31 - 1),
+    part=st.sampled_from(sorted(PART_VALUES)),
+    fused_layers=st.lists(st.integers(0, 2**32 - 1), max_size=3).map(tuple),
+    releases=st.lists(st.integers(0, 2**32 - 1), max_size=3).map(tuple),
+)
+_constants = st.tuples(
+    _names,
+    st.integers(0, 2**32 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
 )
 _programs = st.builds(
     Program,
@@ -96,6 +109,9 @@ _programs = st.builds(
     input_shape=_shapes,
     output_shape=_shapes,
     instructions=st.lists(_instructions, max_size=12).map(tuple),
+    opt_level=st.integers(0, 255),
+    passes=st.lists(_names, max_size=4).map(tuple),
+    constants=st.lists(_constants, max_size=4).map(tuple),
 )
 
 
@@ -122,6 +138,46 @@ class TestRoundTrip:
             assert instr.mnemonic in text
         assert program.weights_sha256 in text
         assert "3x8x8" in text and "4x1x1" in text
+
+    def test_optimized_program_round_trips(self, tmp_path):
+        # The v2 vocabulary end to end: a split epilogue, a FUSED chain
+        # with embedded releases, pass/constant header records.
+        program = _simple_program(
+            instructions=(
+                Instruction(LOAD_INPUT, 0, shape=(3, 8, 8), name="input"),
+                Instruction(
+                    CONV, 1, srcs=(0,), shape=(2, 6, 6), ops=100,
+                    name="#00 conv", ltype="convolutional", layer=0,
+                    part=PART_ACC, releases=(0,),
+                ),
+                Instruction(
+                    THRESHOLD, 2, srcs=(1,), shape=(2, 6, 6),
+                    name="#00 threshold", ltype="threshold", layer=0,
+                    part=PART_ACC, releases=(1,),
+                ),
+                Instruction(
+                    FUSED, 3, srcs=(2,), shape=(4, 1, 1), ops=388,
+                    name="#01 conv+maxpool", ltype="convolutional+maxpool",
+                    fused_layers=(1, 2), releases=(2,),
+                ),
+                Instruction(STORE_OUTPUT, 3, shape=(4, 1, 1)),
+            ),
+            opt_level=2,
+            passes=("fold-requant", "fuse-chains", "liveness"),
+            constants=(("weights", 1, 0.0), ("thresholds", 0, 0.125)),
+        )
+        data = encode(program)
+        decoded = decode(data)
+        assert decoded == program
+        assert encode(decoded) == data
+        path = str(tmp_path / "opt.rpb")
+        write_program(program, path)
+        assert read_program(path) == program
+        text = disassemble(program)
+        assert "CONV.acc" in text and "THRESHOLD.acc" in text
+        assert "layers 1+2" in text and "rel %2" in text
+        assert "opt -O2" in text and "fold-requant" in text
+        assert "const weights layer 1" in text
 
 
 class TestStrictDecode:
@@ -163,7 +219,9 @@ class TestStrictDecode:
         body = bytearray(data[:-4])
         offset = len(MAGIC)
         body[offset : offset + 2] = struct.pack("<H", FORMAT_VERSION + 1)
-        with pytest.raises(DecodeError, match="format version 2 not"):
+        with pytest.raises(
+            DecodeError, match=f"format version {FORMAT_VERSION + 1} not"
+        ):
             decode(_recrc(bytes(body)))
 
     def test_reserved_flags_are_refused(self):
@@ -192,9 +250,10 @@ class TestStrictDecode:
         body = bytearray(data[:-4])
         # The single instruction starts right after the fixed header
         # (magic, version/flags, empty name, two 32-byte hashes, two
-        # 3xu32 shapes, u32 instruction count); its first byte is the
-        # opcode.
-        opcode_offset = len(MAGIC) + 4 + 2 + 32 + 32 + 12 + 12 + 4
+        # 3xu32 shapes, the v2 opt_level u8 + empty pass list u8 + empty
+        # constant table u16, u32 instruction count); its first byte is
+        # the opcode.
+        opcode_offset = len(MAGIC) + 4 + 2 + 32 + 32 + 12 + 12 + 1 + 1 + 2 + 4
         assert body[opcode_offset] == LOAD_INPUT
         body[opcode_offset] = 0xEE
         with pytest.raises(DecodeError, match="unknown opcode"):

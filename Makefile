@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check opt-check isa-roundtrip report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check opt-check tv-check isa-roundtrip report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -48,6 +48,12 @@ plan-check:
 # -O0 on compute instructions and peak buffer liveness.
 opt-check:
 	PYTHONPATH=src $(PYTHON) -m repro opt-check
+
+# Translation validation across the whole zoo at every -O level: every
+# optimizer pass must prove its rewrite semantics-preserving, and the
+# tv_ok provenance marker must survive the binary round-trip.
+tv-check:
+	PYTHONPATH=src $(PYTHON) -m repro opt-check --tv
 
 # Full artifact round trip: lower + serialize the Tincy YOLO plan, verify
 # the encoded form decodes byte-identically and executes bit-identically

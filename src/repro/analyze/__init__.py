@@ -55,7 +55,11 @@ def analyze_network(
     """
     from repro.analyze.dataflow import verify_plan
     from repro.analyze.isa import roundtrip_findings
-    from repro.analyze.overflow import prove_plan, verdict_findings
+    from repro.analyze.overflow import (
+        prove_plan,
+        prove_program,
+        verdict_findings,
+    )
     from repro.analyze.passes import pass_findings
     from repro.engine.plan import compile_plan
     from repro.isa.ops import LoweringError
@@ -71,6 +75,14 @@ def analyze_network(
     try:
         findings.extend(roundtrip_findings(network, plan))
         findings.extend(pass_findings(network))
+        # The overflow prover again, over the *optimized* instruction
+        # stream — FUSED chains and split requant halves included.
+        from repro.isa.compiler import compile_network
+
+        program, _stats = compile_network(network, validate=False)
+        findings.extend(
+            verdict_findings(prove_program(program, network), label="-O2 ")
+        )
     except LoweringError:
         # A plan with layer types the ISA cannot express simply has no
         # serialized form to verify; that is not a finding.

@@ -19,6 +19,12 @@ baseline).  Three rules:
   function: the per-pixel-Python shape.  The instruction-level fidelity
   models (:mod:`repro.neon.gemmlowp`) document their loops with
   ``# analyze: allow(AST-NESTED-LOOP)``.
+* ``AST-F64-TEMP`` — a numpy call that silently allocates a float64
+  temporary on a hot path (``core/``, ``neon/``, ``engine/fused.py``):
+  an allocator (``np.zeros``/``np.empty``/``np.ones``/``np.full``)
+  without a ``dtype=``, or a ufunc (``np.maximum`` & co.) mixing a bare
+  float literal into an array with neither ``out=`` nor ``dtype=`` —
+  both double the temporary's footprint and break dtype preservation.
 
 Suppression: a finding is dropped when its own line, the line above it,
 or the enclosing ``def`` line carries ``# analyze: allow(RULE-ID)``.
@@ -43,6 +49,26 @@ _INT_KERNEL_RE = re.compile(r"i8|u8|acc16|acc32|popcount|bitserial|int8")
 _DTYPE_CALL_RE = re.compile(r"float|int|fdt|wdt|sdt|dtype|np\.")
 
 _ALLOW_RE = re.compile(r"#\s*analyze:\s*allow\(([A-Z0-9_,\s-]+)\)")
+
+#: Paths where AST-F64-TEMP applies (dtype-preserving hot paths).
+_F64_SCOPE_RE = re.compile(r"(^|[/\\])(core|neon)[/\\]|engine[/\\]fused\.py$")
+
+#: numpy allocators that default to float64 without ``dtype=`` — mapped
+#: to the positional index their dtype argument occupies.
+_F64_ALLOCATORS = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
+
+#: numpy ufuncs commonly mixed with scalar literals on the hot paths.
+_F64_UFUNCS = {
+    "maximum",
+    "minimum",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "true_divide",
+    "power",
+    "clip",
+}
 
 
 def relative_to_package(path: str) -> str:
@@ -89,6 +115,12 @@ def default_paths() -> List[str]:
         for name in sorted(os.listdir(directory)):
             if name.endswith(".py"):
                 paths.append(os.path.join(directory, name))
+    # The fused-kernel dispatcher lives outside the package directories
+    # above but is exactly the dtype-preserving hot path AST-F64-TEMP
+    # exists to guard.
+    fused = os.path.join(root, "engine", "fused.py")
+    if os.path.isfile(fused):
+        paths.append(fused)
     return paths
 
 
@@ -133,6 +165,10 @@ def _lint_function(func, label: str, lines: List[str]) -> List[Finding]:
     ):
         findings.extend(_lint_float_literals(func, label, lines))
     findings.extend(_lint_promotions(func, label, lines))
+    if _F64_SCOPE_RE.search(label) and not _def_suppressed(
+        lines, func, "AST-F64-TEMP"
+    ):
+        findings.extend(_lint_f64_temps(func, label, lines))
     return findings
 
 
@@ -194,6 +230,65 @@ def _is_dtype_call(call: ast.Call) -> bool:
             prefix = call.func.value.id + "."
         name = prefix + call.func.attr
     return bool(_DTYPE_CALL_RE.search(name))
+
+
+def _lint_f64_temps(func, label: str, lines: List[str]) -> List[Finding]:
+    """Flag numpy calls that allocate float64 temporaries on a hot path."""
+    findings: List[Finding] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        value = node.func.value
+        if not (isinstance(value, ast.Name) and value.id in ("np", "numpy")):
+            continue
+        attr = node.func.attr
+        kwargs = {kw.arg for kw in node.keywords}
+        if attr in _F64_ALLOCATORS:
+            has_dtype = (
+                "dtype" in kwargs
+                or len(node.args) > _F64_ALLOCATORS[attr]
+            )
+            if not has_dtype and not is_suppressed(
+                lines, node.lineno, "AST-F64-TEMP"
+            ):
+                findings.append(
+                    Finding(
+                        WARNING,
+                        "AST-F64-TEMP",
+                        f"{label}:{node.lineno}",
+                        f"np.{attr} without dtype= in {func.name} defaults "
+                        f"to float64; the hot path allocates a double-width "
+                        f"temporary",
+                        hint="pass the intended dtype= explicitly (the "
+                        "batching PR made these kernels dtype-preserving)",
+                    )
+                )
+        elif attr in _F64_UFUNCS:
+            if "out" in kwargs or "dtype" in kwargs:
+                continue
+            bare_float = any(
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, float)
+                for arg in node.args
+            )
+            if bare_float and not is_suppressed(
+                lines, node.lineno, "AST-F64-TEMP"
+            ):
+                findings.append(
+                    Finding(
+                        WARNING,
+                        "AST-F64-TEMP",
+                        f"{label}:{node.lineno}",
+                        f"np.{attr} mixes a bare float literal into the "
+                        f"array in {func.name} with neither out= nor "
+                        f"dtype=; numpy promotes the result to float64",
+                        hint="wrap the literal in the array's dtype "
+                        "(np.float32(0.0)) or supply out=",
+                    )
+                )
+    return findings
 
 
 def _lint_promotions(func, label: str, lines: List[str]) -> List[Finding]:

@@ -100,6 +100,49 @@ def findings_to_json(findings: Iterable[Finding]) -> Dict:
     }
 
 
+# -- baseline ratchet ---------------------------------------------------------
+#
+# ``repro analyze --baseline findings.json`` compares the current run
+# against a previously-emitted ``--json`` document and fails only on
+# *new* findings: a codebase with pre-existing findings can gate CI on
+# "no regressions" today and ratchet the baseline down over time.
+
+
+def baseline_key(target: str, finding: Finding) -> tuple:
+    """The identity under which a finding matches its baseline entry.
+
+    Message text is deliberately excluded — rewording a message (or a
+    bound changing by one element) must not count as a new finding; a
+    finding moving to a different location or rule does.
+    """
+    return (target, finding.rule, finding.where)
+
+
+def baseline_keys(document: Dict) -> frozenset:
+    """The match keys of a previously-emitted ``--json`` document."""
+    keys = set()
+    for entry in document.get("findings", ()):
+        keys.add(
+            (
+                str(entry.get("target", "")),
+                str(entry.get("rule", "")),
+                str(entry.get("where", "")),
+            )
+        )
+    return frozenset(keys)
+
+
+def new_findings(
+    tagged: Iterable[tuple], baseline: frozenset
+) -> List[tuple]:
+    """The ``(target, finding)`` pairs absent from *baseline*."""
+    return [
+        (target, finding)
+        for target, finding in tagged
+        if baseline_key(target, finding) not in baseline
+    ]
+
+
 __all__ = [
     "Finding",
     "INFO",
@@ -111,4 +154,7 @@ __all__ = [
     "has_errors",
     "exit_code",
     "findings_to_json",
+    "baseline_key",
+    "baseline_keys",
+    "new_findings",
 ]

@@ -30,6 +30,16 @@ Bounds per path:
   against the int32 the MVTU model accumulates in.
 * **gemmlowp/acc32** (the int8 input layer): ``K * 255 * 255`` against
   int32 via :func:`repro.core.gemm.acc32_worst_case_bound`.
+
+Two entry points share the per-path bounds: :func:`prove_plan` walks an
+unoptimized :class:`~repro.engine.plan.ExecutionPlan` step by step, and
+:func:`prove_program` walks a (possibly optimized) ISA
+:class:`~repro.isa.ops.Program` directly — ``FUSED`` chains are proved
+constituent-by-constituent, split ``.acc``/``.pre`` requantization
+halves are proved on the matmul half (the paired ``THRESHOLD``
+owns no accumulator), and an instruction the prover has no model for
+yields an explicit :data:`UNKNOWN` verdict (rendered as the
+``OVF-UNKNOWN-OP`` warning) instead of silent omission.
 """
 
 from __future__ import annotations
@@ -48,6 +58,9 @@ from repro.neon.kernels import ACC16_PRESHIFT
 PROVED_SAFE = "proved-safe"
 SATURATION_POSSIBLE = "saturation-possible"
 OVERFLOW_ERROR = "error"
+#: The prover has no accumulator model for the instruction — explicitly
+#: unproved, never silently skipped (:func:`prove_program` only).
+UNKNOWN = "unknown"
 
 #: Accumulator ceilings of the modeled datapaths.
 INT16_MAX = np.iinfo(np.int16).max
@@ -92,9 +105,15 @@ def prove_plan(
         layer = step.layer
         in_level = producer_level.get(step.inputs[0], 255)
         if step.ltype in ("convolutional", "connected"):
-            verdicts.append(_prove_matmul(step, layer, in_level, max_level))
+            verdicts.append(
+                _prove_matmul(step.index, step.name, layer, in_level, max_level)
+            )
         elif step.ltype == "offload":
-            verdicts.append(_prove_offload(step, layer, in_level, max_level))
+            verdicts.append(
+                _prove_offload(
+                    step.index, step.name, layer, in_level, max_level
+                )
+            )
         else:
             verdicts.append(
                 StepVerdict(step.index, step.name, "none", 0, 0, PROVED_SAFE)
@@ -103,11 +122,146 @@ def prove_plan(
     return verdicts
 
 
-def verdict_findings(verdicts: List[StepVerdict]) -> List[Finding]:
-    """Render non-safe verdicts as findings on the shared model."""
+def prove_program(
+    program, network, max_level: Optional[int] = None
+) -> List[StepVerdict]:
+    """Prove accumulator safety over a (possibly optimized) ISA program.
+
+    :func:`prove_plan` only understands the unoptimized step stream;
+    this walks *program*'s instructions directly so optimizer output is
+    covered too:
+
+    * ``CONV``/``GEMM`` instructions — whole layers *and* split
+      ``.acc``/``.pre`` requantization halves — run the matmul bound
+      (the accumulator is identical either way; the paired
+      ``THRESHOLD`` half applies thresholds and owns no accumulator);
+    * ``FUSED`` chains are proved constituent-by-constituent with the
+      level range chained through the constituents;
+    * pass-through ops (``MAXPOOL``/``ROUTE``/``REGION``/``SOFTMAX``/
+      ``THRESHOLD``) propagate the level range and are vacuously safe;
+    * any instruction without a model — and any instruction whose layer
+      binding cannot be resolved against *network* — yields an explicit
+      :data:`UNKNOWN` verdict (the ``OVF-UNKNOWN-OP`` warning), never
+      silent omission.
+    """
+    from repro.isa.ops import (
+        CONV,
+        FUSED,
+        GEMM,
+        INPUT_SLOT,
+        LOAD_INPUT,
+        MAXPOOL,
+        OFFLOAD,
+        REGION,
+        ROUTE,
+        SOFTMAX,
+        THRESHOLD,
+    )
+
+    steps = {step.index: step for step in network.plan().steps}
+    part_suffix = {1: ".acc", 2: ".pre"}  # PART_ACC / PART_PRE
+    verdicts: List[StepVerdict] = []
+    slot_level = {INPUT_SLOT: 255}  # network input arrives as uint8 codes
+    for instr in program.instructions:
+        if instr.opcode == LOAD_INPUT:
+            slot_level[instr.dest] = 255
+            continue
+        if not instr.is_compute:
+            continue
+        in_level = (
+            slot_level.get(instr.srcs[0], 255) if instr.srcs else 255
+        )
+        if instr.opcode == FUSED:
+            level = in_level
+            for layer_index in instr.fused_layers:
+                step = steps.get(layer_index)
+                if step is None:
+                    verdicts.append(
+                        StepVerdict(
+                            layer_index, instr.name or "fused",
+                            "fused(unbound)", 0, 0, UNKNOWN,
+                        )
+                    )
+                    continue
+                name = f"{step.name} (fused)"
+                if step.ltype in ("convolutional", "connected"):
+                    verdicts.append(
+                        _prove_matmul(
+                            step.index, name, step.layer, level, max_level
+                        )
+                    )
+                else:
+                    verdicts.append(
+                        StepVerdict(
+                            step.index, name, "none", 0, 0, PROVED_SAFE
+                        )
+                    )
+                level = _output_level(step.layer, level)
+            slot_level[instr.dest] = level
+            continue
+        step = steps.get(instr.layer)
+        if step is None:
+            verdicts.append(
+                StepVerdict(
+                    instr.layer,
+                    instr.name or instr.mnemonic.lower(),
+                    instr.mnemonic.lower(),
+                    0,
+                    0,
+                    UNKNOWN,
+                )
+            )
+            slot_level[instr.dest] = in_level
+            continue
+        layer = step.layer
+        out_level = _output_level(layer, in_level)
+        if instr.opcode in (CONV, GEMM):
+            name = step.name + part_suffix.get(instr.part, "")
+            verdicts.append(
+                _prove_matmul(step.index, name, layer, in_level, max_level)
+            )
+        elif instr.opcode == OFFLOAD:
+            verdicts.append(
+                _prove_offload(
+                    step.index, step.name, layer, in_level, max_level
+                )
+            )
+        elif instr.opcode == THRESHOLD:
+            # The requantization half: pure thresholding, no accumulator.
+            name = step.name + part_suffix.get(instr.part, "")
+            verdicts.append(
+                StepVerdict(step.index, name, "none", 0, 0, PROVED_SAFE)
+            )
+        elif instr.opcode in (MAXPOOL, ROUTE, REGION, SOFTMAX):
+            verdicts.append(
+                StepVerdict(step.index, step.name, "none", 0, 0, PROVED_SAFE)
+            )
+        else:
+            verdicts.append(
+                StepVerdict(
+                    step.index,
+                    step.name,
+                    instr.mnemonic.lower(),
+                    0,
+                    0,
+                    UNKNOWN,
+                )
+            )
+        slot_level[instr.dest] = out_level
+    return verdicts
+
+
+def verdict_findings(
+    verdicts: List[StepVerdict], label: str = ""
+) -> List[Finding]:
+    """Render non-safe verdicts as findings on the shared model.
+
+    *label* prefixes the location so plan-level and program-level runs
+    of the same network stay distinguishable in one findings list.
+    """
     findings: List[Finding] = []
     for v in verdicts:
-        where = f"step {v.name}"
+        where = f"{label}step {v.name}" if label else f"step {v.name}"
         if v.verdict == OVERFLOW_ERROR:
             findings.append(
                 Finding(
@@ -132,6 +286,18 @@ def verdict_findings(verdicts: List[StepVerdict]) -> List[Finding]:
                     f"is possible",
                     hint="keep the saturating kernel's replay path enabled "
                     "and watch its overflow counter",
+                )
+            )
+        elif v.verdict == UNKNOWN:
+            findings.append(
+                Finding(
+                    WARNING,
+                    "OVF-UNKNOWN-OP",
+                    where,
+                    f"no accumulator model for this instruction "
+                    f"({v.path}); overflow safety is unproved",
+                    hint="extend repro.analyze.overflow.prove_program "
+                    "with a bound for this opcode",
                 )
             )
     return findings
@@ -160,7 +326,11 @@ def _output_level(layer, in_level: int) -> int:
 
 
 def _prove_matmul(
-    step, layer, chain_level: int, max_level: Optional[int]
+    index: int,
+    name: str,
+    layer,
+    chain_level: int,
+    max_level: Optional[int],
 ) -> StepVerdict:
     k = int(np.prod(layer.weights.shape[1:]))
     if getattr(layer, "binary", False) or getattr(layer, "ternary", False):
@@ -171,7 +341,7 @@ def _prove_matmul(
         bound = k * level
         verdict = PROVED_SAFE if bound <= INT32_MAX else SATURATION_POSSIBLE
         return StepVerdict(
-            step.index, step.name, "binary-popcount", bound, INT32_MAX, verdict
+            index, name, "binary-popcount", bound, INT32_MAX, verdict
         )
     # Un-binarized layer: model the NEON custom path — weights quantized
     # symmetric int8 (exactly as repro.neon.kernels does), activations
@@ -193,22 +363,23 @@ def _prove_matmul(
     acc32 = acc32_worst_case_bound(k, 255, 127)
     if acc32 > INT32_MAX:
         return StepVerdict(
-            step.index, step.name, "gemmlowp-acc32", acc32, INT32_MAX,
-            OVERFLOW_ERROR,
+            index, name, "gemmlowp-acc32", acc32, INT32_MAX, OVERFLOW_ERROR
         )
-    return StepVerdict(
-        step.index, step.name, "int8-acc16", bound, INT16_MAX, verdict
-    )
+    return StepVerdict(index, name, "int8-acc16", bound, INT16_MAX, verdict)
 
 
 def _prove_offload(
-    step, layer, chain_level: int, max_level: Optional[int]
+    index: int,
+    name: str,
+    layer,
+    chain_level: int,
+    max_level: Optional[int],
 ) -> StepVerdict:
     """Bound every offloaded MVTU stage; the worst stage is the verdict."""
     accelerator = getattr(getattr(layer, "backend", None), "accelerator", None)
     stages = list(getattr(accelerator, "stages", []) or [])
     if not stages:
-        return StepVerdict(step.index, step.name, "none", 0, 0, PROVED_SAFE)
+        return StepVerdict(index, name, "none", 0, 0, PROVED_SAFE)
     level = _input_level(layer, chain_level, max_level)
     worst = 0
     for stage in stages:
@@ -218,7 +389,7 @@ def _prove_offload(
         level = (1 << bits) - 1
     verdict = PROVED_SAFE if worst <= INT32_MAX else SATURATION_POSSIBLE
     return StepVerdict(
-        step.index, step.name, "binary-popcount", worst, INT32_MAX, verdict
+        index, name, "binary-popcount", worst, INT32_MAX, verdict
     )
 
 
@@ -226,9 +397,11 @@ __all__ = [
     "PROVED_SAFE",
     "SATURATION_POSSIBLE",
     "OVERFLOW_ERROR",
+    "UNKNOWN",
     "INT16_MAX",
     "INT32_MAX",
     "StepVerdict",
     "prove_plan",
+    "prove_program",
     "verdict_findings",
 ]

@@ -95,14 +95,23 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     dataflow verifier and the overflow prover).  ``--self`` runs the
     concurrency and hot-path AST rules over the repro source instead
     (CI's lint gate); combining both in one invocation also works.
-    Exit code 1 iff any error-severity finding exists.
+    ``--tv`` additionally runs the translation validator over every
+    ``-O`` pipeline of each network.  Exit code 1 iff any
+    error-severity finding exists — unless ``--baseline`` supplies a
+    previous ``--json`` document, in which case only findings *absent
+    from the baseline* fail the run (the ratchet mode).
     """
     import json
 
     import numpy as np
 
     from repro import analyze
-    from repro.analyze.findings import JSON_SCHEMA_VERSION, sort_findings
+    from repro.analyze.findings import (
+        JSON_SCHEMA_VERSION,
+        baseline_keys,
+        new_findings,
+        sort_findings,
+    )
     from repro.nn.lint import lint_config
     from repro.nn.network import Network
 
@@ -118,16 +127,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             network = Network(config)
             network.initialize(np.random.default_rng(args.seed))
             findings = analyze.analyze_network(network, config)
+            if args.tv:
+                from repro.analyze.tv import tv_findings
+
+                findings = list(findings) + tv_findings(network, name=name)
         tagged.extend((name, finding) for finding in findings)
     if args.self_lint:
         tagged.extend(("self", finding) for finding in analyze.analyze_self())
 
     if args.json:
+        # Deterministic order regardless of analysis interleaving: the
+        # document diffs cleanly across runs and seeds baselines.
+        ordered = sorted(
+            tagged,
+            key=lambda pair: (
+                pair[1].rule,
+                pair[0],
+                pair[1].where,
+                pair[1].message,
+            ),
+        )
         document = {
             "version": JSON_SCHEMA_VERSION,
             "findings": [
                 dict(finding.to_dict(), target=target)
-                for target, finding in tagged
+                for target, finding in ordered
             ],
         }
         print(json.dumps(document, indent=2))
@@ -149,6 +173,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             f"target(s) — {errors} error(s), {warnings} warning(s), "
             f"{infos} info"
         )
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = baseline_keys(json.load(handle))
+        fresh = new_findings(tagged, baseline)
+        known = len(tagged) - len(fresh)
+        print(
+            f"baseline: {known} known finding(s) suppressed, "
+            f"{len(fresh)} new",
+            file=sys.stderr,
+        )
+        for target, finding in fresh:
+            print(f"NEW [{target}] {finding}", file=sys.stderr)
+        return 1 if fresh else 0
     return analyze.exit_code(finding for _, finding in tagged)
 
 
@@ -451,6 +488,12 @@ def cmd_opt_check(args: argparse.Namespace) -> int:
     oracle.  Additionally require that ``-O2`` strictly *pays*: fewer
     compute instructions and a lower peak-live-element high-water than
     ``-O0`` on every network.  CI runs this via ``make opt-check``.
+
+    ``--tv`` forces the translation validator on at *every* level (not
+    just the ``-O2`` default): a pass that cannot prove its rewrite
+    aborts the compile with a ``TV-*`` finding, and the ``tv_ok``
+    provenance marker must survive the binary round-trip.  CI runs this
+    via ``make tv-check``.
     """
     import numpy as np
 
@@ -475,10 +518,24 @@ def cmd_opt_check(args: argparse.Namespace) -> int:
         )[-1]
         by_level = {}
         for level in sorted(isa.PIPELINES):
-            program, _stats = isa.compile_network(
-                network, name=name, level=level
-            )
+            try:
+                program, _stats = isa.compile_network(
+                    network, name=name, level=level,
+                    validate=True if args.tv else None,
+                )
+            except isa.TranslationValidationError as exc:
+                failures += 1
+                rows.append((name, f"-O{level}", "-", "-", "TV-FAIL"))
+                print(f"FAIL {name} -O{level}: {exc}", file=sys.stderr)
+                continue
             program = isa.decode(isa.encode(program))
+            if args.tv and not program.tv_ok:
+                failures += 1
+                print(
+                    f"FAIL {name} -O{level}: tv_ok provenance marker lost "
+                    "across the binary round-trip",
+                    file=sys.stderr,
+                )
             out = isa.PlanVM(program, network).run(
                 FeatureMapBatch(frames.copy())
             )
@@ -497,6 +554,8 @@ def cmd_opt_check(args: argparse.Namespace) -> int:
                     "legacy reference",
                     file=sys.stderr,
                 )
+        if 0 not in by_level or not by_level:
+            continue
         o0_compute, o0_peak = by_level[0]
         o2_compute, o2_peak = by_level[max(by_level)]
         if not (o2_compute < o0_compute and o2_peak < o0_peak):
@@ -519,6 +578,11 @@ def cmd_opt_check(args: argparse.Namespace) -> int:
         "opt-check: every level bit-identical to the legacy reference; "
         "-O2 strictly fewer compute instructions and lower peak liveness "
         "than -O0 on every network"
+        + (
+            "; every pass proved semantics-preserving (tv_ok)"
+            if args.tv
+            else ""
+        )
     )
     return 0
 
@@ -695,7 +759,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument(
         "--json", action="store_true",
-        help="emit the findings as a schema-stable JSON document",
+        help="emit the findings as a schema-stable JSON document "
+        "(deterministically ordered by rule, target, location)",
+    )
+    p_analyze.add_argument(
+        "--tv", action="store_true",
+        help="also run the translation validator over every -O pipeline "
+        "of each analyzed network",
+    )
+    p_analyze.add_argument(
+        "--baseline", default=None, metavar="FINDINGS.json",
+        help="ratchet mode: fail only on findings absent from this "
+        "previously-emitted --json document",
     )
     p_analyze.add_argument(
         "--seed", type=int, default=0,
@@ -805,6 +880,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--seed", type=int, default=0)
     p_opt.add_argument("--frames", type=int, default=2,
                        help="random frames to cross-check (default 2)")
+    p_opt.add_argument("--tv", action="store_true",
+                       help="force translation validation at every level "
+                       "and require the tv_ok provenance marker to "
+                       "survive the binary round-trip")
     p_opt.set_defaults(func=cmd_opt_check)
 
     p_compile = sub.add_parser(

@@ -285,6 +285,7 @@ def float_reference_activation(
         / np.sqrt(var.reshape(shape) + eps)
         + beta.reshape(shape)
     )
+    # The reference oracle is *defined* in float64. # analyze: allow(AST-F64-TEMP)
     levels = round_half_up(np.maximum(y, 0.0) / out_scale)
     return np.clip(levels, 0, (1 << bits) - 1).astype(np.int32)
 

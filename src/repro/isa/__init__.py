@@ -61,6 +61,8 @@ from repro.isa.passes import (
     PassError,
     PassManager,
     PassStats,
+    TranslationValidationError,
+    Witness,
     peak_live_elements,
 )
 from repro.isa.vm import PlanVM
@@ -72,6 +74,8 @@ __all__ = [
     "PassError",
     "PassManager",
     "PassStats",
+    "TranslationValidationError",
+    "Witness",
     "compile_network",
     "frontend",
     "optimize",

@@ -127,7 +127,11 @@ class PlanCache:
         return removed
 
     def get_or_compile(
-        self, network, name: str = "", opt_level: Optional[int] = None
+        self,
+        network,
+        name: str = "",
+        opt_level: Optional[int] = None,
+        validate: Optional[bool] = None,
     ) -> Tuple[Program, bool]:
         """The network's program, from cache when possible.
 
@@ -135,10 +139,20 @@ class PlanCache:
         *opt_level* (the compiler default when ``None``), stale
         old-version artifacts are evicted, and the fresh artifact is
         stored for the next start with ``hit`` False.
+
+        *validate* is the translation-validation admission contract
+        (default: the compiler's own policy — on at ``-O2``).  When
+        validation is in force, a cached artifact **must** carry the
+        ``tv_ok`` provenance flag; one that does not — written by an
+        unvalidated compile or hand-edited — is treated as a miss and
+        replaced by a freshly validated compile.  A miscompiled stream
+        therefore cannot hide in the cache: it either re-validates or
+        never gets served.
         """
         from repro.isa.compiler import DEFAULT_OPT_LEVEL, compile_network
 
         level = DEFAULT_OPT_LEVEL if opt_level is None else int(opt_level)
+        want_tv = bool(validate) if validate is not None else level >= 2
         key = plan_cache_key(
             name,
             weights_digest(network),
@@ -147,9 +161,13 @@ class PlanCache:
         )
         program = self.load(key)
         if program is not None:
-            return program, True
+            if not want_tv or program.tv_ok:
+                return program, True
+            program = None  # unvalidated artifact: admission refused
         self.evict_stale(name)
-        program, _stats = compile_network(network, name=name, level=level)
+        program, _stats = compile_network(
+            network, name=name, level=level, validate=validate
+        )
         self.store(program)
         return program, False
 

@@ -32,7 +32,7 @@ Split placement rules (the bit-identity contract):
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.resources import CPU
 from repro.engine.plan import INPUT
@@ -166,19 +166,39 @@ def optimize(
     network=None,
     level: int = DEFAULT_OPT_LEVEL,
     verify: bool = True,
+    validate: Optional[bool] = None,
 ) -> Tuple[Program, List[PassStats]]:
-    """Run the ``-O{level}`` pipeline; stamps level + applied passes."""
+    """Run the ``-O{level}`` pipeline; stamps level + applied passes.
+
+    *validate* switches the translation validator on: every pass must
+    prove its rewrite semantics-preserving (:mod:`repro.analyze.tv`) or
+    compilation aborts with a
+    :class:`~repro.isa.passes.manager.TranslationValidationError`.  The
+    default (``None``) validates at ``-O2`` and above — exactly where
+    rewrites happen that plain slot-liveness verification cannot judge —
+    and a successfully validated program carries the ``tv_ok``
+    provenance marker into its serialized artifact.
+    """
     if level not in PIPELINES:
         raise ValueError(
             f"unknown optimization level {level}; known: {sorted(PIPELINES)}"
         )
+    if validate is None:
+        validate = level >= 2
     manager = default_manager()
     program, stats = manager.run(
-        program, PIPELINES[level], network=network, verify=verify
+        program,
+        PIPELINES[level],
+        network=network,
+        verify=verify,
+        validate=validate,
     )
     return (
         replace(
-            program, opt_level=level, passes=tuple(PIPELINES[level])
+            program,
+            opt_level=level,
+            passes=tuple(PIPELINES[level]),
+            tv_ok=bool(validate),
         ),
         stats,
     )
@@ -189,6 +209,7 @@ def compile_network(
     name: str = "",
     level: int = DEFAULT_OPT_LEVEL,
     verify: bool = True,
+    validate: Optional[bool] = None,
 ) -> Tuple[Program, List[PassStats]]:
     """frontend + optimizer in one call; content hashes included."""
     return optimize(
@@ -196,6 +217,7 @@ def compile_network(
         network=network,
         level=level,
         verify=verify,
+        validate=validate,
     )
 
 

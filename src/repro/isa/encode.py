@@ -4,7 +4,8 @@ Layout (all integers little-endian, lengths in bytes)::
 
     header   magic        4   b"RPB\\x1a"
              version      u16 FORMAT_VERSION (decode refuses others)
-             flags        u16 reserved, 0
+             flags        u16 bit 0 = tv_ok (translation-validated);
+                              other bits reserved, decode refuses them
              name         u16 length + utf-8 bytes
              weights_hash 32  raw sha256 (zeros when absent)
              cfg_hash     32  raw sha256 (zeros when absent)
@@ -57,6 +58,11 @@ from repro.isa.ops import (
 )
 
 MAGIC = b"RPB\x1a"
+
+#: Header flag bit 0: the artifact's passes were translation-validated.
+FLAG_TV_OK = 0x0001
+#: Every flag bit this build understands; others are refused on decode.
+_KNOWN_FLAGS = FLAG_TV_OK
 
 _U8_MAX = 0xFF
 _U16_MAX = 0xFFFF
@@ -123,7 +129,9 @@ def encode(program: Program) -> bytes:
         raise EncodeError("network name too long to encode")
     out = bytearray()
     out += MAGIC
-    out += struct.pack("<HH", program.version, 0)
+    out += struct.pack(
+        "<HH", program.version, FLAG_TV_OK if program.tv_ok else 0
+    )
     out += struct.pack("<H", len(name)) + name
     out += _hash_bytes(program.weights_sha256, "weights_sha256")
     out += _hash_bytes(program.cfg_sha256, "cfg_sha256")
@@ -232,7 +240,7 @@ def decode(data: bytes) -> Program:
             f"format version {version} not supported: this build reads "
             f"version {FORMAT_VERSION} only"
         )
-    if flags != 0:
+    if flags & ~_KNOWN_FLAGS:
         raise DecodeError(f"reserved header flags set (0x{flags:04x})")
     (name_len,) = reader.unpack("<H", "name length")
     network_name = reader.take(name_len, "network name").decode("utf-8")
@@ -315,6 +323,7 @@ def decode(data: bytes) -> Program:
         opt_level=opt_level,
         passes=passes,
         constants=tuple(constants),
+        tv_ok=bool(flags & FLAG_TV_OK),
     )
 
 
@@ -334,6 +343,7 @@ def read_program(path: str) -> Program:
 
 __all__ = [
     "MAGIC",
+    "FLAG_TV_OK",
     "encode",
     "decode",
     "write_program",

@@ -240,6 +240,13 @@ class Program:
     stream (``-O0`` is the raw frontend output); ``constants`` are the
     pre-pack records ``(kind, layer, param)`` the VM warms at bind time
     so a cached artifact starts with hot weight/threshold caches.
+
+    ``tv_ok`` is the translation-validation provenance marker: ``True``
+    iff every optimizer pass that produced this stream was proven
+    semantics-preserving by :mod:`repro.analyze.tv` at compile time.  It
+    serializes as header flag bit 0 of the ``.rpb`` format, and the plan
+    cache refuses to serve an unvalidated artifact to a caller that
+    requested validation.
     """
 
     network_name: str
@@ -252,6 +259,7 @@ class Program:
     opt_level: int = 0
     passes: Tuple[str, ...] = ()
     constants: Tuple[Tuple[str, int, float], ...] = ()
+    tv_ok: bool = False
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -32,11 +32,13 @@ from repro.isa.passes.manager import (
     PassFn,
     PassManager,
     PassStats,
+    TranslationValidationError,
     peak_live_elements,
 )
 from repro.isa.passes.overlap import overlap
 from repro.isa.passes.prepack import prepack, static_quant_states
 from repro.isa.passes.requant import fold_requant
+from repro.isa.passes.witness import AXIOM_NAMES, Rewrite, Witness
 
 #: Optimization level -> ordered pass names (the ``-O{0,1,2}`` contract).
 PIPELINES = {
@@ -58,12 +60,16 @@ def default_manager() -> PassManager:
 
 
 __all__ = [
+    "AXIOM_NAMES",
     "FUSABLE",
     "PIPELINES",
     "PassError",
     "PassFn",
     "PassManager",
     "PassStats",
+    "Rewrite",
+    "TranslationValidationError",
+    "Witness",
     "default_manager",
     "fold_requant",
     "fuse_chains",

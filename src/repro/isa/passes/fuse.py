@@ -34,6 +34,7 @@ from repro.isa.ops import (
     Instruction,
     Program,
 )
+from repro.isa.passes.witness import AX_FUSED_CHAIN, Rewrite, Witness
 
 #: (producer opcode, consumer opcode) pairs eligible for fusion.
 FUSABLE = frozenset(
@@ -41,7 +42,9 @@ FUSABLE = frozenset(
 )
 
 
-def fuse_chains(program: Program, network=None) -> Tuple[Program, str]:
+def fuse_chains(
+    program: Program, network=None
+) -> Tuple[Program, str, Witness]:
     instructions = list(program.instructions)
     out_slot = program.output_slot()
     consumers: Dict[int, List[int]] = {}
@@ -49,6 +52,7 @@ def fuse_chains(program: Program, network=None) -> Tuple[Program, str]:
         for src in instr.srcs:
             consumers.setdefault(src, []).append(position)
     fused = 0
+    rewrites: List[Rewrite] = []
     skip = set()
     result = []
     for position, first in enumerate(instructions):
@@ -93,13 +97,21 @@ def fuse_chains(program: Program, network=None) -> Tuple[Program, str]:
                     )
                     skip.add(users[0])
                     fused += 1
+                    rewrites.append(
+                        Rewrite(
+                            AX_FUSED_CHAIN,
+                            layers=(first.layer, second.layer),
+                            opcodes=(first.opcode, second.opcode),
+                        )
+                    )
                     continue
         result.append(first)
     if not fused:
-        return program, "no fusable chains"
+        return program, "no fusable chains", Witness("fuse-chains")
     return (
         replace(program, instructions=tuple(result)),
         f"fused {fused} layer pair(s)",
+        Witness("fuse-chains", rewrites=tuple(rewrites)),
     )
 
 

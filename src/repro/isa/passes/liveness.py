@@ -28,9 +28,14 @@ from typing import Dict, Tuple
 
 from repro.core.resources import FABRIC
 from repro.isa.ops import RELEASE, Program
+from repro.isa.passes.witness import (
+    AX_DEAD_SLOT,
+    AX_RELEASE_SCHEDULE,
+    Witness,
+)
 
 
-def liveness(program: Program, network=None) -> Tuple[Program, str]:
+def liveness(program: Program, network=None) -> Tuple[Program, str, Witness]:
     out_slot = program.output_slot()
     instructions = [
         replace(instr, releases=()) if instr.releases else instr
@@ -81,10 +86,14 @@ def liveness(program: Program, network=None) -> Tuple[Program, str]:
             instr = replace(instr, releases=tuple(sorted(victims)))
             embedded += len(victims)
         result.append(instr)
+    axioms = (AX_RELEASE_SCHEDULE,) + (
+        (AX_DEAD_SLOT,) if removed else ()
+    )
     return (
         replace(program, instructions=tuple(result)),
         f"removed {removed} dead instruction(s), "
         f"embedded {embedded} release point(s)",
+        Witness("liveness", axioms=axioms),
     )
 
 

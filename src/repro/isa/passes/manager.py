@@ -1,13 +1,21 @@
 """PassManager — registration, ordered pipelines, per-pass stats.
 
-A pass is a pure function ``(program, network) -> (program, detail)``:
-it never mutates its input (``Program``/``Instruction`` are frozen), and
-*network* may be ``None`` for passes that work on the stream alone.  The
-manager wraps every invocation with before/after accounting
-(:class:`PassStats`) and — unless verification is disabled — re-runs the
-slot-liveness verifier on each intermediate program, so a buggy rewrite
-dies at compile time as a :class:`PassError`, never as silent divergence
-at run time.
+A pass is a pure function ``(program, network) -> (program, detail[,
+witness])``: it never mutates its input (``Program``/``Instruction``
+are frozen), and *network* may be ``None`` for passes that work on the
+stream alone.  The optional third element is a
+:class:`~repro.isa.passes.witness.Witness` declaring the rewrites the
+pass performed and the axioms justifying them; passes that return a
+2-tuple implicitly claim they rewrote nothing.  The manager wraps every
+invocation with before/after accounting (:class:`PassStats`) and —
+unless verification is disabled — re-runs the slot-liveness verifier on
+each intermediate program, so a buggy rewrite dies at compile time as a
+:class:`PassError`, never as silent divergence at run time.  With
+``validate=True`` it goes further: the translation validator
+(:mod:`repro.analyze.tv`) symbolically proves the after-program
+observationally equivalent to the before-program modulo the witness's
+declared axioms, and an unmet obligation raises
+:class:`TranslationValidationError` carrying the ``TV-*`` findings.
 """
 
 from __future__ import annotations
@@ -21,13 +29,28 @@ from repro.isa.ops import (
     IsaError,
     Program,
 )
+from repro.isa.passes.witness import Witness
 
-#: A pass: ``(program, network_or_None) -> (new_program, detail_text)``.
+#: A pass: ``(program, network_or_None) -> (new_program, detail_text)``
+#: or ``-> (new_program, detail_text, witness)``.
 PassFn = Callable[[Program, Optional[object]], Tuple[Program, str]]
 
 
 class PassError(IsaError):
     """A pass produced an invalid program (or an unknown pass was named)."""
+
+
+class TranslationValidationError(PassError):
+    """The translation validator refuted a pass's equivalence obligation.
+
+    ``findings`` holds the ``TV-*`` findings naming the pass, the
+    instruction and the unmet axiom; compilation aborts before the
+    rewritten program can reach the cache or execute a single weight.
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
 
 
 def _elements(shape) -> int:
@@ -77,6 +100,9 @@ class PassStats:
     after_peak_live_elements: int
     changed: bool
     detail: str = ""
+    #: The pass's equivalence claim (:mod:`repro.isa.passes.witness`);
+    #: ``None`` when the pass predates the witness protocol.
+    witness: Optional[Witness] = None
 
     def summary(self) -> str:
         mark = "*" if self.changed else " "
@@ -112,8 +138,14 @@ class PassManager:
         name: str,
         network=None,
         verify: bool = True,
+        validate: bool = False,
     ) -> Tuple[Program, PassStats]:
-        """Run one registered pass; verify the result unless told not to."""
+        """Run one registered pass; verify the result unless told not to.
+
+        ``validate=True`` additionally proves the rewrite semantics-
+        preserving with the translation validator; a refuted obligation
+        raises :class:`TranslationValidationError`.
+        """
         fn = self._registry.get(name)
         if fn is None:
             raise PassError(
@@ -122,14 +154,25 @@ class PassManager:
         before_instructions = len(program)
         before_peak = peak_live_elements(program)
         result = fn(program, network)
-        if not (isinstance(result, tuple) and len(result) == 2):
+        if not (isinstance(result, tuple) and len(result) in (2, 3)):
             raise PassError(
-                f"pass '{name}' must return (program, detail), got "
-                f"{type(result).__name__}"
+                f"pass '{name}' must return (program, detail[, witness]), "
+                f"got {type(result).__name__}"
             )
-        out, detail = result
+        if len(result) == 3:
+            out, detail, witness = result
+            if witness is not None and not isinstance(witness, Witness):
+                raise PassError(
+                    f"pass '{name}' returned a non-Witness third element: "
+                    f"{type(witness).__name__}"
+                )
+        else:
+            out, detail = result
+            witness = None
         if verify:
             self._verify(out, name)
+        if validate:
+            self._validate(program, out, name, witness, network)
         stats = PassStats(
             name=name,
             before_instructions=before_instructions,
@@ -138,6 +181,7 @@ class PassManager:
             after_peak_live_elements=peak_live_elements(out),
             changed=out != program,
             detail=str(detail),
+            witness=witness,
         )
         return out, stats
 
@@ -147,12 +191,14 @@ class PassManager:
         names: Sequence[str],
         network=None,
         verify: bool = True,
+        validate: bool = False,
     ) -> Tuple[Program, List[PassStats]]:
         """Run *names* in order, accumulating per-pass stats."""
         stats: List[PassStats] = []
         for name in names:
             program, one = self.run_one(
-                program, name, network=network, verify=verify
+                program, name, network=network, verify=verify,
+                validate=validate,
             )
             stats.append(one)
         return program, stats
@@ -175,5 +221,33 @@ class PassManager:
                 f"pass '{name}' produced an invalid program: {listing}"
             )
 
+    @staticmethod
+    def _validate(
+        before: Program, after: Program, name: str, witness, network
+    ) -> None:
+        # Function-level import for the same layering reason as _verify.
+        from repro.analyze.findings import ERROR
+        from repro.analyze.tv import validate_pass
 
-__all__ = ["PassError", "PassFn", "PassManager", "PassStats", "peak_live_elements"]
+        findings = validate_pass(
+            before, after, name, witness, network=network
+        )
+        errors = [f for f in findings if f.severity == ERROR]
+        if errors:
+            listing = "; ".join(
+                f"{f.rule} {f.where}: {f.message}" for f in errors[:4]
+            )
+            raise TranslationValidationError(
+                f"pass '{name}' failed translation validation: {listing}",
+                findings=findings,
+            )
+
+
+__all__ = [
+    "PassError",
+    "PassFn",
+    "PassManager",
+    "PassStats",
+    "TranslationValidationError",
+    "peak_live_elements",
+]

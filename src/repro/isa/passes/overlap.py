@@ -21,14 +21,19 @@ from typing import Dict, List, Set, Tuple
 
 from repro.core.resources import FABRIC
 from repro.isa.ops import LOAD_INPUT, RELEASE, STORE_OUTPUT, Program
+from repro.isa.passes.witness import AX_DATAFLOW_COMMUTE, Witness
 
 
-def overlap(program: Program, network=None) -> Tuple[Program, str]:
+def overlap(program: Program, network=None) -> Tuple[Program, str, Witness]:
     instructions = list(program.instructions)
     if any(
         instr.opcode == RELEASE or instr.releases for instr in instructions
     ):
-        return program, "skipped: stream already carries liveness"
+        return (
+            program,
+            "skipped: stream already carries liveness",
+            Witness("overlap"),
+        )
     count = len(instructions)
     producer: Dict[int, int] = {}
     for position, instr in enumerate(instructions):
@@ -93,7 +98,11 @@ def overlap(program: Program, network=None) -> Tuple[Program, str]:
         1 for slot, original in enumerate(issued) if slot != original
     )
     if not moved:
-        return program, "no reorderable work around offload spans"
+        return (
+            program,
+            "no reorderable work around offload spans",
+            Witness("overlap"),
+        )
     from dataclasses import replace
 
     return (
@@ -102,6 +111,7 @@ def overlap(program: Program, network=None) -> Tuple[Program, str]:
             instructions=tuple(instructions[p] for p in issued),
         ),
         f"moved {moved} instruction(s) to overlap offload spans",
+        Witness("overlap", axioms=(AX_DATAFLOW_COMMUTE,)),
     )
 
 

@@ -20,6 +20,7 @@ from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from repro.isa.ops import Program
+from repro.isa.passes.witness import AX_HEADER_CONSTANTS, Witness
 
 #: Per-layer static input state ``(is_levels, scale, bits)``.
 QuantState = Tuple[bool, Optional[float], Optional[int]]
@@ -48,9 +49,9 @@ def static_quant_states(network) -> List[QuantState]:
     return states
 
 
-def prepack(program: Program, network=None) -> Tuple[Program, str]:
+def prepack(program: Program, network=None) -> Tuple[Program, str, Witness]:
     if network is None:
-        return program, "skipped: no network bound"
+        return program, "skipped: no network bound", Witness("prepack")
     states = static_quant_states(network)
     layers = list(network.layers)
     referenced = set()
@@ -82,10 +83,11 @@ def prepack(program: Program, network=None) -> Tuple[Program, str]:
             constants.append(("thresholds", index, float(scale)))
     constants = tuple(constants)
     if constants == program.constants:
-        return program, "no derivable caches"
+        return program, "no derivable caches", Witness("prepack")
     return (
         replace(program, constants=constants),
         f"recorded {len(constants)} pre-pack constant(s)",
+        Witness("prepack", axioms=(AX_HEADER_CONSTANTS,)),
     )
 
 

@@ -17,9 +17,12 @@ from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.isa.ops import PART_WHOLE, THRESHOLD, Program
+from repro.isa.passes.witness import AX_REQUANT_FOLD, Rewrite, Witness
 
 
-def fold_requant(program: Program, network=None) -> Tuple[Program, str]:
+def fold_requant(
+    program: Program, network=None
+) -> Tuple[Program, str, Witness]:
     instructions = list(program.instructions)
     out_slot = program.output_slot()
     consumers: Dict[int, List[int]] = {}
@@ -27,6 +30,7 @@ def fold_requant(program: Program, network=None) -> Tuple[Program, str]:
         for src in instr.srcs:
             consumers.setdefault(src, []).append(position)
     folded = 0
+    rewrites: List[Rewrite] = []
     skip = set()
     result = []
     for position, instr in enumerate(instructions):
@@ -64,13 +68,22 @@ def fold_requant(program: Program, network=None) -> Tuple[Program, str]:
                     )
                     skip.add(users[0])
                     folded += 1
+                    rewrites.append(
+                        Rewrite(
+                            AX_REQUANT_FOLD,
+                            layers=(instr.layer,),
+                            opcodes=(instr.opcode, THRESHOLD),
+                            part=instr.part,
+                        )
+                    )
                     continue
         result.append(instr)
     if not folded:
-        return program, "no split epilogues to fold"
+        return program, "no split epilogues to fold", Witness("fold-requant")
     return (
         replace(program, instructions=tuple(result)),
         f"folded {folded} requantization epilogue(s)",
+        Witness("fold-requant", rewrites=tuple(rewrites)),
     )
 
 

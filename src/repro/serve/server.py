@@ -107,6 +107,11 @@ class ServeConfig:
     #: ``-O`` level the plan cache compiles at on a miss (also part of the
     #: cache key, so servers at different levels never share artifacts).
     plan_opt_level: int = 2
+    #: Translation-validation admission policy of the plan cache: ``None``
+    #: follows the compiler default (validate at ``-O2``), ``True`` forces
+    #: validation (and refuses cached artifacts without the ``tv_ok``
+    #: provenance flag), ``False`` skips it.
+    plan_validate: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -179,6 +184,7 @@ class InferenceServer:
                 network,
                 name=self.config.plan_cache_name,
                 opt_level=self.config.plan_opt_level,
+                validate=self.config.plan_validate,
             )
             self.executor = PlanVM(program, network, on_step=on_step)
         else:

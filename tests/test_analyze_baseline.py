@@ -1,0 +1,110 @@
+"""``repro analyze``: deterministic --json order and --baseline ratchet."""
+
+import json
+
+import pytest
+
+from repro.analyze.findings import (
+    Finding,
+    baseline_key,
+    baseline_keys,
+    new_findings,
+)
+from repro.cli import main
+
+BROKEN_CFG = (
+    "[net]\nwidth=16\nheight=16\nchannels=3\n"
+    "[convolutional]\nfilters=100\nsize=1\nstride=1\npad=0\n"
+    "activation=linear\n"
+    "[region]\nclasses=20\nnum=5\n"
+)
+
+
+class TestHelpers:
+    def test_key_ignores_message_text(self):
+        a = Finding("error", "R-1", "step 3", "old wording")
+        b = Finding("error", "R-1", "step 3", "new wording, same defect")
+        assert baseline_key("net", a) == baseline_key("net", b)
+
+    def test_keys_differ_across_rule_target_and_location(self):
+        f = Finding("warning", "R-1", "step 3", "msg")
+        base = baseline_key("net", f)
+        assert baseline_key("other", f) != base
+        assert baseline_key(
+            "net", Finding("warning", "R-2", "step 3", "msg")
+        ) != base
+        assert baseline_key(
+            "net", Finding("warning", "R-1", "step 4", "msg")
+        ) != base
+
+    def test_new_findings_filters_against_the_document(self):
+        known = Finding("error", "R-1", "step 1", "known")
+        fresh = Finding("error", "R-2", "step 2", "fresh")
+        document = {
+            "findings": [dict(known.to_dict(), target="net")]
+        }
+        keys = baseline_keys(document)
+        result = new_findings(
+            [("net", known), ("net", fresh)], keys
+        )
+        assert result == [("net", fresh)]
+
+
+class TestDeterministicJson:
+    def test_findings_are_sorted_by_rule_target_location(self, capsys):
+        assert main(["analyze", "--cfg-only", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        entries = document["findings"]
+        assert entries
+        keys = [
+            (e["rule"], e["target"], e["where"], e["message"])
+            for e in entries
+        ]
+        assert keys == sorted(keys)
+
+    def test_two_runs_emit_identical_documents(self, capsys):
+        main(["analyze", "--cfg-only", "--json"])
+        first = capsys.readouterr().out
+        main(["analyze", "--cfg-only", "--json"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestBaselineRatchet:
+    @pytest.fixture()
+    def broken(self, tmp_path):
+        path = tmp_path / "broken.cfg"
+        path.write_text(BROKEN_CFG)
+        return str(path)
+
+    def test_known_findings_are_suppressed(self, tmp_path, broken, capsys):
+        assert main(["analyze", "--cfg-only", "--json", broken]) == 1
+        baseline = tmp_path / "findings.json"
+        baseline.write_text(capsys.readouterr().out)
+        # Same run against its own baseline: nothing is new.
+        assert main(
+            ["analyze", "--cfg-only", broken, "--baseline", str(baseline)]
+        ) == 0
+        assert "0 new" in capsys.readouterr().err
+
+    def test_new_findings_still_fail(self, tmp_path, broken, capsys):
+        assert main(["analyze", "--cfg-only", "--json", broken]) == 1
+        document = json.loads(capsys.readouterr().out)
+        # Strip one finding from the baseline: it comes back as NEW.
+        document["findings"] = document["findings"][1:]
+        baseline = tmp_path / "findings.json"
+        baseline.write_text(json.dumps(document))
+        assert main(
+            ["analyze", "--cfg-only", broken, "--baseline", str(baseline)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "NEW [" in err
+
+    def test_empty_baseline_behaves_like_no_baseline(
+        self, tmp_path, broken, capsys
+    ):
+        baseline = tmp_path / "findings.json"
+        baseline.write_text(json.dumps({"version": 1, "findings": []}))
+        assert main(
+            ["analyze", "--cfg-only", broken, "--baseline", str(baseline)]
+        ) == 1

@@ -1,0 +1,325 @@
+"""Translation validation: symbolic evaluation, witnesses, TV-* rules."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analyze.findings import ERROR, WARNING
+from repro.analyze.tv import (
+    symbolic_eval,
+    tv_findings,
+    validate_pass,
+    validate_pipeline,
+)
+from repro.isa import (
+    PIPELINES,
+    PlanCache,
+    TranslationValidationError,
+    compile_network,
+    decode,
+    encode,
+    frontend,
+)
+from repro.isa.ops import (
+    CONV,
+    GEMM,
+    LOAD_INPUT,
+    PART_ACC,
+    PART_WHOLE,
+    STORE_OUTPUT,
+    THRESHOLD,
+    Instruction,
+    Program,
+)
+from repro.isa.passes import PassManager, default_manager
+from repro.isa.passes.witness import (
+    AX_DATAFLOW_COMMUTE,
+    AX_REQUANT_FOLD,
+    Rewrite,
+    Witness,
+)
+from repro.nn import zoo
+from repro.nn.network import Network
+
+ZOO = {
+    "tiny": zoo.tiny_yolo_config,
+    "tincy": zoo.tincy_yolo_config,
+    "mlp4": zoo.mlp4_config,
+    "cnv6": zoo.cnv6_config,
+}
+
+
+def _network(name: str):
+    network = Network(ZOO[name]())
+    network.initialize(np.random.default_rng(0))
+    return network
+
+
+def _tiny_program() -> Program:
+    return Program(
+        network_name="synthetic",
+        weights_sha256="",
+        cfg_sha256="",
+        input_shape=(1, 2, 2),
+        output_shape=(1, 2, 2),
+        instructions=(
+            Instruction(LOAD_INPUT, 0, shape=(1, 2, 2)),
+            Instruction(
+                GEMM, 1, srcs=(0,), shape=(1, 2, 2),
+                ltype="connected", layer=0,
+            ),
+            Instruction(STORE_OUTPUT, 1, shape=(1, 2, 2)),
+        ),
+    )
+
+
+def _errors(findings):
+    return [f for f in findings if f.severity == ERROR]
+
+
+class TestSymbolicEval:
+    def test_output_names_the_producing_chain(self):
+        state = symbolic_eval(_tiny_program())
+        assert not state.findings
+        assert state.output == (
+            "app", (GEMM, 0, PART_WHOLE, ()), (("in", 0),)
+        )
+
+    def test_reading_an_undefined_slot_is_tv_undef(self):
+        program = _tiny_program()
+        broken = replace(
+            program,
+            instructions=(
+                program.instructions[0],
+                replace(program.instructions[1], srcs=(5,)),
+                program.instructions[2],
+            ),
+        )
+        state = symbolic_eval(broken)
+        assert any(f.rule == "TV-UNDEF" for f in state.findings)
+
+    def test_premature_release_is_tv_undef(self):
+        program = _tiny_program()
+        broken = replace(
+            program,
+            instructions=(
+                replace(program.instructions[0], releases=(0,)),
+            ) + program.instructions[1:],
+        )
+        state = symbolic_eval(broken)
+        assert any(f.rule == "TV-UNDEF" for f in state.findings)
+
+    def test_missing_store_output_is_tv_undef(self):
+        program = replace(
+            _tiny_program(), instructions=_tiny_program().instructions[:-1]
+        )
+        state = symbolic_eval(program)
+        assert any(f.rule == "TV-UNDEF" for f in state.findings)
+
+
+class TestValidatePass:
+    def test_identity_pass_discharges_trivially(self):
+        program = _tiny_program()
+        assert validate_pass(program, program, "noop", Witness("noop")) == []
+
+    def test_every_real_pass_validates_on_the_zoo(self):
+        for name in sorted(ZOO):
+            network = _network(name)
+            program = frontend(network, name=name)
+            _final, findings = validate_pipeline(
+                program, PIPELINES[2], network=network, name=name
+            )
+            assert not _errors(findings), (name, findings)
+
+    def test_dropped_instruction_is_refuted(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        instrs = list(program.instructions)
+        del instrs[2]
+        broken = replace(program, instructions=tuple(instrs))
+        findings = validate_pass(
+            program, broken, "bogus", Witness("bogus"), network=network
+        )
+        assert any(f.rule == "TV-UNDEF" for f in _errors(findings))
+
+    def test_relabeled_layer_is_refuted_as_tv_output(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        instrs = list(program.instructions)
+        for position, instr in enumerate(instrs):
+            if instr.is_compute and instr.layer >= 0:
+                instrs[position] = replace(instr, layer=instr.layer + 1)
+                break
+        broken = replace(program, instructions=tuple(instrs))
+        findings = validate_pass(
+            program, broken, "bogus", Witness("bogus"), network=network
+        )
+        assert any(f.rule == "TV-OUTPUT" for f in _errors(findings))
+
+    def test_undeclared_fold_is_refuted(self):
+        # fold-requant without its witness: the rewrite is real but
+        # undeclared, so output equivalence must fail.
+        from repro.isa.passes.requant import fold_requant
+
+        network = _network("tincy")
+        program = frontend(network, name="tincy")
+        folded, _detail, witness = fold_requant(program, network)
+        assert witness.rewrites  # tincy's conv tower splits statically
+        findings = validate_pass(
+            program, folded, "fold-requant", Witness("fold-requant"),
+            network=network,
+        )
+        assert any(f.rule == "TV-OUTPUT" for f in _errors(findings))
+        # With the witness the same rewrite is proved.
+        assert not _errors(
+            validate_pass(
+                program, folded, "fold-requant", witness, network=network
+            )
+        )
+
+    def test_overclaiming_witness_is_a_tv_witness_warning(self):
+        from repro.isa.passes.requant import fold_requant
+
+        network = _network("tincy")
+        program = frontend(network, name="tincy")
+        folded, _detail, witness = fold_requant(program, network)
+        # Claim the folds on a program that no longer contains any split
+        # to fold: the declared rewrites cannot fire anywhere.
+        findings = validate_pass(
+            folded, folded, "fold-requant", witness, network=network
+        )
+        assert not _errors(findings)
+        assert any(
+            f.rule == "TV-WITNESS" and f.severity == WARNING
+            for f in findings
+        )
+
+    def test_malformed_axiom_instantiation_is_tv_axiom(self):
+        witness = Witness(
+            "bogus",
+            rewrites=(
+                Rewrite(
+                    AX_REQUANT_FOLD,
+                    layers=(0,),
+                    opcodes=(CONV, THRESHOLD),
+                    part=PART_WHOLE,  # not a split half
+                ),
+            ),
+        )
+        program = _tiny_program()
+        findings = validate_pass(program, program, "bogus", witness)
+        assert any(f.rule == "TV-AXIOM" for f in _errors(findings))
+
+    def test_structural_axiom_takes_no_rewrites(self):
+        witness = Witness(
+            "bogus",
+            rewrites=(Rewrite(AX_DATAFLOW_COMMUTE, layers=(0,)),),
+        )
+        program = _tiny_program()
+        findings = validate_pass(program, program, "bogus", witness)
+        assert any(f.rule == "TV-AXIOM" for f in _errors(findings))
+
+    def test_acc_fold_on_ineligible_layer_is_tv_axiom(self):
+        network = _network("mlp4")  # binary gemm tower: no .acc splits
+        witness = Witness(
+            "bogus",
+            rewrites=(
+                Rewrite(
+                    AX_REQUANT_FOLD,
+                    layers=(0,),
+                    opcodes=(GEMM, THRESHOLD),
+                    part=PART_ACC,
+                ),
+            ),
+        )
+        program = frontend(network, name="mlp4")
+        findings = validate_pass(
+            program, program, "bogus", witness, network=network
+        )
+        assert any(f.rule == "TV-AXIOM" for f in _errors(findings))
+
+
+class TestManagerIntegration:
+    def test_bogus_pass_raises_before_any_weights_run(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+
+        def bogus(prog, net):
+            instrs = list(prog.instructions)
+            del instrs[2]
+            return (
+                replace(prog, instructions=tuple(instrs)),
+                "sabotage",
+                Witness("bogus"),
+            )
+
+        manager = PassManager()
+        manager.register("bogus", bogus)
+        with pytest.raises(TranslationValidationError) as excinfo:
+            manager.run(
+                program, ("bogus",), network=network, verify=False,
+                validate=True,
+            )
+        assert excinfo.value.findings
+        assert any(
+            f.rule.startswith("TV-") for f in excinfo.value.findings
+        )
+
+    def test_real_pipeline_validates_under_the_manager(self):
+        network = _network("tincy")
+        program = frontend(network, name="tincy")
+        manager = default_manager()
+        out, stats = manager.run(
+            program, PIPELINES[2], network=network, validate=True
+        )
+        assert [s.name for s in stats] == list(PIPELINES[2])
+        assert all(s.witness is not None for s in stats)
+
+
+class TestProvenance:
+    def test_compile_stamps_and_roundtrips_tv_ok(self):
+        network = _network("mlp4")
+        program, _stats = compile_network(network, name="mlp4", level=2)
+        assert program.tv_ok  # validation defaults on at -O2
+        assert decode(encode(program)).tv_ok
+
+        unvalidated, _stats = compile_network(
+            network, name="mlp4", level=2, validate=False
+        )
+        assert not unvalidated.tv_ok
+        assert not decode(encode(unvalidated)).tv_ok
+
+    def test_cache_refuses_unvalidated_artifacts(self, tmp_path):
+        network = _network("mlp4")
+        cache = PlanCache(str(tmp_path))
+        unvalidated, _stats = compile_network(
+            network, name="mlp4", level=2, validate=False
+        )
+        cache.store(unvalidated)
+
+        program, hit = cache.get_or_compile(network, name="mlp4", opt_level=2)
+        assert not hit  # admission refused: tv_ok missing
+        assert program.tv_ok
+
+        program, hit = cache.get_or_compile(network, name="mlp4", opt_level=2)
+        assert hit and program.tv_ok  # the replacement artifact serves
+
+    def test_cache_serves_unvalidated_when_validation_is_off(self, tmp_path):
+        network = _network("mlp4")
+        cache = PlanCache(str(tmp_path))
+        unvalidated, _stats = compile_network(
+            network, name="mlp4", level=2, validate=False
+        )
+        cache.store(unvalidated)
+        program, hit = cache.get_or_compile(
+            network, name="mlp4", opt_level=2, validate=False
+        )
+        assert hit and not program.tv_ok
+
+
+class TestTvFindings:
+    def test_zoo_is_clean_at_every_level(self):
+        for name in ("mlp4", "cnv6"):
+            findings = tv_findings(_network(name), name=name)
+            assert not _errors(findings), (name, findings)

@@ -95,7 +95,7 @@ class TestFoldRequant:
             1 for i in program.instructions if i.opcode == THRESHOLD
         )
         assert thresholds > 0  # tincy's conv tower splits statically
-        folded, detail = fold_requant(program, None)
+        folded, detail, _witness = fold_requant(program, None)
         assert "folded" in detail
         assert not any(
             i.opcode == THRESHOLD for i in folded.instructions
@@ -108,14 +108,14 @@ class TestFoldRequant:
 
     def test_no_splits_means_no_change(self):
         program = frontend(_network("cnv6"), name="cnv6")
-        folded, _detail = fold_requant(program, None)
+        folded, _detail, _witness = fold_requant(program, None)
         assert folded == program
 
 
 class TestFuseChains:
     def test_conv_maxpool_chains_become_fused_instructions(self):
-        program, _ = fold_requant(frontend(_network("tiny"), name="tiny"), None)
-        fused, detail = fuse_chains(program, None)
+        program, _, _ = fold_requant(frontend(_network("tiny"), name="tiny"), None)
+        fused, detail, _witness = fuse_chains(program, None)
         chains = [i for i in fused.instructions if i.opcode == FUSED]
         assert chains and "fused" in detail
         for instr in chains:
@@ -123,10 +123,10 @@ class TestFuseChains:
             assert "+" in instr.ltype
 
     def test_fusion_never_crosses_the_output_slot(self):
-        program, _ = fold_requant(
+        program, _, _ = fold_requant(
             frontend(_network("mlp4"), name="mlp4"), None
         )
-        fused, _detail = fuse_chains(program, None)
+        fused, _detail, _witness = fuse_chains(program, None)
         out_slot = fused.output_slot()
         for instr in fused.instructions:
             if instr.opcode == FUSED:
@@ -138,7 +138,7 @@ class TestFuseChains:
 class TestLiveness:
     def test_releases_are_embedded_and_peak_drops(self):
         program = frontend(_network("tincy"), name="tincy")
-        lively, _detail = liveness(program, None)
+        lively, _detail, _witness = liveness(program, None)
         assert not any(
             i.opcode == RELEASE for i in lively.instructions
         )
@@ -147,7 +147,7 @@ class TestLiveness:
 
     def test_output_slot_is_never_released(self):
         program = frontend(_network("mlp4"), name="mlp4")
-        lively, _detail = liveness(program, None)
+        lively, _detail, _witness = liveness(program, None)
         out_slot = lively.output_slot()
         for instr in lively.instructions:
             assert out_slot not in instr.releases
@@ -180,14 +180,14 @@ class TestOverlap:
                 Instruction(STORE_OUTPUT, 3, shape=(1, 2, 2)),
             ),
         )
-        moved, _detail = overlap(program, None)
+        moved, _detail, _witness = overlap(program, None)
         order = [i.opcode for i in moved.instructions]
         assert order.index(OFFLOAD) < order.index(CONV)
 
     def test_release_carrying_streams_are_left_alone(self):
         program = frontend(_network("mlp4"), name="mlp4")
-        lively, _ = liveness(program, None)
-        unmoved, detail = overlap(lively, None)
+        lively, _, _ = liveness(program, None)
+        unmoved, detail, _witness = overlap(lively, None)
         assert unmoved == lively
         assert "liveness" in detail
 
@@ -196,7 +196,7 @@ class TestPrepack:
     def test_constants_cover_binary_layers(self):
         network = _network("cnv6")
         program = frontend(network, name="cnv6")
-        packed, detail = prepack(program, network)
+        packed, detail, _witness = prepack(program, network)
         assert packed.constants and "constant" in detail
         kinds = {kind for kind, _layer, _param in packed.constants}
         assert "weights" in kinds
@@ -205,7 +205,7 @@ class TestPrepack:
 
     def test_without_a_network_nothing_is_recorded(self):
         program = frontend(_network("cnv6"), name="cnv6")
-        packed, _detail = prepack(program, None)
+        packed, _detail, _witness = prepack(program, None)
         assert packed == program
 
 

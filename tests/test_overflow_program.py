@@ -1,0 +1,134 @@
+"""Program-level overflow proving: FUSED, split halves, unknown ops."""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analyze.overflow import (
+    PROVED_SAFE,
+    UNKNOWN,
+    prove_plan,
+    prove_program,
+    verdict_findings,
+)
+from repro.isa import compile_network, frontend
+from repro.isa.ops import PACK, PART_ACC
+from repro.nn import zoo
+from repro.nn.network import Network
+
+ZOO = {
+    "tiny": zoo.tiny_yolo_config,
+    "tincy": zoo.tincy_yolo_config,
+    "mlp4": zoo.mlp4_config,
+    "cnv6": zoo.cnv6_config,
+}
+
+
+def _network(name: str):
+    network = Network(ZOO[name]())
+    network.initialize(np.random.default_rng(0))
+    return network
+
+
+class TestProgramCoverage:
+    def test_split_halves_are_proved_on_the_frontend_stream(self):
+        network = _network("tincy")
+        program = frontend(network, name="tincy")
+        assert any(
+            i.part == PART_ACC for i in program.compute_instructions()
+        )  # tincy's conv tower splits statically
+        verdicts = prove_program(program, network)
+        acc_names = [v.name for v in verdicts if v.name.endswith(".acc")]
+        assert acc_names, "split .acc halves must appear as verdicts"
+        # Both halves of each split are covered: the matmul half with a
+        # real bound, the threshold half vacuously.
+        assert len(verdicts) == len(program.compute_instructions())
+        assert all(v.verdict != UNKNOWN for v in verdicts)
+
+    def test_fused_chains_are_proved_constituent_by_constituent(self):
+        network = _network("tiny")
+        program, _stats = compile_network(
+            network, name="tiny", level=2, validate=False
+        )
+        verdicts = prove_program(program, network)
+        fused = [v for v in verdicts if "(fused)" in v.name]
+        assert fused, "tiny's conv+maxpool chains must be proved fused"
+        # The fused conv constituents carry real accumulator bounds.
+        assert any(v.bound > 0 for v in fused)
+        assert all(v.verdict != UNKNOWN for v in verdicts)
+
+    def test_optimized_stream_matches_plan_bounds(self):
+        # On a network the optimizer does not fuse or split, program- and
+        # plan-level proofs must produce the same matmul bounds.
+        network = _network("mlp4")
+        plan_bounds = {
+            (v.step_index, v.bound)
+            for v in prove_plan(network.plan())
+            if v.path != "none"
+        }
+        program = frontend(network, name="mlp4")
+        program_bounds = {
+            (v.step_index, v.bound)
+            for v in prove_program(program, network)
+            if v.path != "none"
+        }
+        assert plan_bounds == program_bounds
+
+    def test_whole_zoo_is_proved_at_every_level(self):
+        import repro.finn  # noqa: F401  (registers fabric.so)
+
+        for name in sorted(ZOO):
+            network = _network(name)
+            for level in (0, 1, 2):
+                program, _stats = compile_network(
+                    network, name=name, level=level, validate=False
+                )
+                verdicts = prove_program(program, network)
+                assert verdicts
+                assert all(v.verdict != UNKNOWN for v in verdicts), name
+
+
+class TestUnknownOps:
+    def test_unmodeled_opcode_yields_explicit_unknown(self):
+        network = _network("mlp4")
+        program = frontend(network, name="mlp4")
+        instrs = list(program.instructions)
+        # Splice in a PACK (reserved, no accumulator model) mid-stream.
+        instrs.insert(
+            2,
+            replace(
+                instrs[1], opcode=PACK, dest=99, srcs=(instrs[1].dest,),
+                layer=-1, name="packed",
+            ),
+        )
+        doctored = replace(program, instructions=tuple(instrs))
+        verdicts = prove_program(doctored, network)
+        unknown = [v for v in verdicts if v.verdict == UNKNOWN]
+        assert len(unknown) == 1
+        findings = verdict_findings(verdicts)
+        assert any(f.rule == "OVF-UNKNOWN-OP" for f in findings)
+        assert all(
+            f.severity == "warning"
+            for f in findings
+            if f.rule == "OVF-UNKNOWN-OP"
+        )
+
+
+class TestLabels:
+    def test_label_distinguishes_program_level_findings(self):
+        network = _network("mlp4")
+        verdicts = [
+            v
+            for v in prove_plan(network.plan())
+            if v.verdict != PROVED_SAFE
+        ]
+        if not verdicts:  # force one rendering either way
+            from repro.analyze.overflow import StepVerdict
+
+            verdicts = [
+                StepVerdict(0, "synthetic", "pack", 0, 0, UNKNOWN)
+            ]
+        plain = verdict_findings(verdicts)
+        labeled = verdict_findings(verdicts, label="-O2 ")
+        assert all(f.where.startswith("step ") for f in plain)
+        assert all(f.where.startswith("-O2 step ") for f in labeled)

@@ -1,0 +1,156 @@
+"""Property test: the tv verdict tracks concrete PlanVM bit-identity.
+
+For randomly seeded networks and random *legal* pass subsequences
+(order-preserving subsequences of the ``-O2`` pipeline), the validator
+must discharge every obligation AND the optimized program must stay
+bit-identical to the unoptimized one on the VM — the symbolic proof and
+the concrete execution agree.  The mutation half checks the converse: a
+deliberately semantics-breaking "pass" is refuted by the validator
+before anything executes.
+"""
+
+import itertools
+import random
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import FeatureMapBatch
+from repro.isa import (
+    PIPELINES,
+    PlanVM,
+    TranslationValidationError,
+    frontend,
+)
+from repro.isa.passes import PassManager, default_manager
+from repro.isa.passes.witness import Witness
+from repro.nn import zoo
+from repro.nn.network import Network
+
+FULL_PIPELINE = PIPELINES[2]
+
+#: Every order-preserving subsequence of the -O2 pipeline is legal.
+ALL_SUBSEQUENCES = [
+    combo
+    for length in range(1, len(FULL_PIPELINE) + 1)
+    for combo in itertools.combinations(FULL_PIPELINE, length)
+]
+
+
+def _network(factory, seed):
+    network = Network(factory())
+    network.initialize(np.random.default_rng(seed))
+    return network
+
+
+def _frames(network, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(
+        0.0, 1.0, size=(1,) + tuple(network.input_shape)
+    ).astype(np.float32)
+
+
+class TestRandomPipelinesAgreeWithTheVm:
+    @pytest.mark.parametrize("name,factory", [
+        ("mlp4", zoo.mlp4_config),
+        ("cnv6", zoo.cnv6_config),
+    ])
+    def test_validated_subsequences_stay_bit_identical(self, name, factory):
+        rng = random.Random(1234)
+        sequences = rng.sample(ALL_SUBSEQUENCES, 8)
+        # Always include the boundary cases.
+        sequences += [FULL_PIPELINE, (FULL_PIPELINE[0],)]
+        for trial, sequence in enumerate(sequences):
+            network = _network(factory, seed=trial)
+            program = frontend(network, name=name)
+            frames = _frames(network, seed=100 + trial)
+            expected = PlanVM(program, network).run(
+                FeatureMapBatch(frames.copy())
+            )
+            manager = default_manager()
+            # validate=True: every pass must discharge its obligation.
+            optimized, stats = manager.run(
+                program, sequence, network=network, validate=True
+            )
+            assert [s.name for s in stats] == list(sequence)
+            out = PlanVM(optimized, network).run(
+                FeatureMapBatch(frames.copy())
+            )
+            assert out.data.tobytes() == expected.data.tobytes(), (
+                f"{name} {sequence} validated but diverged on the VM"
+            )
+
+
+def _mutants():
+    """Deliberately semantics-breaking passes, each with an empty witness."""
+
+    def drop_instruction(program, network):
+        instrs = list(program.instructions)
+        victim = next(
+            i for i, instr in enumerate(instrs) if instr.is_compute
+        )
+        del instrs[victim]
+        return replace(program, instructions=tuple(instrs)), "drop", Witness(
+            "mutant"
+        )
+
+    def swap_dependent(program, network):
+        # Move the first compute instruction after its consumer.
+        instrs = list(program.instructions)
+        computes = [
+            i for i, instr in enumerate(instrs) if instr.is_compute
+        ]
+        a, b = computes[0], computes[1]
+        instrs[a], instrs[b] = instrs[b], instrs[a]
+        return replace(program, instructions=tuple(instrs)), "swap", Witness(
+            "mutant"
+        )
+
+    def premature_release(program, network):
+        # Release the produced slot immediately — its consumer still
+        # needs it.  (Releasing a genuinely dead slot would be *sound*,
+        # and the validator accepts it; this one is not.)
+        instrs = list(program.instructions)
+        first = next(
+            i for i, instr in enumerate(instrs) if instr.is_compute
+        )
+        instrs[first] = replace(
+            instrs[first], releases=(instrs[first].dest,)
+        )
+        return replace(program, instructions=tuple(instrs)), "rel", Witness(
+            "mutant"
+        )
+
+    def relabel_layer(program, network):
+        instrs = list(program.instructions)
+        first = next(
+            i for i, instr in enumerate(instrs)
+            if instr.is_compute and instr.layer >= 0
+        )
+        instrs[first] = replace(instrs[first], layer=instrs[first].layer + 1)
+        return replace(program, instructions=tuple(instrs)), "rename", Witness(
+            "mutant"
+        )
+
+    return [drop_instruction, swap_dependent, premature_release,
+            relabel_layer]
+
+
+class TestMutantsAreRefuted:
+    @pytest.mark.parametrize("mutant", _mutants(),
+                             ids=lambda fn: fn.__name__)
+    def test_every_mutant_fails_validation(self, mutant):
+        network = _network(zoo.mlp4_config, seed=0)
+        program = frontend(network, name="mlp4")
+        manager = PassManager()
+        manager.register("mutant", mutant)
+        with pytest.raises(TranslationValidationError) as excinfo:
+            manager.run_one(
+                program, "mutant", network=network, verify=False,
+                validate=True,
+            )
+        assert any(
+            f.rule.startswith("TV-") and f.severity == "error"
+            for f in excinfo.value.findings
+        )

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke plan-check opt-check tv-check isa-roundtrip report demo quickstart analyze lint-zoo clean
+.PHONY: install test test-fast coverage bench bench-smoke bench-pytest serve-bench serve-smoke serve-shard-smoke plan-check opt-check tv-check isa-roundtrip report demo quickstart analyze lint-zoo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,14 @@ serve-bench:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serve_smoke.py -q
+
+# Shard-tier CI canary: 2 shard processes, 500 closed-loop requests, one
+# injected mid-run shard kill.  Exits non-zero unless the SLOs hold and
+# every result is bit-identical to single-process serving; finishes in
+# seconds (well under the 60s budget).
+serve-shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve-bench --network mlp4 \
+		--shards 2 --requests 500 --faults "shard-kill@100" --fault-seed 7
 
 plan-check:
 	PYTHONPATH=src $(PYTHON) -m repro plan-check

@@ -27,6 +27,14 @@ source AST:
   ``CC-LOCK-DISCIPLINE``: it fires even when *no* write is guarded,
   because an unserialized state transition can tear the breaker's
   closed → open → half-open trajectory.
+* ``CC-BLOCKING-UNDER-LOCK`` — a blocking call (``recv``, ``wait``,
+  ``join``, ``sleep``, ``result``, ``select``) is made while holding a
+  ``with self.<lock>:`` block.  A pipe recv or thread join under a lock
+  turns every other acquirer into a hostage of the slow peer — the
+  router's death-handling path must never wait on a shard while holding
+  the routing lock.  ``Condition`` attributes bound in ``__init__`` are
+  exempt when the wait is on the condition itself (``with
+  self._not_empty: self._not_empty.wait()`` is *the* condition idiom).
 
 Findings can be suppressed per line with ``# analyze: allow(RULE-ID)``.
 """
@@ -123,6 +131,62 @@ def _lint_class(
     if _is_context_manager(cls):
         findings.extend(_lint_gate(cls, label, lines))
     findings.extend(_lint_circuit_state(cls, label, lines))
+    findings.extend(_lint_blocking_under_lock(cls, label, lines))
+    return findings
+
+
+#: Method names that block the calling thread (pipe reads, thread joins,
+#: timed waits).  A call to one of these while holding a lock makes every
+#: other acquirer wait on the slow peer too.
+_BLOCKING_ATTRS = ("recv", "recv_bytes", "wait", "wait_for", "join", "sleep", "select")
+
+
+def _lint_blocking_under_lock(
+    cls: ast.ClassDef, label: str, lines: List[str]
+) -> List[Finding]:
+    """No blocking call may run while a ``with self.<lock>:`` is held.
+
+    The one exemption is the condition-variable idiom: ``with
+    self._cond: self._cond.wait()`` *must* hold the condition while
+    waiting on it — waiting on the very attribute named in the enclosing
+    ``with`` is how conditions work, not a lock-discipline bug.
+    """
+    findings: List[Finding] = []
+    for method in (n for n in cls.body if isinstance(n, _FUNC_TYPES)):
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _BLOCKING_ATTRS:
+                continue
+            lock = _enclosing_lock(method, node)
+            if lock is None:
+                continue
+            owner = func.value
+            if (
+                isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "self"
+                and owner.attr == lock
+            ):
+                continue  # condition idiom: waiting on the held condition
+            if is_suppressed(lines, node.lineno, "CC-BLOCKING-UNDER-LOCK"):
+                continue
+            findings.append(
+                Finding(
+                    ERROR,
+                    "CC-BLOCKING-UNDER-LOCK",
+                    f"{label}:{node.lineno}",
+                    f"{cls.name}.{method.name} calls .{func.attr}(...) "
+                    f"while holding self.{lock}; every other acquirer "
+                    f"blocks on the slow peer for the duration",
+                    hint="move the blocking call outside the lock (copy "
+                    "the state you need first), or document why it is "
+                    "safe with # analyze: allow(CC-BLOCKING-UNDER-LOCK)",
+                )
+            )
     return findings
 
 

@@ -413,6 +413,193 @@ def bench_serve(
     return report
 
 
+def default_chaos_plan(requests: int, seed: int = 0):
+    """The ``--chaos`` fault plan, scaled to the request count.
+
+    One shard kill early (permanent — the fleet must absorb it for the
+    rest of the run), periodic shard-slow events (sub-millisecond stalls,
+    well under the heartbeat timeout so slowness is never mistaken for a
+    hang), and periodic router splits that heal after ``span`` ticks.
+    All selectors are explicit ``at`` indices, so the transcript is a
+    pure function of the submission sequence.
+    """
+    from repro import faults as faults_mod
+
+    kill_at = max(1, requests // 50)
+    slow_every = max(2, requests // 8)
+    split_every = max(3, requests // 6)
+    return faults_mod.FaultPlan(
+        [
+            faults_mod.FaultSpec("shard-kill", at=(kill_at,)),
+            faults_mod.FaultSpec(
+                "shard-slow",
+                at=tuple(range(slow_every, requests, slow_every)),
+                hang_s=0.0005,
+                span=16,
+            ),
+            faults_mod.FaultSpec(
+                "router-split",
+                at=tuple(range(split_every, requests, split_every)),
+                span=64,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def bench_serve_shard(
+    network,
+    shards: int = 4,
+    requests: Optional[int] = None,
+    chaos: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    seed: int = 0,
+    result_cache: int = 1024,
+    max_in_flight: int = 64,
+    quota_rps: Optional[float] = None,
+    p99_slo_ms: float = 50.0,
+    degraded_slo: float = 0.05,
+    plan_cache_dir: Optional[str] = None,
+    result_timeout_s: float = 120.0,
+    distinct_frames: int = 64,
+    verify: bool = True,
+) -> Dict:
+    """Shard-tier scenario: drive a :class:`ShardedServer` closed loop.
+
+    *requests* defaults to 100 000 under ``--chaos`` (the SLO
+    certification run) and 64 otherwise.  A rotation of
+    *distinct_frames* distinct inputs exercises the consistent-hash
+    placement and makes the LRU result cache + coalescing earn their
+    keep — exactly the duplicate-heavy shape of real camera traffic.
+
+    With *chaos* (or an explicit *faults* spec) a seeded
+    :class:`~repro.faults.FaultPlan` drives the fleet sites
+    (``shard.kill`` / ``shard.slow`` / ``router.split``); the report
+    embeds the full fault transcript plus its sha256, and two runs of
+    the same plan produce identical transcripts.  The ``slo`` section
+    gates the run: p99 latency and the degraded fraction
+    ((reroutes + inline fallbacks + fallback routes) / completed) must
+    both hold, and ``repro serve-bench`` exits non-zero when they don't.
+
+    With *verify* the report also carries the bit-identity check: every
+    distinct frame's served result is compared byte-for-byte against
+    ``network.forward_batch`` — the shard tier may change *where* a
+    frame is computed (including across a mid-run shard kill), never
+    *what* it returns.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+    from contextlib import ExitStack
+
+    from repro import faults as faults_mod
+    from repro.core.tensor import FeatureMapBatch
+    from repro.isa import PlanCache
+    from repro.serve import Overloaded, ShardedServer, ShardTierConfig
+    from repro.util.rng import new_rng
+
+    if requests is None:
+        requests = 100_000 if chaos else 64
+    if requests < 1:
+        raise ValueError("need at least one request")
+    rng = new_rng(seed)
+    distinct = [
+        FeatureMap(rng.normal(size=network.input_shape).astype(np.float32))
+        for _ in range(max(1, min(requests, distinct_frames)))
+    ]
+    cache_dir = plan_cache_dir
+    ephemeral = cache_dir is None
+    if ephemeral:
+        cache_dir = tempfile.mkdtemp(prefix="repro-shard-bench-cache-")
+    PlanCache(cache_dir).warm(network, name="serve-bench")
+    config = ShardTierConfig(
+        shards=shards,
+        max_in_flight=max_in_flight,
+        quota_rps=quota_rps,
+        result_cache=result_cache,
+        plan_cache_dir=cache_dir,
+        plan_cache_name="serve-bench",
+    )
+    plan = None
+    injector = None
+    if faults:
+        plan = faults_mod.FaultPlan.parse(faults, seed=fault_seed)
+    elif chaos:
+        plan = default_chaos_plan(requests, seed=fault_seed)
+    first_outputs: Dict[int, FeatureMap] = {}
+    shed = 0
+    with ExitStack() as stack:
+        if ephemeral:
+            stack.callback(shutil.rmtree, cache_dir, ignore_errors=True)
+        if plan is not None:
+            injector = stack.enter_context(faults_mod.install(plan))
+        server = stack.enter_context(ShardedServer(network, config))
+        start = time.perf_counter()
+        for index in range(requests):
+            frame_index = index % len(distinct)
+            try:
+                future = server.submit(distinct[frame_index])
+            except Overloaded:
+                shed += 1  # also counted by the server's metrics
+                continue
+            out = future.result(result_timeout_s)
+            if verify and frame_index not in first_outputs:
+                first_outputs[frame_index] = out
+        wall = time.perf_counter() - start
+        snapshot = server.snapshot()
+    tier = snapshot["shard_tier"]
+    completed = max(1, snapshot["completed"])
+    degraded = tier["reroutes"] + tier["inline_fallbacks"] + tier["fallback_routes"]
+    degraded_fraction = degraded / completed
+    p99_ms = (snapshot["latency"] or {}).get("p99_ms")
+    slo = {
+        "p99_ms": p99_ms,
+        "p99_slo_ms": p99_slo_ms,
+        "degraded_fraction": degraded_fraction,
+        "degraded_slo": degraded_slo,
+        "ok": (p99_ms is not None and p99_ms <= p99_slo_ms)
+        and degraded_fraction <= degraded_slo,
+    }
+    report = {
+        "shards": int(shards),
+        "requests": int(requests),
+        "distinct_frames": len(distinct),
+        "seed": int(seed),
+        "plan_cache_dir": plan_cache_dir,
+        "wall_seconds": wall,
+        "throughput_rps": requests / wall if wall > 0 else None,
+        "shed_at_submit": shed,
+        "metrics": snapshot,
+        "slo": slo,
+    }
+    if verify:
+        expected = network.forward_batch(FeatureMapBatch.from_maps(distinct))
+        mismatches = [
+            index
+            for index, out in sorted(first_outputs.items())
+            if not (
+                np.array_equal(expected.frame(index).data, out.data)
+                and float(expected.frame(index).scale) == float(out.scale)
+            )
+        ]
+        report["bit_identical"] = not mismatches
+        report["bit_identity_mismatches"] = mismatches
+    if injector is not None:
+        events = injector.events()
+        report["faults"] = {
+            "spec": faults,
+            "chaos": bool(chaos),
+            "seed": int(fault_seed),
+            "plan": plan.describe(),
+            "events": [list(event) for event in events],
+            "transcript_sha256": hashlib.sha256(
+                repr(events).encode()
+            ).hexdigest(),
+        }
+    return report
+
+
 #: Valid values of ``run_bench(scenario=...)`` / ``repro bench --scenario``.
 SCENARIOS = ("inference", "serve", "all")
 
@@ -862,6 +1049,8 @@ __all__ = [
     "bench_plan_cache",
     "bench_passes",
     "bench_serve",
+    "bench_serve_shard",
+    "default_chaos_plan",
     "SCENARIOS",
     "run_bench",
     "check_inference_regressions",

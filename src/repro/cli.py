@@ -350,7 +350,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def _serve_kwargs(args: argparse.Namespace) -> dict:
     """Map the shared serving flags onto ``run_bench`` keyword arguments."""
     return {
-        "serve_requests": args.requests,
+        "serve_requests": args.requests if args.requests is not None else 64,
         "serve_arrival_hz": args.arrival_hz,
         "serve_max_batch": args.max_batch,
         "serve_max_delay_s": args.max_delay_ms / 1e3,
@@ -698,11 +698,18 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """``repro serve-bench`` — the serving scenario on its own.
 
-    A thin front end over the same ``run_bench`` entry point (and the same
-    JSON schema) as ``repro bench --scenario serve``.
+    Without ``--shards`` this is a thin front end over the same
+    ``run_bench`` entry point (and the same JSON schema) as ``repro
+    bench --scenario serve``.  With ``--shards N`` it drives the
+    multi-process shard tier instead (``repro.serve.ShardedServer``);
+    ``--chaos`` installs the seeded fleet fault plan and the run is
+    gated on its SLOs — the exit code is non-zero when p99 or the
+    degraded fraction misses, or when bit-identity fails.
     """
     from repro.bench import format_report, run_bench, write_report
 
+    if args.shards and args.shards > 0:
+        return _serve_bench_shard(args)
     report = run_bench(
         network_name=args.network,
         seed=args.seed,
@@ -714,6 +721,68 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         write_report(report, args.output)
         print(f"report written to {args.output}")
     return 0
+
+
+def _serve_bench_shard(args: argparse.Namespace) -> int:
+    """The ``serve-bench --shards N`` path: shard tier + SLO gate."""
+    from repro.bench import _zoo_network, bench_serve_shard, write_report
+
+    network = _zoo_network(args.network, args.seed)
+    report = bench_serve_shard(
+        network,
+        shards=args.shards,
+        requests=args.requests,
+        chaos=args.chaos,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        seed=args.seed,
+        result_cache=args.result_cache,
+        p99_slo_ms=args.slo_p99_ms,
+        degraded_slo=args.slo_degraded,
+        plan_cache_dir=args.plan_cache,
+    )
+    tier = report["metrics"]["shard_tier"]
+    slo = report["slo"]
+    print(
+        f"serve-bench (shard tier): {report['shards']} shards, "
+        f"{report['requests']} requests in {report['wall_seconds']:.2f}s "
+        f"({report['throughput_rps']:.0f} req/s)"
+    )
+    print(
+        f"  completed: {report['metrics']['completed']}  "
+        f"cache hits: {tier['result_cache_hits']}  "
+        f"coalesced: {tier['coalesced']}  shed: {report['metrics']['shed']}"
+    )
+    print(
+        f"  deaths: {tier['shard_deaths']}  reroutes: {tier['reroutes']}  "
+        f"fallback routes: {tier['fallback_routes']}  "
+        f"inline: {tier['inline_fallbacks']}  splits: {tier['router_splits']}"
+    )
+    if "faults" in report:
+        print(
+            f"  faults: {len(report['faults']['events'])} injected; "
+            f"transcript sha256 {report['faults']['transcript_sha256'][:16]}…"
+        )
+    p99 = slo["p99_ms"]
+    print(
+        f"  SLO: p99 {p99:.3f}ms (limit {slo['p99_slo_ms']:g}ms), "
+        f"degraded {slo['degraded_fraction']:.4%} "
+        f"(limit {slo['degraded_slo']:.2%}) -> "
+        f"{'OK' if slo['ok'] else 'VIOLATED'}"
+        if p99 is not None
+        else "  SLO: no latency samples -> VIOLATED"
+    )
+    ok = bool(slo["ok"])
+    if "bit_identical" in report:
+        print(
+            f"  bit-identity vs forward_batch: "
+            f"{'OK' if report['bit_identical'] else 'FAILED'}"
+        )
+        ok = ok and report["bit_identical"]
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -800,8 +869,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     def add_serve_options(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument("--requests", type=int, default=64,
-                            help="open-loop requests to submit (default 64)")
+        parser.add_argument("--requests", type=int, default=None,
+                            help="requests to submit (default 64; with "
+                                 "--chaos, 100000)")
         parser.add_argument("--arrival-hz", type=float, default=None,
                             help="mean arrival rate; omit for back-to-back")
         parser.add_argument("--max-batch", type=int, default=8,
@@ -859,6 +929,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--network", default="tincy", choices=sorted(_ZOO))
     p_serve.add_argument("--seed", type=int, default=0)
     add_serve_options(p_serve)
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="shard processes; >0 drives the multi-process "
+                              "tier instead of the single-process server")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="install the seeded fleet chaos plan "
+                              "(shard-kill/shard-slow/router-split) and "
+                              "gate the run on its SLOs")
+    p_serve.add_argument("--result-cache", type=int, default=1024,
+                         help="LRU result-cache entries (0 disables)")
+    p_serve.add_argument("--slo-p99-ms", type=float, default=50.0,
+                         help="p99 latency SLO for the chaos gate")
+    p_serve.add_argument("--slo-degraded", type=float, default=0.05,
+                         help="max degraded fraction for the chaos gate")
     p_serve.add_argument("--output", help="write the JSON report here")
     p_serve.set_defaults(func=cmd_serve_bench)
 

@@ -52,9 +52,27 @@ FABRIC_BACKEND = "fabric.backend"
 QUEUE_POP = "serve.queue.pop"
 #: The heterogeneous worker pool's job loop (repro.serve.workers).
 WORKER = "serve.worker"
+#: The shard tier's per-request chaos tick: kill a shard process
+#: (repro.serve.router polls this once per accepted request).
+SHARD_KILL = "shard.kill"
+#: The shard tier's per-request chaos tick: make one replica slow.
+SHARD_SLOW = "shard.slow"
+#: The router's per-request chaos tick: split its view of the fleet.
+ROUTER_SPLIT = "router.split"
 
 #: Every site a :class:`FaultSpec` may target.
-SITES = (FABRIC_STEP, FABRIC_BACKEND, QUEUE_POP, WORKER)
+SITES = (
+    FABRIC_STEP,
+    FABRIC_BACKEND,
+    QUEUE_POP,
+    WORKER,
+    SHARD_KILL,
+    SHARD_SLOW,
+    ROUTER_SPLIT,
+)
+
+#: The fleet-scale sites the shard tier polls (one tick per request).
+FLEET_SITES = (SHARD_KILL, SHARD_SLOW, ROUTER_SPLIT)
 
 # -- kinds: what goes wrong ---------------------------------------------------
 
@@ -68,6 +86,12 @@ FABRIC_CORRUPT = "fabric-corrupt"
 QUEUE_STALL = "queue-stall"
 #: A worker thread dies between jobs.
 WORKER_DEATH = "worker-death"
+#: A shard process is killed (SIGKILL — a crashed replica).
+SHARD_KILL_KIND = "shard-kill"
+#: A shard replica turns slow: each of its next requests stalls.
+SHARD_SLOW_KIND = "shard-slow"
+#: The router's fleet view splits: part of the fleet looks unreachable.
+ROUTER_SPLIT_KIND = "router-split"
 
 #: Every fault kind, with its default site.
 DEFAULT_SITE = {
@@ -76,11 +100,22 @@ DEFAULT_SITE = {
     FABRIC_CORRUPT: FABRIC_STEP,
     QUEUE_STALL: QUEUE_POP,
     WORKER_DEATH: WORKER,
+    SHARD_KILL_KIND: SHARD_KILL,
+    SHARD_SLOW_KIND: SHARD_SLOW,
+    ROUTER_SPLIT_KIND: ROUTER_SPLIT,
 }
 KINDS = tuple(DEFAULT_SITE)
 
 #: Kinds a fabric site (``fabric.step`` / ``fabric.backend``) can fire.
 FABRIC_KINDS = (FABRIC_RAISE, FABRIC_HANG, FABRIC_CORRUPT)
+
+#: The fleet sites accept exactly one kind each (the tick semantics are
+#: the router's, not the injector's — see repro.serve.router).
+FLEET_SITE_KIND = {
+    SHARD_KILL: SHARD_KILL_KIND,
+    SHARD_SLOW: SHARD_SLOW_KIND,
+    ROUTER_SPLIT: ROUTER_SPLIT_KIND,
+}
 
 
 # -- exceptions ---------------------------------------------------------------
@@ -136,7 +171,11 @@ class FaultSpec:
     Exactly one selector is used: ``at`` (explicit 0-based per-site
     invocation indices — fully deterministic, no RNG) or ``rate`` (seeded
     Bernoulli per invocation, capped by ``limit`` fires).  ``hang_s`` is
-    how long a ``fabric-hang`` stalls the injected clock.
+    how long a ``fabric-hang`` stalls the injected clock — and, for the
+    ``shard-slow`` kind, how long the slowed replica stalls each affected
+    request.  ``span`` scopes the fleet kinds: how many requests a
+    ``shard-slow`` replica stays slow for, and how many chaos ticks a
+    ``router-split`` partition lasts before it heals.
     """
 
     kind: str
@@ -145,6 +184,7 @@ class FaultSpec:
     rate: float = 0.0
     limit: Optional[int] = None
     hang_s: float = 10.0
+    span: int = 8
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -154,6 +194,10 @@ class FaultSpec:
             raise ValueError(f"unknown fault site {site!r} (known: {SITES})")
         if site in (FABRIC_STEP, FABRIC_BACKEND) and self.kind not in FABRIC_KINDS:
             raise ValueError(f"kind {self.kind!r} cannot target site {site!r}")
+        if site in FLEET_SITE_KIND and self.kind != FLEET_SITE_KIND[site]:
+            raise ValueError(f"kind {self.kind!r} cannot target site {site!r}")
+        if self.kind in FLEET_SITE_KIND.values() and site not in FLEET_SITE_KIND:
+            raise ValueError(f"fleet kind {self.kind!r} cannot target site {site!r}")
         object.__setattr__(self, "site", site)
         object.__setattr__(self, "at", tuple(int(i) for i in self.at))
         if any(i < 0 for i in self.at):
@@ -164,6 +208,8 @@ class FaultSpec:
             raise ValueError("give either explicit 'at' indices or a 'rate', not both")
         if self.hang_s < 0:
             raise ValueError("hang_s must be non-negative")
+        if self.span < 1:
+            raise ValueError("span must be positive")
 
 
 @dataclass(frozen=True)
@@ -192,6 +238,7 @@ class FaultPlan:
         fabric-corrupt%0.25         # seeded 25% of invocations
         fabric-hang@3;worker-death@1    # ';' separates independent specs
         fabric-raise/fabric.backend@0   # '/' overrides the default site
+        shard-kill@100;router-split@2000    # fleet kinds use the same syntax
     """
 
     def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
@@ -246,6 +293,7 @@ class FaultPlan:
                 "at": list(spec.at),
                 "rate": spec.rate,
                 "hang_s": spec.hang_s,
+                "span": spec.span,
             }
             for spec in self.specs
         ]
@@ -349,6 +397,16 @@ class FaultInjector:
                 f"{decision[1].invocation}"
             )
 
+    def poll(self, site: str) -> Optional[Tuple[FaultSpec, FaultEvent]]:
+        """Fleet seam: the fired (spec, event), or None.
+
+        Unlike :meth:`call`/:meth:`fire` the injector performs no action
+        itself — the shard tier's router owns the semantics (which shard
+        to kill, how long a split lasts) and derives them deterministically
+        from the event's invocation index.
+        """
+        return self._decide(site)
+
     # -- internals ---------------------------------------------------------
 
     def _corrupt(self, result, event: FaultEvent):
@@ -421,19 +479,35 @@ def fire(site: str) -> None:
         injector.fire(site)
 
 
+def poll(site: str) -> Optional[Tuple[FaultSpec, FaultEvent]]:
+    """Production fleet seam: the fired (spec, event) of this tick, or None."""
+    injector = active()
+    if injector is None:
+        return None
+    return injector.poll(site)
+
+
 __all__ = [
     "FABRIC_STEP",
     "FABRIC_BACKEND",
     "QUEUE_POP",
     "WORKER",
+    "SHARD_KILL",
+    "SHARD_SLOW",
+    "ROUTER_SPLIT",
     "SITES",
+    "FLEET_SITES",
     "FABRIC_RAISE",
     "FABRIC_HANG",
     "FABRIC_CORRUPT",
     "QUEUE_STALL",
     "WORKER_DEATH",
+    "SHARD_KILL_KIND",
+    "SHARD_SLOW_KIND",
+    "ROUTER_SPLIT_KIND",
     "KINDS",
     "FABRIC_KINDS",
+    "FLEET_SITE_KIND",
     "FabricError",
     "FabricFault",
     "FabricHang",
@@ -449,4 +523,5 @@ __all__ = [
     "call",
     "stall",
     "fire",
+    "poll",
 ]

@@ -171,5 +171,30 @@ class PlanCache:
         self.store(program)
         return program, False
 
+    def warm(
+        self,
+        network,
+        name: str = "",
+        opt_level: Optional[int] = None,
+        validate: Optional[bool] = None,
+    ) -> Tuple[str, bool]:
+        """Ensure the network's artifact exists; returns ``(path, hit)``.
+
+        The shard tier calls this once in the parent before forking its
+        workers: the compile (if any) happens exactly once, and every
+        shard's cold start is then an artifact *load* from this path.
+        """
+        program, hit = self.get_or_compile(
+            network, name=name, opt_level=opt_level, validate=validate
+        )
+        key = plan_cache_key(
+            program.network_name,
+            program.weights_sha256,
+            program.cfg_sha256,
+            program.version,
+            program.opt_level,
+        )
+        return self.path_for(key), hit
+
 
 __all__ = ["plan_cache_key", "PlanCache"]

@@ -12,6 +12,14 @@ PR 5 adds fault tolerance: a :class:`CircuitBreaker` + :class:`FabricWatchdog`
 pair owned by the worker pool, bounded-backoff fabric retries in the
 server, and a bit-identical degraded CPU-reference mode — all driven by
 the deterministic fault-injection seams of :mod:`repro.faults`.
+
+PR 10 scales the tier out: :class:`ShardedServer` runs N shard
+*processes* (each owning a simulated fabric device and a warmed ``.rpb``
+plan) behind a consistent-hashing :class:`Router` with least-loaded
+fallback, per-tenant token-bucket :class:`AdmissionController` quotas,
+and an LRU :class:`ResultCache` keyed by input digest — certified by the
+fleet-scale chaos sites of :mod:`repro.faults` (``shard.kill``,
+``shard.slow``, ``router.split``).
 """
 
 from repro.serve.batcher import (
@@ -21,6 +29,13 @@ from repro.serve.batcher import (
     DynamicBatcher,
     Flush,
     to_feature_batch,
+)
+from repro.serve.admission import (
+    AdmissionController,
+    QuotaExceeded,
+    ResultCache,
+    TokenBucket,
+    frame_digest,
 )
 from repro.serve.metrics import MetricsRegistry, percentile
 from repro.serve.queue import (
@@ -41,8 +56,16 @@ from repro.serve.resilience import (
     USE_REFERENCE,
     CircuitBreaker,
     FabricWatchdog,
+    HeartbeatMonitor,
 )
-from repro.serve.server import InferenceServer, ServeConfig
+from repro.serve.router import (
+    ConsistentHashRing,
+    Router,
+    ShardedServer,
+    ShardTierConfig,
+)
+from repro.serve.server import InferenceServer, ServeConfig, create_server
+from repro.serve.shard import Shard, ShardError
 from repro.serve.workers import BatchJob, FabricGate, HeterogeneousWorkerPool
 
 __all__ = [
@@ -74,4 +97,17 @@ __all__ = [
     "FabricGate",
     "BatchJob",
     "HeterogeneousWorkerPool",
+    "AdmissionController",
+    "QuotaExceeded",
+    "ResultCache",
+    "TokenBucket",
+    "frame_digest",
+    "HeartbeatMonitor",
+    "ConsistentHashRing",
+    "Router",
+    "ShardedServer",
+    "ShardTierConfig",
+    "Shard",
+    "ShardError",
+    "create_server",
 ]

@@ -63,6 +63,20 @@ class MetricsRegistry:
         self.breaker_transitions: List[Dict] = []
         self.degraded_inferences = 0
         self.worker_deaths = 0
+        self.shard_dispatches: Dict[str, int] = {}
+        self.shard_deaths = 0
+        self.shard_death_causes: Dict[str, int] = {}
+        self.shard_cold_starts: Dict[str, Dict] = {}
+        self.reroutes = 0
+        self.inline_fallbacks = 0
+        self.fallback_routes = 0
+        self.result_cache_hits = 0
+        self.coalesced = 0
+        self.quota_rejections: Dict[str, int] = {}
+        self.router_splits = 0
+        self.shard_slow_events = 0
+        self.heartbeats_sent = 0
+        self.heartbeat_pongs = 0
         self.cold_start_ms: Optional[float] = None
         self.plan_cache_hit: Optional[bool] = None
         self.plan_source = "compiled"
@@ -151,6 +165,81 @@ class MetricsRegistry:
         with self._lock:
             self.worker_deaths += 1
 
+    # -- shard-tier observations (repro.serve.router) ----------------------
+
+    def observe_shard_start(
+        self, name: str, cold_start_ms: Optional[float], cache_hit
+    ) -> None:
+        """One shard process completed its ready handshake."""
+        with self._lock:
+            self.shard_cold_starts[name] = {
+                "cold_start_ms": cold_start_ms,
+                "plan_cache_hit": cache_hit,
+            }
+
+    def observe_shard_dispatch(self, name: str) -> None:
+        """One request was sent down shard *name*'s pipe."""
+        with self._lock:
+            self.shard_dispatches[name] = self.shard_dispatches.get(name, 0) + 1
+
+    def observe_shard_death(self, name: str, cause: str) -> None:
+        """Shard *name* was declared dead (killed, crashed, or hung)."""
+        with self._lock:
+            self.shard_deaths += 1
+            self.shard_death_causes[cause] = (
+                self.shard_death_causes.get(cause, 0) + 1
+            )
+
+    def observe_reroute(self) -> None:
+        """An in-flight request was re-dispatched off a dead shard."""
+        with self._lock:
+            self.reroutes += 1
+
+    def observe_inline_fallback(self) -> None:
+        """A request was served in-parent because no shard was usable."""
+        with self._lock:
+            self.inline_fallbacks += 1
+
+    def observe_fallback_route(self) -> None:
+        """The ring's preferred shard was unusable; least-loaded chosen."""
+        with self._lock:
+            self.fallback_routes += 1
+
+    def observe_cache_hit(self) -> None:
+        """A request was answered from the result cache (no dispatch)."""
+        with self._lock:
+            self.result_cache_hits += 1
+
+    def observe_coalesced(self) -> None:
+        """A duplicate in-flight digest rode an existing dispatch."""
+        with self._lock:
+            self.coalesced += 1
+
+    def observe_quota_rejection(self, tenant: str) -> None:
+        """A tenant's token bucket rejected a request."""
+        with self._lock:
+            self.quota_rejections[tenant] = (
+                self.quota_rejections.get(tenant, 0) + 1
+            )
+
+    def observe_router_split(self, hidden) -> None:
+        """A router-split tick hid part of the fleet."""
+        with self._lock:
+            self.router_splits += 1
+
+    def observe_shard_slow(self, name: str) -> None:
+        """A shard-slow tick turned one replica slow."""
+        with self._lock:
+            self.shard_slow_events += 1
+
+    def observe_heartbeat(self) -> None:
+        with self._lock:
+            self.heartbeats_sent += 1
+
+    def observe_pong(self, name: str) -> None:
+        with self._lock:
+            self.heartbeat_pongs += 1
+
     def observe_breaker_transition(
         self, old: str, new: str, reason: str, now: float
     ) -> None:
@@ -194,9 +283,8 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
-    def latency_percentiles(self) -> Optional[Dict[str, float]]:
-        with self._lock:
-            samples = list(self._latencies)
+    @staticmethod
+    def _percentiles_of(samples: Sequence[float]) -> Optional[Dict[str, float]]:
         if not samples:
             return None
         return {
@@ -207,8 +295,20 @@ class MetricsRegistry:
             "max_ms": max(samples) * 1e3,
         }
 
+    def latency_percentiles(self) -> Optional[Dict[str, float]]:
+        with self._lock:
+            samples = list(self._latencies)
+        return self._percentiles_of(samples)
+
     def snapshot(self, now: Optional[float] = None) -> Dict:
-        """JSON-safe dict of every metric, for bench reports and logs."""
+        """JSON-safe dict of every metric, for bench reports and logs.
+
+        The whole snapshot — counters *and* the latency section — is
+        assembled under one lock hold, so it is internally consistent: a
+        concurrent ``observe_completion`` either lands entirely before
+        this snapshot or entirely after it, never half-in (the latency
+        sample count can never exceed the completed count it ships with).
+        """
         with self._lock:
             end = now
             if end is None:
@@ -256,10 +356,36 @@ class MetricsRegistry:
                     }
                     for name in sorted(self.plan_step_seconds)
                 },
+                "shard_tier": {
+                    "dispatches": dict(sorted(self.shard_dispatches.items())),
+                    "shard_deaths": self.shard_deaths,
+                    "death_causes": dict(
+                        sorted(self.shard_death_causes.items())
+                    ),
+                    "cold_starts": {
+                        name: dict(info)
+                        for name, info in sorted(self.shard_cold_starts.items())
+                    },
+                    "reroutes": self.reroutes,
+                    "inline_fallbacks": self.inline_fallbacks,
+                    "fallback_routes": self.fallback_routes,
+                    "result_cache_hits": self.result_cache_hits,
+                    "coalesced": self.coalesced,
+                    "quota_rejections": dict(
+                        sorted(self.quota_rejections.items())
+                    ),
+                    "router_splits": self.router_splits,
+                    "shard_slow_events": self.shard_slow_events,
+                    "heartbeats_sent": self.heartbeats_sent,
+                    "heartbeat_pongs": self.heartbeat_pongs,
+                },
                 "elapsed_s": elapsed,
                 "throughput_rps": throughput,
+                "latency_samples": self._latency_seen,
+                # Computed inside this same lock hold: the latency section
+                # can never be torn relative to the counters above.
+                "latency": self._percentiles_of(list(self._latencies)),
             }
-        data["latency"] = self.latency_percentiles()
         return data
 
 

@@ -216,6 +216,48 @@ class FabricWatchdog:
         return result
 
 
+class HeartbeatMonitor:
+    """Last-heard tracking for the shard tier's health policy.
+
+    The router's heartbeat thread calls :meth:`beat` on every pong; a
+    shard whose last beat is older than ``timeout_s`` shows up in
+    :meth:`expired` and is treated as *hung* — alive as a process but no
+    longer answering, which for routing purposes is the same as dead.
+    All state lives under one lock; timestamps are caller-supplied so
+    the monitor is deterministic under a virtual clock.
+    """
+
+    def __init__(self, timeout_s: float = 2.0) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._last: dict = {}
+
+    def beat(self, name: str, now: float) -> None:
+        """*name* was heard from at time *now*."""
+        with self._lock:
+            self._last[name] = now
+
+    def forget(self, name: str) -> None:
+        """Stop tracking *name* (it left the fleet or was marked dead)."""
+        with self._lock:
+            self._last.pop(name, None)
+
+    def last(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._last.get(name)
+
+    def expired(self, now: float) -> List[str]:
+        """Names not heard from within the timeout, sorted."""
+        with self._lock:
+            return sorted(
+                name
+                for name, heard in self._last.items()
+                if now - heard > self.timeout_s
+            )
+
+
 __all__ = [
     "CLOSED",
     "OPEN",
@@ -225,4 +267,5 @@ __all__ = [
     "USE_REFERENCE",
     "CircuitBreaker",
     "FabricWatchdog",
+    "HeartbeatMonitor",
 ]

@@ -1,0 +1,258 @@
+"""Shard processes: one simulated fabric device per OS process.
+
+FINN-R scales throughput by replicating the dataflow engine behind a
+dispatcher; the shard tier does the same at process granularity.  Each
+shard is a child process owning its own simulated fabric device and a
+:class:`~repro.isa.vm.PlanVM` warmed from the content-addressed plan
+cache (the parent pre-compiles the ``.rpb`` artifact once, so every
+shard's cold start is an artifact *load*, never a compile), talking to
+the router over one duplex :mod:`multiprocessing` pipe.
+
+Wire protocol (plain tuples; ``Connection.send`` pickles them, which is
+how the ``FeatureMapBatch`` payloads travel)::
+
+    parent -> shard                     shard -> parent
+    ("req",  rid, FeatureMapBatch)      ("res",  rid, FeatureMapBatch)
+                                        ("err",  rid, repr(exc))
+    ("ping", seq)                       ("pong", seq, served, slow_left)
+    ("slow", seconds, count)            -
+    ("stop",)                           -
+    -                                   ("ready", cold_start_ms, cache_hit)
+
+Messages are processed strictly in order by the child's single loop, so
+a slowed shard still answers heartbeats *between* requests — slow and
+hung are distinguishable, which is exactly what the router's health
+policy needs.  Shards are spawned with the ``fork`` start method by
+default: the network object (which may hold unpicklable offload-backend
+handles) is inherited by memory image instead of being pickled, and a
+fork start is what keeps 3-shard full-scale Tincy tests cheap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.core.tensor import FeatureMapBatch
+
+
+def _shard_main(
+    conn,
+    peer,
+    network,
+    plan_cache_dir: Optional[str],
+    plan_name: str,
+    opt_level: int,
+    validate: Optional[bool],
+) -> None:
+    """Child entry point: warm a plan, then serve the pipe until told to stop."""
+    if peer is not None:
+        peer.close()  # the parent's end, inherited across the fork
+    cold_start = time.perf_counter()
+    try:
+        if plan_cache_dir is not None:
+            from repro.isa import PlanCache, PlanVM
+
+            program, cache_hit = PlanCache(plan_cache_dir).get_or_compile(
+                network, name=plan_name, opt_level=opt_level, validate=validate
+            )
+            executor = PlanVM(program, network)
+        else:
+            from repro.engine import Executor
+
+            cache_hit = None
+            executor = Executor(network.plan())
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        conn.send(("fail", repr(exc)))
+        conn.close()
+        return
+    cold_ms = (time.perf_counter() - cold_start) * 1e3
+    conn.send(("ready", cold_ms, cache_hit))
+    served = 0
+    slow_left = 0
+    slow_s = 0.0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # the parent went away; nothing left to serve
+        tag = message[0]
+        if tag == "req":
+            rid, batch = message[1], message[2]
+            if slow_left > 0:
+                slow_left -= 1
+                time.sleep(slow_s)
+            try:
+                out = executor.run(batch)
+            except Exception as exc:  # noqa: BLE001 — routed to the future
+                conn.send(("err", rid, repr(exc)))
+            else:
+                conn.send(("res", rid, out))
+                served += 1
+        elif tag == "ping":
+            conn.send(("pong", message[1], served, slow_left))
+        elif tag == "slow":
+            slow_s = float(message[1])
+            slow_left = int(message[2])
+        elif tag == "stop":
+            break
+    conn.close()
+
+
+class ShardError(RuntimeError):
+    """A shard failed to start (its cold start raised in the child)."""
+
+
+class Shard:
+    """Parent-side handle of one shard process.
+
+    Owns the process, the parent end of the pipe, and the router-facing
+    state: liveness, the in-flight request ids, and heartbeat bookkeeping.
+    All mutable state is guarded by ``_lock`` — the collector thread, the
+    heartbeat thread and the submitting client threads all touch it.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        network,
+        plan_cache_dir: Optional[str],
+        plan_name: str = "shard",
+        opt_level: int = 2,
+        validate: Optional[bool] = None,
+        start_method: str = "fork",
+    ) -> None:
+        self.index = index
+        self.name = f"shard{index}"
+        self._network = network
+        self._plan_cache_dir = plan_cache_dir
+        self._plan_name = plan_name
+        self._opt_level = opt_level
+        self._validate = validate
+        self._start_method = start_method
+        self._lock = threading.Lock()
+        # Pipe sends are not documented thread-safe; the submit path and
+        # the heartbeat thread both write this connection, so every send
+        # goes through one dedicated IO lock (never held while receiving).
+        self._send_lock = threading.Lock()
+        self.process: Optional[multiprocessing.Process] = None
+        self.conn = None
+        self.cold_start_ms: Optional[float] = None
+        self.plan_cache_hit: Optional[bool] = None
+        self.served = 0
+        self.last_pong: Optional[float] = None
+        self.ping_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, ready_timeout_s: float = 60.0) -> "Shard":
+        """Fork the shard process and wait for its ``ready`` handshake."""
+        if self.process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        methods = multiprocessing.get_all_start_methods()
+        method = self._start_method if self._start_method in methods else None
+        ctx = multiprocessing.get_context(method)
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_main,
+            args=(
+                child_conn,
+                parent_conn if method == "fork" else None,
+                self._network,
+                self._plan_cache_dir,
+                self._plan_name,
+                self._opt_level,
+                self._validate,
+            ),
+            name=self.name,
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        if not self.conn.poll(ready_timeout_s):
+            self.kill()
+            raise ShardError(f"{self.name} did not come up in {ready_timeout_s}s")
+        message = self.conn.recv()
+        if message[0] != "ready":
+            self.kill()
+            raise ShardError(f"{self.name} failed to start: {message[1]}")
+        self.cold_start_ms = float(message[1])
+        self.plan_cache_hit = message[2]
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the child to exit after the messages already in its pipe."""
+        try:
+            with self._send_lock:
+                self.conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass  # already dead; kill()/join() clean up the process
+
+    def kill(self) -> None:
+        """SIGKILL the process (chaos 'shard-kill' and hang teardown)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def join(self, timeout_s: Optional[float] = None) -> bool:
+        if self.process is None:
+            return True
+        self.process.join(timeout_s)
+        return not self.process.is_alive()
+
+    # -- messaging ---------------------------------------------------------
+
+    def send_request(self, rid: int, batch: FeatureMapBatch) -> None:
+        """Pickle *batch* down the pipe (raises OSError on a dead pipe)."""
+        with self._send_lock:
+            self.conn.send(("req", rid, batch))
+
+    def send_ping(self) -> int:
+        with self._lock:
+            self.ping_seq += 1
+            seq = self.ping_seq
+        with self._send_lock:
+            self.conn.send(("ping", seq))
+        return seq
+
+    def send_slow(self, seconds: float, count: int) -> None:
+        with self._send_lock:
+            self.conn.send(("slow", seconds, count))
+
+    def observe_pong(self, seq: int, served: int, now: float) -> None:
+        with self._lock:
+            self.last_pong = now
+            self.served = served
+
+    @property
+    def sentinel(self) -> int:
+        """The process sentinel fd — readable once the child exits."""
+        return self.process.sentinel
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.process is None else self.process.pid
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"<Shard {self.name} pid={self.pid} {state}>"
+
+
+def fork_available() -> bool:
+    """True when the platform supports the fork start method (Linux/mac)."""
+    return "fork" in multiprocessing.get_all_start_methods() and os.name == "posix"
+
+
+__all__ = ["Shard", "ShardError", "fork_available"]

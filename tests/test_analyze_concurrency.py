@@ -223,6 +223,101 @@ class TestCircuitState:
         assert _rules(lint_cc(source)) == []
 
 
+BAD_BLOCKING = textwrap.dedent(
+    """
+    import threading
+    import time
+
+    class Collector:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._conn = make_pipe()
+
+        def pull(self):
+            with self._lock:
+                return self._conn.recv()
+
+        def nap(self):
+            with self._lock:
+                time.sleep(1.0)
+    """
+)
+
+
+class TestBlockingUnderLock:
+    def test_recv_and_sleep_under_lock_are_errors(self):
+        findings = lint_cc(BAD_BLOCKING)
+        hits = [f for f in findings if f.rule == "CC-BLOCKING-UNDER-LOCK"]
+        assert len(hits) == 2
+        assert all(f.severity == ERROR for f in hits)
+        assert ".recv(" in hits[0].message and "_lock" in hits[0].message
+        assert ".sleep(" in hits[1].message
+
+    def test_condition_wait_idiom_is_exempt(self):
+        # Waiting on the very condition you hold is how conditions work —
+        # the exemption keys on the call owner matching the held lock.
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._ready = False
+
+                def wait_ready(self):
+                    with self._cond:
+                        while not self._ready:
+                            self._cond.wait()
+            """
+        )
+        assert _rules(lint_cc(source)) == []
+
+    def test_waiting_on_a_different_object_under_a_lock_still_fires(self):
+        # Holding one lock while waiting on a *different* condition is
+        # exactly the convoy the rule exists for.
+        source = textwrap.dedent(
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+
+                def wait_other(self):
+                    with self._lock:
+                        self._cond.wait()
+            """
+        )
+        assert "CC-BLOCKING-UNDER-LOCK" in _rules(lint_cc(source))
+
+    def test_blocking_outside_any_lock_is_clean(self):
+        source = textwrap.dedent(
+            """
+            import time
+
+            class Collector:
+                def pull(self):
+                    message = self._conn.recv()
+                    time.sleep(0.01)
+                    return message
+            """
+        )
+        assert _rules(lint_cc(source)) == []
+
+    def test_allow_comment_suppresses(self):
+        source = BAD_BLOCKING.replace(
+            "return self._conn.recv()",
+            "return self._conn.recv()  "
+            "# analyze: allow(CC-BLOCKING-UNDER-LOCK)",
+        ).replace(
+            "time.sleep(1.0)",
+            "time.sleep(1.0)  # analyze: allow(CC-BLOCKING-UNDER-LOCK)",
+        )
+        assert _rules(lint_cc(source)) == []
+
+
 class TestHotPathRules:
     def test_three_nested_loops_are_flagged(self):
         source = textwrap.dedent(

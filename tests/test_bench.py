@@ -334,3 +334,99 @@ class TestServeBenchCli:
         assert serve["queue_depth_limit"] == 16
         assert serve["metrics"]["completed"] == 8
         assert "report written" in capsys.readouterr().out
+
+
+class TestShardBench:
+    def test_default_chaos_plan_is_explicit_and_scaled(self):
+        from repro.bench import default_chaos_plan
+
+        plan = default_chaos_plan(1000, seed=7)
+        assert [spec.kind for spec in plan.specs] == [
+            "shard-kill", "shard-slow", "router-split",
+        ]
+        kill, slow, split = plan.specs
+        assert kill.at == (20,)  # one early permanent kill
+        assert slow.at[0] == 125 and all(at < 1000 for at in slow.at)
+        assert slow.hang_s < 0.01  # slow, never heartbeat-timeout hung
+        assert split.at[0] == 166 and split.span == 64
+        assert plan.seed == 7
+        # Every selector is explicit: the transcript is a pure function
+        # of the submission sequence, no rate-based randomness anywhere.
+        assert all(spec.rate == 0.0 for spec in plan.specs)
+        # Tiny request counts still produce a valid plan.
+        tiny = default_chaos_plan(4)
+        assert tiny.specs[0].at == (1,)
+
+    @pytest.mark.integration
+    def test_bench_serve_shard_report_schema(self, mlp4):
+        from repro.bench import bench_serve_shard
+        from repro.serve.shard import fork_available
+
+        if not fork_available():
+            pytest.skip("shard tier needs the fork start method")
+        report = bench_serve_shard(
+            mlp4, shards=2, requests=24, distinct_frames=6, seed=3
+        )
+        assert report["shards"] == 2
+        assert report["requests"] == 24
+        assert report["distinct_frames"] == 6
+        assert report["metrics"]["completed"] == 24
+        assert report["metrics"]["failed"] == 0
+        # 6 distinct frames rotate through 24 requests: the LRU answers
+        # every repeat (coalescing may take a few on racy timing).
+        tier = report["metrics"]["shard_tier"]
+        assert tier["result_cache_hits"] + tier["coalesced"] == 18
+        assert report["bit_identical"] is True
+        assert report["bit_identity_mismatches"] == []
+        assert set(report["slo"]) == {
+            "p99_ms", "p99_slo_ms", "degraded_fraction", "degraded_slo", "ok",
+        }
+        assert "faults" not in report  # no plan installed
+
+    @pytest.mark.integration
+    def test_bench_serve_shard_fault_transcript_is_deterministic(self, mlp4):
+        from repro.bench import bench_serve_shard
+        from repro.serve.shard import fork_available
+
+        if not fork_available():
+            pytest.skip("shard tier needs the fork start method")
+
+        def run():
+            return bench_serve_shard(
+                mlp4, shards=3, requests=30, distinct_frames=8,
+                faults="shard-kill@5", fault_seed=7, result_cache=0,
+            )
+
+        first, second = run(), run()
+        for report in (first, second):
+            assert report["faults"]["events"] == [
+                ["shard.kill", "shard-kill", 5, ""]
+            ]
+            assert report["metrics"]["shard_tier"]["shard_deaths"] == 1
+            assert report["metrics"]["completed"] == 30
+            assert report["bit_identical"] is True
+        assert (
+            first["faults"]["transcript_sha256"]
+            == second["faults"]["transcript_sha256"]
+        )
+
+    @pytest.mark.integration
+    def test_serve_bench_cli_shard_mode(self, tmp_path, capsys):
+        from repro.serve.shard import fork_available
+
+        if not fork_available():
+            pytest.skip("shard tier needs the fork start method")
+        out = tmp_path / "BENCH_shard.json"
+        code = main([
+            "serve-bench", "--network", "mlp4", "--shards", "2",
+            "--requests", "20", "--faults", "shard-kill@4",
+            "--fault-seed", "7", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["shards"] == 2
+        assert report["slo"]["ok"] is True
+        assert report["bit_identical"] is True
+        assert report["metrics"]["shard_tier"]["shard_deaths"] == 1
+        printed = capsys.readouterr().out
+        assert "shard tier" in printed and "SLO" in printed

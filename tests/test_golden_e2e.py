@@ -190,3 +190,45 @@ class TestGoldenDetections:
             f"{GOLDEN_DETECTIONS_SHA256}); if the numerics change is "
             f"intentional, update GOLDEN_DETECTIONS_SHA256"
         )
+
+    def test_shard_tier_survives_mid_run_kill_and_matches_golden(
+        self, tincy_hybrid, golden_frame
+    ):
+        # Path 6: the multi-process shard tier.  Full-scale Tincy behind
+        # a 3-shard router, with one shard SIGKILLed by the chaos plan
+        # between the first and second request — every answer must still
+        # be byte-equal to the engine and hash to the pinned checksum.
+        from repro.serve import ShardTierConfig, ShardedServer
+        from repro.serve.shard import fork_available
+
+        if not fork_available():
+            pytest.skip("shard tier needs the fork start method")
+
+        batch = FeatureMapBatch.from_maps([golden_frame])
+        engine_out = list(Executor(tincy_hybrid.plan()).run(batch).frames())[0]
+
+        config = ShardTierConfig(
+            shards=3,
+            result_cache=0,  # force a real dispatch per request
+            coalesce=False,
+            heartbeat_timeout_s=60.0,  # a busy Tincy shard is not hung
+        )
+        plan = faults.FaultPlan.parse("shard-kill@1")
+        with faults.install(plan) as injector:
+            with ShardedServer(tincy_hybrid, config) as server:
+                outputs = [
+                    server.infer(golden_frame, timeout_s=300) for _ in range(3)
+                ]
+                tier = server.snapshot()["shard_tier"]
+                alive = server.router.alive_shards()
+            events = injector.events()
+
+        assert events == [(faults.SHARD_KILL, "shard-kill", 1, "")]
+        assert tier["shard_deaths"] == 1
+        assert len(alive) == 2  # the survivors kept serving
+        for out in outputs:
+            assert out.scale == engine_out.scale
+            assert np.array_equal(out.data, engine_out.data)
+
+        region = tincy_hybrid.layers[-1]
+        assert detections_digest(region, outputs[-1]) == GOLDEN_DETECTIONS_SHA256

@@ -1,0 +1,240 @@
+"""Shard process lifecycle + ShardedServer request-path tests.
+
+The chaos matrix (``test_serve_chaos``) certifies the tier under
+injected faults; this file covers the sunny-day contracts: the wire
+protocol and handshake of one :class:`Shard`, warm plan-cache cold
+starts, the result cache / coalescing / quota layers on the submit
+path, the ``create_server`` factory, and the
+:class:`HeartbeatMonitor` bookkeeping — plus bit-identity of the whole
+tier against ``Network.forward_batch``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import FeatureMap, FeatureMapBatch
+from repro.nn import zoo
+from repro.nn.network import Network
+from repro.serve import (
+    ConsistentHashRing,
+    InferenceServer,
+    QuotaExceeded,
+    ServeConfig,
+    ShardedServer,
+    ShardTierConfig,
+    create_server,
+    frame_digest,
+)
+from repro.serve.queue import ServerClosed
+from repro.serve.resilience import HeartbeatMonitor
+from repro.serve.shard import Shard, fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="shard tier needs the fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    rng = np.random.default_rng(20180621)
+    net = Network(zoo.mlp4_config())
+    net.initialize(rng)
+    return net
+
+
+@pytest.fixture(scope="module")
+def frames(network):
+    rng = np.random.default_rng(20180623)
+    return [
+        FeatureMap(
+            rng.uniform(0, 1, size=network.input_shape).astype(np.float32)
+        )
+        for _ in range(8)
+    ]
+
+
+@pytest.mark.integration
+@needs_fork
+class TestShardProcess:
+    def test_handshake_protocol_and_shutdown(self, network, frames):
+        shard = Shard(0, network, plan_cache_dir=None)
+        try:
+            shard.start(ready_timeout_s=60)
+            assert shard.name == "shard0"
+            assert shard.alive and shard.pid is not None
+            assert shard.cold_start_ms is not None and shard.cold_start_ms >= 0
+            assert shard.plan_cache_hit is None  # no cache dir -> compiled
+
+            batch = FeatureMapBatch.from_maps([frames[0]])
+            shard.send_request(7, batch)
+            assert shard.conn.poll(30)
+            tag, rid, out = shard.conn.recv()
+            assert (tag, rid) == ("res", 7)
+            expected = network.forward_batch(batch)
+            got = next(iter(out.frames()))
+            assert np.array_equal(got.data, expected.frame(0).data)
+
+            seq = shard.send_ping()
+            assert shard.conn.poll(30)
+            pong = shard.conn.recv()
+            assert pong == ("pong", seq, 1, 0)  # served one, not slowed
+
+            shard.request_stop()
+            assert shard.join(30)
+            assert not shard.alive
+            shard.kill()  # idempotent on a corpse
+        finally:
+            shard.kill()
+            shard.join(10)
+
+    def test_double_start_rejected(self, network):
+        shard = Shard(1, network, plan_cache_dir=None)
+        try:
+            shard.start(ready_timeout_s=60)
+            with pytest.raises(RuntimeError):
+                shard.start()
+        finally:
+            shard.kill()
+            shard.join(10)
+
+
+@pytest.mark.integration
+@needs_fork
+class TestShardedServerPath:
+    def test_tier_is_bit_identical_to_forward_batch(self, network, frames):
+        expected = network.forward_batch(FeatureMapBatch.from_maps(frames))
+        with ShardedServer(network, ShardTierConfig(shards=2)) as server:
+            results = server.infer_many(frames, timeout_s=60)
+            snapshot = server.snapshot()
+        for index, got in enumerate(results):
+            want = expected.frame(index)
+            assert got.scale == want.scale
+            assert np.array_equal(got.data, want.data)
+        assert snapshot["completed"] == len(frames)
+        assert snapshot["failed"] == 0
+        tier = snapshot["shard_tier"]
+        assert sum(tier["dispatches"].values()) == len(frames)
+        assert tier["shard_deaths"] == 0
+
+    def test_duplicate_frames_hit_the_result_cache(self, network, frames):
+        with ShardedServer(network, ShardTierConfig(shards=2)) as server:
+            first = server.infer(frames[0], timeout_s=60)
+            second = server.infer(frames[0], timeout_s=60)
+            tier = server.snapshot()["shard_tier"]
+        assert np.array_equal(first.data, second.data)
+        assert tier["result_cache_hits"] == 1
+        assert sum(tier["dispatches"].values()) == 1  # one compute only
+
+    def test_concurrent_duplicates_coalesce_onto_one_dispatch(
+        self, network, frames
+    ):
+        # The cache answers *resolved* duplicates; coalescing answers
+        # *in-flight* ones.  Slow the owning shard so the first dispatch
+        # is provably still in flight when the duplicate arrives.
+        config = ShardTierConfig(shards=2, result_cache=0)
+        with ShardedServer(network, config) as server:
+            ring = ConsistentHashRing(config.vnodes)
+            for name in server.live_shard_names():
+                ring.add(name)
+            digest = frame_digest(frames[0])
+            owner = ring.lookup(digest)
+            server._shards[owner].send_slow(0.4, 1)
+            primary = server.submit(frames[0])
+            follower = server.submit(frames[0])
+            first = primary.result(60)
+            second = follower.result(60)
+            tier = server.snapshot()["shard_tier"]
+        assert np.array_equal(first.data, second.data)
+        assert tier["coalesced"] == 1
+        assert sum(tier["dispatches"].values()) == 1
+        # The follower got a private copy, not the primary's buffer.
+        assert second.data is not first.data
+
+    def test_quota_rejection_on_the_submit_path(self, network, frames):
+        config = ShardTierConfig(
+            shards=1, quota_rps=0.001, quota_burst=1.0
+        )
+        with ShardedServer(network, config) as server:
+            server.infer(frames[0], timeout_s=60)
+            with pytest.raises(QuotaExceeded):
+                server.submit(frames[1], tenant="default")
+            snapshot = server.snapshot()
+        assert snapshot["shard_tier"]["quota_rejections"] == {"default": 1}
+        assert snapshot["admission"]["quota_rejections"] == {"default": 1}
+
+    def test_submit_outside_lifecycle_is_refused(self, network, frames):
+        server = ShardedServer(network, ShardTierConfig(shards=1))
+        with pytest.raises(ServerClosed):
+            server.submit(frames[0])  # never started
+        server.start()
+        try:
+            server.infer(frames[0], timeout_s=60)
+        finally:
+            server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit(frames[0])  # stopped
+
+    def test_warmed_plan_cache_makes_every_cold_start_a_hit(
+        self, network, frames, tmp_path
+    ):
+        config = ShardTierConfig(
+            shards=2, plan_cache_dir=str(tmp_path / "plans")
+        )
+        with ShardedServer(network, config) as server:
+            result = server.infer(frames[0], timeout_s=60)
+            tier = server.snapshot()["shard_tier"]
+        expected = network.forward_batch(FeatureMapBatch.from_maps([frames[0]]))
+        assert np.array_equal(result.data, expected.frame(0).data)
+        assert len(tier["cold_starts"]) == 2
+        for info in tier["cold_starts"].values():
+            # The parent warmed the artifact before forking: every
+            # shard's cold start is a cache *hit*, never a compile.
+            assert info["plan_cache_hit"] is True
+
+
+class TestPlanCacheWarm:
+    def test_warm_compiles_once_then_hits(self, network, tmp_path):
+        import os
+
+        from repro.isa.cache import PlanCache
+
+        cache = PlanCache(str(tmp_path / "plans"))
+        path, hit = cache.warm(network, name="warmup")
+        assert os.path.exists(path) and not hit
+        path_again, hit_again = cache.warm(network, name="warmup")
+        assert path_again == path and hit_again
+
+
+class TestCreateServerFactory:
+    def test_shard_config_selects_the_sharded_server(self, network):
+        server = create_server(network, ShardTierConfig(shards=2))
+        assert isinstance(server, ShardedServer)
+        assert server.shard_count == 0  # not started yet
+
+    def test_default_and_serve_config_select_the_single_process_server(
+        self, network
+    ):
+        assert isinstance(create_server(network), InferenceServer)
+        assert isinstance(
+            create_server(network, ServeConfig(max_batch=2)), InferenceServer
+        )
+
+
+class TestHeartbeatMonitor:
+    def test_expiry_is_strictly_past_the_timeout(self):
+        monitor = HeartbeatMonitor(timeout_s=2.0)
+        monitor.beat("shard0", 10.0)
+        monitor.beat("shard1", 11.0)
+        assert monitor.expired(12.0) == []  # exactly at the edge for s0
+        assert monitor.expired(12.5) == ["shard0"]
+        assert monitor.expired(13.5) == ["shard0", "shard1"]  # sorted
+
+    def test_beat_resets_and_forget_removes(self):
+        monitor = HeartbeatMonitor(timeout_s=1.0)
+        monitor.beat("shard0", 0.0)
+        monitor.beat("shard0", 5.0)
+        assert monitor.expired(5.5) == []
+        assert monitor.last("shard0") == 5.0
+        monitor.forget("shard0")
+        assert monitor.expired(100.0) == []
+        assert monitor.last("shard0") is None
